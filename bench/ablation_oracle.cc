@@ -1,0 +1,103 @@
+// E7 ablation (ours): design-choice sweeps the paper motivates but does not
+// plot.
+//   (1) Distance oracle: PLL (the paper's 2-hop cover) vs per-query
+//       (bi)directional Dijkstra — same answers, very different costs.
+//   (2) Root-holds-skill policy (see DESIGN.md): kZeroCost vs the literal
+//       formula substitution.
+//   (3) Top-k dedup: with and without node-set deduplication.
+#include <set>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "shortest_path/pruned_landmark_labeling.h"
+
+namespace teamdisc {
+namespace {
+
+int Run() {
+  ExperimentScale scale = ResolveScale();
+  if (scale.label == "ci") {
+    // Small enough that per-query-Dijkstra finders finish in seconds.
+    scale.num_experts = GetEnvOr("TEAMDISC_ABLATION_NODES", uint64_t{1200});
+    scale.target_edges = scale.num_experts * 3;
+  }
+  auto ctx = ExperimentContext::Make(scale).ValueOrDie();
+  bench::PrintBanner("Ablation: oracle choice, root-skill policy, top-k dedup",
+                     *ctx);
+  Project project = ctx->SampleProjects(6, 1).ValueOrDie()[0];
+
+  // (1) Oracle ablation.
+  {
+    TablePrinter table(
+        {"oracle", "build (ms)", "query sweep (ms)", "best objective"});
+    for (OracleKind kind :
+         {OracleKind::kPrunedLandmarkLabeling, OracleKind::kDijkstra,
+          OracleKind::kBidirectionalDijkstra}) {
+      FinderOptions options;
+      options.strategy = RankingStrategy::kSACACC;
+      options.oracle = kind;
+      Timer build_timer;
+      auto finder = GreedyTeamFinder::Make(ctx->network(), options).ValueOrDie();
+      double build_ms = build_timer.ElapsedMillis();
+      Timer query_timer;
+      auto teams = finder->FindTeams(project).ValueOrDie();
+      double query_ms = query_timer.ElapsedMillis();
+      table.AddRow({std::string(OracleKindToString(kind)),
+                    TablePrinter::Num(build_ms, 1),
+                    TablePrinter::Num(query_ms, 1),
+                    TablePrinter::Num(teams[0].objective, 4)});
+    }
+    std::printf("-- (1) distance oracle (6-skill project, full root sweep) --\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  // (2) Root-holds-skill policy.
+  {
+    TablePrinter table({"policy", "best objective", "team size"});
+    for (RootSkillPolicy policy :
+         {RootSkillPolicy::kZeroCost, RootSkillPolicy::kFormulaZeroDist}) {
+      FinderOptions options;
+      options.strategy = RankingStrategy::kSACACC;
+      options.root_skill_policy = policy;
+      auto finder = GreedyTeamFinder::Make(ctx->network(), options).ValueOrDie();
+      auto teams = finder->FindTeams(project).ValueOrDie();
+      table.AddRow({policy == RootSkillPolicy::kZeroCost ? "zero-cost"
+                                                         : "formula-zero-dist",
+                    TablePrinter::Num(teams[0].objective, 4),
+                    std::to_string(teams[0].team.size())});
+    }
+    std::printf("-- (2) root-holds-skill policy --\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  // (3) Top-k dedup.
+  {
+    TablePrinter table({"dedupe", "teams returned", "distinct node sets"});
+    for (bool dedupe : {true, false}) {
+      FinderOptions options;
+      options.strategy = RankingStrategy::kSACACC;
+      options.top_k = 10;
+      options.dedupe_top_k = dedupe;
+      auto finder = GreedyTeamFinder::Make(ctx->network(), options).ValueOrDie();
+      auto teams = finder->FindTeams(project).ValueOrDie();
+      std::set<std::string> distinct;
+      for (const ScoredTeam& st : teams) distinct.insert(st.team.Signature());
+      table.AddRow({dedupe ? "on" : "off", std::to_string(teams.size()),
+                    std::to_string(distinct.size())});
+    }
+    std::printf("-- (3) top-10 dedup --\n");
+    table.Print();
+  }
+  std::printf(
+      "\nExpected: identical objectives across oracles (all exact), with PLL\n"
+      "amortizing its build cost over the root sweep; dedup-off returns\n"
+      "near-duplicate teams from adjacent roots.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace teamdisc
+
+int main() { return teamdisc::Run(); }

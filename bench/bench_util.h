@@ -1,0 +1,32 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "core/greedy_team_finder.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+
+namespace teamdisc {
+namespace bench {
+
+/// Prints the standard bench banner (scale, corpus shape).
+inline void PrintBanner(const char* title, const ExperimentContext& ctx) {
+  std::printf("=== %s ===\n", title);
+  std::printf("scale=%s experts=%u edges=%zu skills=%u projects/config=%u\n\n",
+              ctx.scale().label.c_str(), ctx.network().num_experts(),
+              ctx.network().graph().num_edges(), ctx.network().num_skills(),
+              ctx.scale().projects_per_config);
+}
+
+/// Extracts the Team list from scored results.
+inline std::vector<Team> Teams(const std::vector<ScoredTeam>& scored) {
+  std::vector<Team> out;
+  out.reserve(scored.size());
+  for (const ScoredTeam& st : scored) out.push_back(st.team);
+  return out;
+}
+
+}  // namespace bench
+}  // namespace teamdisc

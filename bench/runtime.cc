@@ -1,0 +1,119 @@
+// §4.1 runtime reproduction (google-benchmark): the paper reports that CC,
+// CA-CC and SA-CA-CC "have similar runtime since they use the same
+// fundamental algorithm and indexing methods", that runtime grows with the
+// number of required skills, and that a query takes "a few hundred
+// milliseconds" on the 40K-node DBLP graph (Java, 2.8 GHz i7).
+//
+// Benchmarks:
+//   BM_FindTeam<strategy>/<skills>  - one best-team query, CI-scale corpus
+//   BM_PllBuild                     - index construction cost
+//   BM_PllQuery / BM_DijkstraQuery  - DIST microbenchmarks (2-hop cover vs
+//                                     re-running Dijkstra per query)
+#include <benchmark/benchmark.h>
+
+#include "common/env.h"
+#include "core/greedy_team_finder.h"
+#include "eval/experiment.h"
+#include "shortest_path/dijkstra.h"
+#include "shortest_path/pruned_landmark_labeling.h"
+
+namespace teamdisc {
+namespace {
+
+ExperimentContext& Context() {
+  static ExperimentContext* ctx = [] {
+    ExperimentScale scale = ResolveScale();
+    // Keep the runtime corpus modest so the full bench suite stays fast;
+    // TEAMDISC_SCALE=paper raises it to 40K nodes.
+    if (scale.label == "ci") {
+      scale.num_experts = GetEnvOr("TEAMDISC_RUNTIME_NODES", uint64_t{4000});
+      scale.target_edges = scale.num_experts * 3;
+    }
+    return ExperimentContext::Make(scale).ValueOrDie().release();
+  }();
+  return *ctx;
+}
+
+Project ProjectWithSkills(uint32_t skills) {
+  return Context().SampleProjects(skills, 1).ValueOrDie()[0];
+}
+
+void BM_FindTeamCC(benchmark::State& state) {
+  auto& ctx = Context();
+  uint32_t skills = static_cast<uint32_t>(state.range(0));
+  Project project = ProjectWithSkills(skills);
+  GreedyTeamFinder* finder =
+      ctx.Finder(RankingStrategy::kCC, 0.6, 0.6, 1).ValueOrDie();
+  for (auto _ : state) {
+    auto teams = finder->FindTeams(project);
+    benchmark::DoNotOptimize(teams);
+  }
+}
+BENCHMARK(BM_FindTeamCC)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_FindTeamCaCc(benchmark::State& state) {
+  auto& ctx = Context();
+  uint32_t skills = static_cast<uint32_t>(state.range(0));
+  Project project = ProjectWithSkills(skills);
+  GreedyTeamFinder* finder =
+      ctx.Finder(RankingStrategy::kCACC, 0.6, 0.6, 1).ValueOrDie();
+  for (auto _ : state) {
+    auto teams = finder->FindTeams(project);
+    benchmark::DoNotOptimize(teams);
+  }
+}
+BENCHMARK(BM_FindTeamCaCc)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_FindTeamSaCaCc(benchmark::State& state) {
+  auto& ctx = Context();
+  uint32_t skills = static_cast<uint32_t>(state.range(0));
+  Project project = ProjectWithSkills(skills);
+  GreedyTeamFinder* finder =
+      ctx.Finder(RankingStrategy::kSACACC, 0.6, 0.6, 1).ValueOrDie();
+  for (auto _ : state) {
+    auto teams = finder->FindTeams(project);
+    benchmark::DoNotOptimize(teams);
+  }
+}
+BENCHMARK(BM_FindTeamSaCaCc)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_PllBuild(benchmark::State& state) {
+  auto& ctx = Context();
+  for (auto _ : state) {
+    auto pll = PrunedLandmarkLabeling::Build(ctx.network().graph()).ValueOrDie();
+    benchmark::DoNotOptimize(pll);
+  }
+}
+BENCHMARK(BM_PllBuild)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_PllQuery(benchmark::State& state) {
+  auto& ctx = Context();
+  const DistanceOracle* oracle = ctx.BaseOracle().ValueOrDie();
+  Rng rng(1);
+  NodeId n = ctx.network().num_experts();
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    benchmark::DoNotOptimize(oracle->Distance(u, v));
+  }
+}
+BENCHMARK(BM_PllQuery);
+
+void BM_DijkstraQuery(benchmark::State& state) {
+  auto& ctx = Context();
+  DijkstraOracle oracle(ctx.network().graph());
+  Rng rng(1);
+  NodeId n = ctx.network().num_experts();
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    benchmark::DoNotOptimize(oracle.Distance(u, v));
+  }
+  state.SetLabel("per-query Dijkstra (no index)");
+}
+BENCHMARK(BM_DijkstraQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace teamdisc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Quickstart: build a small expert network by hand, discover teams with the
+// three ranking strategies of the paper, and inspect the results.
+//
+//   $ ./build/examples/quickstart
+//
+// The network is the paper's Figure 1 scenario: two research groups with
+// expertise in social networks (SN) and text mining (TM), one connected
+// through a very senior researcher (h-index 139), the other through a more
+// junior one (h-index 12). CC cannot tell the teams apart; the
+// authority-aware objectives can.
+#include <cstdio>
+
+#include "core/greedy_team_finder.h"
+#include "core/objectives.h"
+#include "network/expert_network.h"
+
+using namespace teamdisc;
+
+int main() {
+  // 1. Build the expert network: experts carry skills and an authority
+  //    value (h-index); edges carry communication cost.
+  ExpertNetworkBuilder builder;
+  NodeId ren = builder.AddExpert("Xiang Ren", {"SN"}, 11.0, 20);
+  NodeId liu = builder.AddExpert("Jialu Liu", {"TM"}, 9.0, 15);
+  NodeId han = builder.AddExpert("Jiawei Han", {}, 139.0, 600);
+  NodeId golshan = builder.AddExpert("Behzad Golshan", {"SN"}, 5.0, 8);
+  NodeId kotzias = builder.AddExpert("Dimitrios Kotzias", {"TM"}, 3.0, 5);
+  NodeId lappas = builder.AddExpert("Theodoros Lappas", {}, 12.0, 30);
+  builder.AddEdge(ren, han, 1.0).Abort("adding edge");
+  builder.AddEdge(liu, han, 1.0).Abort("adding edge");
+  builder.AddEdge(golshan, lappas, 1.0).Abort("adding edge");
+  builder.AddEdge(kotzias, lappas, 1.0).Abort("adding edge");
+  builder.AddEdge(han, lappas, 2.0).Abort("adding edge");
+  ExpertNetwork net = builder.Finish().ValueOrDie();
+  std::printf("network: %s\n\n", net.DebugString().c_str());
+
+  // 2. Define the project: the set of skills the team must cover.
+  Project project = MakeProject(net, {"SN", "TM"}).ValueOrDie();
+
+  // 3. Run each ranking strategy and compare.
+  for (RankingStrategy strategy :
+       {RankingStrategy::kCC, RankingStrategy::kCACC, RankingStrategy::kSACACC}) {
+    FinderOptions options;
+    options.strategy = strategy;
+    options.params.gamma = 0.6;   // connector authority vs communication cost
+    options.params.lambda = 0.6;  // skill-holder authority vs the rest
+    auto finder = GreedyTeamFinder::Make(net, options).ValueOrDie();
+    Team team = finder->FindBest(project).ValueOrDie();
+
+    ObjectiveBreakdown scores = ComputeBreakdown(net, team, options.params);
+    std::printf("=== %s ===\n%s", finder->name().c_str(),
+                team.Format(net).c_str());
+    std::printf(
+        "  CC=%.3f  CA=%.4f  SA=%.4f  CA-CC=%.4f  SA-CA-CC=%.4f\n\n",
+        scores.cc, scores.ca, scores.sa, scores.ca_cc, scores.sa_ca_cc);
+  }
+  std::printf(
+      "Note how the authority-aware strategies select the group around the\n"
+      "senior connector, while CC alone cannot distinguish the two teams.\n");
+  return 0;
+}

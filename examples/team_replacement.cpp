@@ -1,0 +1,55 @@
+// Team-member replacement: when a member of a discovered team becomes
+// unavailable, rank substitutes by the repaired team's objective
+// (extension in the spirit of the paper's reference [4], Li et al. WWW'15).
+//
+//   $ ./build/examples/team_replacement [num_experts]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/greedy_team_finder.h"
+#include "core/replacement.h"
+#include "datagen/synthetic_dblp.h"
+#include "eval/project_generator.h"
+#include "shortest_path/pruned_landmark_labeling.h"
+
+using namespace teamdisc;
+
+int main(int argc, char** argv) {
+  uint32_t num_experts = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 2000;
+  DblpConfig config;
+  config.num_authors = num_experts;
+  config.target_edges = num_experts * 3;
+  config.seed = 31;
+  SyntheticDblp corpus = GenerateSyntheticDblp(config).ValueOrDie();
+
+  ProjectGenerator generator = ProjectGenerator::Make(corpus.network).ValueOrDie();
+  Rng rng(17);
+  Project project = generator.Sample(4, rng).ValueOrDie();
+
+  FinderOptions options;
+  options.strategy = RankingStrategy::kSACACC;
+  auto finder = GreedyTeamFinder::Make(corpus.network, options).ValueOrDie();
+  Team team = finder->FindBest(project).ValueOrDie();
+  std::printf("original team:\n%s\n", team.Format(corpus.network).c_str());
+
+  // The expert assigned to the first skill leaves the team.
+  NodeId leaving = team.assignments.front().expert;
+  std::printf("leaving member: %s\n\n", corpus.network.expert(leaving).name.c_str());
+
+  auto pll = PrunedLandmarkLabeling::Build(corpus.network.graph()).ValueOrDie();
+  ReplacementOptions repair_options;
+  repair_options.top_k = 3;
+  auto repairs = ProposeReplacements(corpus.network, *pll, team, project,
+                                     leaving, repair_options);
+  if (!repairs.ok()) {
+    std::printf("no repair possible: %s\n", repairs.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < repairs.ValueOrDie().size(); ++i) {
+    const ReplacementCandidate& rc = repairs.ValueOrDie()[i];
+    std::printf("substitute #%zu: %s (objective %.4f)\n%s\n", i + 1,
+                corpus.network.expert(rc.substitute).name.c_str(), rc.objective,
+                rc.repaired_team.Format(corpus.network).c_str());
+  }
+  return 0;
+}

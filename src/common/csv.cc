@@ -1,0 +1,128 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+void AppendField(std::string& out, const std::string& field) {
+  if (!NeedsQuoting(field)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void CsvWriter::SetHeader(std::vector<std::string> header) {
+  TD_CHECK(rows_.empty()) << "SetHeader must precede AddRow";
+  header_ = std::move(header);
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    TD_CHECK_EQ(row.size(), header_.size()) << "CSV row width mismatch";
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::Cell(double value) { return StrFormat("%.6g", value); }
+
+std::string CsvWriter::Cell(uint64_t value) { return std::to_string(value); }
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendField(out, row[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << ToString();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_data = false;
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::InvalidArgument("quote in unquoted CSV field");
+        }
+        in_quotes = true;
+        row_has_data = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_has_data = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_has_data || !field.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_has_data = false;
+        }
+        break;
+      default:
+        field += c;
+        row_has_data = true;
+        break;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted CSV field");
+  if (row_has_data || !field.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,41 @@
+// Minimal CSV writer/reader used by the experiment harness to persist
+// result tables (RFC-4180-ish quoting; no embedded newlines in fields).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace teamdisc {
+
+/// \brief Accumulates rows and serializes them as CSV.
+class CsvWriter {
+ public:
+  /// Sets the header row; must be called before any AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row; when a header is set, the width must match.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string Cell(double value);
+  static std::string Cell(uint64_t value);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Serializes header + rows.
+  std::string ToString() const;
+
+  /// Writes the CSV to a file, creating parent paths is NOT handled.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Parses CSV content into rows of fields (handles quoted fields).
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& content);
+
+}  // namespace teamdisc

@@ -1,0 +1,43 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+std::string GetEnvOr(const char* name, const std::string& default_value) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? default_value : std::string(value);
+}
+
+uint64_t GetEnvOr(const char* name, uint64_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  auto parsed = ParseUint64(value);
+  return parsed.ok() ? parsed.ValueOrDie() : default_value;
+}
+
+ExperimentScale ResolveScale() {
+  ExperimentScale scale;
+  std::string mode = GetEnvOr("TEAMDISC_SCALE", "ci");
+  if (mode == "paper") {
+    scale.num_experts = 40000;
+    scale.target_edges = 125000;
+    scale.projects_per_config = 50;
+    scale.random_teams = 10000;
+    scale.label = "paper";
+  }
+  scale.num_experts =
+      static_cast<uint32_t>(GetEnvOr("TEAMDISC_NODES", scale.num_experts));
+  scale.target_edges =
+      static_cast<uint32_t>(GetEnvOr("TEAMDISC_EDGES", scale.target_edges));
+  scale.projects_per_config = static_cast<uint32_t>(
+      GetEnvOr("TEAMDISC_PROJECTS", scale.projects_per_config));
+  scale.random_teams =
+      static_cast<uint32_t>(GetEnvOr("TEAMDISC_RANDOM_TEAMS", scale.random_teams));
+  scale.run_exact = GetEnvOr("TEAMDISC_RUN_EXACT", uint64_t{1}) != 0;
+  return scale;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,38 @@
+// Experiment-scale configuration shared by benchmarks and examples.
+//
+// Every benchmark binary runs with no arguments at a CI-friendly scale; the
+// environment variable TEAMDISC_SCALE=paper switches to the scale reported in
+// the paper (40K experts / 125K edges / 50 projects per configuration).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace teamdisc {
+
+/// \brief Scale knobs resolved from the environment.
+struct ExperimentScale {
+  /// Number of experts in the synthetic DBLP network.
+  uint32_t num_experts = 4000;
+  /// Target number of co-authorship edges.
+  uint32_t target_edges = 12500;
+  /// Number of random projects averaged per configuration (paper: 50).
+  uint32_t projects_per_config = 8;
+  /// Number of random teams drawn by the Random baseline (paper: 10,000).
+  uint32_t random_teams = 2000;
+  /// Whether the Exact comparator is enabled (it is exponential in #skills).
+  bool run_exact = true;
+  /// Label describing the scale ("ci" or "paper").
+  std::string label = "ci";
+};
+
+/// Resolves the scale from TEAMDISC_SCALE ("ci" default, "paper" for the
+/// full-size runs) and optional overrides TEAMDISC_NODES / TEAMDISC_EDGES /
+/// TEAMDISC_PROJECTS / TEAMDISC_RANDOM_TEAMS.
+ExperimentScale ResolveScale();
+
+/// Reads an environment variable with a default.
+std::string GetEnvOr(const char* name, const std::string& default_value);
+uint64_t GetEnvOr(const char* name, uint64_t default_value);
+
+}  // namespace teamdisc

@@ -1,0 +1,81 @@
+// Minimal leveled logging + check macros (glog-flavoured, dependency-free).
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace teamdisc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Collects a log line in a stringstream and emits it on destruction.
+/// LogLevel::kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement when the level is compiled/filtered out.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+/// Global minimum level actually emitted (default kInfo; see also env var
+/// TEAMDISC_LOG_LEVEL=debug|info|warning|error).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+}  // namespace teamdisc
+
+#define TD_LOG(level)                                                       \
+  ::teamdisc::internal::LogMessage(::teamdisc::LogLevel::k##level, __FILE__, \
+                                   __LINE__)
+
+#define TD_CHECK(condition)                                   \
+  if (!(condition))                                           \
+  TD_LOG(Fatal) << "Check failed: " #condition " "
+
+#define TD_CHECK_OK(expr)                                     \
+  do {                                                        \
+    ::teamdisc::Status _td_check_status = (expr);             \
+    if (!_td_check_status.ok())                               \
+      TD_LOG(Fatal) << "Check failed (status): "              \
+                    << _td_check_status.ToString();           \
+  } while (false)
+
+#define TD_CHECK_EQ(a, b) TD_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TD_CHECK_NE(a, b) TD_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TD_CHECK_LT(a, b) TD_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TD_CHECK_LE(a, b) TD_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TD_CHECK_GT(a, b) TD_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TD_CHECK_GE(a, b) TD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define TD_DCHECK(condition) \
+  while (false) TD_CHECK(condition)
+#else
+#define TD_DCHECK(condition) TD_CHECK(condition)
+#endif

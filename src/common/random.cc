@@ -1,0 +1,172 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace teamdisc {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // zeros from any seed, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  has_cached_gaussian_ = false;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  TD_CHECK_GT(bound, 0u) << "NextBounded requires a positive bound";
+  // Lemire's nearly-divisionless method with rejection for exactness.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  TD_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(NextGaussian(mu, sigma));
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  TD_CHECK_GT(n, 0u);
+  TD_CHECK_GT(s, 0.0);
+  if (n == 1) return 0;
+  // Rejection-inversion sampling (Hormann & Derflinger) over ranks 1..n;
+  // returned value is rank-1 so callers get a 0-based index.
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    double u = NextDouble();
+    double v = NextDouble();
+    uint64_t rank = static_cast<uint64_t>(std::floor(
+        std::pow(static_cast<double>(n) + 1.0, u)));
+    rank = std::min<uint64_t>(std::max<uint64_t>(rank, 1), n);
+    double t = std::pow(1.0 + 1.0 / static_cast<double>(rank), s - 1.0);
+    if (v * static_cast<double>(rank) * (t - 1.0) / (b - 1.0) <=
+        t / b) {
+      return rank - 1;
+    }
+  }
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  TD_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    TD_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  TD_CHECK_GT(total, 0.0) << "NextWeighted requires a positive weight sum";
+  double r = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // numerical slack lands on the final bucket
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  TD_CHECK_LE(k, n);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (static_cast<uint64_t>(k) * 3 < n) {
+    // Floyd's algorithm: expected O(k) draws.
+    std::unordered_set<uint32_t> chosen;
+    chosen.reserve(k * 2);
+    for (uint32_t j = n - k; j < n; ++j) {
+      uint32_t t = static_cast<uint32_t>(NextBounded(j + 1));
+      if (!chosen.insert(t).second) chosen.insert(j), out.push_back(j);
+      else out.push_back(t);
+    }
+  } else {
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(all);
+    out.assign(all.begin(), all.begin() + k);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace teamdisc

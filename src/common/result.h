@@ -1,0 +1,95 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+#pragma once
+
+#include <cassert>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace teamdisc {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why
+/// the value could not be produced.
+///
+/// Typical usage:
+/// \code
+///   Result<Graph> g = GraphBuilder::Finish();
+///   if (!g.ok()) return g.status();
+///   Use(g.ValueOrDie());
+/// \endcode
+/// or with the TD_ASSIGN_OR_RETURN macro.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  using ValueType = T;
+
+  /// Constructs a failed Result. Aborts (in debug) if `status` is OK, since
+  /// an OK Result must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  /// Constructs a successful Result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure Status, or OK if this Result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Moves the value out; aborts if this Result holds an error.
+  T MoveValueUnsafe() { return std::move(std::get<T>(repr_)); }
+
+  /// Returns the value or `alternative` when this Result holds an error.
+  T ValueOr(T alternative) const& {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) std::get<Status>(repr_).Abort("Result::ValueOrDie");
+  }
+
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace teamdisc
+
+#define TD_CONCAT_IMPL(x, y) x##y
+#define TD_CONCAT(x, y) TD_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on error, returns the Status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define TD_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  auto TD_CONCAT(_td_result_, __LINE__) = (rexpr);                       \
+  if (!TD_CONCAT(_td_result_, __LINE__).ok())                            \
+    return TD_CONCAT(_td_result_, __LINE__).status();                    \
+  lhs = std::move(TD_CONCAT(_td_result_, __LINE__)).ValueOrDie()

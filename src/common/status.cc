@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace teamdisc {
+
+namespace {
+const std::string kEmptyString;  // NOLINT: function-local static alternative below
+}  // namespace
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kInfeasible:
+      return "Infeasible";
+    case StatusCode::kUnknown:
+      return "Unknown";
+  }
+  return "UnknownCode";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_unique<State>(State{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.state_ != nullptr) {
+    state_ = std::make_unique<State>(*other.state_);
+  }
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return state_ ? state_->message : kEmptyString;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort() const { Abort(""); }
+
+void Status::Abort(std::string_view context) const {
+  if (ok()) return;
+  std::fprintf(stderr, "-- teamdisc fatal status%s%.*s: %s\n",
+               context.empty() ? "" : " ", static_cast<int>(context.size()),
+               context.data(), ToString().c_str());
+  std::abort();
+}
+
+Status& Status::WithContext(std::string_view context) {
+  if (!ok()) {
+    std::string annotated(context);
+    annotated += ": ";
+    annotated += state_->message;
+    state_->message = std::move(annotated);
+  }
+  return *this;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace teamdisc

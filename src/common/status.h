@@ -1,0 +1,134 @@
+// Status: lightweight error propagation for teamdisc, in the style of
+// Apache Arrow / RocksDB. Functions that can fail return Status (or
+// Result<T>, see result.h) instead of throwing.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace teamdisc {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kIOError = 7,
+  kNotImplemented = 8,
+  kInternal = 9,
+  kInfeasible = 10,  ///< No team can cover the requested project.
+  kUnknown = 11,
+};
+
+/// \brief Human-readable name of a status code ("InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that may fail.
+///
+/// A Status is either OK (cheap: a null pointer) or holds a code and a
+/// message. Copyable and movable; moved-from Status is OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with the given code and message. A code of
+  /// StatusCode::kOk with a non-empty message is not representable; use OK().
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  static Status NotImplemented(std::string message) {
+    return Status(StatusCode::kNotImplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// No team covering the requested skills exists in the network.
+  static Status Infeasible(std::string message) {
+    return Status(StatusCode::kInfeasible, std::move(message));
+  }
+  static Status Unknown(std::string message) {
+    return Status(StatusCode::kUnknown, std::move(message));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Message of a non-OK status; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Use only in
+  /// examples/benchmarks and tests where failure is unrecoverable.
+  void Abort() const;
+  void Abort(std::string_view context) const;
+
+  /// Appends context to the message of a non-OK status (no-op when OK).
+  Status& WithContext(std::string_view context);
+
+  bool Equals(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+  friend bool operator==(const Status& a, const Status& b) { return a.Equals(b); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; keeps sizeof(Status) == sizeof(void*).
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace teamdisc
+
+/// Propagates a non-OK Status to the caller.
+#define TD_RETURN_IF_ERROR(expr)                          \
+  do {                                                    \
+    ::teamdisc::Status _td_status = (expr);               \
+    if (!_td_status.ok()) return _td_status;              \
+  } while (false)

@@ -1,0 +1,148 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace teamdisc {
+
+std::vector<std::string_view> Split(std::string_view input, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(input.substr(start));
+      break;
+    }
+    out.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view input) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(input[i]))) ++i;
+    size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(input[i]))) ++i;
+    if (i > start) out.push_back(input.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) --end;
+  return input.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view input, std::string_view prefix) {
+  return input.size() >= prefix.size() &&
+         input.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string ToLowerAscii(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+Result<uint64_t> ParseUint64(std::string_view input) {
+  input = StripWhitespace(input);
+  if (input.empty()) return Status::InvalidArgument("empty integer");
+  uint64_t value = 0;
+  for (char c : input) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("invalid uint64: '" + std::string(input) + "'");
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::OutOfRange("uint64 overflow: '" + std::string(input) + "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt64(std::string_view input) {
+  input = StripWhitespace(input);
+  if (input.empty()) return Status::InvalidArgument("empty integer");
+  bool negative = false;
+  if (input.front() == '-' || input.front() == '+') {
+    negative = input.front() == '-';
+    input.remove_prefix(1);
+  }
+  TD_ASSIGN_OR_RETURN(uint64_t magnitude, ParseUint64(input));
+  if (!negative && magnitude > static_cast<uint64_t>(INT64_MAX)) {
+    return Status::OutOfRange("int64 overflow");
+  }
+  if (negative && magnitude > static_cast<uint64_t>(INT64_MAX) + 1) {
+    return Status::OutOfRange("int64 underflow");
+  }
+  return negative ? -static_cast<int64_t>(magnitude) : static_cast<int64_t>(magnitude);
+}
+
+Result<double> ParseDouble(std::string_view input) {
+  input = StripWhitespace(input);
+  if (input.empty()) return Status::InvalidArgument("empty double");
+  std::string buf(input);  // strtod needs a NUL terminator
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("invalid double: '" + buf + "'");
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    return Status::OutOfRange("double out of range: '" + buf + "'");
+  }
+  return value;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanCount(uint64_t value) {
+  if (value < 1000) return std::to_string(value);
+  const char* suffixes[] = {"k", "M", "G", "T"};
+  double v = static_cast<double>(value);
+  int idx = -1;
+  while (v >= 1000.0 && idx < 3) {
+    v /= 1000.0;
+    ++idx;
+  }
+  return StrFormat("%.2f%s", v, suffixes[idx]);
+}
+
+}  // namespace teamdisc

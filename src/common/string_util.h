@@ -1,0 +1,47 @@
+// Small string helpers shared across modules (formatting, splitting,
+// parsing). Kept dependency-free; no locale use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace teamdisc {
+
+/// Splits `input` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> Split(std::string_view input, char delim);
+
+/// Splits on any run of whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view input);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// True if `input` begins with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lower-cases ASCII letters.
+std::string ToLowerAscii(std::string_view input);
+
+/// Parses a non-negative integer; rejects trailing garbage and overflow.
+Result<uint64_t> ParseUint64(std::string_view input);
+
+/// Parses a signed integer.
+Result<int64_t> ParseInt64(std::string_view input);
+
+/// Parses a double; rejects trailing garbage, NaN and infinities.
+Result<double> ParseDouble(std::string_view input);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable "1.23k" / "4.56M" suffix formatting of a count.
+std::string HumanCount(uint64_t value);
+
+}  // namespace teamdisc

@@ -1,0 +1,57 @@
+// Fixed-size thread pool used to parallelize embarrassingly parallel
+// experiment sweeps (per-project runs, per-root searches). Falls back to
+// inline execution for a pool of size 0.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace teamdisc {
+
+/// \brief Minimal task-queue thread pool.
+///
+/// Tasks are void() closures. Submit() enqueues; Wait() blocks until the
+/// queue drains and all workers are idle. The destructor waits for pending
+/// tasks. Not work-stealing; intended for coarse-grained experiment tasks.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. 0 means run tasks inline in
+  /// Submit() (useful in tests and single-core environments).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Hardware concurrency minus one, at least 1.
+  static size_t DefaultThreadCount();
+
+  /// Runs fn(i) for i in [0, n), distributing over the pool ("parallel for").
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,141 @@
+#include "core/brute_force_finder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "graph/graph_algos.h"
+
+namespace teamdisc {
+
+Result<std::unique_ptr<BruteForceFinder>> BruteForceFinder::Make(
+    const ExpertNetwork& net, RankingStrategy strategy, ObjectiveParams params,
+    uint32_t max_nodes) {
+  TD_RETURN_IF_ERROR(params.Validate());
+  if (net.num_experts() > max_nodes) {
+    return Status::InvalidArgument(
+        StrFormat("brute force limited to %u nodes, network has %u", max_nodes,
+                  net.num_experts()));
+  }
+  return std::unique_ptr<BruteForceFinder>(
+      new BruteForceFinder(net, strategy, params));
+}
+
+Result<std::vector<ScoredTeam>> BruteForceFinder::FindTeams(
+    const Project& project) {
+  if (project.empty()) return Status::InvalidArgument("empty project");
+  const NodeId n = net_.num_experts();
+  for (SkillId s : project) {
+    if (net_.ExpertsWithSkill(s).empty()) {
+      return Status::Infeasible(StrFormat("no expert holds skill %u", s));
+    }
+  }
+
+  bool found = false;
+  double best_objective = kInfDistance;
+  Team best_team;
+
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<NodeId> subset;
+    for (NodeId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) subset.push_back(v);
+    }
+    // Per-skill holders available inside this subset.
+    std::vector<std::vector<NodeId>> holders(project.size());
+    bool coverable = true;
+    for (size_t i = 0; i < project.size(); ++i) {
+      for (NodeId v : subset) {
+        if (net_.HasSkill(v, project[i])) holders[i].push_back(v);
+      }
+      if (holders[i].empty()) {
+        coverable = false;
+        break;
+      }
+    }
+    if (!coverable) continue;
+
+    auto sub = InducedSubgraph(net_.graph(), subset);
+    if (!sub.ok()) return sub.status();
+    ComponentInfo comps = ConnectedComponents(sub->graph);
+    if (comps.num_components() != 1) continue;
+
+    // Minimal edge cost for this node set: the induced MST.
+    std::vector<Edge> mst_local = MinimumSpanningForest(sub->graph);
+    std::vector<Edge> edges;
+    double cc = 0.0;
+    for (const Edge& e : mst_local) {
+      edges.push_back(Edge::Make(sub->to_host[e.u], sub->to_host[e.v], e.weight));
+      cc += e.weight;
+    }
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      if (a.u != b.u) return a.u < b.u;
+      return a.v < b.v;
+    });
+
+    double subset_authority = 0.0;
+    for (NodeId v : subset) subset_authority += net_.InverseAuthority(v);
+
+    // Every assignment within the subset.
+    std::vector<size_t> pick(project.size(), 0);
+    while (true) {
+      std::vector<NodeId> chosen(project.size());
+      for (size_t i = 0; i < project.size(); ++i) chosen[i] = holders[i][pick[i]];
+      std::vector<NodeId> distinct = chosen;
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      double sa = 0.0;
+      for (NodeId h : distinct) sa += net_.InverseAuthority(h);
+      double ca = subset_authority - sa;
+      double objective = 0.0;
+      switch (strategy_) {
+        case RankingStrategy::kCC:
+          objective = cc;
+          break;
+        case RankingStrategy::kCACC:
+          objective = params_.gamma * ca + (1.0 - params_.gamma) * cc;
+          break;
+        case RankingStrategy::kSACACC:
+          objective = params_.lambda * sa +
+                      (1.0 - params_.lambda) *
+                          (params_.gamma * ca + (1.0 - params_.gamma) * cc);
+          break;
+      }
+      if (objective < best_objective) {
+        best_objective = objective;
+        found = true;
+        best_team = Team{};
+        best_team.nodes = subset;
+        best_team.edges = edges;
+        for (size_t i = 0; i < project.size(); ++i) {
+          best_team.assignments.push_back(SkillAssignment{project[i], chosen[i]});
+        }
+        std::sort(best_team.assignments.begin(), best_team.assignments.end(),
+                  [](const SkillAssignment& a, const SkillAssignment& b) {
+                    if (a.skill != b.skill) return a.skill < b.skill;
+                    return a.expert < b.expert;
+                  });
+      }
+      // Odometer increment.
+      size_t d = 0;
+      while (d < pick.size() && ++pick[d] == holders[d].size()) {
+        pick[d] = 0;
+        ++d;
+      }
+      if (d == pick.size()) break;
+    }
+  }
+
+  if (!found) {
+    return Status::Infeasible("no connected subset covers the project");
+  }
+  TD_RETURN_IF_ERROR(best_team.Validate(net_));
+  ScoredTeam scored;
+  scored.proxy_cost = best_objective;
+  scored.objective = best_objective;
+  scored.team = std::move(best_team);
+  std::vector<ScoredTeam> out;
+  out.push_back(std::move(scored));
+  return out;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,38 @@
+// Reference solver for property tests: enumerates ALL node subsets of a
+// (tiny) network, so it is independent of both the greedy's and the exact
+// finder's machinery. Intentionally exponential in the node count.
+#pragma once
+
+#include "core/team_finder.h"
+
+namespace teamdisc {
+
+/// \brief Exhaustive-over-subsets optimal team search (tests only).
+///
+/// For every node subset: check that it can cover the project, that its
+/// induced subgraph is connected, take the induced MST as the team's edge
+/// set, and enumerate every skill->expert assignment within the subset.
+/// Returns the global optimum of the configured objective.
+class BruteForceFinder final : public TeamFinder {
+ public:
+  /// Fails InvalidArgument when the network exceeds `max_nodes` (default 18).
+  static Result<std::unique_ptr<BruteForceFinder>> Make(
+      const ExpertNetwork& net, RankingStrategy strategy,
+      ObjectiveParams params, uint32_t max_nodes = 18);
+
+  Result<std::vector<ScoredTeam>> FindTeams(const Project& project) override;
+
+  std::string name() const override { return "brute-force"; }
+  const ExpertNetwork& network() const override { return net_; }
+
+ private:
+  BruteForceFinder(const ExpertNetwork& net, RankingStrategy strategy,
+                   ObjectiveParams params)
+      : net_(net), strategy_(strategy), params_(params) {}
+
+  const ExpertNetwork& net_;
+  RankingStrategy strategy_;
+  ObjectiveParams params_;
+};
+
+}  // namespace teamdisc

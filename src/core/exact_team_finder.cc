@@ -1,0 +1,223 @@
+#include "core/exact_team_finder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/top_k.h"
+#include "graph/graph_builder.h"
+
+namespace teamdisc {
+
+namespace {
+
+/// A finished assignment candidate: distinct holders + per-skill experts.
+struct Assignment {
+  std::vector<NodeId> holder_per_skill;
+};
+
+/// Strategy decomposition: objective = edge_factor * sum_w
+///                                   + connector_factor * sum_{connectors} a'
+///                                   + holder_factor * sum_{holders} a'.
+struct Factors {
+  double edge = 1.0;
+  double connector = 0.0;
+  double holder = 0.0;
+};
+
+Factors FactorsFor(RankingStrategy strategy, const ObjectiveParams& p) {
+  switch (strategy) {
+    case RankingStrategy::kCC:
+      return {1.0, 0.0, 0.0};
+    case RankingStrategy::kCACC:
+      return {1.0 - p.gamma, p.gamma, 0.0};
+    case RankingStrategy::kSACACC:
+      return {(1.0 - p.lambda) * (1.0 - p.gamma), (1.0 - p.lambda) * p.gamma,
+              p.lambda};
+  }
+  return {};
+}
+
+}  // namespace
+
+Status ExactOptions::Validate() const {
+  TD_RETURN_IF_ERROR(params.Validate());
+  if (top_k == 0) return Status::InvalidArgument("top_k must be >= 1");
+  if (max_assignments == 0) {
+    return Status::InvalidArgument("max_assignments must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ExactTeamFinder>> ExactTeamFinder::Make(
+    const ExpertNetwork& net, ExactOptions options) {
+  TD_RETURN_IF_ERROR(options.Validate());
+  auto finder = std::unique_ptr<ExactTeamFinder>(
+      new ExactTeamFinder(net, std::move(options)));
+  Factors f = FactorsFor(finder->options_.strategy, finder->options_.params);
+  GraphBuilder builder(net.num_experts());
+  for (const Edge& e : net.graph().CanonicalEdges()) {
+    TD_RETURN_IF_ERROR(builder.AddEdge(e.u, e.v, f.edge * e.weight));
+  }
+  TD_ASSIGN_OR_RETURN(finder->scaled_graph_, builder.Finish());
+  finder->node_costs_.resize(net.num_experts());
+  for (NodeId v = 0; v < net.num_experts(); ++v) {
+    finder->node_costs_[v] = f.connector * net.InverseAuthority(v);
+  }
+  TD_ASSIGN_OR_RETURN(
+      SteinerSolver solver,
+      SteinerSolver::Make(finder->scaled_graph_, finder->node_costs_));
+  finder->solver_ = std::make_unique<SteinerSolver>(std::move(solver));
+  return finder;
+}
+
+double ExactTeamFinder::HolderConstant(
+    const std::vector<NodeId>& distinct_holders) const {
+  Factors f = FactorsFor(options_.strategy, options_.params);
+  if (f.holder == 0.0) return 0.0;
+  double sum = 0.0;
+  for (NodeId h : distinct_holders) sum += net_.InverseAuthority(h);
+  return f.holder * sum;
+}
+
+Result<std::vector<ScoredTeam>> ExactTeamFinder::FindTeams(
+    const Project& project) {
+  if (project.empty()) return Status::InvalidArgument("empty project");
+  std::vector<std::span<const NodeId>> candidates(project.size());
+  uint64_t combinations = 1;
+  for (size_t i = 0; i < project.size(); ++i) {
+    candidates[i] = net_.ExpertsWithSkill(project[i]);
+    if (candidates[i].empty()) {
+      return Status::Infeasible(
+          StrFormat("no expert holds skill %u", project[i]));
+    }
+    if (combinations > options_.max_assignments / candidates[i].size()) {
+      return Status::ResourceExhausted(
+          StrFormat("assignment space exceeds budget of %llu",
+                    static_cast<unsigned long long>(options_.max_assignments)));
+    }
+    combinations *= candidates[i].size();
+  }
+
+  const Factors factors = FactorsFor(options_.strategy, options_.params);
+  struct Solved {
+    double objective;
+    Assignment assignment;
+    SteinerTree tree;  // on the scaled graph
+  };
+  TopK<Solved> best(options_.top_k);
+  // Memo: distinct-holder-set signature -> optimal connecting tree cost (or
+  // infeasible), so assignments sharing a holder set solve Steiner once.
+  struct MemoEntry {
+    bool feasible;
+    SteinerTree tree;
+  };
+  std::unordered_map<std::string, MemoEntry> memo;
+
+  Timer timer;
+  std::vector<NodeId> chosen(project.size());
+  // Depth-first enumeration with a holder-authority lower-bound prune.
+  auto enumerate = [&](auto&& self, size_t depth, double holder_bound) -> Status {
+    if (options_.max_seconds > 0.0 &&
+        timer.ElapsedSeconds() > options_.max_seconds) {
+      return Status::ResourceExhausted(
+          StrFormat("exact search exceeded %.1fs budget", options_.max_seconds));
+    }
+    if (depth == project.size()) {
+      std::vector<NodeId> holders = chosen;
+      std::sort(holders.begin(), holders.end());
+      holders.erase(std::unique(holders.begin(), holders.end()), holders.end());
+      std::string key;
+      for (NodeId h : holders) {
+        key += std::to_string(h);
+        key += ',';
+      }
+      auto it = memo.find(key);
+      if (it == memo.end()) {
+        auto solved = solver_->Solve(holders);
+        MemoEntry entry;
+        entry.feasible = solved.ok();
+        if (solved.ok()) {
+          entry.tree = std::move(solved).ValueOrDie();
+        } else if (!solved.status().IsInfeasible()) {
+          return solved.status();
+        }
+        it = memo.emplace(key, std::move(entry)).first;
+      }
+      if (!it->second.feasible) return Status::OK();
+      double objective = it->second.tree.cost + HolderConstant(holders);
+      if (best.WouldAccept(objective)) {
+        Solved s;
+        s.objective = objective;
+        s.assignment.holder_per_skill = chosen;
+        s.tree = it->second.tree;
+        best.Add(objective, std::move(s));
+      }
+      return Status::OK();
+    }
+    for (NodeId candidate : candidates[depth]) {
+      chosen[depth] = candidate;
+      // Lower bound: holder constants only grow (new distinct holders add
+      // a positive term); the tree cost is >= 0.
+      double bound = holder_bound;
+      if (factors.holder > 0.0) {
+        bool seen = false;
+        for (size_t d = 0; d < depth; ++d) {
+          if (chosen[d] == candidate) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) bound += factors.holder * net_.InverseAuthority(candidate);
+        if (!best.WouldAccept(bound)) continue;
+      }
+      TD_RETURN_IF_ERROR(self(self, depth + 1, bound));
+    }
+    return Status::OK();
+  };
+  TD_RETURN_IF_ERROR(enumerate(enumerate, 0, 0.0));
+
+  if (best.empty()) {
+    return Status::Infeasible("no connected team covers the project");
+  }
+
+  // Materialize teams: edges re-weighted from the ORIGINAL network.
+  std::vector<ScoredTeam> out;
+  for (auto& entry : best.Take()) {
+    Team team;
+    team.nodes = entry.value.tree.nodes;
+    // Holder-only teams (k==1 Steiner) have the single node only.
+    for (const Edge& e : entry.value.tree.edges) {
+      team.edges.push_back(Edge{e.u, e.v, net_.graph().EdgeWeight(e.u, e.v)});
+    }
+    std::sort(team.edges.begin(), team.edges.end(),
+              [](const Edge& a, const Edge& b) {
+                if (a.u != b.u) return a.u < b.u;
+                return a.v < b.v;
+              });
+    for (size_t i = 0; i < project.size(); ++i) {
+      team.assignments.push_back(
+          SkillAssignment{project[i], entry.value.assignment.holder_per_skill[i]});
+    }
+    std::sort(team.assignments.begin(), team.assignments.end(),
+              [](const SkillAssignment& a, const SkillAssignment& b) {
+                if (a.skill != b.skill) return a.skill < b.skill;
+                return a.expert < b.expert;
+              });
+    TD_RETURN_IF_ERROR(team.Validate(net_));
+    ScoredTeam scored;
+    scored.proxy_cost = entry.cost;
+    scored.objective =
+        EvaluateObjective(net_, team, options_.strategy, options_.params);
+    scored.team = std::move(team);
+    out.push_back(std::move(scored));
+  }
+  return out;
+}
+
+std::string ExactTeamFinder::name() const {
+  return StrFormat("exact-%s",
+                   std::string(RankingStrategyToString(options_.strategy)).c_str());
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,81 @@
+// Algorithm 1 of the paper and its CA-CC / SA-CA-CC modifications (§3.2).
+//
+// The finder sweeps every node as a candidate root; for each required skill
+// it picks the skill holder with the smallest strategy-adjusted DIST from
+// the root, answered by a distance oracle over either G (for CC) or the
+// authority-transformed G' (for CA-CC and SA-CA-CC). The team is the union
+// of the root-to-holder shortest paths; top-k teams are kept in a bounded
+// list ranked by the summed proxy cost.
+#pragma once
+
+#include <memory>
+
+#include "core/team_finder.h"
+#include "network/authority_transform.h"
+
+namespace teamdisc {
+
+/// \brief The paper's greedy team-discovery algorithm.
+class GreedyTeamFinder final : public TeamFinder {
+ public:
+  /// Builds the finder: constructs G' when the strategy needs it and the
+  /// configured distance oracle over the search graph. `net` must outlive
+  /// the finder.
+  static Result<std::unique_ptr<GreedyTeamFinder>> Make(const ExpertNetwork& net,
+                                                        FinderOptions options);
+
+  /// Like Make, but reuses an externally owned oracle instead of building
+  /// one. The oracle must answer queries over net.graph() for the CC
+  /// strategy, or over the authority transform G' built with
+  /// options.params.gamma for CA-CC / SA-CA-CC (the caller owns both the
+  /// oracle and the transformed graph, which must outlive the finder).
+  /// Lets experiment harnesses share one index across finders; the
+  /// options.oracle field is ignored.
+  static Result<std::unique_ptr<GreedyTeamFinder>> MakeWithExternalOracle(
+      const ExpertNetwork& net, FinderOptions options,
+      const DistanceOracle& oracle);
+
+  Result<std::vector<ScoredTeam>> FindTeams(const Project& project) override;
+
+  std::string name() const override;
+  const ExpertNetwork& network() const override { return net_; }
+  const FinderOptions& options() const { return options_; }
+
+  /// Re-points lambda without rebuilding anything: the transform G' and the
+  /// oracle depend only on gamma, so lambda sweeps (Figures 3 and 5) reuse
+  /// the index. Fails when lambda is outside [0, 1].
+  Status set_lambda(double lambda);
+
+  /// Re-points top_k (cheap; affects only the kept-list size).
+  Status set_top_k(uint32_t top_k);
+
+  /// The oracle used for DIST (exposed for benchmarks/diagnostics).
+  const DistanceOracle& oracle() const { return *oracle_; }
+
+  /// The node count of the search graph — used to sanity-check external
+  /// oracles.
+  NodeId num_search_nodes() const { return net_.num_experts(); }
+
+ private:
+  GreedyTeamFinder(const ExpertNetwork& net, FinderOptions options)
+      : net_(net), options_(std::move(options)) {}
+
+  /// Strategy-adjusted per-skill cost for assigning `holder` from `root`
+  /// at oracle distance `dist` (the DIST(root,v) replacement of §3.2.2/3.2.3).
+  double AdjustedCost(double dist, NodeId holder) const;
+
+  /// Cost charged when the root itself holds the skill.
+  double RootHoldsSkillCost(NodeId root) const;
+
+  const ExpertNetwork& net_;
+  FinderOptions options_;
+  /// Non-null iff strategy uses the transform AND the finder owns it.
+  std::unique_ptr<TransformedGraph> transformed_;
+  /// Non-null iff the finder owns its oracle (Make); MakeWithExternalOracle
+  /// leaves this empty and only sets oracle_.
+  std::unique_ptr<DistanceOracle> owned_oracle_;
+  /// Oracle over net_.graph() (CC) or the transformed graph (others).
+  const DistanceOracle* oracle_ = nullptr;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,82 @@
+#include "core/objectives.h"
+
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+std::string_view RankingStrategyToString(RankingStrategy strategy) {
+  switch (strategy) {
+    case RankingStrategy::kCC:
+      return "CC";
+    case RankingStrategy::kCACC:
+      return "CA-CC";
+    case RankingStrategy::kSACACC:
+      return "SA-CA-CC";
+  }
+  return "?";
+}
+
+Status ObjectiveParams::Validate() const {
+  if (gamma < 0.0 || gamma > 1.0) {
+    return Status::InvalidArgument(StrFormat("gamma %f outside [0,1]", gamma));
+  }
+  if (lambda < 0.0 || lambda > 1.0) {
+    return Status::InvalidArgument(StrFormat("lambda %f outside [0,1]", lambda));
+  }
+  return Status::OK();
+}
+
+double CommunicationCost(const Team& team) {
+  double total = 0.0;
+  for (const Edge& e : team.edges) total += e.weight;
+  return total;
+}
+
+double ConnectorAuthority(const ExpertNetwork& net, const Team& team) {
+  double total = 0.0;
+  for (NodeId c : team.Connectors()) total += net.InverseAuthority(c);
+  return total;
+}
+
+double SkillHolderAuthority(const ExpertNetwork& net, const Team& team) {
+  double total = 0.0;
+  for (NodeId h : team.SkillHolders()) total += net.InverseAuthority(h);
+  return total;
+}
+
+double CaCcScore(const ExpertNetwork& net, const Team& team, double gamma) {
+  return gamma * ConnectorAuthority(net, team) +
+         (1.0 - gamma) * CommunicationCost(team);
+}
+
+double SaCaCcScore(const ExpertNetwork& net, const Team& team, double lambda,
+                   double gamma) {
+  return lambda * SkillHolderAuthority(net, team) +
+         (1.0 - lambda) * CaCcScore(net, team, gamma);
+}
+
+double EvaluateObjective(const ExpertNetwork& net, const Team& team,
+                         RankingStrategy strategy, const ObjectiveParams& params) {
+  switch (strategy) {
+    case RankingStrategy::kCC:
+      return CommunicationCost(team);
+    case RankingStrategy::kCACC:
+      return CaCcScore(net, team, params.gamma);
+    case RankingStrategy::kSACACC:
+      return SaCaCcScore(net, team, params.lambda, params.gamma);
+  }
+  return 0.0;
+}
+
+ObjectiveBreakdown ComputeBreakdown(const ExpertNetwork& net, const Team& team,
+                                    const ObjectiveParams& params) {
+  ObjectiveBreakdown b;
+  b.cc = CommunicationCost(team);
+  b.ca = ConnectorAuthority(net, team);
+  b.sa = SkillHolderAuthority(net, team);
+  b.ca_cc = params.gamma * b.ca + (1.0 - params.gamma) * b.cc;
+  b.sa_ca_cc = params.lambda * b.sa + (1.0 - params.lambda) * b.ca_cc;
+  return b;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,66 @@
+// Exact evaluation of the paper's ranking objectives (Definitions 2-6).
+//
+// Objectives are ALWAYS computed on the original network (original edge
+// weights and authorities) — the G -> G' transformation only steers the
+// greedy search and never leaks into reported scores.
+#pragma once
+
+#include <string>
+
+#include "core/team.h"
+#include "network/expert_network.h"
+
+namespace teamdisc {
+
+/// \brief The ranking strategy / objective family (paper Figure 2).
+enum class RankingStrategy {
+  kCC,      ///< Problem 1: communication cost only (prior state of the art)
+  kCACC,    ///< Problem 3: gamma*CA + (1-gamma)*CC (gamma=1 -> Problem 2)
+  kSACACC,  ///< Problem 5: lambda*SA + (1-lambda)*CA-CC
+};
+
+std::string_view RankingStrategyToString(RankingStrategy strategy);
+
+/// \brief Tradeoff parameters (both application-dependent; paper uses 0.6).
+struct ObjectiveParams {
+  double gamma = 0.6;   ///< CA vs CC tradeoff, in [0,1]
+  double lambda = 0.6;  ///< SA vs CA-CC tradeoff, in [0,1]
+
+  Status Validate() const;
+};
+
+/// Definition 2 — CC(T): sum of the team's edge weights.
+double CommunicationCost(const Team& team);
+
+/// Definition 3 — CA(T): sum of a'(c) over the team's connectors
+/// (team nodes that are not skill holders).
+double ConnectorAuthority(const ExpertNetwork& net, const Team& team);
+
+/// Definition 5 — SA(T): sum of a'(c) over the team's distinct skill
+/// holders. (An expert covering several skills is counted once.)
+double SkillHolderAuthority(const ExpertNetwork& net, const Team& team);
+
+/// Definition 4 — CA-CC(T) = gamma*CA + (1-gamma)*CC.
+double CaCcScore(const ExpertNetwork& net, const Team& team, double gamma);
+
+/// Definition 6 — SA-CA-CC(T) = lambda*SA + (1-lambda)*CA-CC.
+double SaCaCcScore(const ExpertNetwork& net, const Team& team, double lambda,
+                   double gamma);
+
+/// Evaluates the objective selected by `strategy` with `params`.
+double EvaluateObjective(const ExpertNetwork& net, const Team& team,
+                         RankingStrategy strategy, const ObjectiveParams& params);
+
+/// \brief All objective components of a team at once (for reports).
+struct ObjectiveBreakdown {
+  double cc = 0.0;
+  double ca = 0.0;
+  double sa = 0.0;
+  double ca_cc = 0.0;
+  double sa_ca_cc = 0.0;
+};
+
+ObjectiveBreakdown ComputeBreakdown(const ExpertNetwork& net, const Team& team,
+                                    const ObjectiveParams& params);
+
+}  // namespace teamdisc

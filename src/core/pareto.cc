@@ -1,0 +1,209 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/greedy_team_finder.h"
+#include "core/objectives.h"
+#include "core/random_team_finder.h"
+#include "shortest_path/distance_oracle.h"
+
+namespace teamdisc {
+
+Status ParetoOptions::Validate() const {
+  if (grid_points < 2) return Status::InvalidArgument("grid_points must be >= 2");
+  if (teams_per_cell == 0) {
+    return Status::InvalidArgument("teams_per_cell must be >= 1");
+  }
+  return Status::OK();
+}
+
+bool Dominates(const ParetoTeam& a, const ParetoTeam& b) {
+  bool no_worse = a.cc <= b.cc && a.ca <= b.ca && a.sa <= b.sa;
+  bool strictly_better = a.cc < b.cc || a.ca < b.ca || a.sa < b.sa;
+  return no_worse && strictly_better;
+}
+
+std::vector<ParetoTeam> NonDominatedFilter(std::vector<ParetoTeam> pool) {
+  // Drop exact-duplicate objective vectors first (keep first occurrence).
+  std::vector<ParetoTeam> unique;
+  for (auto& t : pool) {
+    bool dup = false;
+    for (const auto& u : unique) {
+      if (u.cc == t.cc && u.ca == t.ca && u.sa == t.sa) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) unique.push_back(std::move(t));
+  }
+  std::vector<ParetoTeam> front;
+  for (size_t i = 0; i < unique.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < unique.size() && !dominated; ++j) {
+      if (i != j && Dominates(unique[j], unique[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(std::move(unique[i]));
+  }
+  return front;
+}
+
+double Hypervolume3D(const std::vector<ObjectivePoint>& points,
+                     const ObjectivePoint& ref) {
+  // Clip to the reference box and drop points that dominate nothing inside.
+  std::vector<ObjectivePoint> pts;
+  for (const ObjectivePoint& p : points) {
+    if (p.cc < ref.cc && p.ca < ref.ca && p.sa < ref.sa) pts.push_back(p);
+  }
+  if (pts.empty()) return 0.0;
+  // Sweep along the SA axis: slabs between consecutive sa-levels carry the
+  // 2D union area of [cc, ref.cc] x [ca, ref.ca] boxes of all points with
+  // sa at or below the slab.
+  std::sort(pts.begin(), pts.end(), [](const ObjectivePoint& a,
+                                       const ObjectivePoint& b) {
+    return a.sa < b.sa;
+  });
+  auto staircase_area = [&ref](const std::vector<ObjectivePoint>& active) {
+    // 2D union area of anchored rectangles for the (cc, ca) projections:
+    // keep the 2D-non-dominated subset, sorted by cc ascending, then sum
+    // staircase strips.
+    std::vector<std::pair<double, double>> corner;
+    corner.reserve(active.size());
+    for (const ObjectivePoint& p : active) corner.emplace_back(p.cc, p.ca);
+    std::sort(corner.begin(), corner.end());
+    double area = 0.0;
+    double prev_ca = ref.ca;
+    for (const auto& [cc, ca] : corner) {
+      if (ca >= prev_ca) continue;  // 2D-dominated by an earlier point
+      area += (ref.cc - cc) * (prev_ca - ca);
+      prev_ca = ca;
+    }
+    return area;
+  };
+  double volume = 0.0;
+  std::vector<ObjectivePoint> active;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    active.push_back(pts[i]);
+    double top = i + 1 < pts.size() ? pts[i + 1].sa : ref.sa;
+    if (top > pts[i].sa) {
+      volume += staircase_area(active) * (top - pts[i].sa);
+    }
+  }
+  return volume;
+}
+
+void ComputeHypervolumeContributions(std::vector<ParetoTeam>& front) {
+  if (front.empty()) return;
+  ObjectivePoint nadir{front[0].cc, front[0].ca, front[0].sa};
+  ObjectivePoint ideal = nadir;
+  for (const auto& t : front) {
+    nadir.cc = std::max(nadir.cc, t.cc);
+    nadir.ca = std::max(nadir.ca, t.ca);
+    nadir.sa = std::max(nadir.sa, t.sa);
+    ideal.cc = std::min(ideal.cc, t.cc);
+    ideal.ca = std::min(ideal.ca, t.ca);
+    ideal.sa = std::min(ideal.sa, t.sa);
+  }
+  // Reference: nadir plus a 5% margin (at least epsilon) per axis so that
+  // extreme points keep a positive exclusive volume.
+  auto margin = [](double lo, double hi) {
+    return std::max((hi - lo) * 0.05, 1e-9);
+  };
+  ObjectivePoint ref{nadir.cc + margin(ideal.cc, nadir.cc),
+                     nadir.ca + margin(ideal.ca, nadir.ca),
+                     nadir.sa + margin(ideal.sa, nadir.sa)};
+  std::vector<ObjectivePoint> all;
+  all.reserve(front.size());
+  for (const auto& t : front) all.push_back({t.cc, t.ca, t.sa});
+  double total = Hypervolume3D(all, ref);
+  for (size_t i = 0; i < front.size(); ++i) {
+    std::vector<ObjectivePoint> without;
+    without.reserve(all.size() - 1);
+    for (size_t j = 0; j < all.size(); ++j) {
+      if (j != i) without.push_back(all[j]);
+    }
+    front[i].interestingness = total - Hypervolume3D(without, ref);
+  }
+}
+
+Result<std::vector<ParetoTeam>> DiscoverParetoTeams(const ExpertNetwork& net,
+                                                    const Project& project,
+                                                    const ParetoOptions& options) {
+  TD_RETURN_IF_ERROR(options.Validate());
+  std::vector<ParetoTeam> pool;
+  std::unordered_set<std::string> seen;
+  ObjectiveParams probe_params;  // reused for breakdowns
+
+  auto add_team = [&](Team team) {
+    if (!seen.insert(team.Signature()).second) return;
+    ParetoTeam pt;
+    pt.cc = CommunicationCost(team);
+    pt.ca = ConnectorAuthority(net, team);
+    pt.sa = SkillHolderAuthority(net, team);
+    pt.team = std::move(team);
+    pool.push_back(std::move(pt));
+  };
+
+  // Phase 1a: greedy sweeps over the (gamma, lambda) grid. Each cell builds
+  // its own transform; strategies CC (once) and SA-CA-CC (per cell).
+  {
+    FinderOptions cc_options;
+    cc_options.strategy = RankingStrategy::kCC;
+    cc_options.top_k = options.teams_per_cell;
+    cc_options.oracle = options.oracle;
+    TD_ASSIGN_OR_RETURN(auto cc_finder, GreedyTeamFinder::Make(net, cc_options));
+    auto teams = cc_finder->FindTeams(project);
+    if (!teams.ok() && !teams.status().IsInfeasible()) return teams.status();
+    if (teams.ok()) {
+      for (auto& st : teams.ValueOrDie()) add_team(std::move(st.team));
+    }
+  }
+  for (uint32_t gi = 0; gi < options.grid_points; ++gi) {
+    for (uint32_t li = 0; li < options.grid_points; ++li) {
+      FinderOptions fo;
+      fo.strategy = RankingStrategy::kSACACC;
+      fo.params.gamma = static_cast<double>(gi) / (options.grid_points - 1);
+      fo.params.lambda = static_cast<double>(li) / (options.grid_points - 1);
+      fo.top_k = options.teams_per_cell;
+      fo.oracle = options.oracle;
+      TD_ASSIGN_OR_RETURN(auto finder, GreedyTeamFinder::Make(net, fo));
+      auto teams = finder->FindTeams(project);
+      if (!teams.ok()) {
+        if (teams.status().IsInfeasible()) continue;
+        return teams.status();
+      }
+      for (auto& st : teams.ValueOrDie()) add_team(std::move(st.team));
+    }
+  }
+
+  // Phase 1b: random teams for diversity.
+  if (options.random_teams > 0) {
+    TD_ASSIGN_OR_RETURN(auto oracle, MakeOracle(net.graph(), options.oracle));
+    RandomFinderOptions ro;
+    ro.num_samples = options.random_teams;
+    ro.top_k = std::max<uint32_t>(options.random_teams / 10, 1);
+    ro.seed = options.seed;
+    TD_ASSIGN_OR_RETURN(auto random_finder,
+                        RandomTeamFinder::Make(net, *oracle, ro));
+    auto teams = random_finder->FindTeams(project);
+    if (!teams.ok() && !teams.status().IsInfeasible()) return teams.status();
+    if (teams.ok()) {
+      for (auto& st : teams.ValueOrDie()) add_team(std::move(st.team));
+    }
+  }
+
+  if (pool.empty()) {
+    return Status::Infeasible("no candidate team covers the project");
+  }
+
+  // Phase 2: non-dominated filter + interestingness ranking.
+  std::vector<ParetoTeam> front = NonDominatedFilter(std::move(pool));
+  ComputeHypervolumeContributions(front);
+  std::sort(front.begin(), front.end(), [](const ParetoTeam& a, const ParetoTeam& b) {
+    return a.interestingness > b.interestingness;
+  });
+  (void)probe_params;
+  return front;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,74 @@
+// Pareto-optimal team discovery over the three raw objectives (CC, CA, SA) —
+// the paper's stated future work (§5), in the spirit of Zihayat, Kargar & An,
+// "Two-Phase Pareto Set Discovery for Three-objective Team Formation" (WI'14).
+//
+// Phase 1 generates a diverse candidate pool: greedy sweeps across a
+// (gamma, lambda) grid plus random teams. Phase 2 filters the pool to the
+// non-dominated set and ranks it by an interestingness measure (hypervolume
+// contribution w.r.t. the pool's nadir point).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/team_finder.h"
+
+namespace teamdisc {
+
+/// \brief A team with its objective vector.
+struct ParetoTeam {
+  Team team;
+  double cc = 0.0;
+  double ca = 0.0;
+  double sa = 0.0;
+  /// Hypervolume contribution (higher = more interesting).
+  double interestingness = 0.0;
+};
+
+/// \brief Options of the Pareto discovery.
+struct ParetoOptions {
+  /// Grid resolution: gamma, lambda in {0, 1/(g-1), ..., 1}.
+  uint32_t grid_points = 5;
+  /// Teams requested from the greedy per grid cell.
+  uint32_t teams_per_cell = 2;
+  /// Additional random teams in the candidate pool (0 disables).
+  uint32_t random_teams = 200;
+  uint64_t seed = 11;
+  OracleKind oracle = OracleKind::kPrunedLandmarkLabeling;
+
+  Status Validate() const;
+};
+
+/// True iff `a` dominates `b` (<= on all objectives, < on at least one).
+bool Dominates(const ParetoTeam& a, const ParetoTeam& b);
+
+/// \brief A point in (CC, CA, SA) objective space (minimization).
+struct ObjectivePoint {
+  double cc;
+  double ca;
+  double sa;
+};
+
+/// Exact hypervolume (volume of objective space dominated by `points`, up
+/// to the reference point `ref`, minimization semantics). Points beyond the
+/// reference contribute their clipped box. O(n^2 log n) sweep, exact.
+double Hypervolume3D(const std::vector<ObjectivePoint>& points,
+                     const ObjectivePoint& ref);
+
+/// Assigns each front member its exact hypervolume contribution
+/// HV(front) - HV(front minus the member), with the reference set to the
+/// front's nadir plus a 5% margin per axis.
+void ComputeHypervolumeContributions(std::vector<ParetoTeam>& front);
+
+/// Filters `pool` to its non-dominated subset (teams with identical
+/// objective vectors keep only the first).
+std::vector<ParetoTeam> NonDominatedFilter(std::vector<ParetoTeam> pool);
+
+/// \brief Discovers a Pareto front of teams for `project`.
+///
+/// Returns the non-dominated teams sorted by descending interestingness.
+Result<std::vector<ParetoTeam>> DiscoverParetoTeams(const ExpertNetwork& net,
+                                                    const Project& project,
+                                                    const ParetoOptions& options);
+
+}  // namespace teamdisc

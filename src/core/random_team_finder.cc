@@ -1,0 +1,92 @@
+#include "core/random_team_finder.h"
+
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/top_k.h"
+
+namespace teamdisc {
+
+Status RandomFinderOptions::Validate() const {
+  TD_RETURN_IF_ERROR(params.Validate());
+  if (num_samples == 0) return Status::InvalidArgument("num_samples must be >= 1");
+  if (top_k == 0) return Status::InvalidArgument("top_k must be >= 1");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RandomTeamFinder>> RandomTeamFinder::Make(
+    const ExpertNetwork& net, const DistanceOracle& oracle,
+    RandomFinderOptions options) {
+  TD_RETURN_IF_ERROR(options.Validate());
+  if (&oracle.graph() != &net.graph()) {
+    return Status::InvalidArgument(
+        "random finder's oracle must be built on the network's graph");
+  }
+  return std::unique_ptr<RandomTeamFinder>(
+      new RandomTeamFinder(net, oracle, std::move(options)));
+}
+
+Result<std::vector<ScoredTeam>> RandomTeamFinder::FindTeams(
+    const Project& project) {
+  if (project.empty()) return Status::InvalidArgument("empty project");
+  std::vector<std::span<const NodeId>> candidates(project.size());
+  for (size_t i = 0; i < project.size(); ++i) {
+    candidates[i] = net_.ExpertsWithSkill(project[i]);
+    if (candidates[i].empty()) {
+      return Status::Infeasible(StrFormat("no expert holds skill %u", project[i]));
+    }
+  }
+  Rng rng(options_.seed);
+  TopK<Team> best(options_.top_k);
+  std::unordered_set<std::string> seen;
+  uint32_t built = 0;
+  uint32_t failures = 0;
+  while (built < options_.num_samples && failures < options_.max_failures) {
+    // Uniform assignment; the first holder anchors the team.
+    std::vector<NodeId> chosen(project.size());
+    for (size_t i = 0; i < project.size(); ++i) {
+      chosen[i] = candidates[i][rng.NextBounded(candidates[i].size())];
+    }
+    NodeId root = chosen[0];
+    TeamAssembler assembler(net_, root);
+    bool ok = true;
+    for (size_t i = 0; i < project.size() && ok; ++i) {
+      auto path = oracle_.ShortestPath(root, chosen[i]);
+      if (!path.ok()) {
+        ok = false;
+        break;
+      }
+      ok = assembler.AddAssignment(project[i], chosen[i], path.ValueOrDie()).ok();
+    }
+    if (!ok) {
+      ++failures;
+      continue;
+    }
+    auto team = assembler.Finish();
+    if (!team.ok()) {
+      ++failures;
+      continue;
+    }
+    ++built;
+    double objective = EvaluateObjective(net_, team.ValueOrDie(),
+                                         options_.strategy, options_.params);
+    if (best.WouldAccept(objective)) {
+      best.Add(objective, std::move(team).ValueOrDie());
+    }
+  }
+  if (best.empty()) {
+    return Status::Infeasible("random sampling found no connected team");
+  }
+  std::vector<ScoredTeam> out;
+  for (auto& entry : best.Take()) {
+    ScoredTeam scored;
+    scored.proxy_cost = entry.cost;
+    scored.objective = entry.cost;
+    scored.team = std::move(entry.value);
+    out.push_back(std::move(scored));
+  }
+  return out;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,49 @@
+// The paper's Random comparator: "randomly builds 10,000 teams and selects
+// the one with the lowest SA-CA-CC".
+#pragma once
+
+#include <memory>
+
+#include "core/team_finder.h"
+
+namespace teamdisc {
+
+/// \brief Options of the random baseline.
+struct RandomFinderOptions {
+  RankingStrategy strategy = RankingStrategy::kSACACC;
+  ObjectiveParams params;
+  uint32_t num_samples = 10000;  ///< teams drawn (paper: 10,000)
+  uint32_t top_k = 1;
+  uint64_t seed = 7;
+  /// Re-draw budget when a sampled assignment is disconnected.
+  uint32_t max_failures = 200000;
+
+  Status Validate() const;
+};
+
+/// \brief Uniformly samples skill->expert assignments, connects them with
+/// shortest paths from the first chosen holder, and keeps the best teams by
+/// exact objective value.
+class RandomTeamFinder final : public TeamFinder {
+ public:
+  /// `oracle` must answer queries over net.graph() and outlive the finder.
+  static Result<std::unique_ptr<RandomTeamFinder>> Make(
+      const ExpertNetwork& net, const DistanceOracle& oracle,
+      RandomFinderOptions options);
+
+  Result<std::vector<ScoredTeam>> FindTeams(const Project& project) override;
+
+  std::string name() const override { return "random"; }
+  const ExpertNetwork& network() const override { return net_; }
+
+ private:
+  RandomTeamFinder(const ExpertNetwork& net, const DistanceOracle& oracle,
+                   RandomFinderOptions options)
+      : net_(net), oracle_(oracle), options_(std::move(options)) {}
+
+  const ExpertNetwork& net_;
+  const DistanceOracle& oracle_;
+  RandomFinderOptions options_;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,98 @@
+#include "core/rarest_first.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "core/top_k.h"
+
+namespace teamdisc {
+
+Result<std::unique_ptr<RarestFirstFinder>> RarestFirstFinder::Make(
+    const ExpertNetwork& net, const DistanceOracle& oracle,
+    RarestFirstOptions options) {
+  if (options.top_k == 0) return Status::InvalidArgument("top_k must be >= 1");
+  if (&oracle.graph() != &net.graph()) {
+    return Status::InvalidArgument(
+        "rarest-first oracle must be built on the network's graph");
+  }
+  return std::unique_ptr<RarestFirstFinder>(
+      new RarestFirstFinder(net, oracle, options));
+}
+
+Result<std::vector<ScoredTeam>> RarestFirstFinder::FindTeams(
+    const Project& project) {
+  if (project.empty()) return Status::InvalidArgument("empty project");
+  std::vector<std::span<const NodeId>> candidates(project.size());
+  size_t rarest = 0;
+  for (size_t i = 0; i < project.size(); ++i) {
+    candidates[i] = net_.ExpertsWithSkill(project[i]);
+    if (candidates[i].empty()) {
+      return Status::Infeasible(StrFormat("no expert holds skill %u", project[i]));
+    }
+    if (candidates[i].size() < candidates[rarest].size()) rarest = i;
+  }
+
+  struct Candidate {
+    NodeId leader;
+    std::vector<NodeId> holder_per_skill;
+  };
+  TopK<Candidate> best(options_.top_k);
+
+  for (NodeId leader : candidates[rarest]) {
+    Candidate cand;
+    cand.leader = leader;
+    cand.holder_per_skill.resize(project.size(), kInvalidNode);
+    cand.holder_per_skill[rarest] = leader;
+    double sum = 0.0;
+    double diameter = 0.0;
+    bool feasible = true;
+    for (size_t i = 0; i < project.size(); ++i) {
+      if (i == rarest) continue;
+      std::vector<double> dists = oracle_.Distances(leader, candidates[i]);
+      double best_d = kInfDistance;
+      NodeId best_v = kInvalidNode;
+      for (size_t c = 0; c < candidates[i].size(); ++c) {
+        if (dists[c] < best_d ||
+            (dists[c] == best_d && candidates[i][c] < best_v)) {
+          best_d = dists[c];
+          best_v = candidates[i][c];
+        }
+      }
+      if (best_v == kInvalidNode || best_d == kInfDistance) {
+        feasible = false;
+        break;
+      }
+      cand.holder_per_skill[i] = best_v;
+      sum += best_d;
+      diameter = std::max(diameter, best_d);
+    }
+    if (!feasible) continue;
+    double cost =
+        options_.objective == RarestFirstObjective::kDiameter ? diameter : sum;
+    best.Add(cost, std::move(cand));
+  }
+  if (best.empty()) {
+    return Status::Infeasible("no leader reaches holders of every skill");
+  }
+
+  std::vector<ScoredTeam> out;
+  for (const auto& entry : best.entries()) {
+    TeamAssembler assembler(net_, entry.value.leader);
+    for (size_t i = 0; i < project.size(); ++i) {
+      TD_ASSIGN_OR_RETURN(
+          std::vector<NodeId> path,
+          oracle_.ShortestPath(entry.value.leader, entry.value.holder_per_skill[i]));
+      TD_RETURN_IF_ERROR(
+          assembler.AddAssignment(project[i], entry.value.holder_per_skill[i], path));
+    }
+    TD_ASSIGN_OR_RETURN(Team team, assembler.Finish());
+    ScoredTeam scored;
+    scored.proxy_cost = entry.cost;
+    scored.objective = CommunicationCost(team);
+    scored.team = std::move(team);
+    out.push_back(std::move(scored));
+  }
+  return out;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,50 @@
+// RarestFirst baseline from Lappas, Liu & Terzi, "Finding a Team of Experts
+// in Social Networks" (KDD 2009) — the prior-work family the paper's CC
+// strategy represents. Included for the E7 ablation benches.
+//
+// The leader sweep is restricted to holders of the rarest skill; each other
+// skill picks its closest holder to the leader. Two objectives are offered:
+// the sum of leader->holder distances (kLeaderDistanceSum, matching our CC
+// proxy) and the original paper's diameter-style max distance (kDiameter).
+#pragma once
+
+#include <memory>
+
+#include "core/team_finder.h"
+
+namespace teamdisc {
+
+enum class RarestFirstObjective {
+  kLeaderDistanceSum,
+  kDiameter,
+};
+
+struct RarestFirstOptions {
+  RarestFirstObjective objective = RarestFirstObjective::kLeaderDistanceSum;
+  uint32_t top_k = 1;
+};
+
+/// \brief The RarestFirst heuristic.
+class RarestFirstFinder final : public TeamFinder {
+ public:
+  /// `oracle` must be built over net.graph() and outlive the finder.
+  static Result<std::unique_ptr<RarestFirstFinder>> Make(
+      const ExpertNetwork& net, const DistanceOracle& oracle,
+      RarestFirstOptions options);
+
+  Result<std::vector<ScoredTeam>> FindTeams(const Project& project) override;
+
+  std::string name() const override { return "rarest-first"; }
+  const ExpertNetwork& network() const override { return net_; }
+
+ private:
+  RarestFirstFinder(const ExpertNetwork& net, const DistanceOracle& oracle,
+                    RarestFirstOptions options)
+      : net_(net), oracle_(oracle), options_(options) {}
+
+  const ExpertNetwork& net_;
+  const DistanceOracle& oracle_;
+  RarestFirstOptions options_;
+};
+
+}  // namespace teamdisc

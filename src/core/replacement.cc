@@ -1,0 +1,96 @@
+#include "core/replacement.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "core/top_k.h"
+
+namespace teamdisc {
+
+Status ReplacementOptions::Validate() const {
+  TD_RETURN_IF_ERROR(params.Validate());
+  if (top_k == 0) return Status::InvalidArgument("top_k must be >= 1");
+  return Status::OK();
+}
+
+Result<std::vector<ReplacementCandidate>> ProposeReplacements(
+    const ExpertNetwork& net, const DistanceOracle& oracle, const Team& team,
+    const Project& project, NodeId leaving, const ReplacementOptions& options) {
+  TD_RETURN_IF_ERROR(options.Validate());
+  if (&oracle.graph() != &net.graph()) {
+    return Status::InvalidArgument(
+        "replacement oracle must be built on the network's graph");
+  }
+  TD_RETURN_IF_ERROR(team.Validate(net));
+  // Skills the leaving expert covers in this team.
+  std::vector<SkillId> lost_skills;
+  for (const SkillAssignment& a : team.assignments) {
+    if (a.expert == leaving) lost_skills.push_back(a.skill);
+  }
+  if (lost_skills.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("expert %u holds no assignment in the team", leaving));
+  }
+
+  // Candidates must hold ALL lost skills (single-substitute repair).
+  std::vector<NodeId> candidates;
+  for (NodeId v : net.ExpertsWithSkill(lost_skills[0])) {
+    if (v == leaving) continue;
+    bool holds_all = true;
+    for (size_t i = 1; i < lost_skills.size() && holds_all; ++i) {
+      holds_all = net.HasSkill(v, lost_skills[i]);
+    }
+    if (holds_all) candidates.push_back(v);
+  }
+  if (candidates.empty()) {
+    return Status::Infeasible("no expert holds all skills of the leaving member");
+  }
+
+  TopK<ReplacementCandidate> best(options.top_k);
+  for (NodeId candidate : candidates) {
+    // Root: keep the team's root unless it is the one leaving.
+    NodeId root = (team.root != kInvalidNode && team.root != leaving)
+                      ? team.root
+                      : candidate;
+    TeamAssembler assembler(net, root);
+    bool ok = true;
+    for (const SkillAssignment& a : team.assignments) {
+      NodeId expert = a.expert == leaving ? candidate : a.expert;
+      auto path = oracle.ShortestPath(root, expert);
+      if (!path.ok()) {
+        ok = false;
+        break;
+      }
+      ok = assembler.AddAssignment(a.skill, expert, path.ValueOrDie()).ok();
+    }
+    if (!ok) continue;
+    auto repaired = assembler.Finish();
+    if (!repaired.ok()) continue;
+    // A valid repair must not re-include the leaving expert as a connector.
+    if (repaired.ValueOrDie().Contains(leaving)) continue;
+    double objective = EvaluateObjective(net, repaired.ValueOrDie(),
+                                         options.strategy, options.params);
+    if (best.WouldAccept(objective)) {
+      ReplacementCandidate rc;
+      rc.substitute = candidate;
+      rc.repaired_team = std::move(repaired).ValueOrDie();
+      rc.objective = objective;
+      best.Add(objective, std::move(rc));
+    }
+  }
+  if (best.empty()) {
+    return Status::Infeasible(
+        "no substitute yields a connected team avoiding the leaving expert");
+  }
+  std::vector<ReplacementCandidate> out;
+  for (auto& entry : best.Take()) out.push_back(std::move(entry.value));
+  // Verify the repaired teams still cover the project.
+  for (const ReplacementCandidate& rc : out) {
+    if (!rc.repaired_team.Covers(project)) {
+      return Status::Internal("repaired team lost project coverage");
+    }
+  }
+  return out;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,43 @@
+// Team-member replacement (extension; in the spirit of Li et al.,
+// "Replacing the Irreplaceable", WWW 2015 — the paper's reference [4]):
+// when a member leaves a discovered team, rank candidate substitutes by the
+// objective of the repaired team.
+#pragma once
+
+#include <vector>
+
+#include "core/team_finder.h"
+
+namespace teamdisc {
+
+/// \brief One possible repair of a team after a member leaves.
+struct ReplacementCandidate {
+  NodeId substitute = kInvalidNode;
+  Team repaired_team;
+  double objective = 0.0;
+};
+
+/// \brief Options for the repair search.
+struct ReplacementOptions {
+  RankingStrategy strategy = RankingStrategy::kSACACC;
+  ObjectiveParams params;
+  uint32_t top_k = 3;
+
+  Status Validate() const;
+};
+
+/// Proposes up to top_k substitutes for `leaving` in `team` (for project
+/// `project`), best objective first.
+///
+/// The repair keeps the other assignments, reassigns the leaving expert's
+/// skills to each feasible candidate, and reconnects the team with shortest
+/// paths from the team root (or the candidate itself when the root leaves).
+/// Fails InvalidArgument when `leaving` holds no assignment in the team, and
+/// Infeasible when nobody else can cover the lost skills.
+///
+/// `oracle` must be built over net.graph().
+Result<std::vector<ReplacementCandidate>> ProposeReplacements(
+    const ExpertNetwork& net, const DistanceOracle& oracle, const Team& team,
+    const Project& project, NodeId leaving, const ReplacementOptions& options);
+
+}  // namespace teamdisc

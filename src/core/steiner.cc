@@ -1,0 +1,207 @@
+#include "core/steiner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+namespace {
+
+struct HeapItem {
+  double dist;
+  NodeId node;
+  friend bool operator>(const HeapItem& a, const HeapItem& b) {
+    return a.dist > b.dist;
+  }
+};
+
+using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+// Backtracking record for one (mask, node) DP cell.
+enum class CellType : uint8_t { kUnset = 0, kLeaf = 1, kMerge = 2, kGrow = 3 };
+
+}  // namespace
+
+Result<SteinerSolver> SteinerSolver::Make(const Graph& g,
+                                          std::vector<double> node_costs) {
+  if (node_costs.empty()) {
+    node_costs.assign(g.num_nodes(), 0.0);
+  } else if (node_costs.size() != g.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("node_costs size %zu != num_nodes %u", node_costs.size(),
+                  g.num_nodes()));
+  }
+  for (double c : node_costs) {
+    if (!std::isfinite(c) || c < 0.0) {
+      return Status::InvalidArgument("node costs must be finite and >= 0");
+    }
+  }
+  return SteinerSolver(g, std::move(node_costs));
+}
+
+Result<SteinerTree> SteinerSolver::Solve(
+    const std::vector<NodeId>& terminals_in) const {
+  const Graph& g = *graph_;
+  const size_t n = g.num_nodes();
+  std::vector<NodeId> terminals = terminals_in;
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  for (NodeId t : terminals) {
+    if (t >= n) return Status::OutOfRange(StrFormat("terminal %u out of range", t));
+  }
+  if (terminals.empty()) return Status::InvalidArgument("no terminals");
+  const size_t k = terminals.size();
+  if (k > kMaxTerminals) {
+    return Status::ResourceExhausted(
+        StrFormat("%zu terminals exceed the exact solver's limit of %zu", k,
+                  kMaxTerminals));
+  }
+  if (k == 1) {
+    SteinerTree tree;
+    tree.nodes = terminals;
+    tree.cost = 0.0;
+    return tree;
+  }
+  const size_t num_masks = size_t{1} << k;
+  if (num_masks * n > (size_t{1} << 24)) {
+    return Status::ResourceExhausted(
+        StrFormat("DP table %zu x %zu too large; reduce terminals or graph",
+                  num_masks, n));
+  }
+
+  // Effective node cost: zero at terminals (their cost belongs to the
+  // caller's objective, not the connecting tree).
+  auto is_terminal = [&terminals](NodeId v) {
+    return std::binary_search(terminals.begin(), terminals.end(), v);
+  };
+  std::vector<double> cost_of(n);
+  for (size_t v = 0; v < n; ++v) {
+    cost_of[v] = is_terminal(static_cast<NodeId>(v)) ? 0.0 : node_costs_[v];
+  }
+
+  std::vector<double> dp(num_masks * n, kInfDistance);
+  std::vector<CellType> type(num_masks * n, CellType::kUnset);
+  std::vector<uint32_t> aux(num_masks * n, 0);
+  auto idx = [n](size_t mask, NodeId v) { return mask * n + v; };
+
+  for (size_t i = 0; i < k; ++i) {
+    size_t cell = idx(size_t{1} << i, terminals[i]);
+    dp[cell] = 0.0;
+    type[cell] = CellType::kLeaf;
+  }
+
+  for (size_t mask = 1; mask < num_masks; ++mask) {
+    // Skip singleton masks' merge step (no proper bipartition).
+    if ((mask & (mask - 1)) != 0) {
+      // Merge: combine two subtrees rooted at the same node. Enumerate
+      // proper submasks; fix the lowest set bit into `sub` to halve work.
+      size_t low = mask & (~mask + 1);
+      for (size_t sub = (mask - 1) & mask; sub != 0;
+           sub = (sub - 1) & mask) {
+        if ((sub & low) == 0) continue;
+        size_t rest = mask ^ sub;
+        if (rest == 0) continue;
+        for (size_t v = 0; v < n; ++v) {
+          double a = dp[idx(sub, v)];
+          if (a == kInfDistance) continue;
+          double b = dp[idx(rest, v)];
+          if (b == kInfDistance) continue;
+          double merged = a + b - cost_of[v];
+          size_t cell = idx(mask, v);
+          if (merged < dp[cell]) {
+            dp[cell] = merged;
+            type[cell] = CellType::kMerge;
+            aux[cell] = static_cast<uint32_t>(sub);
+          }
+        }
+      }
+    }
+    // Grow: Dijkstra over all nodes with the current mask values as seeds;
+    // entering node v costs w(u,v) + cost_of[v].
+    MinHeap heap;
+    for (size_t v = 0; v < n; ++v) {
+      if (dp[idx(mask, v)] != kInfDistance) {
+        heap.push({dp[idx(mask, v)], static_cast<NodeId>(v)});
+      }
+    }
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dp[idx(mask, u)]) continue;
+      for (const Neighbor& nb : g.Neighbors(u)) {
+        double nd = d + nb.weight + cost_of[nb.node];
+        size_t cell = idx(mask, nb.node);
+        if (nd < dp[cell]) {
+          dp[cell] = nd;
+          type[cell] = CellType::kGrow;
+          aux[cell] = u;
+          heap.push({nd, nb.node});
+        }
+      }
+    }
+  }
+
+  const size_t full = num_masks - 1;
+  double best = kInfDistance;
+  NodeId best_node = kInvalidNode;
+  for (size_t v = 0; v < n; ++v) {
+    if (dp[idx(full, v)] < best) {
+      best = dp[idx(full, v)];
+      best_node = static_cast<NodeId>(v);
+    }
+  }
+  if (best == kInfDistance) {
+    return Status::Infeasible("terminals are not connected");
+  }
+
+  // Backtrack, collecting edges (deduplicated) and nodes.
+  std::unordered_set<uint64_t> edge_keys;
+  std::unordered_set<NodeId> node_set;
+  std::vector<Edge> edges;
+  std::vector<std::pair<size_t, NodeId>> stack{{full, best_node}};
+  while (!stack.empty()) {
+    auto [mask, v] = stack.back();
+    stack.pop_back();
+    node_set.insert(v);
+    size_t cell = idx(mask, v);
+    switch (type[cell]) {
+      case CellType::kLeaf:
+        break;
+      case CellType::kMerge: {
+        size_t sub = aux[cell];
+        stack.emplace_back(sub, v);
+        stack.emplace_back(mask ^ sub, v);
+        break;
+      }
+      case CellType::kGrow: {
+        NodeId u = aux[cell];
+        if (edge_keys.insert(EdgeKey(u, v)).second) {
+          edges.push_back(Edge::Make(u, v, g.EdgeWeight(u, v)));
+        }
+        stack.emplace_back(mask, u);
+        break;
+      }
+      case CellType::kUnset:
+        return Status::Internal("Steiner backtrack hit an unset cell");
+    }
+  }
+
+  SteinerTree tree;
+  tree.edges = std::move(edges);
+  tree.nodes.assign(node_set.begin(), node_set.end());
+  std::sort(tree.nodes.begin(), tree.nodes.end());
+  // Recompute the cost from the recovered structure (equals the DP value;
+  // ties in degenerate zero-weight cases may recover a strictly cheaper
+  // union, which is fine for a minimization).
+  tree.cost = 0.0;
+  for (const Edge& e : tree.edges) tree.cost += e.weight;
+  for (NodeId v : tree.nodes) tree.cost += cost_of[v];
+  return tree;
+}
+
+}  // namespace teamdisc

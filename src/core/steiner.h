@@ -1,0 +1,54 @@
+// Exact minimum Steiner trees with node weights — the engine behind the
+// Exact comparator (paper §4: "Exact ... performs exhaustive search").
+//
+// Generalized Dreyfus–Wagner dynamic program: for terminal set K and
+// per-node costs c(v) (zero at terminals), computes
+//     min over trees T ⊇ K of  sum_{e in T} w(e) + sum_{v in T} c(v).
+// Complexity O(3^|K| n + 2^|K| (n log n + m)); exact for |K| <= ~12.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace teamdisc {
+
+/// \brief A Steiner tree: its edges and total cost.
+struct SteinerTree {
+  std::vector<Edge> edges;  ///< tree edges (weights from the input graph)
+  double cost = 0.0;        ///< edge weights + node costs (incl. terminals')
+  std::vector<NodeId> nodes;  ///< all tree nodes, sorted
+};
+
+/// \brief Exact node-weighted Steiner-tree solver over one graph.
+///
+/// The graph must outlive the solver. Node costs default to zero
+/// (classical edge-weighted Steiner tree).
+class SteinerSolver {
+ public:
+  /// `node_costs` may be empty (all zeros) or size num_nodes with
+  /// non-negative finite entries.
+  static Result<SteinerSolver> Make(const Graph& g,
+                                    std::vector<double> node_costs = {});
+
+  /// Computes a minimum-cost tree connecting `terminals` (2..kMaxTerminals,
+  /// duplicates allowed and ignored). Node costs are charged for every tree
+  /// node EXCEPT the terminals themselves (callers fold terminal costs in
+  /// separately — for team discovery terminals are skill holders whose
+  /// authority belongs to SA, not CA).
+  ///
+  /// Fails Infeasible when the terminals are disconnected.
+  Result<SteinerTree> Solve(const std::vector<NodeId>& terminals) const;
+
+  static constexpr size_t kMaxTerminals = 12;
+
+ private:
+  SteinerSolver(const Graph& g, std::vector<double> node_costs)
+      : graph_(&g), node_costs_(std::move(node_costs)) {}
+
+  const Graph* graph_;
+  std::vector<double> node_costs_;  // size num_nodes (zeros when defaulted)
+};
+
+}  // namespace teamdisc

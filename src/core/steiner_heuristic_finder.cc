@@ -1,0 +1,132 @@
+#include "core/steiner_heuristic_finder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "core/top_k.h"
+
+namespace teamdisc {
+
+Result<std::unique_ptr<SteinerHeuristicFinder>> SteinerHeuristicFinder::Make(
+    const ExpertNetwork& net, const DistanceOracle& oracle,
+    SteinerHeuristicOptions options) {
+  if (options.top_k == 0) return Status::InvalidArgument("top_k must be >= 1");
+  if (&oracle.graph() != &net.graph()) {
+    return Status::InvalidArgument(
+        "steiner heuristic's oracle must be built on the network's graph");
+  }
+  return std::unique_ptr<SteinerHeuristicFinder>(
+      new SteinerHeuristicFinder(net, oracle, options));
+}
+
+Result<std::vector<ScoredTeam>> SteinerHeuristicFinder::FindTeams(
+    const Project& project) {
+  if (project.empty()) return Status::InvalidArgument("empty project");
+  std::vector<std::span<const NodeId>> candidates(project.size());
+  for (size_t i = 0; i < project.size(); ++i) {
+    candidates[i] = net_.ExpertsWithSkill(project[i]);
+    if (candidates[i].empty()) {
+      return Status::Infeasible(StrFormat("no expert holds skill %u", project[i]));
+    }
+  }
+  // Process skills rarest-first: early choices are the most constrained.
+  std::vector<size_t> order(project.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&candidates](size_t a, size_t b) {
+    if (candidates[a].size() != candidates[b].size()) {
+      return candidates[a].size() < candidates[b].size();
+    }
+    return a < b;
+  });
+  const size_t rarest = order.front();
+
+  size_t num_leaders = candidates[rarest].size();
+  if (options_.max_leaders != 0) {
+    num_leaders = std::min<size_t>(num_leaders, options_.max_leaders);
+  }
+
+  TopK<Team> best(options_.top_k);
+  for (size_t li = 0; li < num_leaders; ++li) {
+    NodeId leader = candidates[rarest][li];
+    TeamAssembler assembler(net_, leader);
+    // Grow: tree nodes plus, for each, the root-anchored walk that brought
+    // it into the tree (TeamAssembler expects root-anchored paths; reusing
+    // the stored walks keeps every spliced path inside the grown tree).
+    std::vector<NodeId> tree_nodes{leader};
+    std::unordered_map<NodeId, std::vector<NodeId>> walk_to;
+    walk_to[leader] = {leader};
+    Status grow = assembler.AddAssignment(project[rarest], leader, {leader});
+    if (!grow.ok()) return grow;
+    bool feasible = true;
+    for (size_t oi = 1; oi < order.size() && feasible; ++oi) {
+      size_t skill_index = order[oi];
+      double best_d = kInfDistance;
+      NodeId best_holder = kInvalidNode;
+      NodeId best_anchor = kInvalidNode;
+      for (NodeId anchor : tree_nodes) {
+        std::vector<double> dists =
+            oracle_.Distances(anchor, candidates[skill_index]);
+        for (size_t c = 0; c < dists.size(); ++c) {
+          NodeId holder = candidates[skill_index][c];
+          if (dists[c] < best_d ||
+              (dists[c] == best_d &&
+               (holder < best_holder ||
+                (holder == best_holder && anchor < best_anchor)))) {
+            best_d = dists[c];
+            best_holder = holder;
+            best_anchor = anchor;
+          }
+        }
+      }
+      if (best_holder == kInvalidNode || best_d == kInfDistance) {
+        feasible = false;
+        break;
+      }
+      auto anchor_path = oracle_.ShortestPath(best_anchor, best_holder);
+      if (!anchor_path.ok()) {
+        feasible = false;
+        break;
+      }
+      const std::vector<NodeId>& tail = anchor_path.ValueOrDie();
+      std::vector<NodeId> full = walk_to[best_anchor];
+      full.insert(full.end(), tail.begin() + 1, tail.end());
+      grow = assembler.AddAssignment(project[skill_index], best_holder, full);
+      if (!grow.ok()) {
+        feasible = false;
+        break;
+      }
+      // Register the new nodes with their root-anchored walks (prefixes of
+      // `full` ending at each node).
+      for (size_t t = 1; t < tail.size(); ++t) {
+        NodeId v = tail[t];
+        if (walk_to.emplace(v, std::vector<NodeId>()).second) {
+          size_t prefix = walk_to[best_anchor].size() + t;
+          walk_to[v].assign(full.begin(),
+                            full.begin() + static_cast<ptrdiff_t>(prefix));
+          tree_nodes.push_back(v);
+        }
+      }
+    }
+    if (!feasible) continue;
+    auto team = assembler.Finish();
+    if (!team.ok()) continue;
+    double cc = CommunicationCost(team.ValueOrDie());
+    if (best.WouldAccept(cc)) best.Add(cc, std::move(team).ValueOrDie());
+  }
+  if (best.empty()) {
+    return Status::Infeasible("no leader could reach holders of every skill");
+  }
+  std::vector<ScoredTeam> out;
+  for (auto& entry : best.Take()) {
+    ScoredTeam scored;
+    scored.proxy_cost = entry.cost;
+    scored.objective = entry.cost;
+    scored.team = std::move(entry.value);
+    out.push_back(std::move(scored));
+  }
+  return out;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,47 @@
+// Greedy tree-growing baseline for communication cost, in the spirit of the
+// EnhancedSteiner heuristic of Lappas, Liu & Terzi (KDD 2009) — the line of
+// prior work the paper's CC strategy represents. Useful as an independent
+// CC comparator for Algorithm 1 (bench/baselines).
+//
+// For each leader in C(rarest skill): start the tree at the leader; for each
+// remaining skill (rarest first) attach the holder with the smallest
+// shortest-path distance TO THE CURRENT TREE (not just to the root, which is
+// Algorithm 1's relaxation); keep the cheapest resulting team.
+#pragma once
+
+#include <memory>
+
+#include "core/team_finder.h"
+
+namespace teamdisc {
+
+struct SteinerHeuristicOptions {
+  uint32_t top_k = 1;
+  /// Caps the number of leaders tried (0 = all holders of the rarest skill).
+  uint32_t max_leaders = 0;
+};
+
+/// \brief Greedy Steiner-tree-growing team finder (CC objective).
+class SteinerHeuristicFinder final : public TeamFinder {
+ public:
+  /// `oracle` must be built over net.graph() and outlive the finder.
+  static Result<std::unique_ptr<SteinerHeuristicFinder>> Make(
+      const ExpertNetwork& net, const DistanceOracle& oracle,
+      SteinerHeuristicOptions options);
+
+  Result<std::vector<ScoredTeam>> FindTeams(const Project& project) override;
+
+  std::string name() const override { return "steiner-heuristic"; }
+  const ExpertNetwork& network() const override { return net_; }
+
+ private:
+  SteinerHeuristicFinder(const ExpertNetwork& net, const DistanceOracle& oracle,
+                         SteinerHeuristicOptions options)
+      : net_(net), oracle_(oracle), options_(options) {}
+
+  const ExpertNetwork& net_;
+  const DistanceOracle& oracle_;
+  SteinerHeuristicOptions options_;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,193 @@
+#include "core/team.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_builder.h"
+
+namespace teamdisc {
+
+std::vector<NodeId> Team::SkillHolders() const {
+  std::vector<NodeId> holders;
+  holders.reserve(assignments.size());
+  for (const SkillAssignment& a : assignments) holders.push_back(a.expert);
+  std::sort(holders.begin(), holders.end());
+  holders.erase(std::unique(holders.begin(), holders.end()), holders.end());
+  return holders;
+}
+
+std::vector<NodeId> Team::Connectors() const {
+  std::vector<NodeId> holders = SkillHolders();
+  std::vector<NodeId> connectors;
+  std::set_difference(nodes.begin(), nodes.end(), holders.begin(), holders.end(),
+                      std::back_inserter(connectors));
+  return connectors;
+}
+
+bool Team::Covers(const Project& project) const {
+  for (SkillId s : project) {
+    bool found = false;
+    for (const SkillAssignment& a : assignments) {
+      if (a.skill == s) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool Team::Contains(NodeId v) const {
+  return std::binary_search(nodes.begin(), nodes.end(), v);
+}
+
+std::string Team::Signature() const {
+  std::string sig;
+  sig.reserve(nodes.size() * 7);
+  for (NodeId v : nodes) {
+    sig += std::to_string(v);
+    sig += ',';
+  }
+  return sig;
+}
+
+Status Team::Validate(const ExpertNetwork& net) const {
+  if (nodes.empty()) return Status::InvalidArgument("empty team");
+  if (!std::is_sorted(nodes.begin(), nodes.end())) {
+    return Status::InvalidArgument("team nodes not sorted");
+  }
+  if (std::adjacent_find(nodes.begin(), nodes.end()) != nodes.end()) {
+    return Status::InvalidArgument("duplicate team node");
+  }
+  for (NodeId v : nodes) {
+    if (v >= net.num_experts()) {
+      return Status::OutOfRange(StrFormat("team node %u out of range", v));
+    }
+  }
+  if (root != kInvalidNode && !Contains(root)) {
+    return Status::InvalidArgument("root not in team");
+  }
+  // Edges: canonical, exist in G with matching weight, endpoints in team.
+  for (const Edge& e : edges) {
+    if (e.u > e.v) return Status::InvalidArgument("edge not canonical");
+    if (!Contains(e.u) || !Contains(e.v)) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%u,%u) endpoint outside team", e.u, e.v));
+    }
+    double w = net.graph().EdgeWeight(e.u, e.v);
+    if (w == kInfDistance) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%u,%u) missing from network", e.u, e.v));
+    }
+    if (w != e.weight) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%u,%u) weight %f != network weight %f", e.u, e.v,
+                    e.weight, w));
+    }
+  }
+  // Connectivity of the team subgraph over its own edge set.
+  UnionFind uf(nodes.size());
+  auto local = [this](NodeId v) {
+    return static_cast<size_t>(
+        std::lower_bound(nodes.begin(), nodes.end(), v) - nodes.begin());
+  };
+  for (const Edge& e : edges) uf.Union(local(e.u), local(e.v));
+  if (uf.num_sets() != 1) {
+    return Status::InvalidArgument("team subgraph is not connected");
+  }
+  // Assignments.
+  for (const SkillAssignment& a : assignments) {
+    if (!Contains(a.expert)) {
+      return Status::InvalidArgument(
+          StrFormat("assigned expert %u not in team", a.expert));
+    }
+    if (!net.HasSkill(a.expert, a.skill)) {
+      return Status::InvalidArgument(
+          StrFormat("expert %u lacks assigned skill %u", a.expert, a.skill));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Team::Format(const ExpertNetwork& net) const {
+  std::string out;
+  std::vector<NodeId> holders = SkillHolders();
+  out += StrFormat("Team (root=%s, %zu members, %zu edges)\n",
+                   root == kInvalidNode ? "none" : net.expert(root).name.c_str(),
+                   nodes.size(), edges.size());
+  for (const SkillAssignment& a : assignments) {
+    auto skill_name = net.skills().Name(a.skill);
+    out += StrFormat("  skill %-28s -> %-22s (h-index %.0f, pubs %u)\n",
+                     skill_name.ok() ? skill_name.ValueOrDie().c_str() : "?",
+                     net.expert(a.expert).name.c_str(), net.Authority(a.expert),
+                     net.expert(a.expert).num_publications);
+  }
+  std::vector<NodeId> connectors = Connectors();
+  for (NodeId c : connectors) {
+    out += StrFormat("  connector %-24s    (h-index %.0f, pubs %u)\n",
+                     net.expert(c).name.c_str(), net.Authority(c),
+                     net.expert(c).num_publications);
+  }
+  return out;
+}
+
+TeamAssembler::TeamAssembler(const ExpertNetwork& net, NodeId root)
+    : net_(net), root_(root) {
+  TD_CHECK(root < net.num_experts());
+  nodes_.push_back(root);
+}
+
+Status TeamAssembler::AddAssignment(SkillId skill, NodeId expert,
+                                    const std::vector<NodeId>& path) {
+  if (path.empty() || path.front() != root_ || path.back() != expert) {
+    return Status::InvalidArgument("path must run root -> expert");
+  }
+  if (!net_.HasSkill(expert, skill)) {
+    return Status::InvalidArgument(
+        StrFormat("expert %u lacks skill %u", expert, skill));
+  }
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    double w = net_.graph().EdgeWeight(path[i], path[i + 1]);
+    if (w == kInfDistance) {
+      return Status::InvalidArgument(
+          StrFormat("path step (%u,%u) is not an edge", path[i], path[i + 1]));
+    }
+    edges_.push_back(Edge::Make(path[i], path[i + 1], w));
+  }
+  nodes_.insert(nodes_.end(), path.begin(), path.end());
+  assignments_.push_back(SkillAssignment{skill, expert});
+  return Status::OK();
+}
+
+Result<Team> TeamAssembler::Finish() {
+  Team team;
+  team.root = root_;
+  team.nodes = nodes_;
+  std::sort(team.nodes.begin(), team.nodes.end());
+  team.nodes.erase(std::unique(team.nodes.begin(), team.nodes.end()),
+                   team.nodes.end());
+  team.edges = edges_;
+  std::sort(team.edges.begin(), team.edges.end(),
+            [](const Edge& a, const Edge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  team.edges.erase(std::unique(team.edges.begin(), team.edges.end(),
+                               [](const Edge& a, const Edge& b) {
+                                 return a.u == b.u && a.v == b.v;
+                               }),
+                   team.edges.end());
+  team.assignments = assignments_;
+  std::sort(team.assignments.begin(), team.assignments.end(),
+            [](const SkillAssignment& a, const SkillAssignment& b) {
+              if (a.skill != b.skill) return a.skill < b.skill;
+              return a.expert < b.expert;
+            });
+  TD_RETURN_IF_ERROR(team.Validate(net_));
+  return team;
+}
+
+}  // namespace teamdisc

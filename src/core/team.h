@@ -1,0 +1,87 @@
+// Team of experts (paper Definition 1): a connected subgraph covering the
+// project's skills, with an explicit skill -> expert assignment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "network/expert_network.h"
+
+namespace teamdisc {
+
+/// A project P: the set of required skills (paper §2).
+using Project = std::vector<SkillId>;
+
+/// \brief One <skill, expert> pair of a team.
+struct SkillAssignment {
+  SkillId skill;
+  NodeId expert;
+
+  friend bool operator==(const SkillAssignment& a, const SkillAssignment& b) {
+    return a.skill == b.skill && a.expert == b.expert;
+  }
+};
+
+/// \brief A discovered team.
+///
+/// Invariants (checked by Validate):
+///  * `nodes` sorted and unique; `edges` canonical, sorted, between nodes;
+///  * the edge set is connected and spans all nodes;
+///  * every assignment's expert is in `nodes` and holds the skill;
+///  * `root` (the greedy's tree root) is in `nodes` or kInvalidNode.
+struct Team {
+  std::vector<NodeId> nodes;
+  std::vector<Edge> edges;  ///< weights are the ORIGINAL graph G's weights
+  std::vector<SkillAssignment> assignments;  ///< sorted by skill id
+  NodeId root = kInvalidNode;
+
+  /// Distinct assigned experts, sorted (the paper's "skill holders").
+  std::vector<NodeId> SkillHolders() const;
+
+  /// Team nodes that are not skill holders, sorted (Definition 3).
+  std::vector<NodeId> Connectors() const;
+
+  /// True if the assignments cover every skill in `project`.
+  bool Covers(const Project& project) const;
+
+  bool Contains(NodeId v) const;
+
+  size_t size() const { return nodes.size(); }
+
+  /// Canonical signature of the node set (for top-k dedup).
+  std::string Signature() const;
+
+  /// Full structural validation against the host network.
+  Status Validate(const ExpertNetwork& net) const;
+
+  /// Multi-line human-readable rendering (used by the qualitative bench).
+  std::string Format(const ExpertNetwork& net) const;
+};
+
+/// \brief Assembles a Team from root-to-expert paths (the greedy's `add`).
+///
+/// Paths are node sequences in the host topology starting at `root`; team
+/// edges take their weights from `net.graph()` (the original G, regardless
+/// of which transformed graph produced the paths).
+class TeamAssembler {
+ public:
+  explicit TeamAssembler(const ExpertNetwork& net, NodeId root);
+
+  /// Adds a skill assignment plus the connecting path root -> expert.
+  /// The path must start at the root and end at the assigned expert.
+  Status AddAssignment(SkillId skill, NodeId expert,
+                       const std::vector<NodeId>& path);
+
+  /// Finalizes the team (sorts, dedupes, validates connectivity).
+  Result<Team> Finish();
+
+ private:
+  const ExpertNetwork& net_;
+  NodeId root_;
+  std::vector<NodeId> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<SkillAssignment> assignments_;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,62 @@
+// Bounded best-k list ordered by ascending cost (the paper's "list L").
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace teamdisc {
+
+/// \brief Keeps the k smallest-cost items seen so far, sorted ascending.
+///
+/// Mirrors the paper's top-k extension of Algorithm 1: "the new team is added
+/// to L if its cost is smaller than the last team in L".
+template <typename T>
+class TopK {
+ public:
+  struct Entry {
+    double cost;
+    T value;
+  };
+
+  explicit TopK(size_t k) : k_(k) {}
+
+  /// Whether an item with `cost` would enter the list (cheap pre-check that
+  /// lets callers skip expensive materialization).
+  bool WouldAccept(double cost) const {
+    return k_ > 0 && (entries_.size() < k_ || cost < entries_.back().cost);
+  }
+
+  /// Inserts if it qualifies; returns true when inserted.
+  bool Add(double cost, T value) {
+    if (!WouldAccept(cost)) return false;
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), cost,
+        [](double c, const Entry& e) { return c < e.cost; });
+    entries_.insert(it, Entry{cost, std::move(value)});
+    if (entries_.size() > k_) entries_.pop_back();
+    return true;
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  size_t capacity() const { return k_; }
+
+  const Entry& operator[](size_t i) const { return entries_[i]; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Cost of the current worst kept item (+inf when not yet full).
+  double WorstKeptCost() const {
+    return entries_.size() < k_ ? std::numeric_limits<double>::infinity()
+                                : entries_.back().cost;
+  }
+
+  std::vector<Entry> Take() { return std::move(entries_); }
+
+ private:
+  size_t k_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace teamdisc

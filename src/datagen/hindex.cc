@@ -1,0 +1,46 @@
+#include "datagen/hindex.h"
+
+#include <algorithm>
+
+namespace teamdisc {
+
+uint32_t ComputeHIndex(std::vector<uint32_t> citation_counts) {
+  std::sort(citation_counts.begin(), citation_counts.end(),
+            std::greater<uint32_t>());
+  uint32_t h = 0;
+  for (size_t i = 0; i < citation_counts.size(); ++i) {
+    if (citation_counts[i] >= i + 1) {
+      h = static_cast<uint32_t>(i + 1);
+    } else {
+      break;
+    }
+  }
+  return h;
+}
+
+uint32_t ComputeGIndex(std::vector<uint32_t> citation_counts) {
+  std::sort(citation_counts.begin(), citation_counts.end(),
+            std::greater<uint32_t>());
+  uint64_t cumulative = 0;
+  uint32_t g = 0;
+  for (size_t i = 0; i < citation_counts.size(); ++i) {
+    cumulative += citation_counts[i];
+    uint64_t rank = i + 1;
+    if (cumulative >= rank * rank) {
+      g = static_cast<uint32_t>(rank);
+    } else {
+      break;
+    }
+  }
+  return g;
+}
+
+uint32_t ComputeI10Index(const std::vector<uint32_t>& citation_counts) {
+  uint32_t count = 0;
+  for (uint32_t c : citation_counts) {
+    if (c >= 10) ++count;
+  }
+  return count;
+}
+
+}  // namespace teamdisc

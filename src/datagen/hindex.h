@@ -1,0 +1,20 @@
+// h-index computation (the paper's node-weight / authority metric).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace teamdisc {
+
+/// Computes the h-index of a publication record: the largest h such that at
+/// least h of the papers have >= h citations each. O(n log n).
+uint32_t ComputeHIndex(std::vector<uint32_t> citation_counts);
+
+/// g-index (Egghe): largest g such that the top g papers together have at
+/// least g^2 citations. Provided as an alternative authority metric.
+uint32_t ComputeGIndex(std::vector<uint32_t> citation_counts);
+
+/// i10-index: number of papers with at least 10 citations.
+uint32_t ComputeI10Index(const std::vector<uint32_t>& citation_counts);
+
+}  // namespace teamdisc

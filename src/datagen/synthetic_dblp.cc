@@ -1,0 +1,252 @@
+#include "datagen/synthetic_dblp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "datagen/hindex.h"
+#include "datagen/term_vocabulary.h"
+
+namespace teamdisc {
+
+namespace {
+
+/// Deterministic human-ish author names: "A. Brown-0042" style, built from
+/// syllables so qualitative output is readable.
+std::string MakeAuthorName(uint32_t id, Rng& rng) {
+  static const char* kFirst[] = {"A", "B", "C", "D", "E", "F", "G", "H",
+                                 "J", "K", "L", "M", "N", "P", "R", "S"};
+  static const char* kSyllables[] = {"an", "ber", "chen", "dor", "el", "fan",
+                                     "gar", "han", "ier", "jo", "kov", "li",
+                                     "mar", "ner", "ova", "pet", "qui", "ros",
+                                     "son", "tan", "ul", "vik", "wang", "xu",
+                                     "yam", "zh"};
+  std::string surname;
+  uint32_t syllable_count = 2 + static_cast<uint32_t>(rng.NextBounded(2));
+  for (uint32_t i = 0; i < syllable_count; ++i) {
+    surname += kSyllables[rng.NextBounded(std::size(kSyllables))];
+  }
+  surname[0] = static_cast<char>(std::toupper(surname[0]));
+  return StrFormat("%s. %s-%04u", kFirst[rng.NextBounded(std::size(kFirst))],
+                   surname.c_str(), id);
+}
+
+}  // namespace
+
+Status DblpConfig::Validate() const {
+  if (num_authors < 2) return Status::InvalidArgument("need >= 2 authors");
+  if (num_terms == 0) return Status::InvalidArgument("need >= 1 term");
+  if (num_venues < 4) return Status::InvalidArgument("need >= 4 venues");
+  if (min_term_occurrences == 0) {
+    return Status::InvalidArgument("min_term_occurrences must be >= 1");
+  }
+  if (topic_zipf_exponent <= 0.0) {
+    return Status::InvalidArgument("topic_zipf_exponent must be positive");
+  }
+  if (repeat_coauthor_prob < 0.0 || repeat_coauthor_prob > 1.0) {
+    return Status::InvalidArgument("repeat_coauthor_prob outside [0,1]");
+  }
+  return Status::OK();
+}
+
+double SyntheticDblp::NormalizedAbility(NodeId author) const {
+  TD_DCHECK(author < latent_ability.size());
+  return max_ability_ > 0.0 ? latent_ability[author] / max_ability_ : 0.0;
+}
+
+Result<SyntheticDblp> GenerateSyntheticDblp(const DblpConfig& config) {
+  TD_RETURN_IF_ERROR(config.Validate());
+  SyntheticDblp out;
+  out.config = config;
+  Rng rng(config.seed);
+
+  const uint32_t n = config.num_authors;
+  out.term_names = MakeTermVocabulary(config.num_terms);
+  out.venues = VenueCatalogue::Generate(config.num_venues, rng);
+
+  // ---- Authors: latent ability, activity, preferred topics. -------------
+  out.latent_ability.resize(n);
+  std::vector<double> activity(n);
+  std::vector<std::vector<uint32_t>> preferred_topics(n);
+  for (uint32_t a = 0; a < n; ++a) {
+    out.latent_ability[a] = rng.NextLogNormal(0.0, 0.7);
+    // Activity (expected #papers) correlates with ability: prolific authors
+    // are, on average, stronger — which later yields the senior/junior split.
+    double boost = 0.6 + 0.5 * std::min(out.latent_ability[a], 4.0);
+    activity[a] = std::min(rng.NextLogNormal(config.activity_mu,
+                                             config.activity_sigma) *
+                               boost,
+                           120.0);
+    uint32_t k = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    std::unordered_set<uint32_t> topics;
+    while (topics.size() < k) {
+      topics.insert(static_cast<uint32_t>(
+          rng.NextZipf(config.num_terms, config.topic_zipf_exponent)));
+    }
+    preferred_topics[a].assign(topics.begin(), topics.end());
+  }
+  out.max_ability_ =
+      *std::max_element(out.latent_ability.begin(), out.latent_ability.end());
+
+  // ---- Papers: preferential attachment over activity + repeat coauthors. -
+  std::vector<std::vector<uint32_t>> papers_of(n);
+  std::vector<std::vector<uint32_t>> collaborators(n);
+  std::unordered_set<uint64_t> edge_set;
+  double total_activity = 0.0;
+  for (double a : activity) total_activity += a;
+
+  // Lead-author sampling proportional to activity via the alias-free
+  // cumulative method over a shuffled order would be O(n) per draw; instead
+  // use a repeated-endpoint pool seeded proportionally (coarse but fast).
+  std::vector<uint32_t> lead_pool;
+  lead_pool.reserve(static_cast<size_t>(total_activity) + n);
+  for (uint32_t a = 0; a < n; ++a) {
+    uint32_t copies = 1 + static_cast<uint32_t>(activity[a]);
+    for (uint32_t c = 0; c < copies; ++c) lead_pool.push_back(a);
+  }
+
+  auto pick_coauthor = [&](uint32_t lead, const std::vector<uint32_t>& team) {
+    for (int attempt = 0; attempt < 24; ++attempt) {
+      uint32_t candidate;
+      if (!collaborators[lead].empty() &&
+          rng.NextBool(config.repeat_coauthor_prob)) {
+        candidate = collaborators[lead][rng.NextBounded(collaborators[lead].size())];
+      } else {
+        candidate = lead_pool[rng.NextBounded(lead_pool.size())];
+      }
+      if (candidate == lead) continue;
+      if (std::find(team.begin(), team.end(), candidate) != team.end()) continue;
+      return candidate;
+    }
+    return lead;  // give up: solo slot
+  };
+
+  while (edge_set.size() < config.target_edges &&
+         out.papers.size() < config.max_papers) {
+    SynthPaper paper;
+    uint32_t lead = lead_pool[rng.NextBounded(lead_pool.size())];
+    paper.authors.push_back(lead);
+    // Team size 1..5, mean ~2.6 (typical CS collaboration size).
+    static const double kSizeWeights[] = {0.18, 0.3, 0.28, 0.16, 0.08};
+    uint32_t team_size =
+        1 + static_cast<uint32_t>(rng.NextWeighted(
+                std::vector<double>(std::begin(kSizeWeights), std::end(kSizeWeights))));
+    while (paper.authors.size() < team_size) {
+      uint32_t co = pick_coauthor(lead, paper.authors);
+      if (co == lead) break;
+      paper.authors.push_back(co);
+    }
+
+    // Title terms: 2-4 terms drawn from the authors' preferred topics, with
+    // a dash of exploration.
+    uint32_t term_count = 2 + static_cast<uint32_t>(rng.NextBounded(3));
+    std::unordered_set<uint32_t> terms;
+    while (terms.size() < term_count) {
+      if (rng.NextBool(0.85)) {
+        uint32_t who = paper.authors[rng.NextBounded(paper.authors.size())];
+        const auto& prefs = preferred_topics[who];
+        terms.insert(prefs[rng.NextBounded(prefs.size())]);
+      } else {
+        terms.insert(static_cast<uint32_t>(
+            rng.NextZipf(config.num_terms, config.topic_zipf_exponent)));
+      }
+    }
+    paper.terms.assign(terms.begin(), terms.end());
+    std::sort(paper.terms.begin(), paper.terms.end());
+
+    // Venue tracks mean author ability (with noise).
+    double mean_ability = 0.0;
+    for (uint32_t a : paper.authors) mean_ability += out.latent_ability[a];
+    mean_ability /= static_cast<double>(paper.authors.size());
+    double strength = std::min(mean_ability / 3.0, 1.0);
+    paper.venue = out.venues.SampleVenueForStrength(strength, rng);
+
+    // Citations: log-normal scaled by venue quality and author ability.
+    // The ability term is deliberately strong so that h-index is a usable
+    // (if noisy) observable proxy for the hidden quality signal — the same
+    // assumption the paper's user study rests on.
+    double scale = (0.5 + out.venues.venue(paper.venue).quality) *
+                   (0.2 + 2.2 * strength);
+    paper.citations = static_cast<uint32_t>(
+        std::min(rng.NextLogNormal(1.0, 0.85) * scale, 5000.0));
+
+    uint32_t paper_id = static_cast<uint32_t>(out.papers.size());
+    for (size_t i = 0; i < paper.authors.size(); ++i) {
+      papers_of[paper.authors[i]].push_back(paper_id);
+      for (size_t j = i + 1; j < paper.authors.size(); ++j) {
+        uint32_t u = paper.authors[i], v = paper.authors[j];
+        if (edge_set.insert(EdgeKey(u, v)).second) {
+          collaborators[u].push_back(v);
+          collaborators[v].push_back(u);
+        }
+      }
+    }
+    out.papers.push_back(std::move(paper));
+  }
+
+  // ---- Derived per-author data: h-index, paper counts. -------------------
+  out.h_index.resize(n);
+  out.paper_counts.resize(n);
+  for (uint32_t a = 0; a < n; ++a) {
+    std::vector<uint32_t> citations;
+    citations.reserve(papers_of[a].size());
+    for (uint32_t p : papers_of[a]) citations.push_back(out.papers[p].citations);
+    out.h_index[a] = ComputeHIndex(std::move(citations));
+    out.paper_counts[a] = static_cast<uint32_t>(papers_of[a].size());
+  }
+
+  // ---- Skills: the paper's junior-researcher labeling rule. ---------------
+  ExpertNetworkBuilder builder;
+  Rng name_rng = rng.Fork();
+  for (uint32_t a = 0; a < n; ++a) {
+    std::vector<std::string> skills;
+    if (out.paper_counts[a] > 0 &&
+        out.paper_counts[a] < config.junior_paper_threshold) {
+      std::unordered_map<uint32_t, uint32_t> term_counts;
+      for (uint32_t p : papers_of[a]) {
+        for (uint32_t t : out.papers[p].terms) ++term_counts[t];
+      }
+      for (const auto& [term, count] : term_counts) {
+        if (count >= config.min_term_occurrences) {
+          skills.push_back(out.term_names[term]);
+        }
+      }
+      std::sort(skills.begin(), skills.end());
+    }
+    builder.AddExpert(MakeAuthorName(a, name_rng), std::move(skills),
+                      static_cast<double>(std::max<uint32_t>(out.h_index[a], 1)),
+                      out.paper_counts[a]);
+  }
+
+  // ---- Edges: Jaccard dissimilarity over paper sets. ----------------------
+  // papers_of lists are in increasing paper-id order by construction.
+  for (uint64_t key : edge_set) {
+    uint32_t u = static_cast<uint32_t>(key >> 32);
+    uint32_t v = static_cast<uint32_t>(key & 0xffffffffULL);
+    const auto& pu = papers_of[u];
+    const auto& pv = papers_of[v];
+    size_t inter = 0;
+    size_t i = 0, j = 0;
+    while (i < pu.size() && j < pv.size()) {
+      if (pu[i] < pv[j]) {
+        ++i;
+      } else if (pu[i] > pv[j]) {
+        ++j;
+      } else {
+        ++inter;
+        ++i;
+        ++j;
+      }
+    }
+    size_t uni = pu.size() + pv.size() - inter;
+    double weight =
+        uni == 0 ? 1.0 : 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+    TD_RETURN_IF_ERROR(builder.AddEdge(u, v, weight));
+  }
+  TD_ASSIGN_OR_RETURN(out.network, builder.Finish());
+  return out;
+}
+
+}  // namespace teamdisc

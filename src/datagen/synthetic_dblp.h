@@ -1,0 +1,90 @@
+// Synthetic DBLP-style co-authorship corpus and the expert network derived
+// from it — the substitute for the paper's DBLP XML preprocessing (§4).
+//
+// The paper builds its expert graph as follows (all reproduced here):
+//  * nodes: authors; edge between co-authors;
+//  * edge weight: 1 - |b_i ∩ b_j| / |b_i ∪ b_j| (Jaccard over paper sets);
+//  * node weight (authority): h-index;
+//  * potential skill holders: junior researchers with fewer than 10 papers,
+//    labeled with terms that occur in at least two of their paper titles.
+//
+// On top of that, the generator produces a *latent ability* per author that
+// drives citations (and therefore h-index) as a noisy signal. The simulated
+// user study (§4.2) and venue-quality experiment (§4.3) score teams against
+// this hidden signal, which the discovery algorithms never observe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "datagen/venue_model.h"
+#include "network/expert_network.h"
+
+namespace teamdisc {
+
+/// \brief Knobs of the synthetic corpus.
+struct DblpConfig {
+  uint32_t num_authors = 8000;
+  /// Paper generation stops when the co-authorship graph reaches this many
+  /// distinct edges (or the paper budget runs out).
+  uint32_t target_edges = 25000;
+  uint32_t num_terms = 400;   ///< topic vocabulary size
+  uint32_t num_venues = 60;
+  /// Safety budget: at most this many papers are generated.
+  uint32_t max_papers = 200000;
+  /// Paper's preprocessing: skill holders have fewer than this many papers.
+  uint32_t junior_paper_threshold = 10;
+  /// Paper's preprocessing: a term becomes a skill after appearing in at
+  /// least this many of the author's titles.
+  uint32_t min_term_occurrences = 2;
+  /// Zipf exponent for topic popularity.
+  double topic_zipf_exponent = 1.05;
+  /// Log-normal parameters of per-author activity (expected paper count).
+  double activity_mu = 1.1;
+  double activity_sigma = 0.9;
+  /// Probability that a coauthor slot is filled by a previous collaborator
+  /// (drives clustering / community structure).
+  double repeat_coauthor_prob = 0.55;
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// \brief One generated publication.
+struct SynthPaper {
+  std::vector<uint32_t> authors;  ///< author ids, first = lead
+  std::vector<uint32_t> terms;    ///< topic-term ids in the title
+  uint32_t venue = 0;
+  uint32_t citations = 0;
+};
+
+/// \brief The generated corpus plus the derived expert network.
+struct SyntheticDblp {
+  DblpConfig config;
+  VenueCatalogue venues;
+  std::vector<std::string> term_names;
+  std::vector<SynthPaper> papers;
+
+  // Per-author ground truth / derived data (indexed by author id == NodeId).
+  std::vector<double> latent_ability;  ///< hidden quality signal in (0, +)
+  std::vector<uint32_t> h_index;
+  std::vector<uint32_t> paper_counts;
+
+  /// The expert network per the paper's preprocessing. NodeId == author id.
+  ExpertNetwork network;
+
+  /// Latent ability normalized to [0, 1] across authors (for judges).
+  double NormalizedAbility(NodeId author) const;
+
+ private:
+  friend Result<SyntheticDblp> GenerateSyntheticDblp(const DblpConfig&);
+  double max_ability_ = 1.0;
+};
+
+/// Generates the corpus and network. Deterministic in config.seed.
+Result<SyntheticDblp> GenerateSyntheticDblp(const DblpConfig& config);
+
+}  // namespace teamdisc

@@ -1,0 +1,65 @@
+#include "datagen/term_vocabulary.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+std::vector<std::string> MakeTermVocabulary(uint32_t count) {
+  static const char* kBaseTerms[] = {
+      // The paper's Figure 6 project skills come first.
+      "analytics", "matrix", "communities", "object oriented",
+      // Common research topic terms.
+      "social networks", "text mining", "databases", "machine learning",
+      "query optimization", "data integration", "graph mining", "crowdsourcing",
+      "information retrieval", "stream processing", "recommender systems",
+      "entity resolution", "knowledge bases", "distributed systems",
+      "privacy", "indexing", "clustering", "classification", "ranking",
+      "sampling", "caching", "scheduling", "provenance", "visualization",
+      "nlp", "deep learning", "reinforcement learning", "spatial data",
+      "temporal data", "uncertain data", "semi-structured data", "xml",
+      "map reduce", "columnar storage", "transactions", "concurrency control",
+      "consensus", "replication", "sketching", "compression", "benchmarking",
+      "feature selection", "topic models", "embeddings", "summarization",
+      "sentiment analysis", "anomaly detection", "link prediction",
+      "influence maximization", "community detection", "team formation",
+      "expert finding", "keyword search", "skyline queries", "top-k queries",
+  };
+  constexpr uint32_t kNumBase = sizeof(kBaseTerms) / sizeof(kBaseTerms[0]);
+  static const char* kModifiers[] = {
+      "scalable", "adaptive", "approximate", "parallel", "online",
+      "incremental", "robust", "federated", "secure", "interactive",
+  };
+  constexpr uint32_t kNumModifiers = sizeof(kModifiers) / sizeof(kModifiers[0]);
+
+  std::vector<std::string> terms;
+  terms.reserve(count);
+  for (uint32_t i = 0; i < count && i < kNumBase; ++i) {
+    terms.emplace_back(kBaseTerms[i]);
+  }
+  // Compound terms: "<modifier> <base>", cycling deterministically.
+  uint32_t next = 0;
+  while (terms.size() < count) {
+    uint32_t mod = (next / kNumBase) % kNumModifiers;
+    uint32_t base = next % kNumBase;
+    uint32_t round = next / (kNumBase * kNumModifiers);
+    std::string term = StrFormat("%s %s", kModifiers[mod], kBaseTerms[base]);
+    if (round > 0) term += StrFormat(" %u", round + 1);
+    terms.push_back(std::move(term));
+    ++next;
+  }
+  TD_CHECK_EQ(terms.size(), count);
+  // Term index doubles as Zipf popularity rank. Spread the four Figure 6
+  // project skills to mid-popularity ranks so that (as in the real DBLP)
+  // no single junior researcher plausibly holds all four, keeping the
+  // qualitative experiment's teams non-trivial.
+  if (count > 68) {
+    std::swap(terms[0], terms[17]);  // analytics
+    std::swap(terms[1], terms[33]);  // matrix
+    std::swap(terms[2], terms[49]);  // communities
+    std::swap(terms[3], terms[65]);  // object oriented
+  }
+  return terms;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,17 @@
+// Research-topic term vocabulary used for paper titles and skill labels.
+// The first entries are real CS terms (so qualitative output like the
+// paper's Figure 6 reads naturally); the rest are generated compound terms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace teamdisc {
+
+/// Produces `count` distinct topic-term names. The leading terms include the
+/// four skills of the paper's running example ("analytics", "matrix",
+/// "communities", "object oriented").
+std::vector<std::string> MakeTermVocabulary(uint32_t count);
+
+}  // namespace teamdisc

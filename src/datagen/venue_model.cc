@@ -1,0 +1,79 @@
+#include "datagen/venue_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+std::string_view VenueTierToString(VenueTier tier) {
+  switch (tier) {
+    case VenueTier::kAStar:
+      return "A*";
+    case VenueTier::kA:
+      return "A";
+    case VenueTier::kB:
+      return "B";
+    case VenueTier::kC:
+      return "C";
+  }
+  return "?";
+}
+
+VenueCatalogue VenueCatalogue::Generate(uint32_t num_venues, Rng& rng) {
+  TD_CHECK_GE(num_venues, 4u);
+  VenueCatalogue cat;
+  cat.venues_.reserve(num_venues);
+  // Tier shares: 10% A*, 20% A, 30% B, 40% C (at least one venue each).
+  auto tier_of = [num_venues](uint32_t i) {
+    double frac = static_cast<double>(i) / num_venues;
+    if (frac < 0.10) return VenueTier::kAStar;
+    if (frac < 0.30) return VenueTier::kA;
+    if (frac < 0.60) return VenueTier::kB;
+    return VenueTier::kC;
+  };
+  // Base quality per tier with in-tier jitter; strictly ordered overall by
+  // construction (bands do not overlap).
+  const double base[] = {0.9, 0.65, 0.4, 0.15};
+  const double band = 0.18;
+  for (uint32_t i = 0; i < num_venues; ++i) {
+    VenueTier tier = tier_of(i);
+    double q = base[static_cast<int>(tier)] + rng.NextDouble(0.0, band);
+    Venue v;
+    v.name = StrFormat("%s-venue-%02u",
+                       std::string(VenueTierToString(tier)).c_str(), i);
+    v.tier = tier;
+    v.quality = std::min(q, 1.0);
+    cat.venues_.push_back(std::move(v));
+  }
+  return cat;
+}
+
+uint32_t VenueCatalogue::SampleVenueForStrength(double strength, Rng& rng) const {
+  strength = std::clamp(strength, 0.0, 1.0);
+  // Noisy target quality; pick the venue with the closest quality.
+  double target = std::clamp(strength + rng.NextGaussian(0.0, 0.12), 0.0, 1.0);
+  uint32_t best = 0;
+  double best_gap = 2.0;
+  for (uint32_t i = 0; i < venues_.size(); ++i) {
+    double gap = std::fabs(venues_[i].quality - target);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<uint32_t> VenueCatalogue::RankedByQuality() const {
+  std::vector<uint32_t> ids(venues_.size());
+  for (uint32_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  std::sort(ids.begin(), ids.end(), [this](uint32_t a, uint32_t b) {
+    return venues_[a].quality > venues_[b].quality;
+  });
+  return ids;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,50 @@
+// Publication venues with quality tiers — the stand-in for the Microsoft
+// Academic conference ranking used in the paper's §4.3 experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace teamdisc {
+
+/// Venue rating tier, best first (mirrors common conference-ranking scales).
+enum class VenueTier : uint8_t { kAStar = 0, kA = 1, kB = 2, kC = 3 };
+
+std::string_view VenueTierToString(VenueTier tier);
+
+/// \brief One publication venue.
+struct Venue {
+  std::string name;
+  VenueTier tier;
+  /// Quality score in (0, 1]; strictly decreasing across tiers, jittered
+  /// within a tier so venues are totally ordered.
+  double quality;
+};
+
+/// \brief A fixed catalogue of venues with a tier distribution similar to
+/// real conference rankings (few A*, many B/C).
+class VenueCatalogue {
+ public:
+  /// Generates `num_venues` venues (>= 4) with deterministic names and
+  /// qualities drawn from `rng`.
+  static VenueCatalogue Generate(uint32_t num_venues, Rng& rng);
+
+  const std::vector<Venue>& venues() const { return venues_; }
+  const Venue& venue(uint32_t id) const { return venues_[id]; }
+  uint32_t size() const { return static_cast<uint32_t>(venues_.size()); }
+
+  /// Samples a venue whose quality tracks `strength` in [0, 1]: stronger
+  /// work lands in better venues, with noise. Returns a venue id.
+  uint32_t SampleVenueForStrength(double strength, Rng& rng) const;
+
+  /// Venue ids sorted by quality, best first.
+  std::vector<uint32_t> RankedByQuality() const;
+
+ private:
+  std::vector<Venue> venues_;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,132 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+Result<std::unique_ptr<ExperimentContext>> ExperimentContext::Make(
+    const ExperimentScale& scale, uint64_t seed,
+    ProjectGeneratorOptions project_options) {
+  auto ctx = std::unique_ptr<ExperimentContext>(new ExperimentContext());
+  ctx->scale_ = scale;
+  ctx->seed_ = seed;
+  DblpConfig config;
+  config.num_authors = scale.num_experts;
+  config.target_edges = scale.target_edges;
+  config.seed = seed;
+  TD_LOG(Info) << "generating synthetic DBLP corpus: " << scale.num_experts
+               << " experts, ~" << scale.target_edges << " edges (scale="
+               << scale.label << ")";
+  TD_ASSIGN_OR_RETURN(ctx->corpus_, GenerateSyntheticDblp(config));
+  TD_LOG(Info) << ctx->corpus_.network.DebugString();
+  TD_ASSIGN_OR_RETURN(ProjectGenerator gen,
+                      ProjectGenerator::Make(ctx->corpus_.network, project_options));
+  ctx->projects_ = std::make_unique<ProjectGenerator>(std::move(gen));
+  return ctx;
+}
+
+Result<std::vector<Project>> ExperimentContext::SampleProjects(
+    uint32_t num_skills, uint32_t count) {
+  // Stream per (num_skills) so different benches agree on the projects.
+  Rng rng(seed_ ^ (0xabcdef12345ULL + num_skills));
+  return projects_->SampleMany(num_skills, count, rng);
+}
+
+Result<const DistanceOracle*> ExperimentContext::TransformOracle(double gamma) {
+  int key = static_cast<int>(std::lround(gamma * 10000));
+  auto it = transform_indexes_.find(key);
+  if (it == transform_indexes_.end()) {
+    TransformIndex index;
+    TD_ASSIGN_OR_RETURN(TransformedGraph transformed,
+                        BuildAuthorityTransform(corpus_.network, gamma));
+    index.transformed = std::make_unique<TransformedGraph>(std::move(transformed));
+    TD_ASSIGN_OR_RETURN(
+        index.oracle,
+        MakeOracle(index.transformed->graph, OracleKind::kPrunedLandmarkLabeling));
+    it = transform_indexes_.emplace(key, std::move(index)).first;
+  }
+  return it->second.oracle.get();
+}
+
+Result<GreedyTeamFinder*> ExperimentContext::Finder(RankingStrategy strategy,
+                                                    double gamma, double lambda,
+                                                    uint32_t top_k) {
+  auto key = std::make_pair(static_cast<int>(strategy),
+                            static_cast<int>(std::lround(gamma * 10000)));
+  auto it = finders_.find(key);
+  if (it == finders_.end()) {
+    FinderOptions options;
+    options.strategy = strategy;
+    options.params.gamma = gamma;
+    options.params.lambda = lambda;
+    options.top_k = top_k;
+    // CA-CC and SA-CA-CC finders with the same gamma share one PLL index
+    // over G'; CC shares the base-graph index.
+    const DistanceOracle* oracle = nullptr;
+    if (strategy == RankingStrategy::kCC) {
+      TD_ASSIGN_OR_RETURN(oracle, BaseOracle());
+    } else {
+      TD_ASSIGN_OR_RETURN(oracle, TransformOracle(gamma));
+    }
+    TD_ASSIGN_OR_RETURN(auto finder,
+                        GreedyTeamFinder::MakeWithExternalOracle(
+                            corpus_.network, options, *oracle));
+    it = finders_.emplace(key, std::move(finder)).first;
+  }
+  TD_RETURN_IF_ERROR(it->second->set_lambda(lambda));
+  TD_RETURN_IF_ERROR(it->second->set_top_k(top_k));
+  return it->second.get();
+}
+
+Result<const DistanceOracle*> ExperimentContext::BaseOracle() {
+  if (base_oracle_ == nullptr) {
+    TD_ASSIGN_OR_RETURN(
+        base_oracle_,
+        MakeOracle(corpus_.network.graph(), OracleKind::kPrunedLandmarkLabeling));
+  }
+  return base_oracle_.get();
+}
+
+Result<std::vector<ScoredTeam>> ExperimentContext::RunRandom(
+    const Project& project, const ObjectiveParams& params, uint32_t num_samples,
+    uint32_t top_k) {
+  TD_ASSIGN_OR_RETURN(const DistanceOracle* oracle, BaseOracle());
+  RandomFinderOptions options;
+  options.strategy = RankingStrategy::kSACACC;
+  options.params = params;
+  options.num_samples = num_samples;
+  options.top_k = top_k;
+  options.seed = seed_ ^ 0x5eed;
+  TD_ASSIGN_OR_RETURN(auto finder,
+                      RandomTeamFinder::Make(corpus_.network, *oracle, options));
+  return finder->FindTeams(project);
+}
+
+Result<std::vector<ScoredTeam>> ExperimentContext::RunExact(
+    const Project& project, const ObjectiveParams& params, uint32_t top_k,
+    uint64_t max_assignments) {
+  ExactOptions options;
+  options.strategy = RankingStrategy::kSACACC;
+  options.params = params;
+  options.top_k = top_k;
+  options.max_assignments = max_assignments;
+  // Wall-clock guard so figure benches report "dnf" instead of hanging
+  // (tunable via TEAMDISC_EXACT_SECONDS).
+  options.max_seconds = static_cast<double>(
+      GetEnvOr("TEAMDISC_EXACT_SECONDS", uint64_t{20}));
+  TD_ASSIGN_OR_RETURN(auto finder,
+                      ExactTeamFinder::Make(corpus_.network, options));
+  return finder->FindTeams(project);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace teamdisc

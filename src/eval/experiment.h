@@ -1,0 +1,81 @@
+// Shared experiment plumbing for the benchmark binaries: one synthetic
+// corpus per run, cached finders, per-project sweeps, and aggregation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/env.h"
+#include "core/exact_team_finder.h"
+#include "core/greedy_team_finder.h"
+#include "core/random_team_finder.h"
+#include "datagen/synthetic_dblp.h"
+#include "eval/project_generator.h"
+
+namespace teamdisc {
+
+/// \brief Everything a bench needs: corpus, network, projects, finders.
+class ExperimentContext {
+ public:
+  /// Builds the corpus at the given scale (seeded; deterministic).
+  /// `project_options` controls which skills are eligible for sampled
+  /// projects (e.g. Figure 3 caps holders so Exact stays tractable).
+  static Result<std::unique_ptr<ExperimentContext>> Make(
+      const ExperimentScale& scale, uint64_t seed = 42,
+      ProjectGeneratorOptions project_options = {});
+
+  const ExperimentScale& scale() const { return scale_; }
+  const SyntheticDblp& corpus() const { return corpus_; }
+  const ExpertNetwork& network() const { return corpus_.network; }
+
+  /// Samples `count` projects with `num_skills` skills (deterministic per
+  /// (num_skills, count) given the context seed).
+  Result<std::vector<Project>> SampleProjects(uint32_t num_skills,
+                                              uint32_t count);
+
+  /// Cached greedy finder for (strategy, gamma). Lambda is set per call via
+  /// set_lambda, so pass the one you need each time.
+  Result<GreedyTeamFinder*> Finder(RankingStrategy strategy, double gamma,
+                                   double lambda, uint32_t top_k);
+
+  /// A PLL oracle over the original graph G (for Random & friends).
+  Result<const DistanceOracle*> BaseOracle();
+
+  /// Random baseline over the base oracle.
+  Result<std::vector<ScoredTeam>> RunRandom(const Project& project,
+                                            const ObjectiveParams& params,
+                                            uint32_t num_samples,
+                                            uint32_t top_k = 1);
+
+  /// Exact finder (fresh per call; exponential, use sparingly).
+  Result<std::vector<ScoredTeam>> RunExact(const Project& project,
+                                           const ObjectiveParams& params,
+                                           uint32_t top_k = 1,
+                                           uint64_t max_assignments = 500000);
+
+ private:
+  ExperimentContext() = default;
+
+  /// Shared PLL index over the transform for one gamma.
+  struct TransformIndex {
+    std::unique_ptr<TransformedGraph> transformed;
+    std::unique_ptr<DistanceOracle> oracle;
+  };
+  Result<const DistanceOracle*> TransformOracle(double gamma);
+
+  ExperimentScale scale_;
+  uint64_t seed_ = 0;
+  SyntheticDblp corpus_;
+  std::unique_ptr<ProjectGenerator> projects_;
+  // Finder cache keyed by (strategy, gamma in basis points); CA-CC and
+  // SA-CA-CC finders of equal gamma share one PLL index (below).
+  std::map<std::pair<int, int>, std::unique_ptr<GreedyTeamFinder>> finders_;
+  std::map<int, TransformIndex> transform_indexes_;
+  std::unique_ptr<DistanceOracle> base_oracle_;
+};
+
+/// Mean of `values` (0 for empty).
+double Mean(const std::vector<double>& values);
+
+}  // namespace teamdisc

@@ -1,0 +1,87 @@
+#include "eval/grid_sweep.h"
+
+#include "common/csv.h"
+#include "core/greedy_team_finder.h"
+
+namespace teamdisc {
+
+Status GridSweepOptions::Validate() const {
+  if (grid_points < 2) return Status::InvalidArgument("grid_points must be >= 2");
+  return Status::OK();
+}
+
+Result<std::vector<GridCell>> RunGridSweep(const ExpertNetwork& net,
+                                           const std::vector<Project>& projects,
+                                           const GridSweepOptions& options) {
+  TD_RETURN_IF_ERROR(options.Validate());
+  if (projects.empty()) return Status::InvalidArgument("no projects");
+  std::vector<GridCell> cells;
+  for (uint32_t gi = 0; gi < options.grid_points; ++gi) {
+    double gamma = static_cast<double>(gi) / (options.grid_points - 1);
+    // One finder (and one index over G') per gamma; lambda is re-pointed.
+    FinderOptions finder_options;
+    finder_options.strategy = RankingStrategy::kSACACC;
+    finder_options.params.gamma = gamma;
+    finder_options.oracle = options.oracle;
+    TD_ASSIGN_OR_RETURN(auto finder, GreedyTeamFinder::Make(net, finder_options));
+    for (uint32_t li = 0; li < options.grid_points; ++li) {
+      double lambda = static_cast<double>(li) / (options.grid_points - 1);
+      TD_RETURN_IF_ERROR(finder->set_lambda(lambda));
+      GridCell cell;
+      cell.gamma = gamma;
+      cell.lambda = lambda;
+      std::vector<TeamMetrics> metrics;
+      ObjectiveParams params{.gamma = gamma, .lambda = lambda};
+      for (const Project& project : projects) {
+        auto teams = finder->FindTeams(project);
+        if (!teams.ok()) {
+          if (teams.status().IsInfeasible()) continue;
+          return teams.status();
+        }
+        const Team& team = teams.ValueOrDie()[0].team;
+        ObjectiveBreakdown b = ComputeBreakdown(net, team, params);
+        cell.breakdown.cc += b.cc;
+        cell.breakdown.ca += b.ca;
+        cell.breakdown.sa += b.sa;
+        cell.breakdown.ca_cc += b.ca_cc;
+        cell.breakdown.sa_ca_cc += b.sa_ca_cc;
+        metrics.push_back(ComputeTeamMetrics(net, team));
+        ++cell.solved;
+      }
+      if (cell.solved > 0) {
+        double n = cell.solved;
+        cell.breakdown.cc /= n;
+        cell.breakdown.ca /= n;
+        cell.breakdown.sa /= n;
+        cell.breakdown.ca_cc /= n;
+        cell.breakdown.sa_ca_cc /= n;
+        cell.metrics = AverageMetrics(metrics);
+      }
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+std::string GridSweepToCsv(const std::vector<GridCell>& cells) {
+  CsvWriter csv;
+  csv.SetHeader({"gamma", "lambda", "cc", "ca", "sa", "ca_cc", "sa_ca_cc",
+                 "team_size", "holder_hindex", "connector_hindex",
+                 "avg_pubs", "solved"});
+  for (const GridCell& cell : cells) {
+    csv.AddRow({CsvWriter::Cell(cell.gamma), CsvWriter::Cell(cell.lambda),
+                CsvWriter::Cell(cell.breakdown.cc),
+                CsvWriter::Cell(cell.breakdown.ca),
+                CsvWriter::Cell(cell.breakdown.sa),
+                CsvWriter::Cell(cell.breakdown.ca_cc),
+                CsvWriter::Cell(cell.breakdown.sa_ca_cc),
+                CsvWriter::Cell(cell.metrics.team_size),
+                CsvWriter::Cell(cell.metrics.avg_skill_holder_hindex),
+                CsvWriter::Cell(cell.metrics.avg_connector_hindex),
+                CsvWriter::Cell(cell.metrics.avg_num_publications),
+                CsvWriter::Cell(uint64_t{cell.solved})});
+  }
+  return csv.ToString();
+}
+
+}  // namespace teamdisc

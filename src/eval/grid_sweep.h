@@ -1,0 +1,47 @@
+// Gamma x lambda grid evaluation: the paper sets both tradeoff parameters
+// "by leveraging user and domain expert feedback"; this utility maps the
+// whole parameter plane for a set of projects so that feedback loop has
+// data to work with (objective components + team metrics per cell), and
+// exports the sweep as CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/objectives.h"
+#include "core/team.h"
+#include "eval/team_metrics.h"
+#include "shortest_path/distance_oracle.h"
+
+namespace teamdisc {
+
+/// \brief One grid cell's averaged results.
+struct GridCell {
+  double gamma = 0.0;
+  double lambda = 0.0;
+  /// Objective components averaged over the projects' best teams.
+  ObjectiveBreakdown breakdown;
+  /// Team metrics averaged over the projects' best teams.
+  TeamMetrics metrics;
+  /// Projects successfully solved in this cell.
+  uint32_t solved = 0;
+};
+
+/// \brief Sweep configuration.
+struct GridSweepOptions {
+  uint32_t grid_points = 5;  ///< values 0, 1/(g-1), ..., 1 on each axis
+  OracleKind oracle = OracleKind::kPrunedLandmarkLabeling;
+
+  Status Validate() const;
+};
+
+/// Runs the SA-CA-CC greedy on every (gamma, lambda) grid cell for every
+/// project; returns cells in row-major (gamma-major) order.
+Result<std::vector<GridCell>> RunGridSweep(const ExpertNetwork& net,
+                                           const std::vector<Project>& projects,
+                                           const GridSweepOptions& options);
+
+/// Serializes a sweep as CSV (one row per cell).
+std::string GridSweepToCsv(const std::vector<GridCell>& cells);
+
+}  // namespace teamdisc

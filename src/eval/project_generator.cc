@@ -1,0 +1,72 @@
+#include "eval/project_generator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "graph/graph_algos.h"
+
+namespace teamdisc {
+
+Result<ProjectGenerator> ProjectGenerator::Make(const ExpertNetwork& net,
+                                                ProjectGeneratorOptions options) {
+  ProjectGenerator gen(net, options);
+  // Largest-component membership for the feasibility filter.
+  std::vector<bool> in_largest;
+  if (options.require_feasible && net.num_experts() > 0) {
+    ComponentInfo comps = ConnectedComponents(net.graph());
+    uint32_t largest = comps.LargestComponent();
+    in_largest.resize(net.num_experts());
+    for (NodeId v = 0; v < net.num_experts(); ++v) {
+      in_largest[v] = comps.component[v] == largest;
+    }
+  }
+  for (SkillId s = 0; s < net.num_skills(); ++s) {
+    auto holders = net.ExpertsWithSkill(s);
+    if (holders.size() < options.min_holders) continue;
+    if (options.max_holders != 0 && holders.size() > options.max_holders) continue;
+    if (options.require_feasible) {
+      bool reachable = false;
+      for (NodeId v : holders) {
+        if (in_largest[v]) {
+          reachable = true;
+          break;
+        }
+      }
+      if (!reachable) continue;
+    }
+    gen.eligible_.push_back(s);
+  }
+  if (gen.eligible_.empty()) {
+    return Status::FailedPrecondition("no skill satisfies the eligibility rules");
+  }
+  return gen;
+}
+
+Result<Project> ProjectGenerator::Sample(uint32_t num_skills, Rng& rng) const {
+  if (num_skills == 0) return Status::InvalidArgument("num_skills must be >= 1");
+  if (num_skills > eligible_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("requested %u skills but only %zu are eligible", num_skills,
+                  eligible_.size()));
+  }
+  std::vector<uint32_t> picks = rng.SampleWithoutReplacement(
+      static_cast<uint32_t>(eligible_.size()), num_skills);
+  Project project;
+  project.reserve(num_skills);
+  for (uint32_t idx : picks) project.push_back(eligible_[idx]);
+  return project;
+}
+
+Result<std::vector<Project>> ProjectGenerator::SampleMany(uint32_t num_skills,
+                                                          uint32_t count,
+                                                          Rng& rng) const {
+  std::vector<Project> projects;
+  projects.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TD_ASSIGN_OR_RETURN(Project p, Sample(num_skills, rng));
+    projects.push_back(std::move(p));
+  }
+  return projects;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,55 @@
+// Random project (skill-set) generation for the experiments (§4: "for each
+// number of skills, we generate 50 sets of skills, corresponding to 50
+// projects").
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/team_finder.h"
+
+namespace teamdisc {
+
+/// \brief Options for project sampling.
+struct ProjectGeneratorOptions {
+  /// Only skills held by at least this many experts are eligible (avoids
+  /// degenerate single-holder skills dominating the experiments).
+  uint32_t min_holders = 2;
+  /// Only skills held by at most this many experts are eligible (0 = no cap).
+  uint32_t max_holders = 0;
+  /// Require all chosen skills to have at least one holder inside the
+  /// graph's largest connected component (keeps projects feasible).
+  bool require_feasible = true;
+  /// Sampling attempts before giving up.
+  uint32_t max_attempts = 1000;
+};
+
+/// \brief Samples random projects over a network's skill space.
+class ProjectGenerator {
+ public:
+  /// Prepares the eligible-skill pool. Fails InvalidArgument when fewer
+  /// eligible skills exist than any future request could need.
+  static Result<ProjectGenerator> Make(const ExpertNetwork& net,
+                                       ProjectGeneratorOptions options = {});
+
+  /// Samples one project with `num_skills` distinct skills.
+  Result<Project> Sample(uint32_t num_skills, Rng& rng) const;
+
+  /// Samples `count` projects (independently; duplicates possible).
+  Result<std::vector<Project>> SampleMany(uint32_t num_skills, uint32_t count,
+                                          Rng& rng) const;
+
+  /// Number of skills eligible for sampling.
+  size_t pool_size() const { return eligible_.size(); }
+
+ private:
+  ProjectGenerator(const ExpertNetwork& net, ProjectGeneratorOptions options)
+      : net_(&net), options_(options) {}
+
+  const ExpertNetwork* net_;
+  ProjectGeneratorOptions options_;
+  std::vector<SkillId> eligible_;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,51 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  TD_CHECK_EQ(row.size(), header_.size()) << "table row width mismatch";
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&widths](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += StrFormat(" %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = emit(header_);
+  std::string rule = "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += emit(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace teamdisc

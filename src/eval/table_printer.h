@@ -1,0 +1,31 @@
+// Fixed-width console tables for the benchmark binaries (each bench prints
+// the same rows/series as the corresponding paper figure).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace teamdisc {
+
+/// \brief Accumulates rows and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with the given precision.
+  static std::string Num(double value, int precision = 3);
+
+  /// Renders with column separators and a header rule.
+  std::string ToString() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace teamdisc

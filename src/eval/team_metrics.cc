@@ -1,0 +1,89 @@
+#include "eval/team_metrics.h"
+
+#include "graph/graph_builder.h"
+#include "shortest_path/dijkstra.h"
+
+namespace teamdisc {
+
+double TeamDiameter(const Team& team) {
+  if (team.nodes.size() < 2) return 0.0;
+  // Local re-index and Dijkstra from every member (teams are small).
+  auto local = [&team](NodeId v) {
+    return static_cast<NodeId>(
+        std::lower_bound(team.nodes.begin(), team.nodes.end(), v) -
+        team.nodes.begin());
+  };
+  GraphBuilder builder(static_cast<NodeId>(team.nodes.size()));
+  for (const Edge& e : team.edges) {
+    TD_CHECK_OK(builder.AddEdge(local(e.u), local(e.v), e.weight));
+  }
+  Graph g = builder.Finish().ValueOrDie();
+  double diameter = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ShortestPathTree tree = DijkstraSssp(g, v);
+    for (double d : tree.dist) {
+      if (d != kInfDistance) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+TeamMetrics ComputeTeamMetrics(const ExpertNetwork& net, const Team& team) {
+  TeamMetrics m;
+  std::vector<NodeId> holders = team.SkillHolders();
+  std::vector<NodeId> connectors = team.Connectors();
+  m.num_skill_holders = static_cast<double>(holders.size());
+  m.num_connectors = static_cast<double>(connectors.size());
+  m.team_size = static_cast<double>(team.nodes.size());
+
+  double holder_h = 0.0;
+  for (NodeId v : holders) holder_h += net.Authority(v);
+  m.avg_skill_holder_hindex =
+      holders.empty() ? 0.0 : holder_h / static_cast<double>(holders.size());
+
+  double connector_h = 0.0;
+  for (NodeId v : connectors) connector_h += net.Authority(v);
+  m.avg_connector_hindex =
+      connectors.empty() ? 0.0
+                         : connector_h / static_cast<double>(connectors.size());
+
+  double total_h = 0.0;
+  double total_pubs = 0.0;
+  for (NodeId v : team.nodes) {
+    total_h += net.Authority(v);
+    total_pubs += net.expert(v).num_publications;
+  }
+  if (!team.nodes.empty()) {
+    m.team_hindex = total_h / static_cast<double>(team.nodes.size());
+    m.avg_num_publications = total_pubs / static_cast<double>(team.nodes.size());
+  }
+  m.diameter = TeamDiameter(team);
+  return m;
+}
+
+TeamMetrics AverageMetrics(const std::vector<TeamMetrics>& metrics) {
+  TeamMetrics avg;
+  if (metrics.empty()) return avg;
+  for (const TeamMetrics& m : metrics) {
+    avg.avg_skill_holder_hindex += m.avg_skill_holder_hindex;
+    avg.avg_connector_hindex += m.avg_connector_hindex;
+    avg.team_size += m.team_size;
+    avg.avg_num_publications += m.avg_num_publications;
+    avg.team_hindex += m.team_hindex;
+    avg.num_connectors += m.num_connectors;
+    avg.num_skill_holders += m.num_skill_holders;
+    avg.diameter += m.diameter;
+  }
+  double n = static_cast<double>(metrics.size());
+  avg.avg_skill_holder_hindex /= n;
+  avg.avg_connector_hindex /= n;
+  avg.team_size /= n;
+  avg.avg_num_publications /= n;
+  avg.team_hindex /= n;
+  avg.num_connectors /= n;
+  avg.num_skill_holders /= n;
+  avg.diameter /= n;
+  return avg;
+}
+
+}  // namespace teamdisc

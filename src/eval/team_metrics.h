@@ -1,0 +1,37 @@
+// Descriptive team metrics reported in the paper's Figures 5 and 6:
+// average h-index of skill holders / connectors, team size, average number
+// of publications, and the "team h-index".
+#pragma once
+
+#include "core/team.h"
+#include "network/expert_network.h"
+
+namespace teamdisc {
+
+/// \brief The per-team measures the paper plots.
+struct TeamMetrics {
+  double avg_skill_holder_hindex = 0.0;  ///< Figure 5(a) / Figure 6
+  double avg_connector_hindex = 0.0;     ///< Figure 5(b) / Figure 6
+  double team_size = 0.0;                ///< Figure 5(c): number of members
+  double avg_num_publications = 0.0;     ///< Figure 5(d) / Figure 6
+  double team_hindex = 0.0;              ///< Figure 6: mean h-index of members
+  double num_connectors = 0.0;
+  double num_skill_holders = 0.0;
+  /// Weighted diameter of the team's own subgraph (the objective of the
+  /// RarestFirst line of prior work); 0 for singleton teams.
+  double diameter = 0.0;
+};
+
+/// Longest shortest-path distance between any two team members, measured
+/// over the team's own edge set (not the host graph). Teams are connected
+/// by construction, so this is always finite.
+double TeamDiameter(const Team& team);
+
+/// Computes metrics for one team. (Authority is the h-index by
+/// construction of the synthetic network.)
+TeamMetrics ComputeTeamMetrics(const ExpertNetwork& net, const Team& team);
+
+/// Element-wise mean of several teams' metrics.
+TeamMetrics AverageMetrics(const std::vector<TeamMetrics>& metrics);
+
+}  // namespace teamdisc

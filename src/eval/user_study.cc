@@ -1,0 +1,74 @@
+#include "eval/user_study.h"
+
+#include <algorithm>
+
+namespace teamdisc {
+
+UserStudy::UserStudy(const SyntheticDblp& corpus, UserStudyOptions options)
+    : corpus_(corpus), options_(options) {
+  const size_t n = corpus.latent_ability.size();
+  std::vector<NodeId> order(n);
+  for (size_t v = 0; v < n; ++v) order[v] = static_cast<NodeId>(v);
+  std::sort(order.begin(), order.end(), [&corpus](NodeId a, NodeId b) {
+    if (corpus.latent_ability[a] != corpus.latent_ability[b]) {
+      return corpus.latent_ability[a] < corpus.latent_ability[b];
+    }
+    return a < b;
+  });
+  percentile_.resize(n);
+  for (size_t rank = 0; rank < n; ++rank) {
+    percentile_[order[rank]] =
+        n <= 1 ? 1.0 : static_cast<double>(rank) / static_cast<double>(n - 1);
+  }
+}
+
+double UserStudy::LatentTeamQuality(const Team& team) const {
+  std::vector<NodeId> holders = team.SkillHolders();
+  std::vector<NodeId> connectors = team.Connectors();
+  double holder_quality = 0.0;
+  for (NodeId v : holders) holder_quality += percentile_[v];
+  if (!holders.empty()) holder_quality /= static_cast<double>(holders.size());
+  double connector_quality = 0.0;
+  for (NodeId v : connectors) connector_quality += percentile_[v];
+  if (!connectors.empty()) {
+    connector_quality /= static_cast<double>(connectors.size());
+  } else {
+    // Connector-free teams: judges fall back to holder quality.
+    connector_quality = holder_quality;
+  }
+  double w = options_.skill_holder_weight;
+  return std::clamp(w * holder_quality + (1.0 - w) * connector_quality, 0.0, 1.0);
+}
+
+double UserStudy::JudgeScore(uint32_t judge, const Team& team) const {
+  double quality = LatentTeamQuality(team);
+  // Deterministic noise: seed mixes the panel seed, the judge id, and the
+  // team's node-set hash, so re-scoring the same team is reproducible.
+  uint64_t team_hash = 1469598103934665603ULL;  // FNV-1a
+  for (NodeId v : team.nodes) {
+    team_hash ^= v;
+    team_hash *= 1099511628211ULL;
+  }
+  Rng rng(options_.seed ^ (judge * 0x9e3779b97f4a7c15ULL) ^ team_hash);
+  double noisy = quality + rng.NextGaussian(0.0, options_.judge_noise);
+  return std::clamp(noisy, 0.0, 1.0);
+}
+
+double UserStudy::PanelScore(const Team& team) const {
+  if (options_.num_judges == 0) return LatentTeamQuality(team);
+  double total = 0.0;
+  for (uint32_t j = 0; j < options_.num_judges; ++j) {
+    total += JudgeScore(j, team);
+  }
+  return total / static_cast<double>(options_.num_judges);
+}
+
+double UserStudy::PrecisionAtK(const std::vector<Team>& teams, size_t k) const {
+  size_t count = std::min(k, teams.size());
+  if (count == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < count; ++i) total += PanelScore(teams[i]);
+  return total / static_cast<double>(count);
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,58 @@
+// Simulated user study (§4.2 substitution): six seeded judges score teams
+// from the generator's hidden latent-ability signal, which the discovery
+// algorithms never observe (they only see h-index, a noisy correlate).
+// Precision@k of a ranking is the mean judge score of its top-k teams —
+// matching the paper's protocol of students scoring top-5 teams in [0, 1].
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/team.h"
+#include "datagen/synthetic_dblp.h"
+
+namespace teamdisc {
+
+/// \brief Configuration of the simulated judging panel.
+struct UserStudyOptions {
+  uint32_t num_judges = 6;  ///< the paper used six graduate students
+  /// Weight of skill-holder ability vs connector ability in a judge's view
+  /// of team quality (executors and mentors weighted equally by default —
+  /// the paper argues connectors "provide guidelines and support").
+  double skill_holder_weight = 0.5;
+  /// Std-dev of per-judge scoring noise.
+  double judge_noise = 0.08;
+  uint64_t seed = 99;
+};
+
+/// \brief Panel of simulated judges over one corpus.
+class UserStudy {
+ public:
+  UserStudy(const SyntheticDblp& corpus, UserStudyOptions options);
+
+  /// Latent quality of a team in [0, 1] (noise-free; what judges perceive
+  /// before their individual noise). Members are valued by their latent
+  /// ability PERCENTILE across all authors — judges compare experts against
+  /// the population, not against the single best author — so a median-level
+  /// team scores ~0.5, matching the paper's judge-score scale.
+  double LatentTeamQuality(const Team& team) const;
+
+  /// Score of one judge for one team, clamped to [0, 1]. Deterministic in
+  /// (options.seed, judge, team node set).
+  double JudgeScore(uint32_t judge, const Team& team) const;
+
+  /// Mean judge score of a team (the paper's per-team precision).
+  double PanelScore(const Team& team) const;
+
+  /// Precision@k: mean panel score over the first min(k, teams.size())
+  /// teams. Returns 0 for an empty list.
+  double PrecisionAtK(const std::vector<Team>& teams, size_t k) const;
+
+ private:
+  const SyntheticDblp& corpus_;
+  UserStudyOptions options_;
+  /// percentile_[v] in [0, 1]: rank of author v's latent ability.
+  std::vector<double> percentile_;
+};
+
+}  // namespace teamdisc

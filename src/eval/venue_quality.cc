@@ -1,0 +1,54 @@
+#include "eval/venue_quality.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace teamdisc {
+
+TeamPublicationRecord SimulatePublications(const SyntheticDblp& corpus,
+                                           const Team& team,
+                                           const VenueQualityOptions& options,
+                                           Rng& rng) {
+  TeamPublicationRecord record;
+  UserStudy quality_probe(corpus, UserStudyOptions{.num_judges = 0});
+  double strength = quality_probe.LatentTeamQuality(team);
+  double total = 0.0;
+  for (uint32_t p = 0; p < options.papers_per_team; ++p) {
+    uint32_t venue = corpus.venues.SampleVenueForStrength(strength, rng);
+    double q = corpus.venues.venue(venue).quality;
+    record.venue_ids.push_back(venue);
+    record.best_quality = std::max(record.best_quality, q);
+    total += q;
+  }
+  if (options.papers_per_team > 0) {
+    record.mean_quality = total / options.papers_per_team;
+  }
+  return record;
+}
+
+HeadToHead CompareVenueQuality(const SyntheticDblp& corpus,
+                               const std::vector<Team>& teams_a,
+                               const std::vector<Team>& teams_b,
+                               const VenueQualityOptions& options) {
+  TD_CHECK_EQ(teams_a.size(), teams_b.size())
+      << "head-to-head comparison needs aligned team lists";
+  HeadToHead outcome;
+  Rng rng(options.seed);
+  for (size_t i = 0; i < teams_a.size(); ++i) {
+    TeamPublicationRecord ra =
+        SimulatePublications(corpus, teams_a[i], options, rng);
+    TeamPublicationRecord rb =
+        SimulatePublications(corpus, teams_b[i], options, rng);
+    if (ra.mean_quality > rb.mean_quality) {
+      ++outcome.wins_a;
+    } else if (rb.mean_quality > ra.mean_quality) {
+      ++outcome.wins_b;
+    } else {
+      ++outcome.ties;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,55 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+double Graph::EdgeWeight(NodeId u, NodeId v) const {
+  TD_DCHECK(u < num_nodes());
+  TD_DCHECK(v < num_nodes());
+  auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Neighbor& n, NodeId target) { return n.node < target; });
+  if (it != nbrs.end() && it->node == v) return it->weight;
+  return kInfDistance;
+}
+
+std::vector<Edge> Graph::CanonicalEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const Neighbor& n : Neighbors(u)) {
+      if (u < n.node) edges.push_back(Edge{u, n.node, n.weight});
+    }
+  }
+  return edges;
+}
+
+double Graph::TotalWeight() const {
+  double total = 0.0;
+  for (const Neighbor& n : neighbors_) total += n.weight;
+  return total / 2.0;
+}
+
+double Graph::MaxEdgeWeight() const {
+  double best = 0.0;
+  for (const Neighbor& n : neighbors_) best = std::max(best, n.weight);
+  return best;
+}
+
+double Graph::MinEdgeWeight() const {
+  if (neighbors_.empty()) return 0.0;
+  double best = neighbors_.front().weight;
+  for (const Neighbor& n : neighbors_) best = std::min(best, n.weight);
+  return best;
+}
+
+std::string Graph::DebugString() const {
+  return StrFormat("Graph{nodes=%u, edges=%zu, total_weight=%.4f}", num_nodes(),
+                   num_edges(), TotalWeight());
+}
+
+}  // namespace teamdisc

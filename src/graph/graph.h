@@ -1,0 +1,121 @@
+// Immutable undirected weighted graph in CSR (compressed sparse row) form.
+// This is the substrate the expert network and all shortest-path oracles
+// operate on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace teamdisc {
+
+/// Node identifier: dense 0-based index.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Distance value for unreachable pairs.
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// \brief A weighted half-edge (target + weight) in an adjacency list.
+struct Neighbor {
+  NodeId node;
+  double weight;
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.node == b.node && a.weight == b.weight;
+  }
+};
+
+/// \brief An undirected edge with canonical endpoint order (u <= v).
+struct Edge {
+  NodeId u;
+  NodeId v;
+  double weight;
+
+  /// Canonicalizes so that u <= v.
+  static Edge Make(NodeId a, NodeId b, double weight) {
+    return a <= b ? Edge{a, b, weight} : Edge{b, a, weight};
+  }
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v && a.weight == b.weight;
+  }
+};
+
+/// 64-bit canonical key of an undirected node pair, for hashing edge sets.
+inline uint64_t EdgeKey(NodeId a, NodeId b) {
+  NodeId lo = a < b ? a : b;
+  NodeId hi = a < b ? b : a;
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+/// \brief Immutable undirected weighted graph (CSR).
+///
+/// Each undirected edge {u,v} is stored twice (u->v and v->u). Neighbor lists
+/// are sorted by target id. Construct via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of nodes.
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
+
+  /// Number of undirected edges.
+  size_t num_edges() const { return neighbors_.size() / 2; }
+
+  bool empty() const { return num_nodes() == 0; }
+
+  /// Degree of `v`.
+  size_t Degree(NodeId v) const {
+    TD_DCHECK(v < num_nodes());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbor list of `v`.
+  std::span<const Neighbor> Neighbors(NodeId v) const {
+    TD_DCHECK(v < num_nodes());
+    return std::span<const Neighbor>(neighbors_.data() + offsets_[v],
+                                     offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Weight of edge {u, v}; kInfDistance when the edge is absent.
+  /// O(log deg(u)).
+  double EdgeWeight(NodeId u, NodeId v) const;
+
+  /// True if the undirected edge {u, v} exists.
+  bool HasEdge(NodeId u, NodeId v) const { return EdgeWeight(u, v) != kInfDistance; }
+
+  /// All undirected edges in canonical (u <= v) order, sorted.
+  std::vector<Edge> CanonicalEdges() const;
+
+  /// Sum of all edge weights.
+  double TotalWeight() const;
+
+  /// Largest / smallest edge weight (0 for an edgeless graph).
+  double MaxEdgeWeight() const;
+  double MinEdgeWeight() const;
+
+  /// Human-readable one-line summary.
+  std::string DebugString() const;
+
+  /// Structural + weight equality.
+  bool Equals(const Graph& other) const {
+    return offsets_ == other.offsets_ && neighbors_ == other.neighbors_;
+  }
+
+ private:
+  friend class GraphBuilder;
+  Graph(std::vector<size_t> offsets, std::vector<Neighbor> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+
+  // offsets_.size() == num_nodes + 1; empty() graph has offsets_ == {0}.
+  std::vector<size_t> offsets_{0};
+  std::vector<Neighbor> neighbors_;
+};
+
+}  // namespace teamdisc

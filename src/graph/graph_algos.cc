@@ -1,0 +1,164 @@
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace teamdisc {
+
+uint32_t ComponentInfo::LargestComponent() const {
+  TD_CHECK(!sizes.empty());
+  return static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+ComponentInfo ConnectedComponents(const Graph& g) {
+  ComponentInfo info;
+  info.component.assign(g.num_nodes(), UINT32_MAX);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (info.component[start] != UINT32_MAX) continue;
+    uint32_t id = static_cast<uint32_t>(info.sizes.size());
+    info.sizes.push_back(0);
+    stack.push_back(start);
+    info.component[start] = id;
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      ++info.sizes[id];
+      for (const Neighbor& n : g.Neighbors(v)) {
+        if (info.component[n.node] == UINT32_MAX) {
+          info.component[n.node] = id;
+          stack.push_back(n.node);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+bool AllInSameComponent(const Graph& g, const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) return true;
+  ComponentInfo info = ConnectedComponents(g);
+  uint32_t id = info.component[nodes.front()];
+  for (NodeId v : nodes) {
+    if (info.component[v] != id) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> ReachableFrom(const Graph& g, NodeId source) {
+  TD_CHECK(source < g.num_nodes());
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{source};
+  seen[source] = true;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    for (const Neighbor& n : g.Neighbors(v)) {
+      if (!seen[n.node]) {
+        seen[n.node] = true;
+        stack.push_back(n.node);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<Subgraph> InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  Subgraph sub;
+  sub.from_host.assign(g.num_nodes(), kInvalidNode);
+  sub.to_host = nodes;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    NodeId host = nodes[i];
+    if (host >= g.num_nodes()) {
+      return Status::OutOfRange(StrFormat("node %u out of range", host));
+    }
+    if (sub.from_host[host] != kInvalidNode) {
+      return Status::InvalidArgument(StrFormat("duplicate node %u", host));
+    }
+    sub.from_host[host] = static_cast<NodeId>(i);
+  }
+  GraphBuilder builder(static_cast<NodeId>(nodes.size()));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (const Neighbor& n : g.Neighbors(nodes[i])) {
+      NodeId local = sub.from_host[n.node];
+      if (local != kInvalidNode && local > i) {
+        TD_RETURN_IF_ERROR(
+            builder.AddEdge(static_cast<NodeId>(i), local, n.weight));
+      }
+    }
+  }
+  TD_ASSIGN_OR_RETURN(sub.graph, builder.Finish());
+  return sub;
+}
+
+std::vector<Edge> MinimumSpanningForest(const Graph& g) {
+  std::vector<Edge> edges = g.CanonicalEdges();
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.weight < b.weight; });
+  UnionFind uf(g.num_nodes());
+  std::vector<Edge> mst;
+  for (const Edge& e : edges) {
+    if (uf.Union(e.u, e.v)) {
+      mst.push_back(e);
+      if (mst.size() + 1 == g.num_nodes()) break;
+    }
+  }
+  return mst;
+}
+
+double MinimumSpanningForestWeight(const Graph& g) {
+  double total = 0.0;
+  for (const Edge& e : MinimumSpanningForest(g)) total += e.weight;
+  return total;
+}
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  if (g.num_nodes() == 0) return stats;
+  stats.min = g.Degree(0);
+  size_t total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    size_t d = g.Degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    total += d;
+    if (d == 0) ++stats.isolated;
+  }
+  stats.mean = static_cast<double>(total) / g.num_nodes();
+  return stats;
+}
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), rank_(n, 0), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+size_t UnionFind::Find(size_t x) {
+  TD_DCHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = static_cast<uint32_t>(ra);
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+}  // namespace teamdisc

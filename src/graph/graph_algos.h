@@ -1,0 +1,76 @@
+// Generic graph algorithms used by the team-discovery core and the tests:
+// connected components, reachability, induced subgraphs, MST, degree stats.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace teamdisc {
+
+/// \brief Connected-component labeling.
+struct ComponentInfo {
+  /// component[v] = 0-based component id of node v.
+  std::vector<uint32_t> component;
+  /// Size of each component.
+  std::vector<uint32_t> sizes;
+
+  uint32_t num_components() const { return static_cast<uint32_t>(sizes.size()); }
+  /// Id of a largest component.
+  uint32_t LargestComponent() const;
+};
+
+/// Labels connected components via BFS.
+ComponentInfo ConnectedComponents(const Graph& g);
+
+/// True if all of `nodes` lie in one connected component of `g`.
+bool AllInSameComponent(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Nodes reachable from `source` (including `source`).
+std::vector<NodeId> ReachableFrom(const Graph& g, NodeId source);
+
+/// \brief Induced subgraph plus the node-id mapping back to the host graph.
+struct Subgraph {
+  Graph graph;                    ///< local ids 0..k-1
+  std::vector<NodeId> to_host;    ///< local -> host node id
+  std::vector<NodeId> from_host;  ///< host -> local id or kInvalidNode
+};
+
+/// Extracts the subgraph induced by `nodes` (duplicates rejected).
+Result<Subgraph> InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// \brief Minimum spanning forest of `g` (Kruskal). Returns the chosen edges;
+/// total weight is the sum. For a connected graph this is the MST.
+std::vector<Edge> MinimumSpanningForest(const Graph& g);
+
+/// Sum of weights of MinimumSpanningForest.
+double MinimumSpanningForestWeight(const Graph& g);
+
+/// \brief Degree distribution summary.
+struct DegreeStats {
+  size_t min = 0;
+  size_t max = 0;
+  double mean = 0.0;
+  size_t isolated = 0;  ///< nodes of degree 0
+};
+
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+/// \brief Union-find (disjoint set) over dense ids; exposed for reuse.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+  /// Representative of x's set (path compression).
+  size_t Find(size_t x);
+  /// Merges the sets of a and b; returns false if already joined.
+  bool Union(size_t a, size_t b);
+  size_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_sets_;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,86 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v, double weight) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::OutOfRange(
+        StrFormat("edge (%u,%u) out of range for %u nodes", u, v, num_nodes_));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrFormat("self-loop on node %u", u));
+  }
+  if (!std::isfinite(weight) || weight < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("edge (%u,%u) has invalid weight %f", u, v, weight));
+  }
+  edges_.push_back(Edge::Make(u, v, weight));
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  for (const Edge& e : edges) TD_RETURN_IF_ERROR(AddEdge(e.u, e.v, e.weight));
+  return Status::OK();
+}
+
+Result<Graph> GraphBuilder::Finish(DuplicateEdgePolicy policy) const {
+  // Sort canonical edges, then merge duplicates in one pass.
+  std::vector<Edge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.weight < b.weight;
+  });
+  std::vector<Edge> merged;
+  merged.reserve(sorted.size());
+  for (const Edge& e : sorted) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      switch (policy) {
+        case DuplicateEdgePolicy::kKeepMinWeight:
+          merged.back().weight = std::min(merged.back().weight, e.weight);
+          break;
+        case DuplicateEdgePolicy::kKeepMaxWeight:
+          merged.back().weight = std::max(merged.back().weight, e.weight);
+          break;
+        case DuplicateEdgePolicy::kSum:
+          merged.back().weight += e.weight;
+          break;
+        case DuplicateEdgePolicy::kError:
+          return Status::AlreadyExists(
+              StrFormat("duplicate edge (%u,%u)", e.u, e.v));
+      }
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  // Count degrees, fill CSR.
+  std::vector<size_t> offsets(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (const Edge& e : merged) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  std::vector<Neighbor> neighbors(merged.size() * 2);
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : merged) {
+    neighbors[cursor[e.u]++] = Neighbor{e.v, e.weight};
+    neighbors[cursor[e.v]++] = Neighbor{e.u, e.weight};
+  }
+  // Neighbor lists are already sorted by construction: merged is sorted by
+  // (u, v), so targets appended at u ascend in v; but edges where the node is
+  // the *larger* endpoint interleave, so sort each list.
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[v]),
+              neighbors.begin() + static_cast<ptrdiff_t>(offsets[v + 1]),
+              [](const Neighbor& a, const Neighbor& b) { return a.node < b.node; });
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace teamdisc

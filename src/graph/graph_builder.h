@@ -1,0 +1,53 @@
+// Mutable accumulator producing an immutable CSR Graph.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace teamdisc {
+
+/// \brief Controls how duplicate (parallel) edges are merged at Finish time.
+enum class DuplicateEdgePolicy {
+  kKeepMinWeight,  ///< keep the smallest weight (default: cheapest link wins)
+  kKeepMaxWeight,
+  kSum,
+  kError,  ///< Finish fails with AlreadyExists
+};
+
+/// \brief Accumulates undirected edges and builds a Graph.
+///
+/// Usage:
+/// \code
+///   GraphBuilder b(/*num_nodes=*/5);
+///   TD_CHECK_OK(b.AddEdge(0, 1, 0.5));
+///   TD_ASSIGN_OR_RETURN(Graph g, b.Finish());
+/// \endcode
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph with a fixed node count.
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  NodeId num_nodes() const { return num_nodes_; }
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Adds the undirected edge {u, v}. Fails on self-loops, out-of-range
+  /// endpoints, or non-finite / negative weights (shortest-path oracles
+  /// require non-negative weights).
+  Status AddEdge(NodeId u, NodeId v, double weight);
+
+  /// Bulk variant of AddEdge.
+  Status AddEdges(const std::vector<Edge>& edges);
+
+  /// Builds the CSR graph. Duplicate edges are merged according to `policy`.
+  /// The builder may be reused after Finish (it retains its pending edges).
+  Result<Graph> Finish(
+      DuplicateEdgePolicy policy = DuplicateEdgePolicy::kKeepMinWeight) const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;  // canonical (u <= v), unordered, may contain dups
+};
+
+}  // namespace teamdisc

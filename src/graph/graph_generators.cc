@@ -1,0 +1,173 @@
+#include "graph/graph_generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+
+namespace teamdisc {
+
+namespace {
+
+double DrawWeight(Rng& rng, double lo, double hi) {
+  return lo >= hi ? lo : rng.NextDouble(lo, hi);
+}
+
+}  // namespace
+
+Result<Graph> ErdosRenyi(NodeId n, double p, Rng& rng, double w_lo, double w_hi) {
+  if (p < 0.0 || p > 1.0) return Status::InvalidArgument("p must be in [0,1]");
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.NextBool(p)) {
+        TD_RETURN_IF_ERROR(builder.AddEdge(u, v, DrawWeight(rng, w_lo, w_hi)));
+      }
+    }
+  }
+  return builder.Finish();
+}
+
+Result<Graph> BarabasiAlbert(NodeId n, uint32_t m, Rng& rng, double w_lo,
+                             double w_hi) {
+  if (m == 0) return Status::InvalidArgument("m must be positive");
+  if (n < 2) return Status::InvalidArgument("need at least 2 nodes");
+  GraphBuilder builder(n);
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportionally to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<size_t>(n) * 2 * m);
+  // Seed clique over the first min(m+1, n) nodes.
+  NodeId seed = std::min<NodeId>(m + 1, n);
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) {
+      TD_RETURN_IF_ERROR(builder.AddEdge(u, v, DrawWeight(rng, w_lo, w_hi)));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId u = seed; u < n; ++u) {
+    std::unordered_set<NodeId> targets;
+    uint32_t want = std::min<uint32_t>(m, u);
+    // Degree-proportional sampling with rejection on duplicates.
+    while (targets.size() < want) {
+      NodeId t = endpoints.empty()
+                     ? static_cast<NodeId>(rng.NextBounded(u))
+                     : endpoints[rng.NextBounded(endpoints.size())];
+      if (t != u) targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      TD_RETURN_IF_ERROR(builder.AddEdge(u, t, DrawWeight(rng, w_lo, w_hi)));
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return builder.Finish();
+}
+
+Result<Graph> WattsStrogatz(NodeId n, uint32_t k, double beta, Rng& rng,
+                            double w_lo, double w_hi) {
+  if (k == 0 || 2 * k >= n) return Status::InvalidArgument("need 0 < 2k < n");
+  if (beta < 0.0 || beta > 1.0) return Status::InvalidArgument("beta in [0,1]");
+  // Collect ring edges, rewire, then build (the builder dedupes).
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      edges.push_back(Edge::Make(u, v, DrawWeight(rng, w_lo, w_hi)));
+    }
+  }
+  std::unordered_set<uint64_t> present;
+  present.reserve(edges.size() * 2);
+  for (const Edge& e : edges) present.insert(EdgeKey(e.u, e.v));
+  for (Edge& e : edges) {
+    if (!rng.NextBool(beta)) continue;
+    // Rewire the far endpoint to a uniform random node, avoiding self-loops
+    // and duplicates; keep the original edge if no slot is found quickly.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      NodeId w = static_cast<NodeId>(rng.NextBounded(n));
+      if (w == e.u || w == e.v) continue;
+      uint64_t key = EdgeKey(e.u, w);
+      if (present.count(key) > 0) continue;
+      present.erase(EdgeKey(e.u, e.v));
+      present.insert(key);
+      e = Edge::Make(e.u, w, e.weight);
+      break;
+    }
+  }
+  GraphBuilder builder(n);
+  TD_RETURN_IF_ERROR(builder.AddEdges(edges));
+  return builder.Finish();
+}
+
+Result<Graph> RandomConnectedGraph(NodeId n, size_t extra_edges, Rng& rng,
+                                   double w_lo, double w_hi) {
+  if (n == 0) return Status::InvalidArgument("need at least 1 node");
+  GraphBuilder builder(n);
+  std::unordered_set<uint64_t> present;
+  for (NodeId u = 1; u < n; ++u) {
+    NodeId parent = static_cast<NodeId>(rng.NextBounded(u));
+    TD_RETURN_IF_ERROR(builder.AddEdge(u, parent, DrawWeight(rng, w_lo, w_hi)));
+    present.insert(EdgeKey(u, parent));
+  }
+  size_t max_extra = n < 2 ? 0
+                           : static_cast<size_t>(n) * (n - 1) / 2 - (n - 1);
+  extra_edges = std::min(extra_edges, max_extra);
+  size_t added = 0;
+  while (added < extra_edges) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (!present.insert(EdgeKey(u, v)).second) continue;
+    TD_RETURN_IF_ERROR(builder.AddEdge(u, v, DrawWeight(rng, w_lo, w_hi)));
+    ++added;
+  }
+  return builder.Finish();
+}
+
+Result<Graph> PathGraph(NodeId n, double weight) {
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    TD_RETURN_IF_ERROR(builder.AddEdge(u, u + 1, weight));
+  }
+  return builder.Finish();
+}
+
+Result<Graph> CompleteGraph(NodeId n, double weight) {
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      TD_RETURN_IF_ERROR(builder.AddEdge(u, v, weight));
+    }
+  }
+  return builder.Finish();
+}
+
+Result<Graph> StarGraph(NodeId n, double weight) {
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) {
+    TD_RETURN_IF_ERROR(builder.AddEdge(0, v, weight));
+  }
+  return builder.Finish();
+}
+
+Result<Graph> GridGraph(NodeId rows, NodeId cols, double weight) {
+  if (rows == 0 || cols == 0) return Status::InvalidArgument("empty grid");
+  uint64_t total = static_cast<uint64_t>(rows) * cols;
+  if (total > kInvalidNode) return Status::OutOfRange("grid too large");
+  GraphBuilder builder(static_cast<NodeId>(total));
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        TD_RETURN_IF_ERROR(builder.AddEdge(id(r, c), id(r, c + 1), weight));
+      }
+      if (r + 1 < rows) {
+        TD_RETURN_IF_ERROR(builder.AddEdge(id(r, c), id(r + 1, c), weight));
+      }
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace teamdisc

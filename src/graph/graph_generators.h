@@ -1,0 +1,43 @@
+// Random graph models used by tests, property sweeps, and micro-benchmarks
+// (the realistic co-authorship model lives in src/datagen/).
+#pragma once
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace teamdisc {
+
+/// Erdos-Renyi G(n, p) with i.i.d. uniform edge weights in [w_lo, w_hi).
+Result<Graph> ErdosRenyi(NodeId n, double p, Rng& rng, double w_lo = 0.1,
+                         double w_hi = 1.0);
+
+/// Barabasi-Albert preferential attachment: each new node attaches to
+/// `m` existing nodes with probability proportional to degree. Weights are
+/// uniform in [w_lo, w_hi). Produces a connected graph for m >= 1.
+Result<Graph> BarabasiAlbert(NodeId n, uint32_t m, Rng& rng, double w_lo = 0.1,
+                             double w_hi = 1.0);
+
+/// Watts-Strogatz small world: ring lattice with k nearest neighbors per
+/// side, each edge rewired with probability beta.
+Result<Graph> WattsStrogatz(NodeId n, uint32_t k, double beta, Rng& rng,
+                            double w_lo = 0.1, double w_hi = 1.0);
+
+/// Connected random tree on n nodes (random attachment), then `extra_edges`
+/// uniform random chords. Always connected; handy for oracle tests.
+Result<Graph> RandomConnectedGraph(NodeId n, size_t extra_edges, Rng& rng,
+                                   double w_lo = 0.1, double w_hi = 1.0);
+
+/// Path graph 0-1-2-...-(n-1) with unit (or given) weights.
+Result<Graph> PathGraph(NodeId n, double weight = 1.0);
+
+/// Complete graph K_n with the given uniform weight.
+Result<Graph> CompleteGraph(NodeId n, double weight = 1.0);
+
+/// Star with `center` 0 and n-1 leaves.
+Result<Graph> StarGraph(NodeId n, double weight = 1.0);
+
+/// 2D grid graph (rows x cols), 4-neighborhood, unit weights.
+Result<Graph> GridGraph(NodeId rows, NodeId cols, double weight = 1.0);
+
+}  // namespace teamdisc

@@ -1,0 +1,75 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace teamdisc {
+
+std::string SerializeGraph(const Graph& g) {
+  std::string out = "# teamdisc edge list v1\n";
+  out += std::to_string(g.num_nodes());
+  out += '\n';
+  for (const Edge& e : g.CanonicalEdges()) {
+    out += StrFormat("%u %u %.17g\n", e.u, e.v, e.weight);
+  }
+  return out;
+}
+
+Result<Graph> DeserializeGraph(const std::string& content) {
+  std::istringstream in(content);
+  std::string line;
+  bool have_node_count = false;
+  NodeId num_nodes = 0;
+  GraphBuilder builder(0);
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    auto fields = SplitWhitespace(stripped);
+    if (!have_node_count) {
+      if (fields.size() != 1) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: expected node count", line_no));
+      }
+      TD_ASSIGN_OR_RETURN(uint64_t n, ParseUint64(fields[0]));
+      if (n > kInvalidNode) return Status::OutOfRange("node count too large");
+      num_nodes = static_cast<NodeId>(n);
+      builder = GraphBuilder(num_nodes);
+      have_node_count = true;
+      continue;
+    }
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected 'u v weight'", line_no));
+    }
+    TD_ASSIGN_OR_RETURN(uint64_t u, ParseUint64(fields[0]));
+    TD_ASSIGN_OR_RETURN(uint64_t v, ParseUint64(fields[1]));
+    TD_ASSIGN_OR_RETURN(double w, ParseDouble(fields[2]));
+    Status s = builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    if (!s.ok()) return s.WithContext(StrFormat("line %zu", line_no));
+  }
+  if (!have_node_count) return Status::InvalidArgument("missing node count");
+  return builder.Finish(DuplicateEdgePolicy::kError);
+}
+
+Status SaveGraph(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << SerializeGraph(g);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeGraph(buffer.str());
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,29 @@
+// Plain-text edge-list persistence for Graph.
+//
+// Format (whitespace-separated, '#' comments):
+//   # teamdisc edge list
+//   <num_nodes>
+//   <u> <v> <weight>
+//   ...
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace teamdisc {
+
+/// Serializes `g` to the edge-list text format.
+std::string SerializeGraph(const Graph& g);
+
+/// Parses a graph from the edge-list text format.
+Result<Graph> DeserializeGraph(const std::string& content);
+
+/// Writes `g` to `path`.
+Status SaveGraph(const Graph& g, const std::string& path);
+
+/// Reads a graph from `path`.
+Result<Graph> LoadGraph(const std::string& path);
+
+}  // namespace teamdisc

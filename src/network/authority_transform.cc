@@ -1,0 +1,28 @@
+#include "network/authority_transform.h"
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace teamdisc {
+
+double TransformedEdgeWeight(double gamma, double inv_auth_u, double inv_auth_v,
+                             double weight) {
+  return gamma * (inv_auth_u + inv_auth_v) + 2.0 * (1.0 - gamma) * weight;
+}
+
+Result<TransformedGraph> BuildAuthorityTransform(const ExpertNetwork& net,
+                                                 double gamma) {
+  if (gamma < 0.0 || gamma > 1.0) {
+    return Status::InvalidArgument(StrFormat("gamma %f outside [0,1]", gamma));
+  }
+  GraphBuilder builder(net.num_experts());
+  for (const Edge& e : net.graph().CanonicalEdges()) {
+    double w = TransformedEdgeWeight(gamma, net.InverseAuthority(e.u),
+                                     net.InverseAuthority(e.v), e.weight);
+    TD_RETURN_IF_ERROR(builder.AddEdge(e.u, e.v, w));
+  }
+  TD_ASSIGN_OR_RETURN(Graph graph, builder.Finish());
+  return TransformedGraph{std::move(graph), gamma};
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,33 @@
+// The paper's G -> G' transformation (§3.2.2): node authority is moved onto
+// edge weights so that Algorithm 1's edge-cost machinery optimizes the
+// combined CA-CC objective.
+//
+//   w'(ci, cj) = gamma * (a'(ci) + a'(cj)) + 2 * (1 - gamma) * w(ci, cj)
+//
+// Along any path root -> v the transformed length is
+//   gamma * (a'(root) + 2*sum_internal a' + a'(v)) + 2*(1-gamma)*CC(path),
+// i.e. (twice) a gamma-blend of connector authority and communication cost;
+// the greedy corrects the skill-holder endpoint with the -gamma*a'(v) term.
+#pragma once
+
+#include "common/result.h"
+#include "network/expert_network.h"
+
+namespace teamdisc {
+
+/// \brief G' plus the parameters it was built with.
+struct TransformedGraph {
+  Graph graph;   ///< same topology as the source network, weights = w'
+  double gamma;  ///< tradeoff used to build it
+};
+
+/// Builds G' for the given gamma in [0, 1]. The topology (edge set) is
+/// identical to `net.graph()`, so node ids and paths are interchangeable.
+Result<TransformedGraph> BuildAuthorityTransform(const ExpertNetwork& net,
+                                                 double gamma);
+
+/// The transformed weight of a single edge (exposed for tests).
+double TransformedEdgeWeight(double gamma, double inv_auth_u, double inv_auth_v,
+                             double weight);
+
+}  // namespace teamdisc

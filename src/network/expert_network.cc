@@ -1,0 +1,92 @@
+#include "network/expert_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace teamdisc {
+
+bool ExpertNetwork::HasSkill(NodeId id, SkillId skill) const {
+  const auto& skills = expert(id).skills;
+  return std::binary_search(skills.begin(), skills.end(), skill);
+}
+
+std::span<const NodeId> ExpertNetwork::ExpertsWithSkill(SkillId skill) const {
+  if (skill + 1 >= skill_offsets_.size()) return {};
+  return std::span<const NodeId>(skill_experts_.data() + skill_offsets_[skill],
+                                 skill_offsets_[skill + 1] - skill_offsets_[skill]);
+}
+
+std::string ExpertNetwork::DebugString() const {
+  return StrFormat("ExpertNetwork{experts=%u, edges=%zu, skills=%u}",
+                   num_experts(), graph_.num_edges(), num_skills());
+}
+
+NodeId ExpertNetworkBuilder::AddExpert(std::string name,
+                                       std::vector<std::string> skill_names,
+                                       double authority,
+                                       uint32_t num_publications) {
+  Expert expert;
+  expert.name = std::move(name);
+  expert.authority = std::isfinite(authority)
+                         ? std::max(authority, authority_floor_)
+                         : authority_floor_;
+  expert.num_publications = num_publications;
+  for (const std::string& skill : skill_names) {
+    expert.skills.push_back(vocabulary_.GetOrAdd(skill));
+  }
+  std::sort(expert.skills.begin(), expert.skills.end());
+  expert.skills.erase(std::unique(expert.skills.begin(), expert.skills.end()),
+                      expert.skills.end());
+  experts_.push_back(std::move(expert));
+  return static_cast<NodeId>(experts_.size() - 1);
+}
+
+Status ExpertNetworkBuilder::AddEdge(NodeId u, NodeId v, double weight) {
+  if (u >= experts_.size() || v >= experts_.size()) {
+    return Status::OutOfRange(
+        StrFormat("edge (%u,%u) references unknown expert", u, v));
+  }
+  if (u == v) return Status::InvalidArgument("self-collaboration edge");
+  if (!std::isfinite(weight) || weight < 0.0) {
+    return Status::InvalidArgument(StrFormat("invalid edge weight %f", weight));
+  }
+  edges_.push_back(Edge::Make(u, v, weight));
+  return Status::OK();
+}
+
+Result<ExpertNetwork> ExpertNetworkBuilder::Finish() const {
+  ExpertNetwork net;
+  net.experts_ = experts_;
+  net.vocabulary_ = vocabulary_;
+
+  GraphBuilder graph_builder(static_cast<NodeId>(experts_.size()));
+  for (const Edge& e : edges_) {
+    TD_RETURN_IF_ERROR(graph_builder.AddEdge(e.u, e.v, e.weight));
+  }
+  TD_ASSIGN_OR_RETURN(net.graph_, graph_builder.Finish());
+
+  // Inverted skill index via counting sort over (skill, expert) pairs.
+  const uint32_t num_skills = vocabulary_.size();
+  net.skill_offsets_.assign(num_skills + 1, 0);
+  for (const Expert& expert : experts_) {
+    for (SkillId s : expert.skills) ++net.skill_offsets_[s + 1];
+  }
+  for (size_t s = 1; s < net.skill_offsets_.size(); ++s) {
+    net.skill_offsets_[s] += net.skill_offsets_[s - 1];
+  }
+  net.skill_experts_.resize(net.skill_offsets_.back());
+  std::vector<size_t> cursor(net.skill_offsets_.begin(),
+                             net.skill_offsets_.end() - 1);
+  for (NodeId id = 0; id < experts_.size(); ++id) {
+    for (SkillId s : experts_[id].skills) {
+      net.skill_experts_[cursor[s]++] = id;
+    }
+  }
+  // Experts were visited in id order, so each bucket is sorted already.
+  return net;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,103 @@
+// The expert network of the paper (§2): an undirected weighted graph whose
+// nodes are experts carrying a skill set and an authority value.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "network/skill_vocabulary.h"
+
+namespace teamdisc {
+
+/// \brief Static metadata of one expert (node).
+struct Expert {
+  std::string name;             ///< display name (non-semantic)
+  std::vector<SkillId> skills;  ///< sorted, unique; S(c) in the paper
+  double authority = 1.0;       ///< a(c) > 0, e.g. h-index (floored at 1)
+  uint32_t num_publications = 0;  ///< descriptive metadata for experiments
+};
+
+/// \brief Immutable expert network: Graph + experts + inverted skill index.
+///
+/// Invariants (enforced by ExpertNetworkBuilder::Finish):
+///  * graph().num_nodes() == experts().size()
+///  * every authority is finite and > 0
+///  * skill lists are sorted and duplicate-free
+///  * the inverted index C(s) lists exactly the experts holding s, sorted.
+class ExpertNetwork {
+ public:
+  ExpertNetwork() = default;
+
+  const Graph& graph() const { return graph_; }
+  const SkillVocabulary& skills() const { return vocabulary_; }
+  NodeId num_experts() const { return graph_.num_nodes(); }
+
+  const Expert& expert(NodeId id) const {
+    TD_DCHECK(id < experts_.size());
+    return experts_[id];
+  }
+  const std::vector<Expert>& experts() const { return experts_; }
+
+  /// a(c): authority of expert `id`.
+  double Authority(NodeId id) const { return expert(id).authority; }
+
+  /// a'(c) = 1 / a(c): inverse authority (the quantity the objectives sum).
+  double InverseAuthority(NodeId id) const { return 1.0 / expert(id).authority; }
+
+  /// True if expert `id` holds skill `skill`.
+  bool HasSkill(NodeId id, SkillId skill) const;
+
+  /// C(s): experts holding `skill`, sorted by id. Empty for unknown ids.
+  std::span<const NodeId> ExpertsWithSkill(SkillId skill) const;
+
+  /// Number of distinct skills any expert holds.
+  uint32_t num_skills() const { return vocabulary_.size(); }
+
+  /// One-line summary for logs.
+  std::string DebugString() const;
+
+ private:
+  friend class ExpertNetworkBuilder;
+
+  Graph graph_;
+  std::vector<Expert> experts_;
+  SkillVocabulary vocabulary_;
+  // Inverted index: skill_offsets_[s] .. skill_offsets_[s+1] into skill_experts_.
+  std::vector<size_t> skill_offsets_{0};
+  std::vector<NodeId> skill_experts_;
+};
+
+/// \brief Accumulates experts and edges, validating the invariants above.
+class ExpertNetworkBuilder {
+ public:
+  ExpertNetworkBuilder() = default;
+
+  /// Adds an expert; returns its NodeId. Authority is floored at
+  /// `authority_floor` (default 1.0) so that a' = 1/a is always defined —
+  /// matching the paper's h-index examples, which never drop below 1.
+  NodeId AddExpert(std::string name, std::vector<std::string> skill_names,
+                   double authority, uint32_t num_publications = 0);
+
+  /// Adds an undirected collaboration edge with communication cost `weight`.
+  Status AddEdge(NodeId u, NodeId v, double weight);
+
+  /// Number of experts added so far.
+  NodeId num_experts() const { return static_cast<NodeId>(experts_.size()); }
+
+  void set_authority_floor(double floor) { authority_floor_ = floor; }
+
+  /// Validates and assembles the network. The builder is left in a valid
+  /// reusable state.
+  Result<ExpertNetwork> Finish() const;
+
+ private:
+  std::vector<Expert> experts_;
+  std::vector<Edge> edges_;
+  SkillVocabulary vocabulary_;
+  double authority_floor_ = 1.0;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,154 @@
+#include "network/network_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+namespace {
+
+std::string SanitizeName(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+}  // namespace
+
+std::string SerializeNetwork(const ExpertNetwork& net) {
+  std::string out = "# teamdisc expert network v1\n";
+  out += StrFormat("experts %u\n", net.num_experts());
+  for (NodeId id = 0; id < net.num_experts(); ++id) {
+    const Expert& e = net.expert(id);
+    std::string skills;
+    for (size_t i = 0; i < e.skills.size(); ++i) {
+      if (i > 0) skills += ',';
+      skills += SanitizeName(net.skills().NameUnchecked(e.skills[i]));
+    }
+    if (skills.empty()) skills = "-";
+    out += StrFormat("%u %.17g %u %s %s\n", id, e.authority, e.num_publications,
+                     SanitizeName(e.name).c_str(), skills.c_str());
+  }
+  std::vector<Edge> edges = net.graph().CanonicalEdges();
+  out += StrFormat("edges %zu\n", edges.size());
+  for (const Edge& e : edges) {
+    out += StrFormat("%u %u %.17g\n", e.u, e.v, e.weight);
+  }
+  return out;
+}
+
+Result<ExpertNetwork> DeserializeNetwork(const std::string& content) {
+  std::istringstream in(content);
+  std::string line;
+  size_t line_no = 0;
+  enum class Section { kStart, kExperts, kEdges } section = Section::kStart;
+  uint64_t expected_experts = 0, expected_edges = 0;
+  uint64_t seen_experts = 0, seen_edges = 0;
+  ExpertNetworkBuilder builder;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    auto fields = SplitWhitespace(stripped);
+    if (fields[0] == "experts") {
+      if (section != Section::kStart || fields.size() != 2) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: malformed experts header", line_no));
+      }
+      TD_ASSIGN_OR_RETURN(expected_experts, ParseUint64(fields[1]));
+      section = Section::kExperts;
+      continue;
+    }
+    if (fields[0] == "edges") {
+      if (section != Section::kExperts || fields.size() != 2) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: malformed edges header", line_no));
+      }
+      if (seen_experts != expected_experts) {
+        return Status::InvalidArgument(
+            StrFormat("expected %llu experts, saw %llu",
+                      static_cast<unsigned long long>(expected_experts),
+                      static_cast<unsigned long long>(seen_experts)));
+      }
+      TD_ASSIGN_OR_RETURN(expected_edges, ParseUint64(fields[1]));
+      section = Section::kEdges;
+      continue;
+    }
+    if (section == Section::kExperts) {
+      if (fields.size() != 5) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: expected 'id authority pubs name skills'", line_no));
+      }
+      TD_ASSIGN_OR_RETURN(uint64_t id, ParseUint64(fields[0]));
+      if (id != seen_experts) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: expert ids must be dense and ordered", line_no));
+      }
+      TD_ASSIGN_OR_RETURN(double authority, ParseDouble(fields[1]));
+      TD_ASSIGN_OR_RETURN(uint64_t pubs, ParseUint64(fields[2]));
+      std::vector<std::string> skills;
+      if (fields[4] != "-") {
+        for (std::string_view s : Split(fields[4], ',')) {
+          if (s.empty()) {
+            return Status::InvalidArgument(
+                StrFormat("line %zu: empty skill name", line_no));
+          }
+          skills.emplace_back(s);
+        }
+      }
+      builder.AddExpert(std::string(fields[3]), std::move(skills), authority,
+                        static_cast<uint32_t>(pubs));
+      ++seen_experts;
+      continue;
+    }
+    if (section == Section::kEdges) {
+      if (fields.size() != 3) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: expected 'u v weight'", line_no));
+      }
+      TD_ASSIGN_OR_RETURN(uint64_t u, ParseUint64(fields[0]));
+      TD_ASSIGN_OR_RETURN(uint64_t v, ParseUint64(fields[1]));
+      TD_ASSIGN_OR_RETURN(double w, ParseDouble(fields[2]));
+      Status s =
+          builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+      if (!s.ok()) return s.WithContext(StrFormat("line %zu", line_no));
+      ++seen_edges;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrFormat("line %zu: content before experts header", line_no));
+  }
+  if (section != Section::kEdges) {
+    return Status::InvalidArgument("missing edges section");
+  }
+  if (seen_edges != expected_edges) {
+    return Status::InvalidArgument(
+        StrFormat("expected %llu edges, saw %llu",
+                  static_cast<unsigned long long>(expected_edges),
+                  static_cast<unsigned long long>(seen_edges)));
+  }
+  return builder.Finish();
+}
+
+Status SaveNetwork(const ExpertNetwork& net, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << SerializeNetwork(net);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ExpertNetwork> LoadNetwork(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeNetwork(buffer.str());
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,29 @@
+// Text persistence of ExpertNetwork.
+//
+// Format ('#' comments, sections in order):
+//   experts <count>
+//   <id> <authority> <num_publications> <name-with-underscores> <skill,skill,...|->
+//   edges <count>
+//   <u> <v> <weight>
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "network/expert_network.h"
+
+namespace teamdisc {
+
+/// Serializes the network to the text format above.
+std::string SerializeNetwork(const ExpertNetwork& net);
+
+/// Parses a network from the text format.
+Result<ExpertNetwork> DeserializeNetwork(const std::string& content);
+
+/// Writes `net` to `path`.
+Status SaveNetwork(const ExpertNetwork& net, const std::string& path);
+
+/// Reads a network from `path`.
+Result<ExpertNetwork> LoadNetwork(const std::string& path);
+
+}  // namespace teamdisc

@@ -1,0 +1,73 @@
+#include "network/normalization.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace teamdisc {
+
+double NormalizationStats::Apply(double x) const {
+  switch (mode) {
+    case NormalizationMode::kNone:
+      return x;
+    case NormalizationMode::kMinMax: {
+      double range = max - min;
+      if (range <= 0.0) return 0.0;
+      return (x - min) / range;
+    }
+    case NormalizationMode::kMax:
+      return max > 0.0 ? x / max : 0.0;
+  }
+  return x;
+}
+
+NormalizationStats ComputeEdgeWeightStats(const ExpertNetwork& net,
+                                          NormalizationMode mode) {
+  NormalizationStats stats;
+  stats.mode = mode;
+  stats.min = net.graph().MinEdgeWeight();
+  stats.max = net.graph().MaxEdgeWeight();
+  return stats;
+}
+
+NormalizationStats ComputeInverseAuthorityStats(const ExpertNetwork& net,
+                                                NormalizationMode mode) {
+  NormalizationStats stats;
+  stats.mode = mode;
+  if (net.num_experts() == 0) return stats;
+  stats.min = net.InverseAuthority(0);
+  stats.max = stats.min;
+  for (NodeId v = 1; v < net.num_experts(); ++v) {
+    double a = net.InverseAuthority(v);
+    stats.min = std::min(stats.min, a);
+    stats.max = std::max(stats.max, a);
+  }
+  return stats;
+}
+
+Result<ExpertNetwork> NormalizeNetwork(const ExpertNetwork& net,
+                                       NormalizationMode mode,
+                                       double min_value) {
+  NormalizationStats edge_stats = ComputeEdgeWeightStats(net, mode);
+  NormalizationStats auth_stats = ComputeInverseAuthorityStats(net, mode);
+
+  ExpertNetworkBuilder builder;
+  builder.set_authority_floor(0.0);  // authorities below are already valid
+  for (NodeId v = 0; v < net.num_experts(); ++v) {
+    const Expert& e = net.expert(v);
+    std::vector<std::string> skill_names;
+    skill_names.reserve(e.skills.size());
+    for (SkillId s : e.skills) skill_names.push_back(net.skills().NameUnchecked(s));
+    // Normalize a' then convert back to a = 1/a' (authority is what the
+    // network stores; objectives recompute a' from it).
+    double a_prime = std::max(auth_stats.Apply(net.InverseAuthority(v)), min_value);
+    builder.AddExpert(e.name, std::move(skill_names), 1.0 / a_prime,
+                      e.num_publications);
+  }
+  for (const Edge& e : net.graph().CanonicalEdges()) {
+    double w = std::max(edge_stats.Apply(e.weight), min_value);
+    TD_RETURN_IF_ERROR(builder.AddEdge(e.u, e.v, w));
+  }
+  return builder.Finish();
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,47 @@
+// Weight normalization (§3.1): edge weights (communication cost) and node
+// weights (inverse authority) live on different scales, so before combining
+// them with tradeoff parameters the paper normalizes both.
+#pragma once
+
+#include "common/result.h"
+#include "network/expert_network.h"
+
+namespace teamdisc {
+
+/// \brief How to rescale a set of values onto a common scale.
+enum class NormalizationMode {
+  kNone,    ///< use raw values
+  kMinMax,  ///< (x - min) / (max - min); degenerate ranges map to 0
+  kMax,     ///< x / max; preserves zero and ratios
+};
+
+/// \brief Normalization summary for one value family.
+struct NormalizationStats {
+  double min = 0.0;
+  double max = 0.0;
+  NormalizationMode mode = NormalizationMode::kNone;
+
+  /// Applies the transform to a raw value.
+  double Apply(double x) const;
+};
+
+/// Computes stats over all edge weights of `net`.
+NormalizationStats ComputeEdgeWeightStats(const ExpertNetwork& net,
+                                          NormalizationMode mode);
+
+/// Computes stats over all inverse authorities a'(c) of `net`.
+NormalizationStats ComputeInverseAuthorityStats(const ExpertNetwork& net,
+                                                NormalizationMode mode);
+
+/// \brief Rebuilds an ExpertNetwork with normalized edge weights and
+/// authorities such that a'(c) is normalized. The returned network has
+/// a'(c) = normalized inverse authority and edge weights in [0,1]
+/// (for kMax / kMinMax modes).
+///
+/// `min_value` guards against zero weights/authorities collapsing the
+/// objectives (a tiny positive floor keeps shortest paths well-defined).
+Result<ExpertNetwork> NormalizeNetwork(const ExpertNetwork& net,
+                                       NormalizationMode mode,
+                                       double min_value = 1e-6);
+
+}  // namespace teamdisc

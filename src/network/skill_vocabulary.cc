@@ -1,0 +1,30 @@
+#include "network/skill_vocabulary.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+SkillId SkillVocabulary::GetOrAdd(std::string_view name) {
+  TD_CHECK(!name.empty()) << "skill names must be non-empty";
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  SkillId id = static_cast<SkillId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+SkillId SkillVocabulary::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidSkill : it->second;
+}
+
+Result<std::string> SkillVocabulary::Name(SkillId id) const {
+  if (id >= names_.size()) {
+    return Status::OutOfRange(StrFormat("skill id %u out of range", id));
+  }
+  return names_[id];
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,51 @@
+// Interned skill names: string <-> dense SkillId mapping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace teamdisc {
+
+/// Dense 0-based skill identifier.
+using SkillId = uint32_t;
+
+inline constexpr SkillId kInvalidSkill = std::numeric_limits<SkillId>::max();
+
+/// \brief Bidirectional skill-name dictionary.
+///
+/// Skill names are case-sensitive, non-empty strings. Ids are assigned in
+/// insertion order and are stable for the lifetime of the vocabulary.
+class SkillVocabulary {
+ public:
+  SkillVocabulary() = default;
+
+  /// Returns the id of `name`, interning it if new.
+  SkillId GetOrAdd(std::string_view name);
+
+  /// Id of `name`, or kInvalidSkill when unknown.
+  SkillId Find(std::string_view name) const;
+
+  /// Name of `id`; fails when out of range.
+  Result<std::string> Name(SkillId id) const;
+
+  /// Unchecked name accessor (id must be valid).
+  const std::string& NameUnchecked(SkillId id) const { return names_[id]; }
+
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+  bool empty() const { return names_.empty(); }
+
+  /// All names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SkillId> index_;
+};
+
+}  // namespace teamdisc

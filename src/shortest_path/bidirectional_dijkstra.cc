@@ -1,0 +1,121 @@
+#include "shortest_path/bidirectional_dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/string_util.h"
+#include "shortest_path/dijkstra.h"
+#include "shortest_path/path.h"
+
+namespace teamdisc {
+
+namespace {
+
+struct HeapItem {
+  double dist;
+  NodeId node;
+  friend bool operator>(const HeapItem& a, const HeapItem& b) {
+    return a.dist > b.dist;
+  }
+};
+
+using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+struct Side {
+  std::vector<double> dist;
+  std::vector<bool> settled;
+  MinHeap heap;
+
+  explicit Side(NodeId n, NodeId source) : dist(n, kInfDistance), settled(n, false) {
+    dist[source] = 0.0;
+    heap.push({0.0, source});
+  }
+};
+
+}  // namespace
+
+BidirResult BidirectionalSearch(const Graph& g, NodeId s, NodeId t) {
+  TD_CHECK(s < g.num_nodes());
+  TD_CHECK(t < g.num_nodes());
+  BidirResult result;
+  if (s == t) {
+    result.distance = 0.0;
+    result.meeting_node = s;
+    return result;
+  }
+  Side fwd(g.num_nodes(), s);
+  Side bwd(g.num_nodes(), t);
+  double best = kInfDistance;
+  NodeId best_meet = kInvalidNode;
+
+  auto expand = [&](Side& self, Side& other) -> bool {
+    // Pops one settled node; returns false when this side is exhausted.
+    while (!self.heap.empty()) {
+      auto [d, u] = self.heap.top();
+      self.heap.pop();
+      if (self.settled[u]) continue;
+      self.settled[u] = true;
+      if (other.dist[u] != kInfDistance && d + other.dist[u] < best) {
+        best = d + other.dist[u];
+        best_meet = u;
+      }
+      for (const Neighbor& n : g.Neighbors(u)) {
+        double nd = d + n.weight;
+        if (nd < self.dist[n.node]) {
+          self.dist[n.node] = nd;
+          self.heap.push({nd, n.node});
+          if (other.dist[n.node] != kInfDistance && nd + other.dist[n.node] < best) {
+            best = nd + other.dist[n.node];
+            best_meet = n.node;
+          }
+        }
+      }
+      return true;
+    }
+    return false;
+  };
+
+  while (!fwd.heap.empty() || !bwd.heap.empty()) {
+    // Standard stopping rule: done when top_f + top_b >= best.
+    double top_f = fwd.heap.empty() ? kInfDistance : fwd.heap.top().dist;
+    double top_b = bwd.heap.empty() ? kInfDistance : bwd.heap.top().dist;
+    if (top_f + top_b >= best) break;
+    // Advance the smaller frontier.
+    if (top_f <= top_b) {
+      if (!expand(fwd, bwd)) expand(bwd, fwd);
+    } else {
+      if (!expand(bwd, fwd)) expand(fwd, bwd);
+    }
+  }
+  result.distance = best;
+  result.meeting_node = best_meet;
+  return result;
+}
+
+double BidirectionalDijkstraOracle::Distance(NodeId u, NodeId v) const {
+  return BidirectionalSearch(graph_, u, v).distance;
+}
+
+Result<std::vector<NodeId>> BidirectionalDijkstraOracle::ShortestPath(
+    NodeId u, NodeId v) const {
+  if (u == v) return std::vector<NodeId>{u};
+  // Path recovery via two SSSP trees through the meeting node. This is not
+  // the fastest scheme but keeps the oracle exact; production path queries
+  // should use PrunedLandmarkLabeling.
+  BidirResult r = BidirectionalSearch(graph_, u, v);
+  if (r.distance == kInfDistance) {
+    return Status::NotFound(StrFormat("node %u unreachable from %u", v, u));
+  }
+  ShortestPathTree from_u = DijkstraSssp(graph_, u);
+  ShortestPathTree from_v = DijkstraSssp(graph_, v);
+  std::vector<NodeId> head = from_u.PathTo(r.meeting_node);
+  std::vector<NodeId> tail = from_v.PathTo(r.meeting_node);
+  // head: u..meet ; tail: v..meet -> append reversed tail minus the meet.
+  for (auto it = tail.rbegin(); it != tail.rend(); ++it) {
+    if (*it != r.meeting_node) head.push_back(*it);
+  }
+  std::vector<NodeId> path = SimplifyWalk(head);
+  return path;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,33 @@
+// Bidirectional Dijkstra point-to-point oracle (ablation baseline E7).
+#pragma once
+
+#include "shortest_path/distance_oracle.h"
+
+namespace teamdisc {
+
+/// \brief Point-to-point result with the meeting node for path recovery.
+struct BidirResult {
+  double distance = kInfDistance;
+  /// Node where the forward and backward searches met; kInvalidNode when
+  /// unreachable.
+  NodeId meeting_node = kInvalidNode;
+};
+
+/// Runs bidirectional Dijkstra between s and t on the undirected graph.
+BidirResult BidirectionalSearch(const Graph& g, NodeId s, NodeId t);
+
+/// \brief DistanceOracle answering each query with bidirectional Dijkstra.
+class BidirectionalDijkstraOracle final : public DistanceOracle {
+ public:
+  explicit BidirectionalDijkstraOracle(const Graph& g) : graph_(g) {}
+
+  double Distance(NodeId u, NodeId v) const override;
+  Result<std::vector<NodeId>> ShortestPath(NodeId u, NodeId v) const override;
+  std::string name() const override { return "bidirectional_dijkstra"; }
+  const Graph& graph() const override { return graph_; }
+
+ private:
+  const Graph& graph_;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,149 @@
+#include "shortest_path/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+namespace {
+
+/// Min-heap entry; lazy-deletion Dijkstra.
+struct HeapItem {
+  double dist;
+  NodeId node;
+  friend bool operator>(const HeapItem& a, const HeapItem& b) {
+    return a.dist > b.dist;
+  }
+};
+
+using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+}  // namespace
+
+std::vector<NodeId> ShortestPathTree::PathTo(NodeId target) const {
+  TD_CHECK(target < dist.size());
+  if (dist[target] == kInfDistance) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != kInvalidNode; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree DijkstraSssp(const Graph& g, NodeId source) {
+  TD_CHECK(source < g.num_nodes());
+  ShortestPathTree tree;
+  tree.dist.assign(g.num_nodes(), kInfDistance);
+  tree.parent.assign(g.num_nodes(), kInvalidNode);
+  tree.dist[source] = 0.0;
+  MinHeap heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > tree.dist[u]) continue;  // stale
+    for (const Neighbor& n : g.Neighbors(u)) {
+      double nd = d + n.weight;
+      if (nd < tree.dist[n.node]) {
+        tree.dist[n.node] = nd;
+        tree.parent[n.node] = u;
+        heap.push({nd, n.node});
+      }
+    }
+  }
+  return tree;
+}
+
+double DijkstraPointToPoint(const Graph& g, NodeId source, NodeId target) {
+  TD_CHECK(source < g.num_nodes());
+  TD_CHECK(target < g.num_nodes());
+  if (source == target) return 0.0;
+  std::vector<double> dist(g.num_nodes(), kInfDistance);
+  dist[source] = 0.0;
+  MinHeap heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == target) return d;  // settled: final
+    for (const Neighbor& n : g.Neighbors(u)) {
+      double nd = d + n.weight;
+      if (nd < dist[n.node]) {
+        dist[n.node] = nd;
+        heap.push({nd, n.node});
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+std::vector<double> DijkstraMultiTarget(const Graph& g, NodeId source,
+                                        std::span<const NodeId> targets) {
+  TD_CHECK(source < g.num_nodes());
+  std::vector<double> dist(g.num_nodes(), kInfDistance);
+  std::vector<bool> is_target(g.num_nodes(), false);
+  size_t remaining = 0;
+  for (NodeId t : targets) {
+    TD_CHECK(t < g.num_nodes());
+    if (!is_target[t]) {
+      is_target[t] = true;
+      ++remaining;
+    }
+  }
+  dist[source] = 0.0;
+  if (is_target[source]) --remaining;
+  MinHeap heap;
+  heap.push({0.0, source});
+  std::vector<bool> settled(g.num_nodes(), false);
+  while (!heap.empty() && remaining > 0) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    if (is_target[u] && u != source) --remaining;
+    for (const Neighbor& n : g.Neighbors(u)) {
+      double nd = d + n.weight;
+      if (nd < dist[n.node]) {
+        dist[n.node] = nd;
+        heap.push({nd, n.node});
+      }
+    }
+  }
+  std::vector<double> out;
+  out.reserve(targets.size());
+  for (NodeId t : targets) out.push_back(dist[t]);
+  return out;
+}
+
+std::vector<double> DistanceOracle::Distances(
+    NodeId source, std::span<const NodeId> targets) const {
+  std::vector<double> out;
+  out.reserve(targets.size());
+  for (NodeId t : targets) out.push_back(Distance(source, t));
+  return out;
+}
+
+double DijkstraOracle::Distance(NodeId u, NodeId v) const {
+  return DijkstraPointToPoint(graph_, u, v);
+}
+
+Result<std::vector<NodeId>> DijkstraOracle::ShortestPath(NodeId u, NodeId v) const {
+  TD_CHECK(u < graph_.num_nodes());
+  TD_CHECK(v < graph_.num_nodes());
+  if (u == v) return std::vector<NodeId>{u};
+  ShortestPathTree tree = DijkstraSssp(graph_, u);
+  std::vector<NodeId> path = tree.PathTo(v);
+  if (path.empty()) {
+    return Status::NotFound(StrFormat("node %u unreachable from %u", v, u));
+  }
+  return path;
+}
+
+std::vector<double> DijkstraOracle::Distances(NodeId source,
+                                              std::span<const NodeId> targets) const {
+  return DijkstraMultiTarget(graph_, source, targets);
+}
+
+}  // namespace teamdisc

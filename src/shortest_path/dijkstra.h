@@ -1,0 +1,54 @@
+// Dijkstra single-source shortest paths and a per-query oracle built on it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "shortest_path/distance_oracle.h"
+
+namespace teamdisc {
+
+/// \brief Full single-source shortest path tree.
+struct ShortestPathTree {
+  /// dist[v] = distance from the source; kInfDistance when unreachable.
+  std::vector<double> dist;
+  /// parent[v] = predecessor on a shortest path; kInvalidNode for the source
+  /// and unreachable nodes.
+  std::vector<NodeId> parent;
+
+  /// Extracts the path source -> target; empty when unreachable.
+  std::vector<NodeId> PathTo(NodeId target) const;
+};
+
+/// Runs Dijkstra from `source` over the whole graph.
+ShortestPathTree DijkstraSssp(const Graph& g, NodeId source);
+
+/// Dijkstra from `source` that stops once `target` is settled; returns the
+/// distance only (kInfDistance when unreachable).
+double DijkstraPointToPoint(const Graph& g, NodeId source, NodeId target);
+
+/// Dijkstra that stops once every node in `targets` is settled (or the
+/// frontier empties). Returns a distance per target, aligned with `targets`.
+std::vector<double> DijkstraMultiTarget(const Graph& g, NodeId source,
+                                        std::span<const NodeId> targets);
+
+/// \brief DistanceOracle running (early-exit) Dijkstra per query.
+///
+/// Exact but slow for repeated queries; the reference implementation that
+/// PLL is validated against, and the ablation baseline for experiment E7.
+class DijkstraOracle final : public DistanceOracle {
+ public:
+  explicit DijkstraOracle(const Graph& g) : graph_(g) {}
+
+  double Distance(NodeId u, NodeId v) const override;
+  Result<std::vector<NodeId>> ShortestPath(NodeId u, NodeId v) const override;
+  std::vector<double> Distances(NodeId source,
+                                std::span<const NodeId> targets) const override;
+  std::string name() const override { return "dijkstra"; }
+  const Graph& graph() const override { return graph_; }
+
+ private:
+  const Graph& graph_;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,59 @@
+// Abstract point-to-point shortest-path oracle over a Graph.
+//
+// The paper's Algorithm 1 assumes DIST(u, v) answered in (near) constant
+// time via "distance labeling, or 2-hop cover [Akiba et al., SIGMOD'13]".
+// We provide that (PrunedLandmarkLabeling) plus Dijkstra-based oracles for
+// verification and ablation, all behind this interface.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace teamdisc {
+
+/// \brief Point-to-point distance + path queries over a fixed graph.
+///
+/// Implementations hold a reference to the graph they were built on; the
+/// graph must outlive the oracle.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Shortest-path distance between u and v; kInfDistance if disconnected;
+  /// 0 when u == v.
+  virtual double Distance(NodeId u, NodeId v) const = 0;
+
+  /// A shortest path as a node sequence [u, ..., v]. Fails with NotFound when
+  /// v is unreachable from u. Returns {u} when u == v.
+  virtual Result<std::vector<NodeId>> ShortestPath(NodeId u, NodeId v) const = 0;
+
+  /// Distances from `source` to each of `targets`. The default loops over
+  /// Distance(); single-source implementations override with one traversal.
+  virtual std::vector<double> Distances(NodeId source,
+                                        std::span<const NodeId> targets) const;
+
+  /// Implementation name for logs and ablation tables.
+  virtual std::string name() const = 0;
+
+  /// The graph this oracle answers queries about.
+  virtual const Graph& graph() const = 0;
+};
+
+/// Oracle implementation selector (ablation experiment E7).
+enum class OracleKind {
+  kPrunedLandmarkLabeling,  ///< default; the paper's 2-hop cover
+  kDijkstra,                ///< per-query Dijkstra with early exit
+  kBidirectionalDijkstra,   ///< per-query bidirectional Dijkstra
+};
+
+/// Builds an oracle of the given kind over `g` (g must outlive the oracle).
+Result<std::unique_ptr<DistanceOracle>> MakeOracle(const Graph& g, OracleKind kind);
+
+std::string_view OracleKindToString(OracleKind kind);
+
+}  // namespace teamdisc

@@ -1,0 +1,35 @@
+#include "shortest_path/bidirectional_dijkstra.h"
+#include "shortest_path/dijkstra.h"
+#include "shortest_path/distance_oracle.h"
+#include "shortest_path/pruned_landmark_labeling.h"
+
+namespace teamdisc {
+
+Result<std::unique_ptr<DistanceOracle>> MakeOracle(const Graph& g, OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kPrunedLandmarkLabeling: {
+      TD_ASSIGN_OR_RETURN(auto pll, PrunedLandmarkLabeling::Build(g));
+      return std::unique_ptr<DistanceOracle>(std::move(pll));
+    }
+    case OracleKind::kDijkstra:
+      return std::unique_ptr<DistanceOracle>(std::make_unique<DijkstraOracle>(g));
+    case OracleKind::kBidirectionalDijkstra:
+      return std::unique_ptr<DistanceOracle>(
+          std::make_unique<BidirectionalDijkstraOracle>(g));
+  }
+  return Status::InvalidArgument("unknown oracle kind");
+}
+
+std::string_view OracleKindToString(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kPrunedLandmarkLabeling:
+      return "pll";
+    case OracleKind::kDijkstra:
+      return "dijkstra";
+    case OracleKind::kBidirectionalDijkstra:
+      return "bidirectional";
+  }
+  return "unknown";
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,67 @@
+#include "shortest_path/path.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+double PathLength(const Graph& g, const std::vector<NodeId>& path) {
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    double w = g.EdgeWeight(path[i], path[i + 1]);
+    if (w == kInfDistance) return kInfDistance;
+    total += w;
+  }
+  return total;
+}
+
+Status ValidatePath(const Graph& g, const std::vector<NodeId>& path, NodeId from,
+                    NodeId to) {
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  if (path.front() != from) {
+    return Status::InvalidArgument(
+        StrFormat("path starts at %u, expected %u", path.front(), from));
+  }
+  if (path.back() != to) {
+    return Status::InvalidArgument(
+        StrFormat("path ends at %u, expected %u", path.back(), to));
+  }
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    if (path[i] >= g.num_nodes() || path[i + 1] >= g.num_nodes() ||
+        !g.HasEdge(path[i], path[i + 1])) {
+      return Status::InvalidArgument(
+          StrFormat("missing edge (%u,%u) at position %zu", path[i], path[i + 1], i));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<NodeId> SimplifyWalk(const std::vector<NodeId>& walk) {
+  std::vector<NodeId> out;
+  out.reserve(walk.size());
+  std::unordered_map<NodeId, size_t> position;
+  for (NodeId v : walk) {
+    auto it = position.find(v);
+    if (it != position.end()) {
+      // Excise the loop out[it->second + 1 .. end].
+      for (size_t i = it->second + 1; i < out.size(); ++i) position.erase(out[i]);
+      out.resize(it->second + 1);
+    } else {
+      position.emplace(v, out.size());
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+bool IsSimplePath(const std::vector<NodeId>& path) {
+  std::unordered_set<NodeId> seen;
+  for (NodeId v : path) {
+    if (!seen.insert(v).second) return false;
+  }
+  return true;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,29 @@
+// Helpers for node-sequence paths (and walks) over a Graph.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace teamdisc {
+
+/// Sum of edge weights along the node sequence; kInfDistance if any
+/// consecutive pair is not an edge; 0 for paths of length < 2.
+double PathLength(const Graph& g, const std::vector<NodeId>& path);
+
+/// Verifies that `path` is a walk from `from` to `to` along existing edges.
+Status ValidatePath(const Graph& g, const std::vector<NodeId>& path, NodeId from,
+                    NodeId to);
+
+/// Removes cycles from a walk: whenever a node repeats, the loop between the
+/// two occurrences is excised. With strictly positive weights shortest walks
+/// are already simple; zero-weight edges (possible under Jaccard weights) can
+/// introduce loops, which this removes without changing the endpoints or
+/// increasing the length.
+std::vector<NodeId> SimplifyWalk(const std::vector<NodeId>& walk);
+
+/// True if the node sequence has no repeated node.
+bool IsSimplePath(const std::vector<NodeId>& path);
+
+}  // namespace teamdisc

@@ -1,0 +1,312 @@
+#include "shortest_path/pruned_landmark_labeling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <queue>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "shortest_path/path.h"
+
+namespace teamdisc {
+
+namespace {
+
+struct HeapItem {
+  double dist;
+  NodeId node;
+  friend bool operator>(const HeapItem& a, const HeapItem& b) {
+    return a.dist > b.dist;
+  }
+};
+
+using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+}  // namespace
+
+Result<std::unique_ptr<PrunedLandmarkLabeling>> PrunedLandmarkLabeling::Build(
+    const Graph& g) {
+  auto pll = std::unique_ptr<PrunedLandmarkLabeling>(new PrunedLandmarkLabeling(g));
+  pll->BuildIndex();
+  return pll;
+}
+
+void PrunedLandmarkLabeling::BuildIndex() {
+  Timer timer;
+  const Graph& g = *graph_;
+  const NodeId n = g.num_nodes();
+  labels_.assign(n, {});
+  order_.resize(n);
+  rank_of_.resize(n);
+  std::iota(order_.begin(), order_.end(), NodeId{0});
+  // Degree-descending hub order: high-degree nodes cover many shortest paths,
+  // which is what makes pruning effective on social networks.
+  std::sort(order_.begin(), order_.end(), [&g](NodeId a, NodeId b) {
+    size_t da = g.Degree(a), db = g.Degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  for (NodeId rank = 0; rank < n; ++rank) rank_of_[order_[rank]] = rank;
+
+  // Scratch arrays reused across hubs; `touched` records what to reset.
+  std::vector<double> dist(n, kInfDistance);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<NodeId> touched;
+
+  for (NodeId rank = 0; rank < n; ++rank) {
+    const NodeId hub = order_[rank];
+    const auto& hub_label = labels_[hub];
+    MinHeap heap;
+    dist[hub] = 0.0;
+    parent[hub] = kInvalidNode;
+    touched.push_back(hub);
+    heap.push({0.0, hub});
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;  // stale entry
+      // Prune: if existing labels already certify a distance <= d for the
+      // pair (hub, u), u needs no entry for this hub and no expansion.
+      // (Entries in both labels have rank < current rank, except hub's own
+      // rank-0 self entry which appears only once hub == u handled below.)
+      bool pruned = false;
+      if (u != hub) {
+        const auto& u_label = labels_[u];
+        size_t i = 0, j = 0;
+        while (i < hub_label.size() && j < u_label.size()) {
+          if (hub_label[i].hub_rank < u_label[j].hub_rank) {
+            ++i;
+          } else if (hub_label[i].hub_rank > u_label[j].hub_rank) {
+            ++j;
+          } else {
+            if (hub_label[i].dist + u_label[j].dist <= d) {
+              pruned = true;
+              break;
+            }
+            ++i;
+            ++j;
+          }
+        }
+      }
+      if (pruned) continue;
+      labels_[u].push_back(LabelEntry{rank, d, parent[u]});
+      for (const Neighbor& nb : g.Neighbors(u)) {
+        double nd = d + nb.weight;
+        if (nd < dist[nb.node]) {
+          if (dist[nb.node] == kInfDistance) touched.push_back(nb.node);
+          dist[nb.node] = nd;
+          parent[nb.node] = u;
+          heap.push({nd, nb.node});
+        }
+      }
+    }
+    for (NodeId v : touched) {
+      dist[v] = kInfDistance;
+      parent[v] = kInvalidNode;
+    }
+    touched.clear();
+  }
+
+  stats_.total_entries = 0;
+  stats_.max_label_size = 0;
+  for (const auto& label : labels_) {
+    stats_.total_entries += label.size();
+    stats_.max_label_size = std::max(stats_.max_label_size, label.size());
+  }
+  stats_.avg_label_size =
+      n == 0 ? 0.0 : static_cast<double>(stats_.total_entries) / n;
+  stats_.build_seconds = timer.ElapsedSeconds();
+}
+
+double PrunedLandmarkLabeling::QueryWithHub(NodeId u, NodeId v,
+                                            NodeId* best_hub_rank) const {
+  const auto& lu = labels_[u];
+  const auto& lv = labels_[v];
+  double best = kInfDistance;
+  NodeId best_rank = kInvalidNode;
+  size_t i = 0, j = 0;
+  while (i < lu.size() && j < lv.size()) {
+    if (lu[i].hub_rank < lv[j].hub_rank) {
+      ++i;
+    } else if (lu[i].hub_rank > lv[j].hub_rank) {
+      ++j;
+    } else {
+      double d = lu[i].dist + lv[j].dist;
+      if (d < best) {
+        best = d;
+        best_rank = lu[i].hub_rank;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  if (best_hub_rank != nullptr) *best_hub_rank = best_rank;
+  return best;
+}
+
+double PrunedLandmarkLabeling::Distance(NodeId u, NodeId v) const {
+  TD_DCHECK(u < labels_.size());
+  TD_DCHECK(v < labels_.size());
+  if (u == v) return 0.0;
+  return QueryWithHub(u, v, nullptr);
+}
+
+std::vector<NodeId> PrunedLandmarkLabeling::UnwindToHub(NodeId v,
+                                                        NodeId hub_rank) const {
+  // Each node on the hub's shortest-path tree stores its tree parent in the
+  // entry for that hub; pruning never removes entries on the tree path
+  // (a pruned node is never expanded, so nothing downstream was labeled
+  // through it). Hence the chain below always terminates at the hub.
+  std::vector<NodeId> chain;
+  NodeId cur = v;
+  while (true) {
+    chain.push_back(cur);
+    const auto& label = labels_[cur];
+    auto it = std::lower_bound(
+        label.begin(), label.end(), hub_rank,
+        [](const LabelEntry& e, NodeId rank) { return e.hub_rank < rank; });
+    TD_CHECK(it != label.end() && it->hub_rank == hub_rank)
+        << "PLL parent chain broken at node " << cur;
+    if (it->parent == kInvalidNode) break;  // reached the hub
+    cur = it->parent;
+  }
+  return chain;
+}
+
+std::string PrunedLandmarkLabeling::Serialize() const {
+  // Format:
+  //   pll v1 <num_nodes> <num_edges>
+  //   order <rank0_node> <rank1_node> ...
+  //   label <node> <entries>: (<hub_rank> <dist> <parent>)*
+  std::string out = StrFormat("pll v1 %u %zu\n", graph_->num_nodes(),
+                              graph_->num_edges());
+  out += "order";
+  for (NodeId v : order_) out += StrFormat(" %u", v);
+  out += '\n';
+  for (NodeId v = 0; v < labels_.size(); ++v) {
+    out += StrFormat("label %u %zu", v, labels_[v].size());
+    for (const LabelEntry& e : labels_[v]) {
+      out += StrFormat(" %u %.17g %d", e.hub_rank, e.dist,
+                       e.parent == kInvalidNode ? -1 : static_cast<int>(e.parent));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::unique_ptr<PrunedLandmarkLabeling>> PrunedLandmarkLabeling::Deserialize(
+    const Graph& g, const std::string& content) {
+  std::istringstream in(content);
+  std::string tag, version;
+  NodeId num_nodes = 0;
+  size_t num_edges = 0;
+  in >> tag >> version >> num_nodes >> num_edges;
+  if (!in || tag != "pll" || version != "v1") {
+    return Status::InvalidArgument("not a pll v1 index");
+  }
+  if (num_nodes != g.num_nodes() || num_edges != g.num_edges()) {
+    return Status::InvalidArgument(
+        StrFormat("index was built for a %u-node/%zu-edge graph, got %u/%zu",
+                  num_nodes, num_edges, g.num_nodes(), g.num_edges()));
+  }
+  auto pll = std::unique_ptr<PrunedLandmarkLabeling>(new PrunedLandmarkLabeling(g));
+  in >> tag;
+  if (tag != "order") return Status::InvalidArgument("missing order section");
+  pll->order_.resize(num_nodes);
+  pll->rank_of_.resize(num_nodes);
+  std::vector<bool> seen(num_nodes, false);
+  for (NodeId rank = 0; rank < num_nodes; ++rank) {
+    NodeId v;
+    in >> v;
+    if (!in || v >= num_nodes || seen[v]) {
+      return Status::InvalidArgument("corrupt hub order");
+    }
+    seen[v] = true;
+    pll->order_[rank] = v;
+    pll->rank_of_[v] = rank;
+  }
+  pll->labels_.assign(num_nodes, {});
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    NodeId node;
+    size_t entries;
+    in >> tag >> node >> entries;
+    if (!in || tag != "label" || node != i) {
+      return Status::InvalidArgument(StrFormat("corrupt label for node %u", i));
+    }
+    if (entries > num_nodes) {
+      return Status::InvalidArgument("label larger than the graph");
+    }
+    auto& label = pll->labels_[i];
+    label.resize(entries);
+    NodeId prev_rank = 0;
+    for (size_t e = 0; e < entries; ++e) {
+      double dist;
+      int64_t parent;
+      in >> label[e].hub_rank >> dist >> parent;
+      if (!in || label[e].hub_rank >= num_nodes || !std::isfinite(dist) ||
+          dist < 0.0 || parent < -1 || parent >= static_cast<int64_t>(num_nodes)) {
+        return Status::InvalidArgument(
+            StrFormat("corrupt label entry for node %u", i));
+      }
+      if (e > 0 && label[e].hub_rank <= prev_rank) {
+        return Status::InvalidArgument("label hub ranks not strictly increasing");
+      }
+      prev_rank = label[e].hub_rank;
+      label[e].dist = dist;
+      label[e].parent =
+          parent < 0 ? kInvalidNode : static_cast<NodeId>(parent);
+    }
+  }
+  pll->stats_ = PllStats{};
+  for (const auto& label : pll->labels_) {
+    pll->stats_.total_entries += label.size();
+    pll->stats_.max_label_size =
+        std::max(pll->stats_.max_label_size, label.size());
+  }
+  pll->stats_.avg_label_size =
+      num_nodes == 0 ? 0.0
+                     : static_cast<double>(pll->stats_.total_entries) / num_nodes;
+  return pll;
+}
+
+Status PrunedLandmarkLabeling::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << Serialize();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PrunedLandmarkLabeling>> PrunedLandmarkLabeling::LoadFromFile(
+    const Graph& g, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(g, buffer.str());
+}
+
+Result<std::vector<NodeId>> PrunedLandmarkLabeling::ShortestPath(NodeId u,
+                                                                 NodeId v) const {
+  if (u == v) return std::vector<NodeId>{u};
+  NodeId hub_rank = kInvalidNode;
+  double d = QueryWithHub(u, v, &hub_rank);
+  if (d == kInfDistance) {
+    return Status::NotFound(StrFormat("node %u unreachable from %u", v, u));
+  }
+  std::vector<NodeId> from_u = UnwindToHub(u, hub_rank);  // u .. hub
+  std::vector<NodeId> from_v = UnwindToHub(v, hub_rank);  // v .. hub
+  // Concatenate u..hub + reverse(v..hub) minus the duplicated hub.
+  std::vector<NodeId> walk = std::move(from_u);
+  for (auto it = from_v.rbegin(); it != from_v.rend(); ++it) {
+    if (*it != walk.back()) walk.push_back(*it);
+  }
+  // Zero-weight edges can make the two tree branches overlap; excise loops.
+  std::vector<NodeId> path = SimplifyWalk(walk);
+  return path;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,89 @@
+// Weighted Pruned Landmark Labeling (2-hop cover), after Akiba, Iwata &
+// Yoshida, "Fast Exact Shortest-path Distance Queries on Large Networks by
+// Pruned Landmark Labeling", SIGMOD 2013 — the indexing method the paper's
+// Algorithm 1 relies on for constant-time DIST.
+//
+// This is the Dijkstra-based variant for non-negative real edge weights.
+// Each node stores a label: a list of (hub, distance, parent) entries sorted
+// by hub rank. A query merges the two labels and minimizes d(u,h) + d(h,v).
+// Parent pointers (the predecessor on the hub's shortest-path tree) make
+// exact path reconstruction possible without re-running any search.
+#pragma once
+
+#include <memory>
+
+#include "shortest_path/distance_oracle.h"
+
+namespace teamdisc {
+
+/// \brief Build-time and size statistics of a PLL index.
+struct PllStats {
+  size_t total_entries = 0;
+  double avg_label_size = 0.0;
+  size_t max_label_size = 0;
+  double build_seconds = 0.0;
+};
+
+/// \brief Exact 2-hop-cover distance/path oracle.
+///
+/// Index construction: nodes are ranked by degree (descending, ties by id);
+/// for each hub in rank order a pruned Dijkstra labels every node whose
+/// current-label query cannot already certify the popped distance.
+/// Queries are O(|L(u)| + |L(v)|) merge joins.
+class PrunedLandmarkLabeling final : public DistanceOracle {
+ public:
+  /// Builds the index over `g`; `g` must outlive the oracle.
+  static Result<std::unique_ptr<PrunedLandmarkLabeling>> Build(const Graph& g);
+
+  double Distance(NodeId u, NodeId v) const override;
+  Result<std::vector<NodeId>> ShortestPath(NodeId u, NodeId v) const override;
+  std::string name() const override { return "pruned_landmark_labeling"; }
+  const Graph& graph() const override { return *graph_; }
+
+  const PllStats& stats() const { return stats_; }
+
+  /// Label size of node v (for tests / diagnostics).
+  size_t LabelSize(NodeId v) const { return labels_[v].size(); }
+
+  /// Serializes the index (labels + hub order) to a portable text format so
+  /// production deployments can reuse an index across runs instead of
+  /// rebuilding it. The graph itself is NOT stored; Deserialize checks that
+  /// the supplied graph has the same shape.
+  std::string Serialize() const;
+
+  /// Restores an index previously produced by Serialize over the same
+  /// graph. Fails InvalidArgument on corrupt input or a mismatched graph.
+  static Result<std::unique_ptr<PrunedLandmarkLabeling>> Deserialize(
+      const Graph& g, const std::string& content);
+
+  /// File convenience wrappers.
+  Status SaveToFile(const std::string& path) const;
+  static Result<std::unique_ptr<PrunedLandmarkLabeling>> LoadFromFile(
+      const Graph& g, const std::string& path);
+
+ private:
+  struct LabelEntry {
+    NodeId hub_rank;  ///< rank (not id) of the hub, ascending within a label
+    double dist;      ///< d(node, hub)
+    NodeId parent;    ///< predecessor of node on the hub's SP tree; kInvalidNode at the hub
+  };
+
+  explicit PrunedLandmarkLabeling(const Graph& g) : graph_(&g) {}
+
+  void BuildIndex();
+
+  /// Distance query by label merge; also reports the best hub rank.
+  double QueryWithHub(NodeId u, NodeId v, NodeId* best_hub_rank) const;
+
+  /// Unwinds parent pointers from `v` up to the hub with rank `hub_rank`.
+  /// Returns the node sequence v -> ... -> hub.
+  std::vector<NodeId> UnwindToHub(NodeId v, NodeId hub_rank) const;
+
+  const Graph* graph_;
+  std::vector<std::vector<LabelEntry>> labels_;
+  std::vector<NodeId> order_;    ///< rank -> node id
+  std::vector<NodeId> rank_of_;  ///< node id -> rank
+  PllStats stats_;
+};
+
+}  // namespace teamdisc

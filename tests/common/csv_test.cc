@@ -1,0 +1,107 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace teamdisc {
+namespace {
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  CsvWriter w;
+  w.SetHeader({"a", "b"});
+  w.AddRow({"1", "2"});
+  w.AddRow({"3", "4"});
+  EXPECT_EQ(w.ToString(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(w.num_rows(), 2u);
+}
+
+TEST(CsvWriterTest, NoHeader) {
+  CsvWriter w;
+  w.AddRow({"x"});
+  EXPECT_EQ(w.ToString(), "x\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter w;
+  w.AddRow({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(w.ToString(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(CsvWriterTest, CellFormatting) {
+  EXPECT_EQ(CsvWriter::Cell(uint64_t{42}), "42");
+  EXPECT_EQ(CsvWriter::Cell(1.25), "1.25");
+}
+
+TEST(CsvWriterTest, RoundTripFile) {
+  CsvWriter w;
+  w.SetHeader({"k", "v"});
+  w.AddRow({"alpha", "1.5"});
+  std::string path = testing::TempDir() + "/csv_roundtrip.csv";
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "k,v\nalpha,1.5\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteToBadPathFails) {
+  CsvWriter w;
+  w.AddRow({"x"});
+  EXPECT_TRUE(w.WriteToFile("/nonexistent-dir/file.csv").IsIOError());
+}
+
+TEST(ParseCsvTest, SimpleRows) {
+  auto rows = ParseCsv("a,b\nc,d\n").ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsvTest, QuotedFieldsWithCommasAndQuotes) {
+  auto rows = ParseCsv("\"x,y\",\"he said \"\"hi\"\"\"\n").ValueOrDie();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "x,y");
+  EXPECT_EQ(rows[0][1], "he said \"hi\"");
+}
+
+TEST(ParseCsvTest, MissingTrailingNewline) {
+  auto rows = ParseCsv("a,b").ValueOrDie();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], "b");
+}
+
+TEST(ParseCsvTest, CrlfTolerated) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n").ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(ParseCsvTest, EmptyFields) {
+  auto rows = ParseCsv(",\n").ValueOrDie();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", ""}));
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("\"unterminated").ok());
+}
+
+TEST(ParseCsvTest, QuoteInsideUnquotedFieldFails) {
+  EXPECT_FALSE(ParseCsv("ab\"cd").ok());
+}
+
+TEST(ParseCsvTest, RoundTripThroughWriter) {
+  CsvWriter w;
+  w.AddRow({"a,b", "c\"d", "plain"});
+  auto rows = ParseCsv(w.ToString()).ValueOrDie();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "c\"d");
+  EXPECT_EQ(rows[0][2], "plain");
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,62 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace teamdisc {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("TEAMDISC_SCALE");
+    unsetenv("TEAMDISC_NODES");
+    unsetenv("TEAMDISC_PROJECTS");
+    unsetenv("TEAMDISC_TEST_DUMMY");
+  }
+};
+
+TEST_F(EnvTest, GetEnvOrStringDefault) {
+  EXPECT_EQ(GetEnvOr("TEAMDISC_TEST_DUMMY", std::string("fallback")), "fallback");
+  setenv("TEAMDISC_TEST_DUMMY", "set", 1);
+  EXPECT_EQ(GetEnvOr("TEAMDISC_TEST_DUMMY", std::string("fallback")), "set");
+}
+
+TEST_F(EnvTest, GetEnvOrUintDefaultAndParse) {
+  EXPECT_EQ(GetEnvOr("TEAMDISC_TEST_DUMMY", uint64_t{7}), 7u);
+  setenv("TEAMDISC_TEST_DUMMY", "123", 1);
+  EXPECT_EQ(GetEnvOr("TEAMDISC_TEST_DUMMY", uint64_t{7}), 123u);
+  setenv("TEAMDISC_TEST_DUMMY", "not-a-number", 1);
+  EXPECT_EQ(GetEnvOr("TEAMDISC_TEST_DUMMY", uint64_t{7}), 7u);
+}
+
+TEST_F(EnvTest, DefaultScaleIsCi) {
+  ExperimentScale scale = ResolveScale();
+  EXPECT_EQ(scale.label, "ci");
+  EXPECT_EQ(scale.num_experts, 4000u);
+  EXPECT_EQ(scale.projects_per_config, 8u);
+}
+
+TEST_F(EnvTest, PaperScale) {
+  setenv("TEAMDISC_SCALE", "paper", 1);
+  ExperimentScale scale = ResolveScale();
+  EXPECT_EQ(scale.label, "paper");
+  EXPECT_EQ(scale.num_experts, 40000u);
+  EXPECT_EQ(scale.target_edges, 125000u);
+  EXPECT_EQ(scale.projects_per_config, 50u);
+  EXPECT_EQ(scale.random_teams, 10000u);
+}
+
+TEST_F(EnvTest, OverridesApplyOnTopOfScale) {
+  setenv("TEAMDISC_SCALE", "paper", 1);
+  setenv("TEAMDISC_NODES", "1234", 1);
+  setenv("TEAMDISC_PROJECTS", "3", 1);
+  ExperimentScale scale = ResolveScale();
+  EXPECT_EQ(scale.num_experts, 1234u);
+  EXPECT_EQ(scale.projects_per_config, 3u);
+  EXPECT_EQ(scale.target_edges, 125000u);  // untouched
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace teamdisc {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, EmitsToStderr) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  TD_LOG(Warning) << "warn " << 42;
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("warn 42"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FiltersBelowLevel) {
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  TD_LOG(Info) << "you should not see this";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("should not"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  TD_CHECK(1 + 1 == 2) << "never shown";
+  TD_CHECK_EQ(4, 4);
+  TD_CHECK_NE(4, 5);
+  TD_CHECK_LT(1, 2);
+  TD_CHECK_LE(2, 2);
+  TD_CHECK_GT(3, 2);
+  TD_CHECK_GE(3, 3);
+  TD_CHECK_OK(Status::OK());
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ TD_CHECK(false) << "boom-check"; }, "boom-check");
+  EXPECT_DEATH({ TD_CHECK_EQ(1, 2); }, "Check failed");
+  EXPECT_DEATH({ TD_CHECK_OK(Status::Internal("bad-status")); }, "bad-status");
+  EXPECT_DEATH({ TD_LOG(Fatal) << "fatal-line"; }, "fatal-line");
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,95 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace teamdisc {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ValueOrReturnsAlternativeOnError) {
+  Result<int> bad = Status::Internal("x");
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+  Result<int> good = 7;
+  EXPECT_EQ(good.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, DereferenceOperators) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(*r, "hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2};
+  r->push_back(3);
+  EXPECT_EQ(r.ValueOrDie().size(), 3u);
+}
+
+TEST(ResultTest, CopyableWhenValueCopyable) {
+  Result<std::string> a = std::string("x");
+  Result<std::string> b = a;
+  EXPECT_EQ(*a, "x");
+  EXPECT_EQ(*b, "x");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubleIfPositive(int x) {
+  TD_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  EXPECT_FALSE(DoubleIfPositive(-1).ok());
+  EXPECT_EQ(DoubleIfPositive(-1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPassesValue) {
+  ASSERT_TRUE(DoubleIfPositive(21).ok());
+  EXPECT_EQ(DoubleIfPositive(21).ValueOrDie(), 42);
+}
+
+TEST(ResultTest, NestedMacroUse) {
+  auto chain = [](int x) -> Result<int> {
+    TD_ASSIGN_OR_RETURN(int a, DoubleIfPositive(x));
+    TD_ASSIGN_OR_RETURN(int b, DoubleIfPositive(a));
+    return b;
+  };
+  EXPECT_EQ(chain(1).ValueOrDie(), 4);
+  EXPECT_FALSE(chain(0).ok());
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "boom");
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,121 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace teamdisc {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWhitespaceTest, DropsRuns) {
+  auto parts = SplitWhitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespaceTest, AllWhitespaceYieldsNothing) {
+  EXPECT_TRUE(SplitWhitespace(" \t\n ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StripWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("teamdisc", "team"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+  EXPECT_FALSE(StartsWith("tea", "team"));
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ToLowerAsciiTest, Basics) {
+  EXPECT_EQ(ToLowerAscii("AbC-12"), "abc-12");
+}
+
+TEST(ParseUint64Test, ValidValues) {
+  EXPECT_EQ(ParseUint64("0").ValueOrDie(), 0u);
+  EXPECT_EQ(ParseUint64("42").ValueOrDie(), 42u);
+  EXPECT_EQ(ParseUint64(" 7 ").ValueOrDie(), 7u);
+  EXPECT_EQ(ParseUint64("18446744073709551615").ValueOrDie(), UINT64_MAX);
+}
+
+TEST(ParseUint64Test, Rejections) {
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("12x").ok());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());  // overflow
+  EXPECT_TRUE(ParseUint64("18446744073709551616").status().IsOutOfRange());
+}
+
+TEST(ParseInt64Test, ValidValues) {
+  EXPECT_EQ(ParseInt64("-5").ValueOrDie(), -5);
+  EXPECT_EQ(ParseInt64("+5").ValueOrDie(), 5);
+  EXPECT_EQ(ParseInt64("9223372036854775807").ValueOrDie(), INT64_MAX);
+  EXPECT_EQ(ParseInt64("-9223372036854775808").ValueOrDie(), INT64_MIN);
+}
+
+TEST(ParseInt64Test, Rejections) {
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("-").ok());
+}
+
+TEST(ParseDoubleTest, ValidValues) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").ValueOrDie(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2e3").ValueOrDie(), -2000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 0.25 ").ValueOrDie(), 0.25);
+}
+
+TEST(ParseDoubleTest, Rejections) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("nan").ok());
+  EXPECT_FALSE(ParseDouble("inf").ok());
+  EXPECT_FALSE(ParseDouble("1e999").ok());
+}
+
+TEST(StrFormatTest, Formats) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(HumanCountTest, Suffixes) {
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(1500), "1.50k");
+  EXPECT_EQ(HumanCount(2500000), "2.50M");
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace teamdisc {
+namespace {
+
+TEST(ThreadPoolTest, InlineExecutionWithZeroThreads) {
+  ThreadPool pool(0);
+  int value = 0;
+  pool.Submit([&value] { value = 42; });
+  EXPECT_EQ(value, 42);  // ran synchronously
+  pool.Wait();           // no-op
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineForZeroThreads) {
+  ThreadPool pool(0);
+  std::vector<int> hits(10, 0);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForEmpty) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.ParallelFor(0, [&touched](size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace teamdisc

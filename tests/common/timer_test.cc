@@ -1,0 +1,79 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+namespace teamdisc {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  Timer t;
+  double a = t.ElapsedSeconds();
+  double b = t.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, MeasuresSleep) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.ElapsedMillis(), 15.0);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.Reset();
+  EXPECT_LT(t.ElapsedMillis(), 10.0);
+}
+
+TEST(TimerTest, UnitsAgree) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double s = t.ElapsedSeconds();
+  double ms = t.ElapsedMillis();
+  EXPECT_NEAR(ms, s * 1000.0, 5.0);
+}
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Sample stddev of this classic dataset: sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,148 @@
+#include "core/exact_team_finder.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+#include "core/brute_force_finder.h"
+
+namespace teamdisc {
+namespace {
+
+ExactOptions Options(RankingStrategy strategy, double gamma = 0.6,
+                     double lambda = 0.6) {
+  ExactOptions o;
+  o.strategy = strategy;
+  o.params.gamma = gamma;
+  o.params.lambda = lambda;
+  return o;
+}
+
+TEST(ExactFinderTest, FindsOptimalOnFigure1) {
+  ExpertNetwork net = Figure1Network();
+  auto finder =
+      ExactTeamFinder::Make(net, Options(RankingStrategy::kSACACC)).ValueOrDie();
+  Project project = {net.skills().Find("SN"), net.skills().Find("TM")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  ASSERT_FALSE(teams.empty());
+  EXPECT_TRUE(teams[0].team.Covers(project));
+  EXPECT_TRUE(teams[0].team.Validate(net).ok());
+  // Figure 1 argument: team (a) = {ren, han, liu} is SA-CA-CC optimal.
+  EXPECT_EQ(teams[0].team.nodes, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(ExactFinderTest, ObjectiveMatchesRecomputation) {
+  ExpertNetwork net = MediumNetwork();
+  for (RankingStrategy strategy :
+       {RankingStrategy::kCC, RankingStrategy::kCACC, RankingStrategy::kSACACC}) {
+    auto finder = ExactTeamFinder::Make(net, Options(strategy)).ValueOrDie();
+    Project project = {net.skills().Find("a"), net.skills().Find("d")};
+    auto teams = finder->FindTeams(project).ValueOrDie();
+    ASSERT_FALSE(teams.empty());
+    ObjectiveParams p{.gamma = 0.6, .lambda = 0.6};
+    EXPECT_NEAR(teams[0].proxy_cost,
+                EvaluateObjective(net, teams[0].team, strategy, p), 1e-9)
+        << RankingStrategyToString(strategy);
+  }
+}
+
+TEST(ExactFinderTest, MatchesBruteForceOnMediumNetwork) {
+  ExpertNetwork net = MediumNetwork();
+  for (RankingStrategy strategy :
+       {RankingStrategy::kCC, RankingStrategy::kCACC, RankingStrategy::kSACACC}) {
+    auto exact = ExactTeamFinder::Make(net, Options(strategy)).ValueOrDie();
+    auto brute = BruteForceFinder::Make(net, strategy,
+                                        ObjectiveParams{.gamma = 0.6, .lambda = 0.6})
+                     .ValueOrDie();
+    Project project = {net.skills().Find("a"), net.skills().Find("b"),
+                       net.skills().Find("d")};
+    double exact_obj = exact->FindTeams(project).ValueOrDie()[0].objective;
+    double brute_obj = brute->FindTeams(project).ValueOrDie()[0].objective;
+    EXPECT_NEAR(exact_obj, brute_obj, 1e-9)
+        << RankingStrategyToString(strategy);
+  }
+}
+
+TEST(ExactFinderTest, SingleSkillPicksBestHolder) {
+  ExpertNetwork net = MediumNetwork();
+  auto finder =
+      ExactTeamFinder::Make(net, Options(RankingStrategy::kSACACC, 0.6, 1.0))
+          .ValueOrDie();
+  // lambda=1: objective is purely skill-holder authority; best "a" holder
+  // is e8 (authority 12).
+  auto teams = finder->FindTeams({net.skills().Find("a")}).ValueOrDie();
+  ASSERT_FALSE(teams.empty());
+  EXPECT_EQ(teams[0].team.assignments[0].expert, 8u);
+  EXPECT_EQ(teams[0].team.nodes.size(), 1u);
+}
+
+TEST(ExactFinderTest, TopKOrdered) {
+  ExpertNetwork net = MediumNetwork();
+  ExactOptions o = Options(RankingStrategy::kSACACC);
+  o.top_k = 4;
+  auto finder = ExactTeamFinder::Make(net, o).ValueOrDie();
+  auto teams =
+      finder->FindTeams({net.skills().Find("a"), net.skills().Find("b")})
+          .ValueOrDie();
+  ASSERT_GE(teams.size(), 2u);
+  for (size_t i = 0; i + 1 < teams.size(); ++i) {
+    EXPECT_LE(teams[i].proxy_cost, teams[i + 1].proxy_cost);
+  }
+}
+
+TEST(ExactFinderTest, BudgetGuard) {
+  ExpertNetwork net = MediumNetwork();
+  ExactOptions o = Options(RankingStrategy::kSACACC);
+  o.max_assignments = 2;  // 3 holders of "a" already exceed this
+  auto finder = ExactTeamFinder::Make(net, o).ValueOrDie();
+  auto result = finder->FindTeams({net.skills().Find("a"), net.skills().Find("b")});
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExactFinderTest, InfeasibleProject) {
+  ExpertNetworkBuilder b;
+  b.AddExpert("a", {"x"}, 1.0);
+  b.AddExpert("b", {"y"}, 1.0);
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  auto finder =
+      ExactTeamFinder::Make(net, Options(RankingStrategy::kCC)).ValueOrDie();
+  auto result =
+      finder->FindTeams({net.skills().Find("x"), net.skills().Find("y")});
+  EXPECT_TRUE(result.status().IsInfeasible());
+}
+
+TEST(ExactFinderTest, EmptyProjectRejected) {
+  ExpertNetwork net = Figure1Network();
+  auto finder =
+      ExactTeamFinder::Make(net, Options(RankingStrategy::kCC)).ValueOrDie();
+  EXPECT_TRUE(finder->FindTeams({}).status().IsInvalidArgument());
+}
+
+TEST(ExactFinderTest, InvalidOptionsRejected) {
+  ExpertNetwork net = Figure1Network();
+  ExactOptions o = Options(RankingStrategy::kCC, 2.0);
+  EXPECT_FALSE(ExactTeamFinder::Make(net, o).ok());
+  o = Options(RankingStrategy::kCC);
+  o.top_k = 0;
+  EXPECT_FALSE(ExactTeamFinder::Make(net, o).ok());
+}
+
+TEST(BruteForceFinderTest, RejectsLargeNetworks) {
+  ExpertNetwork net = RandomSmallNetwork(19, 2, 1);
+  EXPECT_FALSE(
+      BruteForceFinder::Make(net, RankingStrategy::kCC, ObjectiveParams{}, 18)
+          .ok());
+}
+
+TEST(BruteForceFinderTest, FindsKnownOptimum) {
+  ExpertNetwork net = Figure1Network();
+  auto brute = BruteForceFinder::Make(net, RankingStrategy::kCC,
+                                      ObjectiveParams{.gamma = 0.6, .lambda = 0.6})
+                   .ValueOrDie();
+  Project project = {net.skills().Find("SN"), net.skills().Find("TM")};
+  auto teams = brute->FindTeams(project).ValueOrDie();
+  ASSERT_EQ(teams.size(), 1u);
+  EXPECT_DOUBLE_EQ(teams[0].objective, 2.0);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,133 @@
+// Cross-solver property sweeps on random small networks:
+//  * Exact (assignment x Steiner DP) == BruteForce (subset enumeration)
+//  * Greedy is feasible, valid, and never beats Exact
+//  * Random never beats Exact
+// (TEST_P over network size x skills x seed x strategy.)
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+#include "core/brute_force_finder.h"
+#include "core/exact_team_finder.h"
+#include "core/greedy_team_finder.h"
+#include "core/random_team_finder.h"
+#include "shortest_path/dijkstra.h"
+
+namespace teamdisc {
+namespace {
+
+struct FinderCase {
+  NodeId n;
+  uint32_t skills;
+  uint64_t seed;
+  RankingStrategy strategy;
+};
+
+std::string CaseName(const testing::TestParamInfo<FinderCase>& info) {
+  return "n" + std::to_string(info.param.n) + "_k" +
+         std::to_string(info.param.skills) + "_s" +
+         std::to_string(info.param.seed) + "_" +
+         (info.param.strategy == RankingStrategy::kCC
+              ? "cc"
+              : info.param.strategy == RankingStrategy::kCACC ? "cacc"
+                                                              : "sacacc");
+}
+
+class FinderPropertyTest : public testing::TestWithParam<FinderCase> {
+ protected:
+  Project AllSkills(const ExpertNetwork& net, uint32_t count) {
+    Project p;
+    for (uint32_t s = 0; s < count; ++s) {
+      p.push_back(net.skills().Find("s" + std::to_string(s)));
+    }
+    return p;
+  }
+  ObjectiveParams params_{.gamma = 0.6, .lambda = 0.6};
+};
+
+TEST_P(FinderPropertyTest, ExactEqualsBruteForce) {
+  const FinderCase& c = GetParam();
+  ExpertNetwork net = RandomSmallNetwork(c.n, c.skills, c.seed);
+  Project project = AllSkills(net, c.skills);
+  ExactOptions eo;
+  eo.strategy = c.strategy;
+  eo.params = params_;
+  auto exact = ExactTeamFinder::Make(net, eo).ValueOrDie();
+  auto brute =
+      BruteForceFinder::Make(net, c.strategy, params_).ValueOrDie();
+  auto exact_teams = exact->FindTeams(project);
+  auto brute_teams = brute->FindTeams(project);
+  ASSERT_EQ(exact_teams.ok(), brute_teams.ok());
+  if (!exact_teams.ok()) return;
+  EXPECT_NEAR(exact_teams.ValueOrDie()[0].objective,
+              brute_teams.ValueOrDie()[0].objective, 1e-9);
+}
+
+TEST_P(FinderPropertyTest, GreedyNeverBeatsExactAndIsValid) {
+  const FinderCase& c = GetParam();
+  ExpertNetwork net = RandomSmallNetwork(c.n, c.skills, c.seed);
+  Project project = AllSkills(net, c.skills);
+  FinderOptions go;
+  go.strategy = c.strategy;
+  go.params = params_;
+  auto greedy = GreedyTeamFinder::Make(net, go).ValueOrDie();
+  ExactOptions eo;
+  eo.strategy = c.strategy;
+  eo.params = params_;
+  auto exact = ExactTeamFinder::Make(net, eo).ValueOrDie();
+  auto greedy_teams = greedy->FindTeams(project);
+  auto exact_teams = exact->FindTeams(project);
+  ASSERT_EQ(greedy_teams.ok(), exact_teams.ok());
+  if (!greedy_teams.ok()) return;
+  const ScoredTeam& g = greedy_teams.ValueOrDie()[0];
+  EXPECT_TRUE(g.team.Covers(project));
+  EXPECT_TRUE(g.team.Validate(net).ok());
+  // Optimality gap is one-sided: greedy >= exact (within fp tolerance).
+  EXPECT_GE(g.objective, exact_teams.ValueOrDie()[0].objective - 1e-9);
+}
+
+TEST_P(FinderPropertyTest, RandomNeverBeatsExact) {
+  const FinderCase& c = GetParam();
+  if (c.strategy != RankingStrategy::kSACACC) {
+    GTEST_SKIP() << "random baseline optimizes SA-CA-CC only";
+  }
+  ExpertNetwork net = RandomSmallNetwork(c.n, c.skills, c.seed);
+  Project project = AllSkills(net, c.skills);
+  DijkstraOracle oracle(net.graph());
+  RandomFinderOptions ro;
+  ro.params = params_;
+  ro.num_samples = 300;
+  ro.seed = c.seed;
+  auto random = RandomTeamFinder::Make(net, oracle, ro).ValueOrDie();
+  ExactOptions eo;
+  eo.strategy = c.strategy;
+  eo.params = params_;
+  auto exact = ExactTeamFinder::Make(net, eo).ValueOrDie();
+  auto random_teams = random->FindTeams(project);
+  auto exact_teams = exact->FindTeams(project);
+  if (!exact_teams.ok()) return;  // infeasible for everyone
+  if (!random_teams.ok()) return; // random may fail where exact succeeds
+  EXPECT_GE(random_teams.ValueOrDie()[0].objective,
+            exact_teams.ValueOrDie()[0].objective - 1e-9);
+}
+
+std::vector<FinderCase> MakeCases() {
+  std::vector<FinderCase> cases;
+  for (NodeId n : {8u, 11u, 14u}) {
+    for (uint32_t skills : {2u, 3u}) {
+      for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+        for (RankingStrategy strategy :
+             {RankingStrategy::kCC, RankingStrategy::kCACC,
+              RankingStrategy::kSACACC}) {
+          cases.push_back({n, skills, seed, strategy});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FinderPropertyTest,
+                         testing::ValuesIn(MakeCases()), CaseName);
+
+}  // namespace
+}  // namespace teamdisc

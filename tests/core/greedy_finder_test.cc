@@ -1,0 +1,308 @@
+#include "core/greedy_team_finder.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+#include "core/objectives.h"
+
+namespace teamdisc {
+namespace {
+
+FinderOptions Options(RankingStrategy strategy, double gamma = 0.6,
+                      double lambda = 0.6, uint32_t top_k = 1) {
+  FinderOptions o;
+  o.strategy = strategy;
+  o.params.gamma = gamma;
+  o.params.lambda = lambda;
+  o.top_k = top_k;
+  return o;
+}
+
+TEST(GreedyFinderTest, CcFindsMinimalCommunicationTeam) {
+  ExpertNetwork net = Figure1Network();
+  auto finder =
+      GreedyTeamFinder::Make(net, Options(RankingStrategy::kCC)).ValueOrDie();
+  Project project = {net.skills().Find("SN"), net.skills().Find("TM")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  ASSERT_FALSE(teams.empty());
+  const Team& best = teams[0].team;
+  EXPECT_TRUE(best.Covers(project));
+  EXPECT_TRUE(best.Validate(net).ok());
+  // Both 2-hop stars cost 2.0; nothing cheaper exists.
+  EXPECT_DOUBLE_EQ(CommunicationCost(best), 2.0);
+}
+
+TEST(GreedyFinderTest, SaCaCcPrefersAuthoritativeTeam) {
+  // The paper's Figure 1 pitch: with authority in play the high-h-index
+  // group (ren, liu via han) must beat the low-authority group.
+  ExpertNetwork net = Figure1Network();
+  auto finder = GreedyTeamFinder::Make(net, Options(RankingStrategy::kSACACC))
+                    .ValueOrDie();
+  Project project = {net.skills().Find("SN"), net.skills().Find("TM")};
+  Team best = finder->FindBest(project).ValueOrDie();
+  EXPECT_TRUE(best.Contains(0));  // ren
+  EXPECT_TRUE(best.Contains(1));  // liu
+  EXPECT_FALSE(best.Contains(3));
+  EXPECT_FALSE(best.Contains(4));
+}
+
+TEST(GreedyFinderTest, CaCcGammaOneOptimizesConnectorAuthorityOnly) {
+  // gamma = 1 solves Problem 2 (pure CA): the chosen route's connectors
+  // must have maximal authority regardless of edge weights.
+  ExpertNetwork net = Figure1Network();
+  auto finder =
+      GreedyTeamFinder::Make(net, Options(RankingStrategy::kCACC, 1.0))
+          .ValueOrDie();
+  Project project = {net.skills().Find("SN"), net.skills().Find("TM")};
+  Team best = finder->FindBest(project).ValueOrDie();
+  // han (h=139) is the best possible connector.
+  EXPECT_TRUE(best.Contains(2));
+  EXPECT_FALSE(best.Contains(5));
+}
+
+TEST(GreedyFinderTest, SingleExpertCoversWholeProject) {
+  ExpertNetwork net = MediumNetwork();
+  auto finder = GreedyTeamFinder::Make(net, Options(RankingStrategy::kCC))
+                    .ValueOrDie();
+  // e2 holds both a and c; a one-node team is optimal.
+  Project project = {net.skills().Find("a"), net.skills().Find("c")};
+  Team best = finder->FindBest(project).ValueOrDie();
+  EXPECT_EQ(best.nodes, (std::vector<NodeId>{2}));
+  EXPECT_DOUBLE_EQ(CommunicationCost(best), 0.0);
+}
+
+TEST(GreedyFinderTest, TopKReturnsDistinctSortedTeams) {
+  ExpertNetwork net = MediumNetwork();
+  auto finder =
+      GreedyTeamFinder::Make(net, Options(RankingStrategy::kSACACC, 0.6, 0.6, 5))
+          .ValueOrDie();
+  Project project = {net.skills().Find("a"), net.skills().Find("b"),
+                     net.skills().Find("d")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  ASSERT_GE(teams.size(), 2u);
+  ASSERT_LE(teams.size(), 5u);
+  for (size_t i = 0; i + 1 < teams.size(); ++i) {
+    EXPECT_LE(teams[i].proxy_cost, teams[i + 1].proxy_cost);
+  }
+  // Deduped: no two teams share a node set.
+  for (size_t i = 0; i < teams.size(); ++i) {
+    for (size_t j = i + 1; j < teams.size(); ++j) {
+      EXPECT_NE(teams[i].team.Signature(), teams[j].team.Signature());
+    }
+  }
+  for (const ScoredTeam& st : teams) {
+    EXPECT_TRUE(st.team.Covers(project));
+    EXPECT_TRUE(st.team.Validate(net).ok());
+  }
+}
+
+TEST(GreedyFinderTest, DedupDisabledAllowsDuplicates) {
+  ExpertNetwork net = MediumNetwork();
+  FinderOptions o = Options(RankingStrategy::kCC, 0.6, 0.6, 6);
+  o.dedupe_top_k = false;
+  auto finder = GreedyTeamFinder::Make(net, o).ValueOrDie();
+  Project project = {net.skills().Find("a"), net.skills().Find("b")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  bool found_duplicate = false;
+  for (size_t i = 0; i < teams.size() && !found_duplicate; ++i) {
+    for (size_t j = i + 1; j < teams.size(); ++j) {
+      if (teams[i].team.Signature() == teams[j].team.Signature()) {
+        found_duplicate = true;
+        break;
+      }
+    }
+  }
+  // Adjacent roots produce identical teams, so duplicates are expected.
+  EXPECT_TRUE(found_duplicate);
+}
+
+TEST(GreedyFinderTest, InfeasibleWhenSkillMissing) {
+  ExpertNetwork net = Figure1Network();
+  auto finder = GreedyTeamFinder::Make(net, Options(RankingStrategy::kCC))
+                    .ValueOrDie();
+  auto result = finder->FindTeams({net.skills().Find("SN"), 999});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GreedyFinderTest, InfeasibleAcrossComponents) {
+  ExpertNetworkBuilder b;
+  b.AddExpert("a", {"x"}, 1.0);
+  b.AddExpert("b", {"y"}, 1.0);  // different component
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  auto finder = GreedyTeamFinder::Make(net, Options(RankingStrategy::kCC))
+                    .ValueOrDie();
+  auto result =
+      finder->FindTeams({net.skills().Find("x"), net.skills().Find("y")});
+  EXPECT_TRUE(result.status().IsInfeasible());
+}
+
+TEST(GreedyFinderTest, EmptyProjectRejected) {
+  ExpertNetwork net = Figure1Network();
+  auto finder = GreedyTeamFinder::Make(net, Options(RankingStrategy::kCC))
+                    .ValueOrDie();
+  EXPECT_TRUE(finder->FindTeams({}).status().IsInvalidArgument());
+}
+
+TEST(GreedyFinderTest, ObjectiveRecomputedOnOriginalNetwork) {
+  ExpertNetwork net = MediumNetwork();
+  auto finder = GreedyTeamFinder::Make(net, Options(RankingStrategy::kSACACC))
+                    .ValueOrDie();
+  Project project = {net.skills().Find("a"), net.skills().Find("d")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  ASSERT_FALSE(teams.empty());
+  ObjectiveParams p{.gamma = 0.6, .lambda = 0.6};
+  EXPECT_DOUBLE_EQ(teams[0].objective,
+                   SaCaCcScore(net, teams[0].team, 0.6, 0.6));
+  EXPECT_DOUBLE_EQ(
+      teams[0].objective,
+      EvaluateObjective(net, teams[0].team, RankingStrategy::kSACACC, p));
+}
+
+TEST(GreedyFinderTest, AllStrategiesProduceValidTeams) {
+  ExpertNetwork net = MediumNetwork();
+  Project project = {net.skills().Find("a"), net.skills().Find("b"),
+                     net.skills().Find("c"), net.skills().Find("d")};
+  for (RankingStrategy strategy :
+       {RankingStrategy::kCC, RankingStrategy::kCACC, RankingStrategy::kSACACC}) {
+    auto finder = GreedyTeamFinder::Make(net, Options(strategy)).ValueOrDie();
+    Team best = finder->FindBest(project).ValueOrDie();
+    EXPECT_TRUE(best.Covers(project)) << RankingStrategyToString(strategy);
+    EXPECT_TRUE(best.Validate(net).ok()) << RankingStrategyToString(strategy);
+  }
+}
+
+TEST(GreedyFinderTest, OracleChoiceDoesNotChangeBestObjective) {
+  ExpertNetwork net = MediumNetwork();
+  Project project = {net.skills().Find("a"), net.skills().Find("b"),
+                     net.skills().Find("d")};
+  std::vector<double> objectives;
+  for (OracleKind kind :
+       {OracleKind::kPrunedLandmarkLabeling, OracleKind::kDijkstra,
+        OracleKind::kBidirectionalDijkstra}) {
+    FinderOptions o = Options(RankingStrategy::kSACACC);
+    o.oracle = kind;
+    auto finder = GreedyTeamFinder::Make(net, o).ValueOrDie();
+    auto teams = finder->FindTeams(project).ValueOrDie();
+    ASSERT_FALSE(teams.empty());
+    objectives.push_back(teams[0].proxy_cost);
+  }
+  EXPECT_NEAR(objectives[0], objectives[1], 1e-9);
+  EXPECT_NEAR(objectives[0], objectives[2], 1e-9);
+}
+
+TEST(GreedyFinderTest, SetLambdaChangesRanking) {
+  ExpertNetwork net = MediumNetwork();
+  auto finder =
+      GreedyTeamFinder::Make(net, Options(RankingStrategy::kSACACC, 0.6, 0.0))
+          .ValueOrDie();
+  Project project = {net.skills().Find("a"), net.skills().Find("d")};
+  Team at_zero = finder->FindBest(project).ValueOrDie();
+  TD_CHECK_OK(finder->set_lambda(1.0));
+  Team at_one = finder->FindBest(project).ValueOrDie();
+  // At lambda=1 only skill-holder authority matters: holders must be the
+  // strongest available; at lambda=0 the objective ignores SA.
+  double sa_zero = SkillHolderAuthority(net, at_zero);
+  double sa_one = SkillHolderAuthority(net, at_one);
+  EXPECT_LE(sa_one, sa_zero + 1e-12);
+  EXPECT_FALSE(finder->set_lambda(1.5).ok());
+}
+
+TEST(GreedyFinderTest, MaxRootsApproximationStillCoversProject) {
+  ExpertNetwork net = MediumNetwork();
+  FinderOptions o = Options(RankingStrategy::kCC);
+  o.max_roots = 3;
+  auto finder = GreedyTeamFinder::Make(net, o).ValueOrDie();
+  Project project = {net.skills().Find("a"), net.skills().Find("b")};
+  Team best = finder->FindBest(project).ValueOrDie();
+  EXPECT_TRUE(best.Covers(project));
+}
+
+TEST(GreedyFinderTest, RootSkillPolicyAblation) {
+  ExpertNetwork net = MediumNetwork();
+  Project project = {net.skills().Find("a"), net.skills().Find("c")};
+  FinderOptions zero = Options(RankingStrategy::kCACC);
+  zero.root_skill_policy = RootSkillPolicy::kZeroCost;
+  FinderOptions formula = Options(RankingStrategy::kCACC);
+  formula.root_skill_policy = RootSkillPolicy::kFormulaZeroDist;
+  auto f_zero = GreedyTeamFinder::Make(net, zero).ValueOrDie();
+  auto f_formula = GreedyTeamFinder::Make(net, formula).ValueOrDie();
+  // Both must return valid covering teams (the policies may rank
+  // differently, but never break correctness).
+  EXPECT_TRUE(f_zero->FindBest(project).ValueOrDie().Covers(project));
+  EXPECT_TRUE(f_formula->FindBest(project).ValueOrDie().Covers(project));
+}
+
+TEST(GreedyFinderTest, NameIncludesStrategy) {
+  ExpertNetwork net = Figure1Network();
+  auto finder = GreedyTeamFinder::Make(net, Options(RankingStrategy::kSACACC))
+                    .ValueOrDie();
+  EXPECT_EQ(finder->name(), "greedy-SA-CA-CC");
+}
+
+TEST(GreedyFinderTest, InvalidOptionsRejected) {
+  ExpertNetwork net = Figure1Network();
+  FinderOptions o = Options(RankingStrategy::kCC);
+  o.top_k = 0;
+  EXPECT_FALSE(GreedyTeamFinder::Make(net, o).ok());
+  o = Options(RankingStrategy::kCC, 1.5);
+  EXPECT_FALSE(GreedyTeamFinder::Make(net, o).ok());
+}
+
+TEST(GreedyFinderTest, ExternalOracleMatchesOwnedOracle) {
+  ExpertNetwork net = MediumNetwork();
+  Project project = {net.skills().Find("a"), net.skills().Find("b"),
+                     net.skills().Find("d")};
+  // CC over a shared base-graph oracle.
+  auto base_oracle =
+      MakeOracle(net.graph(), OracleKind::kPrunedLandmarkLabeling).ValueOrDie();
+  auto owned =
+      GreedyTeamFinder::Make(net, Options(RankingStrategy::kCC)).ValueOrDie();
+  auto external = GreedyTeamFinder::MakeWithExternalOracle(
+                      net, Options(RankingStrategy::kCC), *base_oracle)
+                      .ValueOrDie();
+  EXPECT_NEAR(owned->FindTeams(project).ValueOrDie()[0].proxy_cost,
+              external->FindTeams(project).ValueOrDie()[0].proxy_cost, 1e-12);
+
+  // SA-CA-CC over a shared transformed-graph oracle.
+  TransformedGraph transformed =
+      BuildAuthorityTransform(net, 0.6).ValueOrDie();
+  auto transformed_oracle =
+      MakeOracle(transformed.graph, OracleKind::kPrunedLandmarkLabeling)
+          .ValueOrDie();
+  auto owned_sa =
+      GreedyTeamFinder::Make(net, Options(RankingStrategy::kSACACC)).ValueOrDie();
+  auto external_sa = GreedyTeamFinder::MakeWithExternalOracle(
+                         net, Options(RankingStrategy::kSACACC),
+                         *transformed_oracle)
+                         .ValueOrDie();
+  EXPECT_NEAR(owned_sa->FindTeams(project).ValueOrDie()[0].proxy_cost,
+              external_sa->FindTeams(project).ValueOrDie()[0].proxy_cost, 1e-12);
+}
+
+TEST(GreedyFinderTest, ExternalOracleValidation) {
+  ExpertNetwork net = MediumNetwork();
+  ExpertNetwork other = Figure1Network();
+  auto other_oracle =
+      MakeOracle(other.graph(), OracleKind::kDijkstra).ValueOrDie();
+  // Node-count mismatch rejected.
+  EXPECT_FALSE(GreedyTeamFinder::MakeWithExternalOracle(
+                   net, Options(RankingStrategy::kCC), *other_oracle)
+                   .ok());
+  // CC must use the network's own graph, not a transform.
+  TransformedGraph transformed = BuildAuthorityTransform(net, 0.6).ValueOrDie();
+  auto transformed_oracle =
+      MakeOracle(transformed.graph, OracleKind::kDijkstra).ValueOrDie();
+  EXPECT_FALSE(GreedyTeamFinder::MakeWithExternalOracle(
+                   net, Options(RankingStrategy::kCC), *transformed_oracle)
+                   .ok());
+}
+
+TEST(MakeProjectTest, ResolvesNames) {
+  ExpertNetwork net = Figure1Network();
+  Project p = MakeProject(net, {"SN", "TM"}).ValueOrDie();
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(MakeProject(net, {"SN", "bogus"}).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace teamdisc

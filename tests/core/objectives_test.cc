@@ -1,0 +1,115 @@
+#include "core/objectives.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+
+namespace teamdisc {
+namespace {
+
+class ObjectivesTest : public testing::Test {
+ protected:
+  ObjectivesTest() : net_(Figure1Network()) {
+    // Team (a): ren (SN) - han - liu (TM).
+    TeamAssembler assembler(net_, 2);
+    TD_CHECK_OK(assembler.AddAssignment(net_.skills().Find("SN"), 0, {2, 0}));
+    TD_CHECK_OK(assembler.AddAssignment(net_.skills().Find("TM"), 1, {2, 1}));
+    team_ = assembler.Finish().ValueOrDie();
+  }
+  ExpertNetwork net_;
+  Team team_;
+};
+
+TEST_F(ObjectivesTest, CommunicationCostSumsEdges) {
+  EXPECT_DOUBLE_EQ(CommunicationCost(team_), 2.0);
+}
+
+TEST_F(ObjectivesTest, ConnectorAuthority) {
+  // Connector = han (h=139): CA = 1/139.
+  EXPECT_DOUBLE_EQ(ConnectorAuthority(net_, team_), 1.0 / 139.0);
+}
+
+TEST_F(ObjectivesTest, SkillHolderAuthority) {
+  // Holders = ren (11), liu (9): SA = 1/11 + 1/9.
+  EXPECT_DOUBLE_EQ(SkillHolderAuthority(net_, team_), 1.0 / 11 + 1.0 / 9);
+}
+
+TEST_F(ObjectivesTest, CaCcBlends) {
+  double gamma = 0.6;
+  EXPECT_DOUBLE_EQ(CaCcScore(net_, team_, gamma),
+                   gamma * (1.0 / 139) + (1 - gamma) * 2.0);
+  EXPECT_DOUBLE_EQ(CaCcScore(net_, team_, 0.0), 2.0);           // pure CC
+  EXPECT_DOUBLE_EQ(CaCcScore(net_, team_, 1.0), 1.0 / 139.0);   // pure CA
+}
+
+TEST_F(ObjectivesTest, SaCaCcBlends) {
+  double gamma = 0.6, lambda = 0.6;
+  double sa = 1.0 / 11 + 1.0 / 9;
+  double cacc = gamma * (1.0 / 139) + (1 - gamma) * 2.0;
+  EXPECT_DOUBLE_EQ(SaCaCcScore(net_, team_, lambda, gamma),
+                   lambda * sa + (1 - lambda) * cacc);
+  EXPECT_DOUBLE_EQ(SaCaCcScore(net_, team_, 0.0, gamma), cacc);
+  EXPECT_DOUBLE_EQ(SaCaCcScore(net_, team_, 1.0, gamma), sa);
+}
+
+TEST_F(ObjectivesTest, EvaluateObjectiveDispatch) {
+  ObjectiveParams p{.gamma = 0.6, .lambda = 0.6};
+  EXPECT_DOUBLE_EQ(EvaluateObjective(net_, team_, RankingStrategy::kCC, p),
+                   CommunicationCost(team_));
+  EXPECT_DOUBLE_EQ(EvaluateObjective(net_, team_, RankingStrategy::kCACC, p),
+                   CaCcScore(net_, team_, 0.6));
+  EXPECT_DOUBLE_EQ(EvaluateObjective(net_, team_, RankingStrategy::kSACACC, p),
+                   SaCaCcScore(net_, team_, 0.6, 0.6));
+}
+
+TEST_F(ObjectivesTest, BreakdownConsistent) {
+  ObjectiveParams p{.gamma = 0.3, .lambda = 0.7};
+  ObjectiveBreakdown b = ComputeBreakdown(net_, team_, p);
+  EXPECT_DOUBLE_EQ(b.cc, CommunicationCost(team_));
+  EXPECT_DOUBLE_EQ(b.ca, ConnectorAuthority(net_, team_));
+  EXPECT_DOUBLE_EQ(b.sa, SkillHolderAuthority(net_, team_));
+  EXPECT_DOUBLE_EQ(b.ca_cc, 0.3 * b.ca + 0.7 * b.cc);
+  EXPECT_DOUBLE_EQ(b.sa_ca_cc, 0.7 * b.sa + 0.3 * b.ca_cc);
+}
+
+TEST_F(ObjectivesTest, Figure1TeamABeatsTeamB) {
+  // The paper's motivating claim: team (a) (high-authority members) scores
+  // better on authority-aware objectives than team (b) at equal CC.
+  TeamAssembler assembler(net_, 5);
+  TD_CHECK_OK(assembler.AddAssignment(net_.skills().Find("SN"), 3, {5, 3}));
+  TD_CHECK_OK(assembler.AddAssignment(net_.skills().Find("TM"), 4, {5, 4}));
+  Team team_b = assembler.Finish().ValueOrDie();
+  EXPECT_DOUBLE_EQ(CommunicationCost(team_), CommunicationCost(team_b));
+  EXPECT_LT(ConnectorAuthority(net_, team_), ConnectorAuthority(net_, team_b));
+  EXPECT_LT(SkillHolderAuthority(net_, team_),
+            SkillHolderAuthority(net_, team_b));
+  ObjectiveParams p{.gamma = 0.6, .lambda = 0.6};
+  EXPECT_LT(EvaluateObjective(net_, team_, RankingStrategy::kSACACC, p),
+            EvaluateObjective(net_, team_b, RankingStrategy::kSACACC, p));
+}
+
+TEST(ObjectiveParamsTest, Validation) {
+  EXPECT_TRUE((ObjectiveParams{.gamma = 0.0, .lambda = 1.0}).Validate().ok());
+  EXPECT_FALSE((ObjectiveParams{.gamma = -0.1, .lambda = 0.5}).Validate().ok());
+  EXPECT_FALSE((ObjectiveParams{.gamma = 0.5, .lambda = 1.0001}).Validate().ok());
+}
+
+TEST(RankingStrategyTest, Names) {
+  EXPECT_EQ(RankingStrategyToString(RankingStrategy::kCC), "CC");
+  EXPECT_EQ(RankingStrategyToString(RankingStrategy::kCACC), "CA-CC");
+  EXPECT_EQ(RankingStrategyToString(RankingStrategy::kSACACC), "SA-CA-CC");
+}
+
+TEST(ObjectivesEdgeCaseTest, SingleNodeTeam) {
+  ExpertNetwork net = MediumNetwork();
+  Team team;
+  team.nodes = {2};
+  team.assignments = {SkillAssignment{net.skills().Find("a"), 2},
+                      SkillAssignment{net.skills().Find("c"), 2}};
+  EXPECT_DOUBLE_EQ(CommunicationCost(team), 0.0);
+  EXPECT_DOUBLE_EQ(ConnectorAuthority(net, team), 0.0);
+  EXPECT_DOUBLE_EQ(SkillHolderAuthority(net, team), 0.25);  // a'(e2) = 1/4
+}
+
+}  // namespace
+}  // namespace teamdisc

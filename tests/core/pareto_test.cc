@@ -1,0 +1,185 @@
+#include "core/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+#include "core/objectives.h"
+
+namespace teamdisc {
+namespace {
+
+ParetoTeam PT(double cc, double ca, double sa) {
+  ParetoTeam t;
+  t.cc = cc;
+  t.ca = ca;
+  t.sa = sa;
+  return t;
+}
+
+TEST(DominatesTest, StrictAndEqualCases) {
+  EXPECT_TRUE(Dominates(PT(1, 1, 1), PT(2, 2, 2)));
+  EXPECT_TRUE(Dominates(PT(1, 2, 2), PT(2, 2, 2)));
+  EXPECT_FALSE(Dominates(PT(2, 2, 2), PT(2, 2, 2)));  // equal: no domination
+  EXPECT_FALSE(Dominates(PT(1, 3, 1), PT(2, 2, 2)));  // trade-off
+  EXPECT_FALSE(Dominates(PT(2, 2, 2), PT(1, 1, 1)));
+}
+
+TEST(NonDominatedFilterTest, KeepsFrontOnly) {
+  std::vector<ParetoTeam> pool = {
+      PT(1, 5, 5), PT(5, 1, 5), PT(5, 5, 1),  // extremes: kept
+      PT(6, 6, 6),                            // dominated by all extremes
+      PT(3, 3, 3),                            // incomparable: kept
+  };
+  auto front = NonDominatedFilter(pool);
+  EXPECT_EQ(front.size(), 4u);
+  for (const auto& t : front) {
+    EXPECT_FALSE(t.cc == 6 && t.ca == 6 && t.sa == 6);
+  }
+}
+
+TEST(NonDominatedFilterTest, DuplicateVectorsCollapsed) {
+  std::vector<ParetoTeam> pool = {PT(1, 1, 1), PT(1, 1, 1), PT(1, 1, 1)};
+  EXPECT_EQ(NonDominatedFilter(pool).size(), 1u);
+}
+
+TEST(NonDominatedFilterTest, EmptyPool) {
+  EXPECT_TRUE(NonDominatedFilter({}).empty());
+}
+
+TEST(NonDominatedFilterTest, MutualNonDominationPreservesAll) {
+  std::vector<ParetoTeam> pool = {PT(1, 2, 3), PT(2, 3, 1), PT(3, 1, 2)};
+  EXPECT_EQ(NonDominatedFilter(pool).size(), 3u);
+}
+
+TEST(Hypervolume3DTest, SinglePointBoxVolume) {
+  // Point (1,1,1), reference (3,4,5): box volume 2*3*4 = 24.
+  EXPECT_DOUBLE_EQ(Hypervolume3D({{1, 1, 1}}, {3, 4, 5}), 24.0);
+}
+
+TEST(Hypervolume3DTest, PointOutsideReferenceIgnored) {
+  EXPECT_DOUBLE_EQ(Hypervolume3D({{5, 1, 1}}, {3, 4, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(Hypervolume3D({}, {3, 4, 5}), 0.0);
+}
+
+TEST(Hypervolume3DTest, DominatedPointAddsNothing) {
+  double alone = Hypervolume3D({{1, 1, 1}}, {4, 4, 4});
+  double with_dominated = Hypervolume3D({{1, 1, 1}, {2, 2, 2}}, {4, 4, 4});
+  EXPECT_DOUBLE_EQ(alone, with_dominated);
+}
+
+TEST(Hypervolume3DTest, DisjointBoxesAdd) {
+  // Two points dominating disjoint regions w.r.t. ref (2,2,2):
+  // (0,0,1): 2*2*1 = 4 over sa in [1,2]; (1,1,0): 1*1*2 = 2 total;
+  // union: brute check below.
+  double hv = Hypervolume3D({{0, 0, 1}, {1, 1, 0}}, {2, 2, 2});
+  // Monte-Carlo-free check by decomposition:
+  // sa in [0,1): only (1,1,0) active: area (2-1)*(2-1)=1 -> volume 1.
+  // sa in [1,2): both active: union area = (2-0)*(2-0) minus nothing for
+  //   (0,0) dominating all = 4 -> volume 4. Total 5.
+  EXPECT_DOUBLE_EQ(hv, 5.0);
+}
+
+TEST(Hypervolume3DTest, UnionNotSum) {
+  // Overlapping boxes must not double count.
+  double hv = Hypervolume3D({{0, 1, 0}, {1, 0, 0}}, {2, 2, 2});
+  // sa slab [0,2): union area of (cc,ca) rects (0,1)&(1,0) w.r.t. (2,2):
+  // (2-0)*(2-1) + (2-1)*(1-0) = 2 + 1 = 3; volume = 3*2 = 6.
+  EXPECT_DOUBLE_EQ(hv, 6.0);
+}
+
+TEST(HypervolumeContributionTest, ExtremesAndCenter) {
+  std::vector<ParetoTeam> front = {PT(1, 5, 5), PT(5, 1, 5), PT(5, 5, 1),
+                                   PT(3, 3, 3)};
+  ComputeHypervolumeContributions(front);
+  for (const auto& t : front) {
+    EXPECT_GT(t.interestingness, 0.0);  // every front member is exclusive
+  }
+}
+
+TEST(HypervolumeContributionTest, DuplicateHasZeroContribution) {
+  std::vector<ParetoTeam> front = {PT(1, 2, 3), PT(1, 2, 3)};
+  ComputeHypervolumeContributions(front);
+  EXPECT_NEAR(front[0].interestingness, 0.0, 1e-12);
+  EXPECT_NEAR(front[1].interestingness, 0.0, 1e-12);
+}
+
+TEST(HypervolumeContributionTest, SingletonGetsFullVolume) {
+  std::vector<ParetoTeam> front = {PT(1, 1, 1)};
+  ComputeHypervolumeContributions(front);
+  EXPECT_GT(front[0].interestingness, 0.0);
+}
+
+class ParetoDiscoveryTest : public testing::Test {
+ protected:
+  ParetoDiscoveryTest() : net_(MediumNetwork()) {
+    options_.grid_points = 3;
+    options_.teams_per_cell = 2;
+    options_.random_teams = 50;
+    options_.oracle = OracleKind::kDijkstra;  // cheap on tiny graphs
+  }
+  ExpertNetwork net_;
+  ParetoOptions options_;
+};
+
+TEST_F(ParetoDiscoveryTest, FrontIsMutuallyNonDominated) {
+  Project project = {net_.skills().Find("a"), net_.skills().Find("b"),
+                     net_.skills().Find("d")};
+  auto front = DiscoverParetoTeams(net_, project, options_).ValueOrDie();
+  ASSERT_FALSE(front.empty());
+  for (size_t i = 0; i < front.size(); ++i) {
+    EXPECT_TRUE(front[i].team.Covers(project));
+    EXPECT_TRUE(front[i].team.Validate(net_).ok());
+    for (size_t j = 0; j < front.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(Dominates(front[i], front[j]));
+      }
+    }
+  }
+}
+
+TEST_F(ParetoDiscoveryTest, ObjectiveVectorsMatchTeams) {
+  Project project = {net_.skills().Find("a"), net_.skills().Find("c")};
+  auto front = DiscoverParetoTeams(net_, project, options_).ValueOrDie();
+  for (const ParetoTeam& t : front) {
+    EXPECT_DOUBLE_EQ(t.cc, CommunicationCost(t.team));
+    EXPECT_DOUBLE_EQ(t.ca, ConnectorAuthority(net_, t.team));
+    EXPECT_DOUBLE_EQ(t.sa, SkillHolderAuthority(net_, t.team));
+  }
+}
+
+TEST_F(ParetoDiscoveryTest, SortedByInterestingness) {
+  Project project = {net_.skills().Find("a"), net_.skills().Find("b")};
+  auto front = DiscoverParetoTeams(net_, project, options_).ValueOrDie();
+  for (size_t i = 0; i + 1 < front.size(); ++i) {
+    EXPECT_GE(front[i].interestingness, front[i + 1].interestingness);
+  }
+}
+
+TEST_F(ParetoDiscoveryTest, InfeasibleProject) {
+  auto result = DiscoverParetoTeams(net_, {4242}, options_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ParetoDiscoveryTest, OptionValidation) {
+  ParetoOptions bad = options_;
+  bad.grid_points = 1;
+  EXPECT_FALSE(DiscoverParetoTeams(net_, {net_.skills().Find("a")}, bad).ok());
+  bad = options_;
+  bad.teams_per_cell = 0;
+  EXPECT_FALSE(DiscoverParetoTeams(net_, {net_.skills().Find("a")}, bad).ok());
+}
+
+TEST_F(ParetoDiscoveryTest, FrontContainsCcOptimalDirection) {
+  // The front must contain a team at least as good on CC as any other
+  // candidate: the CC-greedy seed guarantees the CC direction is explored.
+  Project project = {net_.skills().Find("a"), net_.skills().Find("d")};
+  auto front = DiscoverParetoTeams(net_, project, options_).ValueOrDie();
+  double best_cc = front[0].cc;
+  for (const auto& t : front) best_cc = std::min(best_cc, t.cc);
+  // e0/e8 hold a; e5/e6/e9 hold d. Best CC route: 0-3(0.4)-7(0.2)-6(0.3)=0.9
+  // or similar; just assert a sane bound.
+  EXPECT_LE(best_cc, 1.2);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,93 @@
+#include "core/random_team_finder.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+#include "shortest_path/dijkstra.h"
+
+namespace teamdisc {
+namespace {
+
+class RandomFinderTest : public testing::Test {
+ protected:
+  RandomFinderTest() : net_(MediumNetwork()), oracle_(net_.graph()) {}
+  RandomFinderOptions Options(uint32_t samples = 200, uint64_t seed = 1) {
+    RandomFinderOptions o;
+    o.num_samples = samples;
+    o.seed = seed;
+    return o;
+  }
+  ExpertNetwork net_;
+  DijkstraOracle oracle_;
+};
+
+TEST_F(RandomFinderTest, ProducesValidCoveringTeam) {
+  auto finder = RandomTeamFinder::Make(net_, oracle_, Options()).ValueOrDie();
+  Project project = {net_.skills().Find("a"), net_.skills().Find("b"),
+                     net_.skills().Find("d")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  ASSERT_FALSE(teams.empty());
+  EXPECT_TRUE(teams[0].team.Covers(project));
+  EXPECT_TRUE(teams[0].team.Validate(net_).ok());
+}
+
+TEST_F(RandomFinderTest, DeterministicForSeed) {
+  Project project = {net_.skills().Find("a"), net_.skills().Find("c")};
+  auto f1 = RandomTeamFinder::Make(net_, oracle_, Options(100, 9)).ValueOrDie();
+  auto f2 = RandomTeamFinder::Make(net_, oracle_, Options(100, 9)).ValueOrDie();
+  auto t1 = f1->FindTeams(project).ValueOrDie();
+  auto t2 = f2->FindTeams(project).ValueOrDie();
+  EXPECT_EQ(t1[0].team.Signature(), t2[0].team.Signature());
+  EXPECT_DOUBLE_EQ(t1[0].objective, t2[0].objective);
+}
+
+TEST_F(RandomFinderTest, MoreSamplesNeverWorse) {
+  Project project = {net_.skills().Find("a"), net_.skills().Find("b"),
+                     net_.skills().Find("d")};
+  auto few = RandomTeamFinder::Make(net_, oracle_, Options(5, 3)).ValueOrDie();
+  auto many = RandomTeamFinder::Make(net_, oracle_, Options(500, 3)).ValueOrDie();
+  double obj_few = few->FindTeams(project).ValueOrDie()[0].objective;
+  double obj_many = many->FindTeams(project).ValueOrDie()[0].objective;
+  // The first 5 samples are a prefix of the 500: the best can only improve.
+  EXPECT_LE(obj_many, obj_few + 1e-12);
+}
+
+TEST_F(RandomFinderTest, TopKOrdered) {
+  RandomFinderOptions o = Options(300, 4);
+  o.top_k = 5;
+  auto finder = RandomTeamFinder::Make(net_, oracle_, o).ValueOrDie();
+  auto teams =
+      finder->FindTeams({net_.skills().Find("a"), net_.skills().Find("d")})
+          .ValueOrDie();
+  for (size_t i = 0; i + 1 < teams.size(); ++i) {
+    EXPECT_LE(teams[i].objective, teams[i + 1].objective);
+  }
+}
+
+TEST_F(RandomFinderTest, InfeasibleSkill) {
+  auto finder = RandomTeamFinder::Make(net_, oracle_, Options()).ValueOrDie();
+  EXPECT_TRUE(finder->FindTeams({12345}).status().IsInfeasible());
+}
+
+TEST_F(RandomFinderTest, EmptyProjectRejected) {
+  auto finder = RandomTeamFinder::Make(net_, oracle_, Options()).ValueOrDie();
+  EXPECT_TRUE(finder->FindTeams({}).status().IsInvalidArgument());
+}
+
+TEST_F(RandomFinderTest, MismatchedOracleRejected) {
+  ExpertNetwork other = Figure1Network();
+  DijkstraOracle other_oracle(other.graph());
+  EXPECT_FALSE(RandomTeamFinder::Make(net_, other_oracle, Options()).ok());
+}
+
+TEST_F(RandomFinderTest, OptionValidation) {
+  RandomFinderOptions o = Options();
+  o.num_samples = 0;
+  EXPECT_FALSE(RandomTeamFinder::Make(net_, oracle_, o).ok());
+  o = Options();
+  o.params.lambda = -1.0;
+  EXPECT_FALSE(RandomTeamFinder::Make(net_, oracle_, o).ok());
+}
+
+}  // namespace
+}  // namespace teamdisc

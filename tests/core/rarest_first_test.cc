@@ -1,0 +1,84 @@
+#include "core/rarest_first.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+#include "shortest_path/dijkstra.h"
+
+namespace teamdisc {
+namespace {
+
+class RarestFirstTest : public testing::Test {
+ protected:
+  RarestFirstTest() : net_(MediumNetwork()), oracle_(net_.graph()) {}
+  ExpertNetwork net_;
+  DijkstraOracle oracle_;
+};
+
+TEST_F(RarestFirstTest, ProducesValidCoveringTeam) {
+  auto finder =
+      RarestFirstFinder::Make(net_, oracle_, RarestFirstOptions{}).ValueOrDie();
+  Project project = {net_.skills().Find("a"), net_.skills().Find("b"),
+                     net_.skills().Find("c"), net_.skills().Find("d")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  ASSERT_FALSE(teams.empty());
+  EXPECT_TRUE(teams[0].team.Covers(project));
+  EXPECT_TRUE(teams[0].team.Validate(net_).ok());
+}
+
+TEST_F(RarestFirstTest, LeaderHoldsRarestSkill) {
+  // Skill "c" has 2 holders (e2, e4) - the rarest along with "b".
+  auto finder =
+      RarestFirstFinder::Make(net_, oracle_, RarestFirstOptions{}).ValueOrDie();
+  Project project = {net_.skills().Find("a"), net_.skills().Find("b")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  // "b" (2 holders: e1, e6) is rarer than "a" (3 holders): leader in {1, 6}.
+  NodeId leader = teams[0].team.root;
+  EXPECT_TRUE(leader == 1 || leader == 6);
+}
+
+TEST_F(RarestFirstTest, DiameterObjectiveRuns) {
+  RarestFirstOptions o;
+  o.objective = RarestFirstObjective::kDiameter;
+  auto finder = RarestFirstFinder::Make(net_, oracle_, o).ValueOrDie();
+  Project project = {net_.skills().Find("a"), net_.skills().Find("d")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  EXPECT_TRUE(teams[0].team.Covers(project));
+}
+
+TEST_F(RarestFirstTest, TopKBoundedByLeaders) {
+  RarestFirstOptions o;
+  o.top_k = 10;
+  auto finder = RarestFirstFinder::Make(net_, oracle_, o).ValueOrDie();
+  Project project = {net_.skills().Find("a"), net_.skills().Find("b")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  // At most one candidate per rarest-skill holder.
+  EXPECT_LE(teams.size(), 2u);
+  for (size_t i = 0; i + 1 < teams.size(); ++i) {
+    EXPECT_LE(teams[i].proxy_cost, teams[i + 1].proxy_cost);
+  }
+}
+
+TEST_F(RarestFirstTest, InfeasibleSkill) {
+  auto finder =
+      RarestFirstFinder::Make(net_, oracle_, RarestFirstOptions{}).ValueOrDie();
+  EXPECT_TRUE(finder->FindTeams({9999}).status().IsInfeasible());
+}
+
+TEST_F(RarestFirstTest, SingleSkillProject) {
+  auto finder =
+      RarestFirstFinder::Make(net_, oracle_, RarestFirstOptions{}).ValueOrDie();
+  auto teams = finder->FindTeams({net_.skills().Find("c")}).ValueOrDie();
+  EXPECT_EQ(teams[0].team.nodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(teams[0].objective, 0.0);
+}
+
+TEST_F(RarestFirstTest, MismatchedOracleRejected) {
+  ExpertNetwork other = Figure1Network();
+  DijkstraOracle other_oracle(other.graph());
+  EXPECT_FALSE(
+      RarestFirstFinder::Make(net_, other_oracle, RarestFirstOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace teamdisc

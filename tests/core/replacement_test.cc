@@ -1,0 +1,115 @@
+#include "core/replacement.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+#include "core/greedy_team_finder.h"
+#include "shortest_path/dijkstra.h"
+
+namespace teamdisc {
+namespace {
+
+class ReplacementTest : public testing::Test {
+ protected:
+  ReplacementTest() : net_(MediumNetwork()), oracle_(net_.graph()) {
+    FinderOptions o;
+    o.strategy = RankingStrategy::kSACACC;
+    auto finder = GreedyTeamFinder::Make(net_, o).ValueOrDie();
+    project_ = {net_.skills().Find("a"), net_.skills().Find("b"),
+                net_.skills().Find("d")};
+    team_ = finder->FindBest(project_).ValueOrDie();
+  }
+  ExpertNetwork net_;
+  DijkstraOracle oracle_;
+  Project project_;
+  Team team_;
+};
+
+TEST_F(ReplacementTest, ProposesValidRepairs) {
+  NodeId leaving = team_.assignments[0].expert;
+  auto repairs = ProposeReplacements(net_, oracle_, team_, project_, leaving,
+                                     ReplacementOptions{})
+                     .ValueOrDie();
+  ASSERT_FALSE(repairs.empty());
+  for (const ReplacementCandidate& rc : repairs) {
+    EXPECT_NE(rc.substitute, leaving);
+    EXPECT_FALSE(rc.repaired_team.Contains(leaving));
+    EXPECT_TRUE(rc.repaired_team.Covers(project_));
+    EXPECT_TRUE(rc.repaired_team.Validate(net_).ok());
+  }
+  // Sorted by objective.
+  for (size_t i = 0; i + 1 < repairs.size(); ++i) {
+    EXPECT_LE(repairs[i].objective, repairs[i + 1].objective);
+  }
+}
+
+TEST_F(ReplacementTest, SubstituteHoldsAllLostSkills) {
+  NodeId leaving = team_.assignments[0].expert;
+  std::vector<SkillId> lost;
+  for (const SkillAssignment& a : team_.assignments) {
+    if (a.expert == leaving) lost.push_back(a.skill);
+  }
+  auto repairs = ProposeReplacements(net_, oracle_, team_, project_, leaving,
+                                     ReplacementOptions{})
+                     .ValueOrDie();
+  for (const ReplacementCandidate& rc : repairs) {
+    for (SkillId s : lost) EXPECT_TRUE(net_.HasSkill(rc.substitute, s));
+  }
+}
+
+TEST_F(ReplacementTest, NonMemberRejected) {
+  // An expert with no assignment in the team cannot "leave".
+  NodeId connector = kInvalidNode;
+  for (NodeId v : team_.Connectors()) {
+    connector = v;
+    break;
+  }
+  if (connector == kInvalidNode) GTEST_SKIP() << "team has no connector";
+  auto result = ProposeReplacements(net_, oracle_, team_, project_, connector,
+                                    ReplacementOptions{});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(ReplacementTest, InfeasibleWhenNoAlternativeHolder) {
+  // Build a tiny net where only one expert holds the skill.
+  ExpertNetworkBuilder b;
+  b.AddExpert("only", {"rare"}, 1.0);
+  b.AddExpert("other", {"common"}, 1.0);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.5));
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  DijkstraOracle oracle(net.graph());
+  Team team;
+  team.nodes = {0, 1};
+  team.edges = {Edge{0, 1, 0.5}};
+  team.root = 0;
+  team.assignments = {SkillAssignment{net.skills().Find("common"), 1},
+                      SkillAssignment{net.skills().Find("rare"), 0}};
+  std::sort(team.assignments.begin(), team.assignments.end(),
+            [](const SkillAssignment& x, const SkillAssignment& y) {
+              return x.skill < y.skill;
+            });
+  Project project = {net.skills().Find("rare"), net.skills().Find("common")};
+  auto result = ProposeReplacements(net, oracle, team, project, 0,
+                                    ReplacementOptions{});
+  EXPECT_TRUE(result.status().IsInfeasible());
+}
+
+TEST_F(ReplacementTest, TopKLimitsResults) {
+  NodeId leaving = team_.assignments[0].expert;
+  ReplacementOptions o;
+  o.top_k = 1;
+  auto repairs =
+      ProposeReplacements(net_, oracle_, team_, project_, leaving, o).ValueOrDie();
+  EXPECT_EQ(repairs.size(), 1u);
+}
+
+TEST_F(ReplacementTest, OptionValidation) {
+  ReplacementOptions o;
+  o.top_k = 0;
+  NodeId leaving = team_.assignments[0].expert;
+  EXPECT_FALSE(
+      ProposeReplacements(net_, oracle_, team_, project_, leaving, o).ok());
+}
+
+}  // namespace
+}  // namespace teamdisc

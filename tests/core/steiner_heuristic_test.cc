@@ -1,0 +1,118 @@
+#include "core/steiner_heuristic_finder.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+#include "core/brute_force_finder.h"
+#include "shortest_path/dijkstra.h"
+
+namespace teamdisc {
+namespace {
+
+class SteinerHeuristicTest : public testing::Test {
+ protected:
+  SteinerHeuristicTest() : net_(MediumNetwork()), oracle_(net_.graph()) {}
+  ExpertNetwork net_;
+  DijkstraOracle oracle_;
+};
+
+TEST_F(SteinerHeuristicTest, ProducesValidCoveringTeam) {
+  auto finder = SteinerHeuristicFinder::Make(net_, oracle_,
+                                             SteinerHeuristicOptions{})
+                    .ValueOrDie();
+  Project project = {net_.skills().Find("a"), net_.skills().Find("b"),
+                     net_.skills().Find("c"), net_.skills().Find("d")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  ASSERT_FALSE(teams.empty());
+  EXPECT_TRUE(teams[0].team.Covers(project));
+  EXPECT_TRUE(teams[0].team.Validate(net_).ok());
+  EXPECT_DOUBLE_EQ(teams[0].objective, CommunicationCost(teams[0].team));
+}
+
+TEST_F(SteinerHeuristicTest, SingleHolderProjectIsSolo) {
+  auto finder = SteinerHeuristicFinder::Make(net_, oracle_,
+                                             SteinerHeuristicOptions{})
+                    .ValueOrDie();
+  auto teams = finder->FindTeams({net_.skills().Find("c")}).ValueOrDie();
+  EXPECT_EQ(teams[0].team.nodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(teams[0].objective, 0.0);
+}
+
+TEST_F(SteinerHeuristicTest, NeverBeatsExactCc) {
+  auto finder = SteinerHeuristicFinder::Make(net_, oracle_,
+                                             SteinerHeuristicOptions{})
+                    .ValueOrDie();
+  auto brute =
+      BruteForceFinder::Make(net_, RankingStrategy::kCC, ObjectiveParams{})
+          .ValueOrDie();
+  Project project = {net_.skills().Find("a"), net_.skills().Find("b"),
+                     net_.skills().Find("d")};
+  double heuristic = finder->FindTeams(project).ValueOrDie()[0].objective;
+  double optimal = brute->FindTeams(project).ValueOrDie()[0].objective;
+  EXPECT_GE(heuristic, optimal - 1e-9);
+  // ... and stays within a small factor on this benign instance.
+  EXPECT_LE(heuristic, 3.0 * optimal + 1e-9);
+}
+
+TEST_F(SteinerHeuristicTest, PropertySweepValidAndBounded) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    ExpertNetwork net = RandomSmallNetwork(12, 3, seed);
+    DijkstraOracle oracle(net.graph());
+    auto finder =
+        SteinerHeuristicFinder::Make(net, oracle, SteinerHeuristicOptions{})
+            .ValueOrDie();
+    auto brute =
+        BruteForceFinder::Make(net, RankingStrategy::kCC, ObjectiveParams{})
+            .ValueOrDie();
+    Project project = {net.skills().Find("s0"), net.skills().Find("s1"),
+                       net.skills().Find("s2")};
+    auto heuristic = finder->FindTeams(project);
+    auto optimal = brute->FindTeams(project);
+    ASSERT_EQ(heuristic.ok(), optimal.ok()) << "seed " << seed;
+    if (!heuristic.ok()) continue;
+    EXPECT_TRUE(heuristic.ValueOrDie()[0].team.Validate(net).ok());
+    EXPECT_GE(heuristic.ValueOrDie()[0].objective,
+              optimal.ValueOrDie()[0].objective - 1e-9);
+  }
+}
+
+TEST_F(SteinerHeuristicTest, MaxLeadersCapsSearch) {
+  SteinerHeuristicOptions options;
+  options.max_leaders = 1;
+  auto finder =
+      SteinerHeuristicFinder::Make(net_, oracle_, options).ValueOrDie();
+  Project project = {net_.skills().Find("a"), net_.skills().Find("b")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  EXPECT_TRUE(teams[0].team.Covers(project));
+}
+
+TEST_F(SteinerHeuristicTest, TopKOrdered) {
+  SteinerHeuristicOptions options;
+  options.top_k = 3;
+  auto finder =
+      SteinerHeuristicFinder::Make(net_, oracle_, options).ValueOrDie();
+  Project project = {net_.skills().Find("a"), net_.skills().Find("d")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  for (size_t i = 0; i + 1 < teams.size(); ++i) {
+    EXPECT_LE(teams[i].objective, teams[i + 1].objective);
+  }
+}
+
+TEST_F(SteinerHeuristicTest, ErrorPaths) {
+  auto finder = SteinerHeuristicFinder::Make(net_, oracle_,
+                                             SteinerHeuristicOptions{})
+                    .ValueOrDie();
+  EXPECT_TRUE(finder->FindTeams({}).status().IsInvalidArgument());
+  EXPECT_TRUE(finder->FindTeams({777}).status().IsInfeasible());
+  SteinerHeuristicOptions bad;
+  bad.top_k = 0;
+  EXPECT_FALSE(SteinerHeuristicFinder::Make(net_, oracle_, bad).ok());
+  ExpertNetwork other = Figure1Network();
+  DijkstraOracle other_oracle(other.graph());
+  EXPECT_FALSE(SteinerHeuristicFinder::Make(net_, other_oracle,
+                                            SteinerHeuristicOptions{})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,103 @@
+// Property sweep: the node-weighted Dreyfus–Wagner solver must match an
+// independent brute-force enumerator (all node subsets, induced MST) on
+// random small graphs with random node costs.
+#include <gtest/gtest.h>
+
+#include "core/steiner.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_generators.h"
+
+namespace teamdisc {
+namespace {
+
+struct SteinerCase {
+  NodeId n;
+  uint32_t terminals;
+  uint64_t seed;
+  bool node_costs;
+};
+
+std::string CaseName(const testing::TestParamInfo<SteinerCase>& info) {
+  return "n" + std::to_string(info.param.n) + "_t" +
+         std::to_string(info.param.terminals) + "_s" +
+         std::to_string(info.param.seed) +
+         (info.param.node_costs ? "_nw" : "_ew");
+}
+
+/// Brute force: min over connected node subsets containing all terminals of
+/// (induced MST weight + node costs of non-terminals in the subset).
+double BruteForceSteiner(const Graph& g, const std::vector<double>& costs,
+                         const std::vector<NodeId>& terminals) {
+  const NodeId n = g.num_nodes();
+  uint32_t required = 0;
+  for (NodeId t : terminals) required |= 1u << t;
+  double best = kInfDistance;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    if ((mask & required) != required) continue;
+    std::vector<NodeId> subset;
+    for (NodeId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) subset.push_back(v);
+    }
+    auto sub = InducedSubgraph(g, subset).ValueOrDie();
+    if (ConnectedComponents(sub.graph).num_components() != 1) continue;
+    double cost = MinimumSpanningForestWeight(sub.graph);
+    for (NodeId v : subset) {
+      if (std::find(terminals.begin(), terminals.end(), v) == terminals.end()) {
+        cost += costs[v];
+      }
+    }
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+class SteinerPropertyTest : public testing::TestWithParam<SteinerCase> {};
+
+TEST_P(SteinerPropertyTest, MatchesBruteForce) {
+  const SteinerCase& c = GetParam();
+  Rng rng(c.seed);
+  Graph g = RandomConnectedGraph(c.n, c.n / 2, rng).ValueOrDie();
+  std::vector<double> costs(c.n, 0.0);
+  if (c.node_costs) {
+    for (double& cost : costs) cost = rng.NextDouble(0.0, 2.0);
+  }
+  std::vector<NodeId> terminals;
+  for (uint32_t t : rng.SampleWithoutReplacement(c.n, c.terminals)) {
+    terminals.push_back(t);
+  }
+  SteinerSolver solver = SteinerSolver::Make(g, costs).ValueOrDie();
+  SteinerTree tree = solver.Solve(terminals).ValueOrDie();
+  double expected = BruteForceSteiner(g, costs, terminals);
+  EXPECT_NEAR(tree.cost, expected, 1e-9);
+  // The recovered structure is a tree spanning its nodes and containing
+  // every terminal.
+  EXPECT_EQ(tree.edges.size() + 1, tree.nodes.size());
+  for (NodeId t : terminals) {
+    EXPECT_TRUE(std::binary_search(tree.nodes.begin(), tree.nodes.end(), t));
+  }
+  UnionFind uf(g.num_nodes());
+  for (const Edge& e : tree.edges) uf.Union(e.u, e.v);
+  for (size_t i = 1; i < tree.nodes.size(); ++i) {
+    EXPECT_EQ(uf.Find(tree.nodes[0]), uf.Find(tree.nodes[i]));
+  }
+}
+
+std::vector<SteinerCase> MakeCases() {
+  std::vector<SteinerCase> cases;
+  for (NodeId n : {6u, 9u, 12u}) {
+    for (uint32_t terminals : {2u, 3u, 4u}) {
+      for (uint64_t seed : {1u, 2u, 3u}) {
+        for (bool node_costs : {false, true}) {
+          if (terminals <= n) cases.push_back({n, terminals, seed, node_costs});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SteinerPropertyTest,
+                         testing::ValuesIn(MakeCases()), CaseName);
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,151 @@
+#include "core/steiner.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algos.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+
+namespace teamdisc {
+namespace {
+
+double EdgeSum(const SteinerTree& tree) {
+  double total = 0.0;
+  for (const Edge& e : tree.edges) total += e.weight;
+  return total;
+}
+
+TEST(SteinerTest, TwoTerminalsIsShortestPath) {
+  Graph g = PathGraph(6, 2.0).ValueOrDie();
+  SteinerSolver solver = SteinerSolver::Make(g).ValueOrDie();
+  SteinerTree tree = solver.Solve({0, 5}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(tree.cost, 10.0);
+  EXPECT_EQ(tree.edges.size(), 5u);
+  EXPECT_EQ(tree.nodes.size(), 6u);
+}
+
+TEST(SteinerTest, SingleTerminalIsFree) {
+  Graph g = PathGraph(4).ValueOrDie();
+  SteinerSolver solver = SteinerSolver::Make(g).ValueOrDie();
+  SteinerTree tree = solver.Solve({2}).ValueOrDie();
+  EXPECT_EQ(tree.cost, 0.0);
+  EXPECT_EQ(tree.nodes, (std::vector<NodeId>{2}));
+  EXPECT_TRUE(tree.edges.empty());
+}
+
+TEST(SteinerTest, DuplicateTerminalsIgnored) {
+  Graph g = PathGraph(4).ValueOrDie();
+  SteinerSolver solver = SteinerSolver::Make(g).ValueOrDie();
+  SteinerTree tree = solver.Solve({0, 0, 3, 3}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(tree.cost, 3.0);
+}
+
+TEST(SteinerTest, StarCenterUsedAsSteinerPoint) {
+  Graph g = StarGraph(5, 1.0).ValueOrDie();
+  SteinerSolver solver = SteinerSolver::Make(g).ValueOrDie();
+  SteinerTree tree = solver.Solve({1, 2, 3}).ValueOrDie();
+  // Optimal tree: leaves 1,2,3 through the center 0: cost 3.
+  EXPECT_DOUBLE_EQ(tree.cost, 3.0);
+  EXPECT_EQ(tree.nodes.size(), 4u);
+  EXPECT_TRUE(std::binary_search(tree.nodes.begin(), tree.nodes.end(), 0u));
+}
+
+TEST(SteinerTest, ClassicSteinerPointBeatsDirectLinks) {
+  // Triangle terminals 0,1,2 pairwise cost 2; hub 3 connects each for 1.1.
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 2.0));
+  TD_CHECK_OK(b.AddEdge(1, 2, 2.0));
+  TD_CHECK_OK(b.AddEdge(0, 2, 2.0));
+  TD_CHECK_OK(b.AddEdge(0, 3, 1.1));
+  TD_CHECK_OK(b.AddEdge(1, 3, 1.1));
+  TD_CHECK_OK(b.AddEdge(2, 3, 1.1));
+  Graph g = b.Finish().ValueOrDie();
+  SteinerSolver solver = SteinerSolver::Make(g).ValueOrDie();
+  SteinerTree tree = solver.Solve({0, 1, 2}).ValueOrDie();
+  EXPECT_NEAR(tree.cost, 3.3, 1e-9);
+  EXPECT_EQ(tree.nodes.size(), 4u);
+}
+
+TEST(SteinerTest, NodeCostsSteerAwayFromExpensiveConnectors) {
+  // Two routes 0 -> 3: via node 1 (cheap edges, HIGH node cost) or via
+  // node 2 (pricier edges, zero node cost).
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(1, 3, 1.0));
+  TD_CHECK_OK(b.AddEdge(0, 2, 1.4));
+  TD_CHECK_OK(b.AddEdge(2, 3, 1.4));
+  Graph g = b.Finish().ValueOrDie();
+  std::vector<double> costs = {0.0, 5.0, 0.0, 0.0};
+  SteinerSolver solver = SteinerSolver::Make(g, costs).ValueOrDie();
+  SteinerTree tree = solver.Solve({0, 3}).ValueOrDie();
+  EXPECT_NEAR(tree.cost, 2.8, 1e-9);
+  EXPECT_TRUE(std::binary_search(tree.nodes.begin(), tree.nodes.end(), 2u));
+  EXPECT_FALSE(std::binary_search(tree.nodes.begin(), tree.nodes.end(), 1u));
+}
+
+TEST(SteinerTest, TerminalNodeCostsNotCharged) {
+  Graph g = PathGraph(3, 1.0).ValueOrDie();
+  std::vector<double> costs = {100.0, 2.0, 100.0};  // terminals are expensive
+  SteinerSolver solver = SteinerSolver::Make(g, costs).ValueOrDie();
+  SteinerTree tree = solver.Solve({0, 2}).ValueOrDie();
+  // Edge cost 2 + internal node 1's cost 2; terminal costs ignored.
+  EXPECT_DOUBLE_EQ(tree.cost, 4.0);
+}
+
+TEST(SteinerTest, DisconnectedTerminalsInfeasible) {
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(2, 3, 1.0));
+  Graph g = b.Finish().ValueOrDie();
+  SteinerSolver solver = SteinerSolver::Make(g).ValueOrDie();
+  EXPECT_TRUE(solver.Solve({0, 2}).status().IsInfeasible());
+}
+
+TEST(SteinerTest, RejectsBadInputs) {
+  Graph g = PathGraph(3).ValueOrDie();
+  SteinerSolver solver = SteinerSolver::Make(g).ValueOrDie();
+  EXPECT_FALSE(solver.Solve({}).ok());
+  EXPECT_FALSE(solver.Solve({7}).ok());
+  EXPECT_FALSE(SteinerSolver::Make(g, {1.0}).ok());        // wrong size
+  EXPECT_FALSE(SteinerSolver::Make(g, {1.0, -1.0, 0.0}).ok());  // negative
+}
+
+TEST(SteinerTest, TreeStructureIsConsistent) {
+  Rng rng(17);
+  Graph g = RandomConnectedGraph(30, 25, rng).ValueOrDie();
+  SteinerSolver solver = SteinerSolver::Make(g).ValueOrDie();
+  SteinerTree tree = solver.Solve({0, 7, 14, 21}).ValueOrDie();
+  // |edges| == |nodes| - 1 and all edges exist in g with correct weights.
+  EXPECT_EQ(tree.edges.size() + 1, tree.nodes.size());
+  for (const Edge& e : tree.edges) {
+    EXPECT_DOUBLE_EQ(g.EdgeWeight(e.u, e.v), e.weight);
+    EXPECT_TRUE(std::binary_search(tree.nodes.begin(), tree.nodes.end(), e.u));
+    EXPECT_TRUE(std::binary_search(tree.nodes.begin(), tree.nodes.end(), e.v));
+  }
+  EXPECT_DOUBLE_EQ(tree.cost, EdgeSum(tree));  // zero node costs
+}
+
+TEST(SteinerTest, MatchesMstOnCompleteTerminalSet) {
+  // When every node is a terminal, the Steiner tree is the MST.
+  Rng rng(23);
+  Graph g = RandomConnectedGraph(10, 12, rng).ValueOrDie();
+  SteinerSolver solver = SteinerSolver::Make(g).ValueOrDie();
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  SteinerTree tree = solver.Solve(all).ValueOrDie();
+  double mst = 0.0;
+  for (const Edge& e : MinimumSpanningForest(g)) mst += e.weight;
+  EXPECT_NEAR(tree.cost, mst, 1e-9);
+}
+
+TEST(SteinerTest, TooManyTerminalsRejected) {
+  Graph g = PathGraph(20).ValueOrDie();
+  SteinerSolver solver = SteinerSolver::Make(g).ValueOrDie();
+  std::vector<NodeId> terminals;
+  for (NodeId v = 0; v < 13; ++v) terminals.push_back(v);
+  EXPECT_EQ(solver.Solve(terminals).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace teamdisc

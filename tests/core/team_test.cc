@@ -1,0 +1,166 @@
+#include "core/team.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+
+namespace teamdisc {
+namespace {
+
+Team Figure1TeamA(const ExpertNetwork& net) {
+  // Team (a): ren (SN), liu (TM), han as connector.
+  TeamAssembler assembler(net, 2);
+  SkillId sn = net.skills().Find("SN");
+  SkillId tm = net.skills().Find("TM");
+  TD_CHECK_OK(assembler.AddAssignment(sn, 0, {2, 0}));
+  TD_CHECK_OK(assembler.AddAssignment(tm, 1, {2, 1}));
+  return assembler.Finish().ValueOrDie();
+}
+
+TEST(TeamTest, SkillHoldersAndConnectors) {
+  ExpertNetwork net = Figure1Network();
+  Team team = Figure1TeamA(net);
+  EXPECT_EQ(team.SkillHolders(), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(team.Connectors(), (std::vector<NodeId>{2}));
+  EXPECT_EQ(team.nodes, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(team.root, 2u);
+}
+
+TEST(TeamTest, MultiSkillHolderCountedOnce) {
+  ExpertNetwork net = MediumNetwork();
+  TeamAssembler assembler(net, 2);  // e2 holds both a and c
+  SkillId a = net.skills().Find("a");
+  SkillId c = net.skills().Find("c");
+  TD_CHECK_OK(assembler.AddAssignment(a, 2, {2}));
+  TD_CHECK_OK(assembler.AddAssignment(c, 2, {2}));
+  Team team = assembler.Finish().ValueOrDie();
+  EXPECT_EQ(team.SkillHolders(), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(team.Connectors().empty());
+  EXPECT_EQ(team.assignments.size(), 2u);
+}
+
+TEST(TeamTest, Covers) {
+  ExpertNetwork net = Figure1Network();
+  Team team = Figure1TeamA(net);
+  SkillId sn = net.skills().Find("SN");
+  SkillId tm = net.skills().Find("TM");
+  EXPECT_TRUE(team.Covers({sn, tm}));
+  EXPECT_TRUE(team.Covers({sn}));
+  EXPECT_TRUE(team.Covers({}));
+  EXPECT_FALSE(team.Covers({sn, tm, 99}));
+}
+
+TEST(TeamTest, Contains) {
+  ExpertNetwork net = Figure1Network();
+  Team team = Figure1TeamA(net);
+  EXPECT_TRUE(team.Contains(0));
+  EXPECT_TRUE(team.Contains(2));
+  EXPECT_FALSE(team.Contains(3));
+}
+
+TEST(TeamTest, SignatureDistinguishesNodeSets) {
+  ExpertNetwork net = Figure1Network();
+  Team a = Figure1TeamA(net);
+  Team b = a;
+  EXPECT_EQ(a.Signature(), b.Signature());
+  b.nodes.push_back(5);
+  EXPECT_NE(a.Signature(), b.Signature());
+}
+
+TEST(TeamTest, ValidateAcceptsGoodTeam) {
+  ExpertNetwork net = Figure1Network();
+  EXPECT_TRUE(Figure1TeamA(net).Validate(net).ok());
+}
+
+TEST(TeamTest, ValidateRejectsEmptyTeam) {
+  ExpertNetwork net = Figure1Network();
+  Team team;
+  EXPECT_FALSE(team.Validate(net).ok());
+}
+
+TEST(TeamTest, ValidateRejectsDisconnected) {
+  ExpertNetwork net = Figure1Network();
+  Team team;
+  team.nodes = {0, 4};  // no edges between them
+  EXPECT_FALSE(team.Validate(net).ok());
+}
+
+TEST(TeamTest, ValidateRejectsWrongWeight) {
+  ExpertNetwork net = Figure1Network();
+  Team team = Figure1TeamA(net);
+  team.edges[0].weight += 0.5;
+  EXPECT_FALSE(team.Validate(net).ok());
+}
+
+TEST(TeamTest, ValidateRejectsForeignEdge) {
+  ExpertNetwork net = Figure1Network();
+  Team team = Figure1TeamA(net);
+  team.edges.push_back(Edge{0, 1, 1.0});  // not an edge in G
+  EXPECT_FALSE(team.Validate(net).ok());
+}
+
+TEST(TeamTest, ValidateRejectsAssignmentWithoutSkill) {
+  ExpertNetwork net = Figure1Network();
+  Team team = Figure1TeamA(net);
+  SkillId tm = net.skills().Find("TM");
+  team.assignments.push_back(SkillAssignment{tm, 2});  // han has no TM
+  EXPECT_FALSE(team.Validate(net).ok());
+}
+
+TEST(TeamTest, ValidateRejectsUnsortedNodes) {
+  ExpertNetwork net = Figure1Network();
+  Team team = Figure1TeamA(net);
+  std::swap(team.nodes[0], team.nodes[1]);
+  EXPECT_FALSE(team.Validate(net).ok());
+}
+
+TEST(TeamTest, SingleNodeTeamIsValid) {
+  ExpertNetwork net = MediumNetwork();
+  Team team;
+  team.nodes = {2};
+  SkillId a = net.skills().Find("a");
+  team.assignments = {SkillAssignment{a, 2}};
+  EXPECT_TRUE(team.Validate(net).ok());
+}
+
+TEST(TeamAssemblerTest, MergesSharedPathNodes) {
+  ExpertNetwork net = Figure1Network();
+  // Both paths share the root; nodes/edges must be deduplicated.
+  TeamAssembler assembler(net, 2);
+  SkillId sn = net.skills().Find("SN");
+  SkillId tm = net.skills().Find("TM");
+  TD_CHECK_OK(assembler.AddAssignment(sn, 3, {2, 5, 3}));
+  TD_CHECK_OK(assembler.AddAssignment(tm, 4, {2, 5, 4}));
+  Team team = assembler.Finish().ValueOrDie();
+  EXPECT_EQ(team.nodes, (std::vector<NodeId>{2, 3, 4, 5}));
+  EXPECT_EQ(team.edges.size(), 3u);  // 2-5, 3-5, 4-5 (2-5 shared once)
+}
+
+TEST(TeamAssemblerTest, RejectsBadPaths) {
+  ExpertNetwork net = Figure1Network();
+  TeamAssembler assembler(net, 2);
+  SkillId sn = net.skills().Find("SN");
+  EXPECT_FALSE(assembler.AddAssignment(sn, 0, {}).ok());
+  EXPECT_FALSE(assembler.AddAssignment(sn, 0, {0}).ok());       // wrong start
+  EXPECT_FALSE(assembler.AddAssignment(sn, 0, {2, 1}).ok());    // wrong end
+  EXPECT_FALSE(assembler.AddAssignment(sn, 0, {2, 3, 0}).ok()); // no edge 2-3
+}
+
+TEST(TeamAssemblerTest, RejectsSkillMismatch) {
+  ExpertNetwork net = Figure1Network();
+  TeamAssembler assembler(net, 2);
+  SkillId sn = net.skills().Find("SN");
+  EXPECT_FALSE(assembler.AddAssignment(sn, 1, {2, 1}).ok());  // liu lacks SN
+}
+
+TEST(TeamTest, FormatMentionsMembers) {
+  ExpertNetwork net = Figure1Network();
+  Team team = Figure1TeamA(net);
+  std::string s = team.Format(net);
+  EXPECT_NE(s.find("ren"), std::string::npos);
+  EXPECT_NE(s.find("connector"), std::string::npos);
+  EXPECT_NE(s.find("han"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,110 @@
+// Shared fixture networks for the core-module tests.
+#pragma once
+
+#include "common/random.h"
+#include "network/expert_network.h"
+
+namespace teamdisc {
+
+/// The paper's Figure 1 scenario: two skill holders per skill, connected
+/// through connectors of different authority.
+///
+///   Layout (edges all weight 1.0 unless noted):
+///     0 ren(SN-a, h=11) -- 2 han(h=139) -- 1 liu(TM-a, h=9)
+///     3 golshan(SN-b, h=5) -- 5 lappas(h=12) -- 4 kotzias(TM-b, h=3)
+///     2 han -- 5 lappas (weight 2.0): bridge between the groups
+inline ExpertNetwork Figure1Network() {
+  ExpertNetworkBuilder b;
+  b.AddExpert("ren", {"SN"}, 11.0, 20);      // 0
+  b.AddExpert("liu", {"TM"}, 9.0, 15);       // 1
+  b.AddExpert("han", {}, 139.0, 600);        // 2
+  b.AddExpert("golshan", {"SN"}, 5.0, 8);    // 3
+  b.AddExpert("kotzias", {"TM"}, 3.0, 5);    // 4
+  b.AddExpert("lappas", {}, 12.0, 30);       // 5
+  TD_CHECK_OK(b.AddEdge(0, 2, 1.0));
+  TD_CHECK_OK(b.AddEdge(1, 2, 1.0));
+  TD_CHECK_OK(b.AddEdge(3, 5, 1.0));
+  TD_CHECK_OK(b.AddEdge(4, 5, 1.0));
+  TD_CHECK_OK(b.AddEdge(2, 5, 2.0));
+  return b.Finish().ValueOrDie();
+}
+
+/// A 10-node network with 4 skills and enough redundancy that greedy /
+/// exact / brute-force can all be compared.
+inline ExpertNetwork MediumNetwork() {
+  ExpertNetworkBuilder b;
+  b.AddExpert("e0", {"a"}, 2.0, 4);          // 0
+  b.AddExpert("e1", {"b"}, 8.0, 20);         // 1
+  b.AddExpert("e2", {"a", "c"}, 4.0, 10);    // 2
+  b.AddExpert("e3", {}, 20.0, 90);           // 3
+  b.AddExpert("e4", {"c"}, 1.0, 2);          // 4
+  b.AddExpert("e5", {"d"}, 6.0, 14);         // 5
+  b.AddExpert("e6", {"b", "d"}, 3.0, 6);     // 6
+  b.AddExpert("e7", {}, 10.0, 40);           // 7
+  b.AddExpert("e8", {"a"}, 12.0, 35);        // 8
+  b.AddExpert("e9", {"d"}, 2.0, 3);          // 9
+  TD_CHECK_OK(b.AddEdge(0, 3, 0.4));
+  TD_CHECK_OK(b.AddEdge(1, 3, 0.3));
+  TD_CHECK_OK(b.AddEdge(2, 3, 0.5));
+  TD_CHECK_OK(b.AddEdge(3, 7, 0.2));
+  TD_CHECK_OK(b.AddEdge(4, 7, 0.6));
+  TD_CHECK_OK(b.AddEdge(5, 7, 0.7));
+  TD_CHECK_OK(b.AddEdge(6, 7, 0.3));
+  TD_CHECK_OK(b.AddEdge(8, 0, 0.9));
+  TD_CHECK_OK(b.AddEdge(9, 5, 0.2));
+  TD_CHECK_OK(b.AddEdge(1, 6, 0.8));
+  TD_CHECK_OK(b.AddEdge(2, 4, 0.7));
+  return b.Finish().ValueOrDie();
+}
+
+/// Random small network generator for property sweeps: n nodes, random
+/// tree + chords, `num_skills` skills scattered over the nodes with at
+/// least one holder each; authorities log-normal.
+inline ExpertNetwork RandomSmallNetwork(NodeId n, uint32_t num_skills,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  ExpertNetworkBuilder b;
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<std::string> skills;
+    for (uint32_t s = 0; s < num_skills; ++s) {
+      // ~35% chance per (node, skill).
+      if (rng.NextBool(0.35)) skills.push_back("s" + std::to_string(s));
+    }
+    b.AddExpert("n" + std::to_string(v), std::move(skills),
+                std::max(1.0, rng.NextLogNormal(1.0, 0.8)),
+                static_cast<uint32_t>(rng.NextBounded(50)));
+  }
+  // Guarantee every skill has a holder: assign skill s to node s % n too.
+  // (Cheap trick: rebuild with forced skills.)
+  ExpertNetworkBuilder forced;
+  {
+    ExpertNetwork probe = b.Finish().ValueOrDie();
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<std::string> skills;
+      for (SkillId s : probe.expert(v).skills) {
+        skills.push_back(probe.skills().NameUnchecked(s));
+      }
+      for (uint32_t s = 0; s < num_skills; ++s) {
+        if (s % n == v) skills.push_back("s" + std::to_string(s));
+      }
+      forced.AddExpert(probe.expert(v).name, std::move(skills),
+                       probe.Authority(v), probe.expert(v).num_publications);
+    }
+  }
+  // Random connected topology.
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId parent = static_cast<NodeId>(rng.NextBounded(v));
+    TD_CHECK_OK(forced.AddEdge(v, parent, rng.NextDouble(0.1, 1.0)));
+  }
+  uint32_t extra = n / 2;
+  for (uint32_t i = 0; i < extra; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u != v) {
+      TD_CHECK_OK(forced.AddEdge(u, v, rng.NextDouble(0.1, 1.0)));
+    }
+  }
+  return forced.Finish().ValueOrDie();
+}
+
+}  // namespace teamdisc

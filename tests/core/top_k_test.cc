@@ -1,0 +1,103 @@
+#include "core/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace teamdisc {
+namespace {
+
+TEST(TopKTest, KeepsSmallestK) {
+  TopK<int> list(3);
+  for (int i = 0; i < 10; ++i) list.Add(10.0 - i, i);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].cost, 1.0);
+  EXPECT_EQ(list[0].value, 9);
+  EXPECT_EQ(list[1].cost, 2.0);
+  EXPECT_EQ(list[2].cost, 3.0);
+}
+
+TEST(TopKTest, SortedAscending) {
+  TopK<int> list(5);
+  for (double c : {3.0, 1.0, 4.0, 1.5, 9.0, 2.6}) list.Add(c, 0);
+  for (size_t i = 0; i + 1 < list.size(); ++i) {
+    EXPECT_LE(list[i].cost, list[i + 1].cost);
+  }
+}
+
+TEST(TopKTest, WouldAcceptSemantics) {
+  TopK<int> list(2);
+  EXPECT_TRUE(list.WouldAccept(100.0));  // not full yet
+  list.Add(1.0, 1);
+  list.Add(2.0, 2);
+  EXPECT_FALSE(list.WouldAccept(2.0));  // ties with the worst are rejected
+  EXPECT_TRUE(list.WouldAccept(1.9));
+  EXPECT_FALSE(list.WouldAccept(3.0));
+}
+
+TEST(TopKTest, AddReturnsWhetherInserted) {
+  TopK<int> list(1);
+  EXPECT_TRUE(list.Add(5.0, 0));
+  EXPECT_FALSE(list.Add(6.0, 0));
+  EXPECT_TRUE(list.Add(4.0, 0));
+  EXPECT_EQ(list[0].cost, 4.0);
+}
+
+TEST(TopKTest, EvictsWorst) {
+  TopK<std::string> list(2);
+  list.Add(3.0, "c");
+  list.Add(1.0, "a");
+  list.Add(2.0, "b");
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].value, "a");
+  EXPECT_EQ(list[1].value, "b");
+}
+
+TEST(TopKTest, WorstKeptCost) {
+  TopK<int> list(2);
+  EXPECT_EQ(list.WorstKeptCost(), std::numeric_limits<double>::infinity());
+  list.Add(1.0, 0);
+  EXPECT_EQ(list.WorstKeptCost(), std::numeric_limits<double>::infinity());
+  list.Add(2.0, 0);
+  EXPECT_EQ(list.WorstKeptCost(), 2.0);
+}
+
+TEST(TopKTest, ZeroCapacityAcceptsNothing) {
+  TopK<int> list(0);
+  EXPECT_FALSE(list.WouldAccept(0.0));
+  EXPECT_FALSE(list.Add(0.0, 1));
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(TopKTest, StableForEqualCosts) {
+  // Equal-cost items keep insertion order (upper_bound insert).
+  TopK<int> list(3);
+  list.Add(1.0, 1);
+  list.Add(1.0, 2);
+  list.Add(1.0, 3);
+  EXPECT_EQ(list[0].value, 1);
+  EXPECT_EQ(list[1].value, 2);
+  EXPECT_EQ(list[2].value, 3);
+}
+
+TEST(TopKTest, TakeMovesEntries) {
+  TopK<std::string> list(2);
+  list.Add(2.0, "x");
+  list.Add(1.0, "y");
+  auto entries = list.Take();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].value, "y");
+}
+
+TEST(TopKTest, MoveOnlyValues) {
+  TopK<std::unique_ptr<int>> list(2);
+  list.Add(1.0, std::make_unique<int>(7));
+  list.Add(0.5, std::make_unique<int>(3));
+  auto entries = list.Take();
+  EXPECT_EQ(*entries[0].value, 3);
+  EXPECT_EQ(*entries[1].value, 7);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,73 @@
+#include "datagen/hindex.h"
+
+#include <gtest/gtest.h>
+
+namespace teamdisc {
+namespace {
+
+TEST(HIndexTest, EmptyRecord) {
+  EXPECT_EQ(ComputeHIndex({}), 0u);
+}
+
+TEST(HIndexTest, KnownValues) {
+  // Classic example: citations {3,0,6,1,5} -> h = 3.
+  EXPECT_EQ(ComputeHIndex({3, 0, 6, 1, 5}), 3u);
+  EXPECT_EQ(ComputeHIndex({10, 8, 5, 4, 3}), 4u);
+  EXPECT_EQ(ComputeHIndex({25, 8, 5, 3, 3}), 3u);
+}
+
+TEST(HIndexTest, AllZeroCitations) {
+  EXPECT_EQ(ComputeHIndex({0, 0, 0}), 0u);
+}
+
+TEST(HIndexTest, SinglePaper) {
+  EXPECT_EQ(ComputeHIndex({0}), 0u);
+  EXPECT_EQ(ComputeHIndex({1}), 1u);
+  EXPECT_EQ(ComputeHIndex({100}), 1u);
+}
+
+TEST(HIndexTest, BoundedByPaperCount) {
+  std::vector<uint32_t> many(7, 1000);
+  EXPECT_EQ(ComputeHIndex(many), 7u);
+}
+
+TEST(HIndexTest, UniformCitations) {
+  // n papers with n citations each -> h = n.
+  for (uint32_t n : {1u, 5u, 20u}) {
+    std::vector<uint32_t> cites(n, n);
+    EXPECT_EQ(ComputeHIndex(cites), n);
+  }
+}
+
+TEST(HIndexTest, MonotoneInCitations) {
+  std::vector<uint32_t> base = {4, 3, 2, 1};
+  uint32_t h0 = ComputeHIndex(base);
+  std::vector<uint32_t> boosted = {5, 4, 3, 2};
+  EXPECT_GE(ComputeHIndex(boosted), h0);
+}
+
+TEST(HIndexTest, OrderInvariant) {
+  EXPECT_EQ(ComputeHIndex({1, 5, 3, 0, 6}), ComputeHIndex({6, 5, 3, 1, 0}));
+}
+
+TEST(GIndexTest, KnownValues) {
+  // g-index: top g papers jointly have >= g^2 citations.
+  EXPECT_EQ(ComputeGIndex({}), 0u);
+  EXPECT_EQ(ComputeGIndex({10, 5, 3}), 3u);  // 10>=1, 15>=4, 18>=9
+  EXPECT_EQ(ComputeGIndex({1, 1, 1}), 1u);
+  EXPECT_EQ(ComputeGIndex({0}), 0u);
+}
+
+TEST(GIndexTest, AtLeastHIndex) {
+  std::vector<uint32_t> cites = {12, 7, 5, 4, 2, 1, 0};
+  EXPECT_GE(ComputeGIndex(cites), ComputeHIndex(cites));
+}
+
+TEST(I10IndexTest, CountsTens) {
+  EXPECT_EQ(ComputeI10Index({}), 0u);
+  EXPECT_EQ(ComputeI10Index({9, 10, 11, 3}), 2u);
+  EXPECT_EQ(ComputeI10Index({10, 10, 10}), 3u);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,208 @@
+#include "datagen/synthetic_dblp.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datagen/hindex.h"
+#include "graph/graph_algos.h"
+
+namespace teamdisc {
+namespace {
+
+DblpConfig SmallConfig(uint64_t seed = 42) {
+  DblpConfig config;
+  config.num_authors = 600;
+  config.target_edges = 1500;
+  config.num_terms = 80;
+  config.num_venues = 20;
+  config.seed = seed;
+  return config;
+}
+
+class SyntheticDblpTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new SyntheticDblp(GenerateSyntheticDblp(SmallConfig()).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static SyntheticDblp* corpus_;
+};
+
+SyntheticDblp* SyntheticDblpTest::corpus_ = nullptr;
+
+TEST_F(SyntheticDblpTest, ShapeMatchesConfig) {
+  EXPECT_EQ(corpus_->network.num_experts(), 600u);
+  EXPECT_GE(corpus_->network.graph().num_edges(), 1500u);
+  EXPECT_FALSE(corpus_->papers.empty());
+  EXPECT_EQ(corpus_->h_index.size(), 600u);
+  EXPECT_EQ(corpus_->latent_ability.size(), 600u);
+}
+
+TEST_F(SyntheticDblpTest, EdgeWeightsAreJaccardDissimilarities) {
+  for (const Edge& e : corpus_->network.graph().CanonicalEdges()) {
+    EXPECT_GE(e.weight, 0.0);
+    EXPECT_LE(e.weight, 1.0);
+    // Coauthors share at least one paper, so the weight is strictly < 1.
+    EXPECT_LT(e.weight, 1.0);
+  }
+}
+
+TEST_F(SyntheticDblpTest, AuthorityIsFlooredHIndex) {
+  for (NodeId v = 0; v < corpus_->network.num_experts(); ++v) {
+    double expected = std::max<uint32_t>(corpus_->h_index[v], 1);
+    EXPECT_DOUBLE_EQ(corpus_->network.Authority(v), expected);
+  }
+}
+
+TEST_F(SyntheticDblpTest, HIndexRecomputesFromPapers) {
+  // Independent recomputation from the paper list.
+  std::vector<std::vector<uint32_t>> citations(corpus_->network.num_experts());
+  for (const SynthPaper& p : corpus_->papers) {
+    for (uint32_t a : p.authors) citations[a].push_back(p.citations);
+  }
+  for (NodeId v = 0; v < corpus_->network.num_experts(); ++v) {
+    EXPECT_EQ(ComputeHIndex(citations[v]), corpus_->h_index[v]) << "author " << v;
+  }
+}
+
+TEST_F(SyntheticDblpTest, PaperCountsMatch) {
+  std::vector<uint32_t> counts(corpus_->network.num_experts(), 0);
+  for (const SynthPaper& p : corpus_->papers) {
+    for (uint32_t a : p.authors) ++counts[a];
+  }
+  for (NodeId v = 0; v < corpus_->network.num_experts(); ++v) {
+    EXPECT_EQ(counts[v], corpus_->paper_counts[v]);
+    EXPECT_EQ(corpus_->network.expert(v).num_publications, counts[v]);
+  }
+}
+
+TEST_F(SyntheticDblpTest, OnlyJuniorsHaveSkills) {
+  // The paper's rule: skill holders are authors with < 10 papers whose terms
+  // appear in >= 2 of their titles.
+  for (NodeId v = 0; v < corpus_->network.num_experts(); ++v) {
+    if (!corpus_->network.expert(v).skills.empty()) {
+      EXPECT_LT(corpus_->paper_counts[v],
+                corpus_->config.junior_paper_threshold);
+      EXPECT_GT(corpus_->paper_counts[v], 0u);
+    }
+  }
+}
+
+TEST_F(SyntheticDblpTest, SkillsComeFromRepeatedTerms) {
+  // Spot-check: every skill of every expert appears in >= 2 of their papers.
+  std::vector<std::vector<uint32_t>> papers_of(corpus_->network.num_experts());
+  for (uint32_t pid = 0; pid < corpus_->papers.size(); ++pid) {
+    for (uint32_t a : corpus_->papers[pid].authors) papers_of[a].push_back(pid);
+  }
+  for (NodeId v = 0; v < corpus_->network.num_experts(); ++v) {
+    for (SkillId s : corpus_->network.expert(v).skills) {
+      const std::string& skill_name =
+          corpus_->network.skills().NameUnchecked(s);
+      uint32_t occurrences = 0;
+      for (uint32_t pid : papers_of[v]) {
+        for (uint32_t t : corpus_->papers[pid].terms) {
+          if (corpus_->term_names[t] == skill_name) {
+            ++occurrences;
+            break;
+          }
+        }
+      }
+      EXPECT_GE(occurrences, corpus_->config.min_term_occurrences)
+          << "expert " << v << " skill " << skill_name;
+    }
+  }
+}
+
+TEST_F(SyntheticDblpTest, EdgesComeFromCoauthorship) {
+  std::unordered_set<uint64_t> pairs;
+  for (const SynthPaper& p : corpus_->papers) {
+    for (size_t i = 0; i < p.authors.size(); ++i) {
+      for (size_t j = i + 1; j < p.authors.size(); ++j) {
+        pairs.insert(EdgeKey(p.authors[i], p.authors[j]));
+      }
+    }
+  }
+  for (const Edge& e : corpus_->network.graph().CanonicalEdges()) {
+    EXPECT_TRUE(pairs.count(EdgeKey(e.u, e.v)) > 0);
+  }
+}
+
+TEST_F(SyntheticDblpTest, GiantComponentExists) {
+  ComponentInfo comps = ConnectedComponents(corpus_->network.graph());
+  EXPECT_GE(comps.sizes[comps.LargestComponent()],
+            corpus_->network.num_experts() / 2);
+}
+
+TEST_F(SyntheticDblpTest, NormalizedAbilityInUnitInterval) {
+  bool saw_one = false;
+  for (NodeId v = 0; v < corpus_->network.num_experts(); ++v) {
+    double a = corpus_->NormalizedAbility(v);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+    if (a == 1.0) saw_one = true;
+  }
+  EXPECT_TRUE(saw_one);  // the max-ability author normalizes to exactly 1
+}
+
+TEST_F(SyntheticDblpTest, HIndexCorrelatesWithAbility) {
+  // The observable authority must be a (noisy) increasing signal of the
+  // hidden ability: check the means across an ability split.
+  double low_sum = 0, high_sum = 0;
+  int low_n = 0, high_n = 0;
+  for (NodeId v = 0; v < corpus_->network.num_experts(); ++v) {
+    if (corpus_->NormalizedAbility(v) < 0.2) {
+      low_sum += corpus_->h_index[v];
+      ++low_n;
+    } else if (corpus_->NormalizedAbility(v) > 0.5) {
+      high_sum += corpus_->h_index[v];
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 0);
+  ASSERT_GT(high_n, 0);
+  EXPECT_GT(high_sum / high_n, low_sum / low_n);
+}
+
+TEST(SyntheticDblpDeterminismTest, SameSeedSameCorpus) {
+  SyntheticDblp a = GenerateSyntheticDblp(SmallConfig(7)).ValueOrDie();
+  SyntheticDblp b = GenerateSyntheticDblp(SmallConfig(7)).ValueOrDie();
+  EXPECT_TRUE(a.network.graph().Equals(b.network.graph()));
+  EXPECT_EQ(a.h_index, b.h_index);
+  EXPECT_EQ(a.papers.size(), b.papers.size());
+}
+
+TEST(SyntheticDblpDeterminismTest, DifferentSeedDifferentCorpus) {
+  SyntheticDblp a = GenerateSyntheticDblp(SmallConfig(7)).ValueOrDie();
+  SyntheticDblp b = GenerateSyntheticDblp(SmallConfig(8)).ValueOrDie();
+  EXPECT_FALSE(a.network.graph().Equals(b.network.graph()));
+}
+
+TEST(SyntheticDblpConfigTest, Validation) {
+  DblpConfig config = SmallConfig();
+  config.num_authors = 1;
+  EXPECT_FALSE(GenerateSyntheticDblp(config).ok());
+  config = SmallConfig();
+  config.num_venues = 2;
+  EXPECT_FALSE(GenerateSyntheticDblp(config).ok());
+  config = SmallConfig();
+  config.min_term_occurrences = 0;
+  EXPECT_FALSE(GenerateSyntheticDblp(config).ok());
+  config = SmallConfig();
+  config.repeat_coauthor_prob = 1.5;
+  EXPECT_FALSE(GenerateSyntheticDblp(config).ok());
+}
+
+TEST(SyntheticDblpConfigTest, PaperBudgetRespected) {
+  DblpConfig config = SmallConfig();
+  config.max_papers = 100;
+  config.target_edges = 1000000;  // unreachable; budget must stop generation
+  SyntheticDblp corpus = GenerateSyntheticDblp(config).ValueOrDie();
+  EXPECT_LE(corpus.papers.size(), 100u);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,78 @@
+#include "datagen/venue_model.h"
+
+#include <gtest/gtest.h>
+
+namespace teamdisc {
+namespace {
+
+TEST(VenueTierTest, Names) {
+  EXPECT_EQ(VenueTierToString(VenueTier::kAStar), "A*");
+  EXPECT_EQ(VenueTierToString(VenueTier::kA), "A");
+  EXPECT_EQ(VenueTierToString(VenueTier::kB), "B");
+  EXPECT_EQ(VenueTierToString(VenueTier::kC), "C");
+}
+
+TEST(VenueCatalogueTest, GeneratesRequestedCount) {
+  Rng rng(1);
+  VenueCatalogue cat = VenueCatalogue::Generate(40, rng);
+  EXPECT_EQ(cat.size(), 40u);
+}
+
+TEST(VenueCatalogueTest, AllTiersPresentWithExpectedShares) {
+  Rng rng(2);
+  VenueCatalogue cat = VenueCatalogue::Generate(100, rng);
+  int counts[4] = {0, 0, 0, 0};
+  for (const Venue& v : cat.venues()) ++counts[static_cast<int>(v.tier)];
+  EXPECT_EQ(counts[0], 10);  // 10% A*
+  EXPECT_EQ(counts[1], 20);  // 20% A
+  EXPECT_EQ(counts[2], 30);  // 30% B
+  EXPECT_EQ(counts[3], 40);  // 40% C
+}
+
+TEST(VenueCatalogueTest, QualityOrderedByTier) {
+  Rng rng(3);
+  VenueCatalogue cat = VenueCatalogue::Generate(60, rng);
+  for (const Venue& a : cat.venues()) {
+    EXPECT_GT(a.quality, 0.0);
+    EXPECT_LE(a.quality, 1.0);
+    for (const Venue& b : cat.venues()) {
+      if (static_cast<int>(a.tier) < static_cast<int>(b.tier)) {
+        EXPECT_GT(a.quality, b.quality);
+      }
+    }
+  }
+}
+
+TEST(VenueCatalogueTest, StrengthTracksVenueQuality) {
+  Rng rng(4);
+  VenueCatalogue cat = VenueCatalogue::Generate(60, rng);
+  double strong_total = 0.0, weak_total = 0.0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    strong_total += cat.venue(cat.SampleVenueForStrength(0.95, rng)).quality;
+    weak_total += cat.venue(cat.SampleVenueForStrength(0.05, rng)).quality;
+  }
+  EXPECT_GT(strong_total / trials, weak_total / trials + 0.3);
+}
+
+TEST(VenueCatalogueTest, SampleClampsStrength) {
+  Rng rng(5);
+  VenueCatalogue cat = VenueCatalogue::Generate(10, rng);
+  // Out-of-range strengths must not crash and must return valid ids.
+  EXPECT_LT(cat.SampleVenueForStrength(-5.0, rng), cat.size());
+  EXPECT_LT(cat.SampleVenueForStrength(42.0, rng), cat.size());
+}
+
+TEST(VenueCatalogueTest, RankedByQualityIsSorted) {
+  Rng rng(6);
+  VenueCatalogue cat = VenueCatalogue::Generate(30, rng);
+  auto ranked = cat.RankedByQuality();
+  ASSERT_EQ(ranked.size(), 30u);
+  for (size_t i = 0; i + 1 < ranked.size(); ++i) {
+    EXPECT_GE(cat.venue(ranked[i]).quality, cat.venue(ranked[i + 1]).quality);
+  }
+  EXPECT_EQ(cat.venue(ranked.front()).tier, VenueTier::kAStar);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,85 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace teamdisc {
+namespace {
+
+ExperimentScale TinyScale() {
+  ExperimentScale scale;
+  scale.num_experts = 500;
+  scale.target_edges = 1200;
+  scale.projects_per_config = 2;
+  scale.random_teams = 50;
+  scale.label = "test";
+  return scale;
+}
+
+class ExperimentContextTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ctx_ = ExperimentContext::Make(TinyScale(), 3).ValueOrDie().release();
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    ctx_ = nullptr;
+  }
+  static ExperimentContext* ctx_;
+};
+
+ExperimentContext* ExperimentContextTest::ctx_ = nullptr;
+
+TEST_F(ExperimentContextTest, CorpusMatchesScale) {
+  EXPECT_EQ(ctx_->network().num_experts(), 500u);
+  EXPECT_GE(ctx_->network().graph().num_edges(), 1200u);
+  EXPECT_EQ(ctx_->scale().label, "test");
+}
+
+TEST_F(ExperimentContextTest, SampleProjectsDeterministic) {
+  auto p1 = ctx_->SampleProjects(4, 3).ValueOrDie();
+  auto p2 = ctx_->SampleProjects(4, 3).ValueOrDie();
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1.size(), 3u);
+  EXPECT_EQ(p1[0].size(), 4u);
+}
+
+TEST_F(ExperimentContextTest, FinderCacheReusesIndex) {
+  GreedyTeamFinder* f1 =
+      ctx_->Finder(RankingStrategy::kSACACC, 0.6, 0.2, 1).ValueOrDie();
+  GreedyTeamFinder* f2 =
+      ctx_->Finder(RankingStrategy::kSACACC, 0.6, 0.8, 5).ValueOrDie();
+  EXPECT_EQ(f1, f2);  // same (strategy, gamma) -> same finder object
+  EXPECT_DOUBLE_EQ(f2->options().params.lambda, 0.8);
+  EXPECT_EQ(f2->options().top_k, 5u);
+  GreedyTeamFinder* f3 =
+      ctx_->Finder(RankingStrategy::kSACACC, 0.4, 0.2, 1).ValueOrDie();
+  EXPECT_NE(f1, f3);  // different gamma -> different transform
+}
+
+TEST_F(ExperimentContextTest, FindersSolveSampledProjects) {
+  auto projects = ctx_->SampleProjects(4, 2).ValueOrDie();
+  GreedyTeamFinder* finder =
+      ctx_->Finder(RankingStrategy::kSACACC, 0.6, 0.6, 1).ValueOrDie();
+  for (const Project& p : projects) {
+    auto teams = finder->FindTeams(p);
+    ASSERT_TRUE(teams.ok()) << teams.status().ToString();
+    EXPECT_TRUE(teams.ValueOrDie()[0].team.Covers(p));
+  }
+}
+
+TEST_F(ExperimentContextTest, RandomBaselineRuns) {
+  auto projects = ctx_->SampleProjects(4, 1).ValueOrDie();
+  auto teams =
+      ctx_->RunRandom(projects[0], ObjectiveParams{}, 50).ValueOrDie();
+  EXPECT_FALSE(teams.empty());
+  EXPECT_TRUE(teams[0].team.Covers(projects[0]));
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,90 @@
+#include "eval/grid_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+#include "common/csv.h"
+
+namespace teamdisc {
+namespace {
+
+class GridSweepTest : public testing::Test {
+ protected:
+  GridSweepTest() : net_(MediumNetwork()) {
+    projects_ = {{net_.skills().Find("a"), net_.skills().Find("b")},
+                 {net_.skills().Find("c"), net_.skills().Find("d")}};
+    options_.grid_points = 3;
+    options_.oracle = OracleKind::kDijkstra;
+  }
+  ExpertNetwork net_;
+  std::vector<Project> projects_;
+  GridSweepOptions options_;
+};
+
+TEST_F(GridSweepTest, CoversFullGrid) {
+  auto cells = RunGridSweep(net_, projects_, options_).ValueOrDie();
+  ASSERT_EQ(cells.size(), 9u);
+  // Row-major gamma-major order with endpoints 0 and 1.
+  EXPECT_DOUBLE_EQ(cells[0].gamma, 0.0);
+  EXPECT_DOUBLE_EQ(cells[0].lambda, 0.0);
+  EXPECT_DOUBLE_EQ(cells[4].gamma, 0.5);
+  EXPECT_DOUBLE_EQ(cells[4].lambda, 0.5);
+  EXPECT_DOUBLE_EQ(cells[8].gamma, 1.0);
+  EXPECT_DOUBLE_EQ(cells[8].lambda, 1.0);
+}
+
+TEST_F(GridSweepTest, AllCellsSolveAllProjects) {
+  auto cells = RunGridSweep(net_, projects_, options_).ValueOrDie();
+  for (const GridCell& cell : cells) {
+    EXPECT_EQ(cell.solved, projects_.size());
+    EXPECT_GT(cell.metrics.team_size, 0.0);
+  }
+}
+
+TEST_F(GridSweepTest, BreakdownIdentitiesHold) {
+  auto cells = RunGridSweep(net_, projects_, options_).ValueOrDie();
+  for (const GridCell& cell : cells) {
+    EXPECT_NEAR(cell.breakdown.ca_cc,
+                cell.gamma * cell.breakdown.ca +
+                    (1 - cell.gamma) * cell.breakdown.cc,
+                1e-9);
+    EXPECT_NEAR(cell.breakdown.sa_ca_cc,
+                cell.lambda * cell.breakdown.sa +
+                    (1 - cell.lambda) * cell.breakdown.ca_cc,
+                1e-9);
+  }
+}
+
+TEST_F(GridSweepTest, LambdaOneMinimizesHolderAuthority) {
+  // At lambda = 1 the objective is purely SA; its SA must be minimal
+  // across the lambda column for the same gamma.
+  auto cells = RunGridSweep(net_, projects_, options_).ValueOrDie();
+  for (uint32_t gi = 0; gi < 3; ++gi) {
+    double sa_at_one = cells[gi * 3 + 2].breakdown.sa;
+    for (uint32_t li = 0; li < 3; ++li) {
+      EXPECT_LE(sa_at_one, cells[gi * 3 + li].breakdown.sa + 1e-9);
+    }
+  }
+}
+
+TEST_F(GridSweepTest, CsvRoundTrips) {
+  auto cells = RunGridSweep(net_, projects_, options_).ValueOrDie();
+  std::string csv = GridSweepToCsv(cells);
+  auto rows = ParseCsv(csv).ValueOrDie();
+  ASSERT_EQ(rows.size(), cells.size() + 1);  // header + cells
+  EXPECT_EQ(rows[0][0], "gamma");
+  EXPECT_EQ(rows[0].size(), 12u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].size(), rows[0].size());
+  }
+}
+
+TEST_F(GridSweepTest, ErrorPaths) {
+  GridSweepOptions bad = options_;
+  bad.grid_points = 1;
+  EXPECT_FALSE(RunGridSweep(net_, projects_, bad).ok());
+  EXPECT_FALSE(RunGridSweep(net_, {}, options_).ok());
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,107 @@
+#include "eval/project_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../core/test_networks.h"
+
+namespace teamdisc {
+namespace {
+
+TEST(ProjectGeneratorTest, SamplesDistinctEligibleSkills) {
+  ExpertNetwork net = MediumNetwork();  // every skill has >= 2 holders
+  ProjectGenerator gen = ProjectGenerator::Make(net).ValueOrDie();
+  EXPECT_EQ(gen.pool_size(), 4u);
+  Rng rng(1);
+  Project p = gen.Sample(3, rng).ValueOrDie();
+  EXPECT_EQ(p.size(), 3u);
+  std::set<SkillId> distinct(p.begin(), p.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  for (SkillId s : p) EXPECT_GE(net.ExpertsWithSkill(s).size(), 2u);
+}
+
+TEST(ProjectGeneratorTest, MinHoldersFiltersRareSkills) {
+  ExpertNetworkBuilder b;
+  b.AddExpert("a", {"common", "rare"}, 1.0);
+  b.AddExpert("c", {"common"}, 1.0);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.5));
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  ProjectGeneratorOptions o;
+  o.min_holders = 2;
+  ProjectGenerator gen = ProjectGenerator::Make(net, o).ValueOrDie();
+  EXPECT_EQ(gen.pool_size(), 1u);  // only "common"
+  Rng rng(2);
+  Project p = gen.Sample(1, rng).ValueOrDie();
+  EXPECT_EQ(p[0], net.skills().Find("common"));
+}
+
+TEST(ProjectGeneratorTest, MaxHoldersCap) {
+  ExpertNetwork net = MediumNetwork();
+  ProjectGeneratorOptions o;
+  o.min_holders = 1;
+  o.max_holders = 2;
+  ProjectGenerator gen = ProjectGenerator::Make(net, o).ValueOrDie();
+  for (SkillId s = 0; s < net.num_skills(); ++s) {
+    bool eligible = net.ExpertsWithSkill(s).size() <= 2;
+    (void)eligible;  // pool-level check below
+  }
+  // "a" (3 holders) and "d" (3 holders) are excluded; b and c remain.
+  EXPECT_EQ(gen.pool_size(), 2u);
+}
+
+TEST(ProjectGeneratorTest, FeasibilityFilterDropsIsolatedSkills) {
+  ExpertNetworkBuilder b;
+  b.AddExpert("a", {"main"}, 1.0);
+  b.AddExpert("b", {"main"}, 1.0);
+  b.AddExpert("c", {"island"}, 1.0);
+  b.AddExpert("d", {"island"}, 1.0);
+  // Main component of 2 + island pair; main is the largest (tie broken by
+  // first), so make it strictly larger.
+  b.AddExpert("e", {}, 1.0);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.1));
+  TD_CHECK_OK(b.AddEdge(0, 4, 0.1));
+  TD_CHECK_OK(b.AddEdge(2, 3, 0.1));
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  ProjectGenerator gen = ProjectGenerator::Make(net).ValueOrDie();
+  EXPECT_EQ(gen.pool_size(), 1u);
+  Rng rng(3);
+  Project p = gen.Sample(1, rng).ValueOrDie();
+  EXPECT_EQ(p[0], net.skills().Find("main"));
+}
+
+TEST(ProjectGeneratorTest, RequestTooManySkillsFails) {
+  ExpertNetwork net = MediumNetwork();
+  ProjectGenerator gen = ProjectGenerator::Make(net).ValueOrDie();
+  Rng rng(4);
+  EXPECT_FALSE(gen.Sample(100, rng).ok());
+  EXPECT_FALSE(gen.Sample(0, rng).ok());
+}
+
+TEST(ProjectGeneratorTest, NoEligibleSkillsFails) {
+  ExpertNetworkBuilder b;
+  b.AddExpert("a", {}, 1.0);
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  EXPECT_FALSE(ProjectGenerator::Make(net).ok());
+}
+
+TEST(ProjectGeneratorTest, SampleManyCount) {
+  ExpertNetwork net = MediumNetwork();
+  ProjectGenerator gen = ProjectGenerator::Make(net).ValueOrDie();
+  Rng rng(5);
+  auto projects = gen.SampleMany(2, 10, rng).ValueOrDie();
+  EXPECT_EQ(projects.size(), 10u);
+  for (const Project& p : projects) EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(ProjectGeneratorTest, DeterministicInRng) {
+  ExpertNetwork net = MediumNetwork();
+  ProjectGenerator gen = ProjectGenerator::Make(net).ValueOrDie();
+  Rng rng1(6), rng2(6);
+  auto p1 = gen.SampleMany(2, 5, rng1).ValueOrDie();
+  auto p2 = gen.SampleMany(2, 5, rng2).ValueOrDie();
+  EXPECT_EQ(p1, p2);
+}
+
+}  // namespace
+}  // namespace teamdisc

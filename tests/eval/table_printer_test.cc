@@ -1,0 +1,49 @@
+#include "eval/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace teamdisc {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "22"});
+  std::string s = t.ToString();
+  // All lines must have equal width.
+  size_t first_nl = s.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  size_t width = first_nl;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t nl = s.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    EXPECT_EQ(nl - pos, width);
+    pos = nl + 1;
+  }
+}
+
+TEST(TablePrinterTest, ContainsHeaderRuleAndCells) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"v1", "v2"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| a"), std::string::npos);
+  EXPECT_NE(s.find("v2"), std::string::npos);
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Num(0.5), "0.500");
+}
+
+TEST(TablePrinterTest, HeaderOnlyTable) {
+  TablePrinter t({"only"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("only"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);  // header + rule
+}
+
+}  // namespace
+}  // namespace teamdisc

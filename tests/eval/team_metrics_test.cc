@@ -1,0 +1,101 @@
+#include "eval/team_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+
+namespace teamdisc {
+namespace {
+
+TEST(TeamMetricsTest, Figure1TeamA) {
+  ExpertNetwork net = Figure1Network();
+  TeamAssembler assembler(net, 2);
+  TD_CHECK_OK(assembler.AddAssignment(net.skills().Find("SN"), 0, {2, 0}));
+  TD_CHECK_OK(assembler.AddAssignment(net.skills().Find("TM"), 1, {2, 1}));
+  Team team = assembler.Finish().ValueOrDie();
+  TeamMetrics m = ComputeTeamMetrics(net, team);
+  EXPECT_DOUBLE_EQ(m.avg_skill_holder_hindex, (11.0 + 9.0) / 2);
+  EXPECT_DOUBLE_EQ(m.avg_connector_hindex, 139.0);
+  EXPECT_DOUBLE_EQ(m.team_size, 3.0);
+  EXPECT_DOUBLE_EQ(m.team_hindex, (11 + 9 + 139) / 3.0);
+  EXPECT_DOUBLE_EQ(m.avg_num_publications, (20 + 15 + 600) / 3.0);
+  EXPECT_DOUBLE_EQ(m.num_connectors, 1.0);
+  EXPECT_DOUBLE_EQ(m.num_skill_holders, 2.0);
+}
+
+TEST(TeamMetricsTest, ConnectorFreeTeam) {
+  ExpertNetwork net = MediumNetwork();
+  Team team;
+  team.nodes = {2};
+  team.assignments = {SkillAssignment{net.skills().Find("a"), 2}};
+  TeamMetrics m = ComputeTeamMetrics(net, team);
+  EXPECT_DOUBLE_EQ(m.avg_connector_hindex, 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_skill_holder_hindex, 4.0);
+  EXPECT_DOUBLE_EQ(m.team_size, 1.0);
+}
+
+TEST(TeamMetricsTest, MultiSkillHolderCountedOnceInAverages) {
+  ExpertNetwork net = MediumNetwork();
+  Team team;
+  team.nodes = {2};
+  team.assignments = {SkillAssignment{net.skills().Find("a"), 2},
+                      SkillAssignment{net.skills().Find("c"), 2}};
+  TeamMetrics m = ComputeTeamMetrics(net, team);
+  EXPECT_DOUBLE_EQ(m.num_skill_holders, 1.0);
+  EXPECT_DOUBLE_EQ(m.avg_skill_holder_hindex, 4.0);
+}
+
+TEST(TeamDiameterTest, SingletonIsZero) {
+  Team team;
+  team.nodes = {3};
+  EXPECT_DOUBLE_EQ(TeamDiameter(team), 0.0);
+}
+
+TEST(TeamDiameterTest, PathTeam) {
+  // Team over a path 2-3(0.5)-7(0.2): diameter = 0.7.
+  ExpertNetwork net = MediumNetwork();
+  Team team;
+  team.nodes = {2, 3, 7};
+  team.edges = {Edge{2, 3, 0.5}, Edge{3, 7, 0.2}};
+  EXPECT_DOUBLE_EQ(TeamDiameter(team), 0.7);
+}
+
+TEST(TeamDiameterTest, UsesTeamEdgesNotHostShortcuts) {
+  // The diameter is measured on the team's own edges even if the host
+  // graph has a shortcut outside the team's edge set.
+  ExpertNetwork net = Figure1Network();
+  Team team;
+  team.nodes = {0, 1, 2};
+  team.edges = {Edge{0, 2, 1.0}, Edge{1, 2, 1.0}};
+  EXPECT_DOUBLE_EQ(TeamDiameter(team), 2.0);
+}
+
+TEST(TeamDiameterTest, IncludedInComputedMetrics) {
+  ExpertNetwork net = Figure1Network();
+  TeamAssembler assembler(net, 2);
+  TD_CHECK_OK(assembler.AddAssignment(net.skills().Find("SN"), 0, {2, 0}));
+  TD_CHECK_OK(assembler.AddAssignment(net.skills().Find("TM"), 1, {2, 1}));
+  Team team = assembler.Finish().ValueOrDie();
+  TeamMetrics m = ComputeTeamMetrics(net, team);
+  EXPECT_DOUBLE_EQ(m.diameter, 2.0);
+}
+
+TEST(AverageMetricsTest, ElementwiseMean) {
+  TeamMetrics a;
+  a.team_size = 2.0;
+  a.avg_connector_hindex = 10.0;
+  TeamMetrics b;
+  b.team_size = 4.0;
+  b.avg_connector_hindex = 20.0;
+  TeamMetrics avg = AverageMetrics({a, b});
+  EXPECT_DOUBLE_EQ(avg.team_size, 3.0);
+  EXPECT_DOUBLE_EQ(avg.avg_connector_hindex, 15.0);
+}
+
+TEST(AverageMetricsTest, EmptyInput) {
+  TeamMetrics avg = AverageMetrics({});
+  EXPECT_DOUBLE_EQ(avg.team_size, 0.0);
+}
+
+}  // namespace
+}  // namespace teamdisc

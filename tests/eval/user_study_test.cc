@@ -1,0 +1,139 @@
+#include "eval/user_study.h"
+
+#include <gtest/gtest.h>
+
+namespace teamdisc {
+namespace {
+
+class UserStudyTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig config;
+    config.num_authors = 400;
+    config.target_edges = 900;
+    config.num_terms = 60;
+    config.num_venues = 12;
+    config.seed = 5;
+    corpus_ = new SyntheticDblp(GenerateSyntheticDblp(config).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  /// A connector-free single-node team around `v`.
+  static Team SoloTeam(NodeId v) {
+    Team team;
+    team.nodes = {v};
+    const Expert& e = corpus_->network.expert(v);
+    if (!e.skills.empty()) {
+      team.assignments = {SkillAssignment{e.skills[0], v}};
+    }
+    return team;
+  }
+
+  static NodeId StrongestAuthor() {
+    NodeId best = 0;
+    for (NodeId v = 1; v < corpus_->network.num_experts(); ++v) {
+      if (corpus_->latent_ability[v] > corpus_->latent_ability[best]) best = v;
+    }
+    return best;
+  }
+  static NodeId WeakestAuthor() {
+    NodeId best = 0;
+    for (NodeId v = 1; v < corpus_->network.num_experts(); ++v) {
+      if (corpus_->latent_ability[v] < corpus_->latent_ability[best]) best = v;
+    }
+    return best;
+  }
+
+  static SyntheticDblp* corpus_;
+};
+
+SyntheticDblp* UserStudyTest::corpus_ = nullptr;
+
+TEST_F(UserStudyTest, ScoresInUnitInterval) {
+  UserStudy study(*corpus_, UserStudyOptions{});
+  Team team = SoloTeam(0);
+  for (uint32_t j = 0; j < 6; ++j) {
+    double s = study.JudgeScore(j, team);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  double p = study.PanelScore(team);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST_F(UserStudyTest, StrongTeamOutscoresWeakTeam) {
+  UserStudy study(*corpus_, UserStudyOptions{});
+  EXPECT_GT(study.PanelScore(SoloTeam(StrongestAuthor())),
+            study.PanelScore(SoloTeam(WeakestAuthor())));
+}
+
+TEST_F(UserStudyTest, LatentQualityIsNoiseFreeAndBounded) {
+  UserStudy study(*corpus_, UserStudyOptions{});
+  Team team = SoloTeam(StrongestAuthor());
+  double q1 = study.LatentTeamQuality(team);
+  double q2 = study.LatentTeamQuality(team);
+  EXPECT_DOUBLE_EQ(q1, q2);
+  EXPECT_GE(q1, 0.0);
+  EXPECT_LE(q1, 1.0);
+  EXPECT_NEAR(q1, 1.0, 1e-9);  // the strongest author normalizes to 1
+}
+
+TEST_F(UserStudyTest, JudgeScoresAreDeterministic) {
+  UserStudy study(*corpus_, UserStudyOptions{});
+  Team team = SoloTeam(7);
+  EXPECT_DOUBLE_EQ(study.JudgeScore(2, team), study.JudgeScore(2, team));
+}
+
+TEST_F(UserStudyTest, JudgesDisagreeSlightly) {
+  UserStudyOptions o;
+  o.judge_noise = 0.15;
+  UserStudy study(*corpus_, o);
+  Team team = SoloTeam(7);
+  bool differ = false;
+  double first = study.JudgeScore(0, team);
+  for (uint32_t j = 1; j < 6; ++j) {
+    if (study.JudgeScore(j, team) != first) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST_F(UserStudyTest, ZeroJudgesFallsBackToLatentQuality) {
+  UserStudyOptions o;
+  o.num_judges = 0;
+  UserStudy study(*corpus_, o);
+  Team team = SoloTeam(3);
+  EXPECT_DOUBLE_EQ(study.PanelScore(team), study.LatentTeamQuality(team));
+}
+
+TEST_F(UserStudyTest, PrecisionAtKAverages) {
+  UserStudy study(*corpus_, UserStudyOptions{});
+  std::vector<Team> teams = {SoloTeam(0), SoloTeam(1), SoloTeam(2)};
+  double p2 = study.PrecisionAtK(teams, 2);
+  double expected =
+      (study.PanelScore(teams[0]) + study.PanelScore(teams[1])) / 2.0;
+  EXPECT_DOUBLE_EQ(p2, expected);
+  // k beyond size uses all teams; empty list scores 0.
+  EXPECT_GT(study.PrecisionAtK(teams, 10), 0.0);
+  EXPECT_DOUBLE_EQ(study.PrecisionAtK({}, 5), 0.0);
+}
+
+TEST_F(UserStudyTest, SeedChangesNoiseNotSignal) {
+  UserStudyOptions a;
+  a.seed = 1;
+  UserStudyOptions b;
+  b.seed = 2;
+  UserStudy sa(*corpus_, a);
+  UserStudy sb(*corpus_, b);
+  Team strong = SoloTeam(StrongestAuthor());
+  Team weak = SoloTeam(WeakestAuthor());
+  // Different noise, same ordering of clearly-separated teams.
+  EXPECT_GT(sa.PanelScore(strong), sa.PanelScore(weak));
+  EXPECT_GT(sb.PanelScore(strong), sb.PanelScore(weak));
+}
+
+}  // namespace
+}  // namespace teamdisc

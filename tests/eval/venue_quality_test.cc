@@ -1,0 +1,120 @@
+#include "eval/venue_quality.h"
+
+#include <gtest/gtest.h>
+
+namespace teamdisc {
+namespace {
+
+class VenueQualityTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig config;
+    config.num_authors = 400;
+    config.target_edges = 900;
+    config.num_terms = 60;
+    config.num_venues = 20;
+    config.seed = 9;
+    corpus_ = new SyntheticDblp(GenerateSyntheticDblp(config).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static Team SoloTeam(NodeId v) {
+    Team team;
+    team.nodes = {v};
+    const Expert& e = corpus_->network.expert(v);
+    if (!e.skills.empty()) {
+      team.assignments = {SkillAssignment{e.skills[0], v}};
+    }
+    return team;
+  }
+  static NodeId ExtremeAuthor(bool strongest) {
+    NodeId best = 0;
+    for (NodeId v = 1; v < corpus_->network.num_experts(); ++v) {
+      bool better = strongest
+                        ? corpus_->latent_ability[v] > corpus_->latent_ability[best]
+                        : corpus_->latent_ability[v] < corpus_->latent_ability[best];
+      if (better) best = v;
+    }
+    return best;
+  }
+  static SyntheticDblp* corpus_;
+};
+
+SyntheticDblp* VenueQualityTest::corpus_ = nullptr;
+
+TEST_F(VenueQualityTest, RecordShape) {
+  Rng rng(1);
+  VenueQualityOptions o;
+  o.papers_per_team = 4;
+  TeamPublicationRecord r =
+      SimulatePublications(*corpus_, SoloTeam(0), o, rng);
+  EXPECT_EQ(r.venue_ids.size(), 4u);
+  EXPECT_GT(r.best_quality, 0.0);
+  EXPECT_LE(r.best_quality, 1.0);
+  EXPECT_LE(r.mean_quality, r.best_quality);
+  for (uint32_t v : r.venue_ids) EXPECT_LT(v, corpus_->venues.size());
+}
+
+TEST_F(VenueQualityTest, StrongTeamsLandInBetterVenues) {
+  Rng rng(2);
+  VenueQualityOptions o;
+  double strong_total = 0, weak_total = 0;
+  for (int i = 0; i < 50; ++i) {
+    strong_total +=
+        SimulatePublications(*corpus_, SoloTeam(ExtremeAuthor(true)), o, rng)
+            .mean_quality;
+    weak_total +=
+        SimulatePublications(*corpus_, SoloTeam(ExtremeAuthor(false)), o, rng)
+            .mean_quality;
+  }
+  EXPECT_GT(strong_total, weak_total);
+}
+
+TEST_F(VenueQualityTest, HeadToHeadFavorsStrongList) {
+  std::vector<Team> strong(12, SoloTeam(ExtremeAuthor(true)));
+  std::vector<Team> weak(12, SoloTeam(ExtremeAuthor(false)));
+  HeadToHead outcome = CompareVenueQuality(*corpus_, strong, weak,
+                                           VenueQualityOptions{});
+  EXPECT_EQ(outcome.wins_a + outcome.wins_b + outcome.ties, 12u);
+  EXPECT_GT(outcome.wins_a, outcome.wins_b);
+  EXPECT_GT(outcome.DecisiveWinRateA(), 0.5);
+}
+
+TEST_F(VenueQualityTest, WinRateAccessors) {
+  HeadToHead h;
+  h.wins_a = 3;
+  h.wins_b = 1;
+  h.ties = 1;
+  EXPECT_DOUBLE_EQ(h.WinRateA(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(h.DecisiveWinRateA(), 3.0 / 4.0);
+  HeadToHead empty;
+  EXPECT_DOUBLE_EQ(empty.WinRateA(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.DecisiveWinRateA(), 0.0);
+}
+
+TEST_F(VenueQualityTest, DeterministicForSeed) {
+  std::vector<Team> a(5, SoloTeam(1));
+  std::vector<Team> b(5, SoloTeam(2));
+  VenueQualityOptions o;
+  o.seed = 77;
+  HeadToHead h1 = CompareVenueQuality(*corpus_, a, b, o);
+  HeadToHead h2 = CompareVenueQuality(*corpus_, a, b, o);
+  EXPECT_EQ(h1.wins_a, h2.wins_a);
+  EXPECT_EQ(h1.wins_b, h2.wins_b);
+  EXPECT_EQ(h1.ties, h2.ties);
+}
+
+TEST_F(VenueQualityTest, ZeroPapersMeansZeroQuality) {
+  Rng rng(3);
+  VenueQualityOptions o;
+  o.papers_per_team = 0;
+  TeamPublicationRecord r = SimulatePublications(*corpus_, SoloTeam(0), o, rng);
+  EXPECT_TRUE(r.venue_ids.empty());
+  EXPECT_DOUBLE_EQ(r.mean_quality, 0.0);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,155 @@
+#include "graph/graph_algos.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+
+namespace teamdisc {
+namespace {
+
+Graph TwoComponents() {
+  // Component A: 0-1-2 path. Component B: 3-4 edge. Node 5 isolated.
+  GraphBuilder b(6);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(1, 2, 1.0));
+  TD_CHECK_OK(b.AddEdge(3, 4, 1.0));
+  return b.Finish().ValueOrDie();
+}
+
+TEST(ConnectedComponentsTest, CountsAndSizes) {
+  Graph g = TwoComponents();
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components(), 3u);
+  EXPECT_EQ(info.sizes[info.component[0]], 3u);
+  EXPECT_EQ(info.sizes[info.component[3]], 2u);
+  EXPECT_EQ(info.sizes[info.component[5]], 1u);
+}
+
+TEST(ConnectedComponentsTest, MembersAgree) {
+  Graph g = TwoComponents();
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.component[0], info.component[1]);
+  EXPECT_EQ(info.component[1], info.component[2]);
+  EXPECT_EQ(info.component[3], info.component[4]);
+  EXPECT_NE(info.component[0], info.component[3]);
+  EXPECT_NE(info.component[0], info.component[5]);
+}
+
+TEST(ConnectedComponentsTest, LargestComponent) {
+  Graph g = TwoComponents();
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.sizes[info.LargestComponent()], 3u);
+}
+
+TEST(ConnectedComponentsTest, SingleComponentGraph) {
+  Rng rng(3);
+  Graph g = RandomConnectedGraph(40, 20, rng).ValueOrDie();
+  EXPECT_EQ(ConnectedComponents(g).num_components(), 1u);
+}
+
+TEST(AllInSameComponentTest, Basics) {
+  Graph g = TwoComponents();
+  EXPECT_TRUE(AllInSameComponent(g, {0, 1, 2}));
+  EXPECT_FALSE(AllInSameComponent(g, {0, 3}));
+  EXPECT_TRUE(AllInSameComponent(g, {}));
+  EXPECT_TRUE(AllInSameComponent(g, {5}));
+}
+
+TEST(ReachableFromTest, Basics) {
+  Graph g = TwoComponents();
+  EXPECT_EQ(ReachableFrom(g, 0), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(ReachableFrom(g, 4), (std::vector<NodeId>{3, 4}));
+  EXPECT_EQ(ReachableFrom(g, 5), (std::vector<NodeId>{5}));
+}
+
+TEST(InducedSubgraphTest, ExtractsEdgesAndMapping) {
+  Graph g = TwoComponents();
+  Subgraph sub = InducedSubgraph(g, {0, 1, 3}).ValueOrDie();
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 1u);  // only 0-1 survives
+  EXPECT_EQ(sub.to_host[0], 0u);
+  EXPECT_EQ(sub.from_host[3], 2u);
+  EXPECT_EQ(sub.from_host[2], kInvalidNode);
+  EXPECT_TRUE(sub.graph.HasEdge(0, 1));
+}
+
+TEST(InducedSubgraphTest, PreservesWeights) {
+  GraphBuilder b(3);
+  TD_CHECK_OK(b.AddEdge(0, 2, 2.5));
+  Graph g = b.Finish().ValueOrDie();
+  Subgraph sub = InducedSubgraph(g, {0, 2}).ValueOrDie();
+  EXPECT_EQ(sub.graph.EdgeWeight(0, 1), 2.5);
+}
+
+TEST(InducedSubgraphTest, RejectsDuplicatesAndOutOfRange) {
+  Graph g = TwoComponents();
+  EXPECT_FALSE(InducedSubgraph(g, {0, 0}).ok());
+  EXPECT_FALSE(InducedSubgraph(g, {99}).ok());
+}
+
+TEST(InducedSubgraphTest, EmptySelection) {
+  Graph g = TwoComponents();
+  Subgraph sub = InducedSubgraph(g, {}).ValueOrDie();
+  EXPECT_EQ(sub.graph.num_nodes(), 0u);
+}
+
+TEST(MstTest, KnownTree) {
+  // Classic 4-node example.
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(1, 2, 2.0));
+  TD_CHECK_OK(b.AddEdge(2, 3, 3.0));
+  TD_CHECK_OK(b.AddEdge(0, 3, 10.0));
+  TD_CHECK_OK(b.AddEdge(0, 2, 2.5));
+  Graph g = b.Finish().ValueOrDie();
+  EXPECT_DOUBLE_EQ(MinimumSpanningForestWeight(g), 6.0);
+  EXPECT_EQ(MinimumSpanningForest(g).size(), 3u);
+}
+
+TEST(MstTest, ForestOverComponents) {
+  Graph g = TwoComponents();
+  auto forest = MinimumSpanningForest(g);
+  EXPECT_EQ(forest.size(), 3u);  // 2 edges in A + 1 edge in B
+}
+
+TEST(MstTest, MstWeightNeverExceedsAnySpanningSubgraph) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomConnectedGraph(20, 30, rng).ValueOrDie();
+    EXPECT_LE(MinimumSpanningForestWeight(g), g.TotalWeight() + 1e-12);
+  }
+}
+
+TEST(DegreeStatsTest, Basics) {
+  Graph g = TwoComponents();
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, 0u);
+  EXPECT_EQ(stats.max, 2u);
+  EXPECT_EQ(stats.isolated, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean, 6.0 / 6.0);
+}
+
+TEST(UnionFindTest, Basics) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.num_sets(), 4u);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_NE(uf.Find(0), uf.Find(2));
+  uf.Union(2, 3);
+  uf.Union(0, 3);
+  EXPECT_EQ(uf.Find(1), uf.Find(2));
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFindTest, TransitiveClosureChain) {
+  UnionFind uf(100);
+  for (size_t i = 0; i + 1 < 100; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.Find(0), uf.Find(99));
+}
+
+}  // namespace
+}  // namespace teamdisc

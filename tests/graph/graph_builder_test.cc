@@ -1,0 +1,127 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace teamdisc {
+namespace {
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(1, 1, 1.0).IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 3, 1.0).IsOutOfRange());
+  EXPECT_TRUE(b.AddEdge(7, 0, 1.0).IsOutOfRange());
+}
+
+TEST(GraphBuilderTest, RejectsBadWeights) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 1, -0.5).IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(0, 1, std::numeric_limits<double>::quiet_NaN())
+                  .IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(0, 1, std::numeric_limits<double>::infinity())
+                  .IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, AcceptsZeroWeight) {
+  GraphBuilder b(2);
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.0).ok());
+}
+
+TEST(GraphBuilderTest, DuplicateKeepMin) {
+  GraphBuilder b(2);
+  TD_CHECK_OK(b.AddEdge(0, 1, 5.0));
+  TD_CHECK_OK(b.AddEdge(1, 0, 2.0));  // reversed orientation, same edge
+  Graph g = b.Finish(DuplicateEdgePolicy::kKeepMinWeight).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 2.0);
+}
+
+TEST(GraphBuilderTest, DuplicateKeepMax) {
+  GraphBuilder b(2);
+  TD_CHECK_OK(b.AddEdge(0, 1, 5.0));
+  TD_CHECK_OK(b.AddEdge(0, 1, 2.0));
+  Graph g = b.Finish(DuplicateEdgePolicy::kKeepMaxWeight).ValueOrDie();
+  EXPECT_EQ(g.EdgeWeight(0, 1), 5.0);
+}
+
+TEST(GraphBuilderTest, DuplicateSum) {
+  GraphBuilder b(2);
+  TD_CHECK_OK(b.AddEdge(0, 1, 5.0));
+  TD_CHECK_OK(b.AddEdge(0, 1, 2.0));
+  Graph g = b.Finish(DuplicateEdgePolicy::kSum).ValueOrDie();
+  EXPECT_EQ(g.EdgeWeight(0, 1), 7.0);
+}
+
+TEST(GraphBuilderTest, DuplicateError) {
+  GraphBuilder b(2);
+  TD_CHECK_OK(b.AddEdge(0, 1, 5.0));
+  TD_CHECK_OK(b.AddEdge(0, 1, 2.0));
+  auto result = b.Finish(DuplicateEdgePolicy::kError);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GraphBuilderTest, AddEdgesBulk) {
+  GraphBuilder b(4);
+  std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}};
+  TD_CHECK_OK(b.AddEdges(edges));
+  EXPECT_EQ(b.num_pending_edges(), 3u);
+  Graph g = b.Finish().ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphBuilderTest, AddEdgesBulkFailsAtomically) {
+  GraphBuilder b(2);
+  std::vector<Edge> edges = {{0, 1, 1.0}, {0, 5, 2.0}};
+  EXPECT_FALSE(b.AddEdges(edges).ok());
+}
+
+TEST(GraphBuilderTest, FinishIsRepeatable) {
+  GraphBuilder b(3);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  Graph g1 = b.Finish().ValueOrDie();
+  Graph g2 = b.Finish().ValueOrDie();
+  EXPECT_TRUE(g1.Equals(g2));
+  // Builder remains usable after Finish.
+  TD_CHECK_OK(b.AddEdge(1, 2, 1.0));
+  Graph g3 = b.Finish().ValueOrDie();
+  EXPECT_EQ(g3.num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, EmptyBuilder) {
+  GraphBuilder b(0);
+  Graph g = b.Finish().ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 0u);
+}
+
+TEST(GraphBuilderTest, NodesWithoutEdges) {
+  GraphBuilder b(7);
+  Graph g = b.Finish().ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, LargerCsrConsistency) {
+  // Cross-check CSR symmetry: every u->v has a matching v->u.
+  GraphBuilder b(50);
+  for (NodeId u = 0; u < 50; ++u) {
+    for (NodeId v = u + 1; v < 50; v += (u % 3) + 2) {
+      TD_CHECK_OK(b.AddEdge(u, v, 0.1 * (u + v)));
+    }
+  }
+  Graph g = b.Finish().ValueOrDie();
+  size_t half_edges = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Neighbor& n : g.Neighbors(u)) {
+      EXPECT_EQ(g.EdgeWeight(n.node, u), n.weight);
+      ++half_edges;
+    }
+  }
+  EXPECT_EQ(half_edges, g.num_edges() * 2);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,142 @@
+#include "graph/graph_generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algos.h"
+
+namespace teamdisc {
+namespace {
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(100, 0.1, rng).ValueOrDie();
+  double expected = 0.1 * 100 * 99 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.35);
+}
+
+TEST(ErdosRenyiTest, ExtremeProbabilities) {
+  Rng rng(2);
+  EXPECT_EQ(ErdosRenyi(20, 0.0, rng).ValueOrDie().num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyi(20, 1.0, rng).ValueOrDie().num_edges(), 190u);
+  EXPECT_FALSE(ErdosRenyi(20, 1.5, rng).ok());
+}
+
+TEST(ErdosRenyiTest, WeightsInRange) {
+  Rng rng(3);
+  Graph g = ErdosRenyi(50, 0.2, rng, 0.25, 0.75).ValueOrDie();
+  for (const Edge& e : g.CanonicalEdges()) {
+    EXPECT_GE(e.weight, 0.25);
+    EXPECT_LT(e.weight, 0.75);
+  }
+}
+
+TEST(BarabasiAlbertTest, ConnectedAndSized) {
+  Rng rng(4);
+  Graph g = BarabasiAlbert(200, 2, rng).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 200u);
+  EXPECT_EQ(ConnectedComponents(g).num_components(), 1u);
+  // Each of the ~197 non-seed nodes adds ~2 edges.
+  EXPECT_GE(g.num_edges(), 300u);
+}
+
+TEST(BarabasiAlbertTest, HubsEmerge) {
+  Rng rng(5);
+  Graph g = BarabasiAlbert(500, 2, rng).ValueOrDie();
+  DegreeStats stats = ComputeDegreeStats(g);
+  // Preferential attachment produces a heavy tail: max degree far above mean.
+  EXPECT_GT(static_cast<double>(stats.max), 4.0 * stats.mean);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParams) {
+  Rng rng(6);
+  EXPECT_FALSE(BarabasiAlbert(10, 0, rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(1, 2, rng).ok());
+}
+
+TEST(WattsStrogatzTest, NodeAndEdgeCounts) {
+  Rng rng(7);
+  Graph g = WattsStrogatz(100, 3, 0.1, rng).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 100u);
+  // Ring lattice has n*k edges; rewiring preserves the count (dedup may
+  // lose a handful when rewiring collides).
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 300.0, 10.0);
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRing) {
+  Rng rng(8);
+  Graph g = WattsStrogatz(10, 1, 0.0, rng).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_TRUE(g.HasEdge(v, (v + 1) % 10));
+  }
+}
+
+TEST(WattsStrogatzTest, RejectsBadParams) {
+  Rng rng(9);
+  EXPECT_FALSE(WattsStrogatz(10, 5, 0.1, rng).ok());  // 2k >= n
+  EXPECT_FALSE(WattsStrogatz(10, 0, 0.1, rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 2, 1.5, rng).ok());
+}
+
+TEST(RandomConnectedGraphTest, AlwaysConnected) {
+  Rng rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = RandomConnectedGraph(30, 15, rng).ValueOrDie();
+    EXPECT_EQ(ConnectedComponents(g).num_components(), 1u);
+    EXPECT_EQ(g.num_edges(), 29u + 15u);
+  }
+}
+
+TEST(RandomConnectedGraphTest, ExtraEdgesCappedAtComplete) {
+  Rng rng(11);
+  Graph g = RandomConnectedGraph(5, 1000, rng).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 10u);  // K5
+}
+
+TEST(RandomConnectedGraphTest, SingleNode) {
+  Rng rng(12);
+  Graph g = RandomConnectedGraph(1, 0, rng).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DeterministicGeneratorsTest, PathGraph) {
+  Graph g = PathGraph(5, 2.0).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(3, 4));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.EdgeWeight(1, 2), 2.0);
+}
+
+TEST(DeterministicGeneratorsTest, CompleteGraph) {
+  Graph g = CompleteGraph(6).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(ComputeDegreeStats(g).min, 5u);
+}
+
+TEST(DeterministicGeneratorsTest, StarGraph) {
+  Graph g = StarGraph(7).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.Degree(0), 6u);
+  EXPECT_EQ(g.Degree(3), 1u);
+}
+
+TEST(DeterministicGeneratorsTest, GridGraph) {
+  Graph g = GridGraph(3, 4).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_EQ(ConnectedComponents(g).num_components(), 1u);
+  EXPECT_FALSE(GridGraph(0, 3).ok());
+}
+
+TEST(GeneratorsTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  Graph ga = BarabasiAlbert(80, 2, a).ValueOrDie();
+  Graph gb = BarabasiAlbert(80, 2, b).ValueOrDie();
+  EXPECT_TRUE(ga.Equals(gb));
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,90 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/graph_builder.h"
+
+namespace teamdisc {
+namespace {
+
+Graph SampleGraph() {
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.5));
+  TD_CHECK_OK(b.AddEdge(1, 2, 1.25));
+  TD_CHECK_OK(b.AddEdge(2, 3, 0.0078125));
+  return b.Finish().ValueOrDie();
+}
+
+TEST(GraphIoTest, SerializeContainsHeaderAndEdges) {
+  std::string s = SerializeGraph(SampleGraph());
+  EXPECT_NE(s.find("# teamdisc edge list"), std::string::npos);
+  EXPECT_NE(s.find("\n4\n"), std::string::npos);
+  EXPECT_NE(s.find("0 1 0.5"), std::string::npos);
+}
+
+TEST(GraphIoTest, RoundTripPreservesGraph) {
+  Graph g = SampleGraph();
+  Graph parsed = DeserializeGraph(SerializeGraph(g)).ValueOrDie();
+  EXPECT_TRUE(g.Equals(parsed));
+}
+
+TEST(GraphIoTest, RoundTripExactWeights) {
+  GraphBuilder b(2);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.1));  // not exactly representable
+  Graph g = b.Finish().ValueOrDie();
+  Graph parsed = DeserializeGraph(SerializeGraph(g)).ValueOrDie();
+  EXPECT_EQ(parsed.EdgeWeight(0, 1), g.EdgeWeight(0, 1));  // %.17g is lossless
+}
+
+TEST(GraphIoTest, ParsesCommentsAndBlankLines) {
+  Graph g = DeserializeGraph("# comment\n\n3\n# another\n0 1 1.0\n\n").ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphIoTest, RejectsMissingNodeCount) {
+  EXPECT_FALSE(DeserializeGraph("# only comments\n").ok());
+  EXPECT_FALSE(DeserializeGraph("").ok());
+}
+
+TEST(GraphIoTest, RejectsMalformedEdgeLine) {
+  EXPECT_FALSE(DeserializeGraph("3\n0 1\n").ok());
+  EXPECT_FALSE(DeserializeGraph("3\n0 1 x\n").ok());
+  EXPECT_FALSE(DeserializeGraph("3\n0 1 1.0 extra\n").ok());
+}
+
+TEST(GraphIoTest, RejectsOutOfRangeEdge) {
+  auto result = DeserializeGraph("2\n0 5 1.0\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsDuplicateEdges) {
+  EXPECT_FALSE(DeserializeGraph("2\n0 1 1.0\n1 0 2.0\n").ok());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Graph g = SampleGraph();
+  std::string path = testing::TempDir() + "/graph_io_test.txt";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  Graph loaded = LoadGraph(path).ValueOrDie();
+  EXPECT_TRUE(g.Equals(loaded));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadGraph("/no/such/file.txt").status().IsIOError());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrip) {
+  GraphBuilder b(5);
+  Graph g = b.Finish().ValueOrDie();
+  Graph parsed = DeserializeGraph(SerializeGraph(g)).ValueOrDie();
+  EXPECT_EQ(parsed.num_nodes(), 5u);
+  EXPECT_EQ(parsed.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace teamdisc

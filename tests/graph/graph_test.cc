@@ -1,0 +1,138 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace teamdisc {
+namespace {
+
+Graph MakeTriangle() {
+  GraphBuilder b(3);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(1, 2, 2.0));
+  TD_CHECK_OK(b.AddEdge(0, 2, 3.0));
+  return b.Finish().ValueOrDie();
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.TotalWeight(), 0.0);
+}
+
+TEST(GraphTest, NodeAndEdgeCounts) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_FALSE(g.empty());
+}
+
+TEST(GraphTest, DegreesAndNeighbors) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.Degree(0), 2u);
+  auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].node, 1u);
+  EXPECT_EQ(nbrs[0].weight, 1.0);
+  EXPECT_EQ(nbrs[1].node, 2u);
+  EXPECT_EQ(nbrs[1].weight, 3.0);
+}
+
+TEST(GraphTest, NeighborListsSorted) {
+  GraphBuilder b(5);
+  TD_CHECK_OK(b.AddEdge(2, 4, 1.0));
+  TD_CHECK_OK(b.AddEdge(2, 0, 1.0));
+  TD_CHECK_OK(b.AddEdge(2, 3, 1.0));
+  TD_CHECK_OK(b.AddEdge(2, 1, 1.0));
+  Graph g = b.Finish().ValueOrDie();
+  auto nbrs = g.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (size_t i = 0; i + 1 < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i].node, nbrs[i + 1].node);
+  }
+}
+
+TEST(GraphTest, EdgeWeightLookup) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.EdgeWeight(0, 1), 1.0);
+  EXPECT_EQ(g.EdgeWeight(1, 0), 1.0);  // symmetric
+  EXPECT_EQ(g.EdgeWeight(1, 2), 2.0);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, MissingEdgeIsInfinite) {
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  Graph g = b.Finish().ValueOrDie();
+  EXPECT_EQ(g.EdgeWeight(0, 2), kInfDistance);
+  EXPECT_FALSE(g.HasEdge(2, 3));
+}
+
+TEST(GraphTest, CanonicalEdges) {
+  Graph g = MakeTriangle();
+  auto edges = g.CanonicalEdges();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+  EXPECT_EQ(edges[0].u, 0u);
+  EXPECT_EQ(edges[0].v, 1u);
+}
+
+TEST(GraphTest, WeightAggregates) {
+  Graph g = MakeTriangle();
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 6.0);
+  EXPECT_DOUBLE_EQ(g.MaxEdgeWeight(), 3.0);
+  EXPECT_DOUBLE_EQ(g.MinEdgeWeight(), 1.0);
+}
+
+TEST(GraphTest, IsolatedNodes) {
+  GraphBuilder b(10);
+  TD_CHECK_OK(b.AddEdge(0, 9, 0.5));
+  Graph g = b.Finish().ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.Degree(5), 0u);
+  EXPECT_TRUE(g.Neighbors(5).empty());
+}
+
+TEST(GraphTest, Equals) {
+  Graph a = MakeTriangle();
+  Graph b = MakeTriangle();
+  EXPECT_TRUE(a.Equals(b));
+  GraphBuilder builder(3);
+  TD_CHECK_OK(builder.AddEdge(0, 1, 1.0));
+  Graph c = builder.Finish().ValueOrDie();
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(GraphTest, ZeroWeightEdgesAllowed) {
+  GraphBuilder b(2);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.0));
+  Graph g = b.Finish().ValueOrDie();
+  EXPECT_EQ(g.EdgeWeight(0, 1), 0.0);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(EdgeKeyTest, CanonicalAndUnique) {
+  EXPECT_EQ(EdgeKey(1, 2), EdgeKey(2, 1));
+  EXPECT_NE(EdgeKey(1, 2), EdgeKey(1, 3));
+  EXPECT_NE(EdgeKey(0, 1), EdgeKey(1, 2));
+}
+
+TEST(EdgeTest, MakeCanonicalizes) {
+  Edge e = Edge::Make(5, 2, 1.5);
+  EXPECT_EQ(e.u, 2u);
+  EXPECT_EQ(e.v, 5u);
+  EXPECT_EQ(e.weight, 1.5);
+}
+
+TEST(GraphTest, DebugStringMentionsCounts) {
+  Graph g = MakeTriangle();
+  std::string s = g.DebugString();
+  EXPECT_NE(s.find("nodes=3"), std::string::npos);
+  EXPECT_NE(s.find("edges=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace teamdisc

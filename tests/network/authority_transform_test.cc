@@ -1,0 +1,101 @@
+#include "network/authority_transform.h"
+
+#include <gtest/gtest.h>
+
+#include "shortest_path/dijkstra.h"
+
+namespace teamdisc {
+namespace {
+
+ExpertNetwork SmallNet() {
+  ExpertNetworkBuilder b;
+  b.AddExpert("a", {"s1"}, 2.0);   // a' = 0.5
+  b.AddExpert("b", {}, 4.0);       // a' = 0.25
+  b.AddExpert("c", {"s2"}, 10.0);  // a' = 0.1
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(1, 2, 2.0));
+  return b.Finish().ValueOrDie();
+}
+
+TEST(TransformedEdgeWeightTest, Formula) {
+  // w' = gamma*(a'_u + a'_v) + 2*(1-gamma)*w
+  EXPECT_DOUBLE_EQ(TransformedEdgeWeight(0.5, 0.5, 0.25, 1.0),
+                   0.5 * 0.75 + 2.0 * 0.5 * 1.0);
+  EXPECT_DOUBLE_EQ(TransformedEdgeWeight(0.0, 0.5, 0.25, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(TransformedEdgeWeight(1.0, 0.5, 0.25, 1.0), 0.75);
+}
+
+TEST(AuthorityTransformTest, PreservesTopology) {
+  ExpertNetwork net = SmallNet();
+  TransformedGraph t = BuildAuthorityTransform(net, 0.6).ValueOrDie();
+  EXPECT_EQ(t.graph.num_nodes(), net.graph().num_nodes());
+  EXPECT_EQ(t.graph.num_edges(), net.graph().num_edges());
+  EXPECT_TRUE(t.graph.HasEdge(0, 1));
+  EXPECT_TRUE(t.graph.HasEdge(1, 2));
+  EXPECT_FALSE(t.graph.HasEdge(0, 2));
+  EXPECT_DOUBLE_EQ(t.gamma, 0.6);
+}
+
+TEST(AuthorityTransformTest, EdgeWeightsMatchFormula) {
+  ExpertNetwork net = SmallNet();
+  const double gamma = 0.6;
+  TransformedGraph t = BuildAuthorityTransform(net, gamma).ValueOrDie();
+  EXPECT_DOUBLE_EQ(t.graph.EdgeWeight(0, 1),
+                   gamma * (0.5 + 0.25) + 2.0 * 0.4 * 1.0);
+  EXPECT_DOUBLE_EQ(t.graph.EdgeWeight(1, 2),
+                   gamma * (0.25 + 0.1) + 2.0 * 0.4 * 2.0);
+}
+
+TEST(AuthorityTransformTest, GammaZeroIsScaledCommunicationCost) {
+  // gamma = 0: w' = 2w, so shortest paths coincide with G's.
+  ExpertNetwork net = SmallNet();
+  TransformedGraph t = BuildAuthorityTransform(net, 0.0).ValueOrDie();
+  for (const Edge& e : net.graph().CanonicalEdges()) {
+    EXPECT_DOUBLE_EQ(t.graph.EdgeWeight(e.u, e.v), 2.0 * e.weight);
+  }
+}
+
+TEST(AuthorityTransformTest, GammaOneIgnoresCommunicationCost) {
+  ExpertNetwork net = SmallNet();
+  TransformedGraph t = BuildAuthorityTransform(net, 1.0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(t.graph.EdgeWeight(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(t.graph.EdgeWeight(1, 2), 0.35);
+}
+
+TEST(AuthorityTransformTest, RejectsBadGamma) {
+  ExpertNetwork net = SmallNet();
+  EXPECT_FALSE(BuildAuthorityTransform(net, -0.1).ok());
+  EXPECT_FALSE(BuildAuthorityTransform(net, 1.1).ok());
+}
+
+TEST(AuthorityTransformTest, PathCostDecomposition) {
+  // Along the path a-b-c the transformed length must equal
+  // gamma*(a'_a + 2 a'_b + a'_c) + 2(1-gamma)*CC(path).
+  ExpertNetwork net = SmallNet();
+  const double gamma = 0.37;
+  TransformedGraph t = BuildAuthorityTransform(net, gamma).ValueOrDie();
+  double d = DijkstraPointToPoint(t.graph, 0, 2);
+  double expected = gamma * (0.5 + 2 * 0.25 + 0.1) + 2.0 * (1 - gamma) * 3.0;
+  EXPECT_NEAR(d, expected, 1e-12);
+}
+
+TEST(AuthorityTransformTest, HighAuthorityConnectorPreferred) {
+  // Two parallel 2-hop routes; the connector with higher authority (lower
+  // a') must be on the shortest transformed path when gamma is large.
+  ExpertNetworkBuilder b;
+  b.AddExpert("src", {}, 1.0);
+  b.AddExpert("weak", {}, 1.0);    // a' = 1
+  b.AddExpert("strong", {}, 50.0); // a' = 0.02
+  b.AddExpert("dst", {}, 1.0);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(1, 3, 1.0));
+  TD_CHECK_OK(b.AddEdge(0, 2, 1.0));
+  TD_CHECK_OK(b.AddEdge(2, 3, 1.0));
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  TransformedGraph t = BuildAuthorityTransform(net, 0.9).ValueOrDie();
+  ShortestPathTree tree = DijkstraSssp(t.graph, 0);
+  EXPECT_EQ(tree.PathTo(3), (std::vector<NodeId>{0, 2, 3}));
+}
+
+}  // namespace
+}  // namespace teamdisc

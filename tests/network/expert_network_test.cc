@@ -1,0 +1,130 @@
+#include "network/expert_network.h"
+
+#include <gtest/gtest.h>
+
+namespace teamdisc {
+namespace {
+
+ExpertNetwork SampleNetwork() {
+  ExpertNetworkBuilder b;
+  b.AddExpert("alice", {"db", "ml"}, 10.0, 30);
+  b.AddExpert("bob", {"ml"}, 5.0, 12);
+  b.AddExpert("carol", {}, 20.0, 80);
+  b.AddExpert("dave", {"db", "nlp"}, 2.0, 4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.5));
+  TD_CHECK_OK(b.AddEdge(1, 2, 0.25));
+  TD_CHECK_OK(b.AddEdge(2, 3, 0.75));
+  return b.Finish().ValueOrDie();
+}
+
+TEST(ExpertNetworkTest, BasicCounts) {
+  ExpertNetwork net = SampleNetwork();
+  EXPECT_EQ(net.num_experts(), 4u);
+  EXPECT_EQ(net.graph().num_edges(), 3u);
+  EXPECT_EQ(net.num_skills(), 3u);  // db, ml, nlp
+}
+
+TEST(ExpertNetworkTest, AuthorityAndInverse) {
+  ExpertNetwork net = SampleNetwork();
+  EXPECT_DOUBLE_EQ(net.Authority(0), 10.0);
+  EXPECT_DOUBLE_EQ(net.InverseAuthority(0), 0.1);
+  EXPECT_DOUBLE_EQ(net.InverseAuthority(3), 0.5);
+}
+
+TEST(ExpertNetworkTest, AuthorityFloorApplied) {
+  ExpertNetworkBuilder b;
+  b.AddExpert("zero", {}, 0.0);
+  b.AddExpert("neg", {}, -3.0);
+  b.AddExpert("nan", {}, std::numeric_limits<double>::quiet_NaN());
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(net.Authority(v), 1.0);
+    EXPECT_DOUBLE_EQ(net.InverseAuthority(v), 1.0);
+  }
+}
+
+TEST(ExpertNetworkTest, CustomAuthorityFloor) {
+  ExpertNetworkBuilder b;
+  b.set_authority_floor(0.5);
+  b.AddExpert("weak", {}, 0.1);
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  EXPECT_DOUBLE_EQ(net.Authority(0), 0.5);
+}
+
+TEST(ExpertNetworkTest, SkillsSortedAndDeduped) {
+  ExpertNetworkBuilder b;
+  b.AddExpert("x", {"b", "a", "b", "a"}, 1.0);
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  EXPECT_EQ(net.expert(0).skills.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(net.expert(0).skills.begin(),
+                             net.expert(0).skills.end()));
+}
+
+TEST(ExpertNetworkTest, HasSkill) {
+  ExpertNetwork net = SampleNetwork();
+  SkillId db = net.skills().Find("db");
+  SkillId ml = net.skills().Find("ml");
+  SkillId nlp = net.skills().Find("nlp");
+  EXPECT_TRUE(net.HasSkill(0, db));
+  EXPECT_TRUE(net.HasSkill(0, ml));
+  EXPECT_FALSE(net.HasSkill(0, nlp));
+  EXPECT_FALSE(net.HasSkill(2, db));
+}
+
+TEST(ExpertNetworkTest, InvertedIndexMatchesSkills) {
+  ExpertNetwork net = SampleNetwork();
+  SkillId db = net.skills().Find("db");
+  auto holders = net.ExpertsWithSkill(db);
+  ASSERT_EQ(holders.size(), 2u);
+  EXPECT_EQ(holders[0], 0u);
+  EXPECT_EQ(holders[1], 3u);
+  SkillId nlp = net.skills().Find("nlp");
+  ASSERT_EQ(net.ExpertsWithSkill(nlp).size(), 1u);
+  EXPECT_EQ(net.ExpertsWithSkill(nlp)[0], 3u);
+}
+
+TEST(ExpertNetworkTest, UnknownSkillHasNoHolders) {
+  ExpertNetwork net = SampleNetwork();
+  EXPECT_TRUE(net.ExpertsWithSkill(999).empty());
+}
+
+TEST(ExpertNetworkTest, InvertedIndexSortedForAllSkills) {
+  ExpertNetwork net = SampleNetwork();
+  for (SkillId s = 0; s < net.num_skills(); ++s) {
+    auto holders = net.ExpertsWithSkill(s);
+    EXPECT_TRUE(std::is_sorted(holders.begin(), holders.end()));
+    for (NodeId v : holders) EXPECT_TRUE(net.HasSkill(v, s));
+  }
+}
+
+TEST(ExpertNetworkBuilderTest, EdgeValidation) {
+  ExpertNetworkBuilder b;
+  b.AddExpert("a", {}, 1.0);
+  b.AddExpert("b", {}, 1.0);
+  EXPECT_TRUE(b.AddEdge(0, 0, 0.5).IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(0, 7, 0.5).IsOutOfRange());
+  EXPECT_TRUE(b.AddEdge(0, 1, -1.0).IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+}
+
+TEST(ExpertNetworkTest, EmptyNetwork) {
+  ExpertNetworkBuilder b;
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  EXPECT_EQ(net.num_experts(), 0u);
+  EXPECT_EQ(net.num_skills(), 0u);
+}
+
+TEST(ExpertNetworkTest, MetadataPreserved) {
+  ExpertNetwork net = SampleNetwork();
+  EXPECT_EQ(net.expert(2).name, "carol");
+  EXPECT_EQ(net.expert(2).num_publications, 80u);
+}
+
+TEST(ExpertNetworkTest, DebugString) {
+  ExpertNetwork net = SampleNetwork();
+  std::string s = net.DebugString();
+  EXPECT_NE(s.find("experts=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,121 @@
+// Robustness / failure-injection tests: corrupted or truncated persistence
+// inputs must produce clean Status errors, never crashes or invalid
+// networks. Mutation-based "fuzzing" with a deterministic Rng.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/graph_generators.h"
+#include "graph/graph_io.h"
+#include "network/network_io.h"
+
+namespace teamdisc {
+namespace {
+
+std::string ValidNetworkText() {
+  ExpertNetworkBuilder b;
+  b.AddExpert("alpha", {"x", "y"}, 4.0, 9);
+  b.AddExpert("beta", {"y"}, 2.0, 3);
+  b.AddExpert("gamma", {}, 7.0, 20);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.5));
+  TD_CHECK_OK(b.AddEdge(1, 2, 0.25));
+  return SerializeNetwork(b.Finish().ValueOrDie());
+}
+
+std::string ValidGraphText() {
+  Rng rng(4);
+  return SerializeGraph(
+      [] {
+        Rng rng(4);
+        return RandomConnectedGraph(12, 6, rng).ValueOrDie();
+      }());
+}
+
+TEST(NetworkIoFuzzTest, TruncationsNeverCrash) {
+  std::string text = ValidNetworkText();
+  for (size_t cut = 0; cut < text.size(); cut += 3) {
+    auto result = DeserializeNetwork(text.substr(0, cut));
+    // Either a clean parse failure or (for cuts after the last edge line)
+    // possibly a valid prefix — both fine; crashes are not.
+    if (result.ok()) {
+      EXPECT_LE(result.ValueOrDie().num_experts(), 3u);
+    }
+  }
+}
+
+TEST(NetworkIoFuzzTest, ByteMutationsNeverCrash) {
+  std::string text = ValidNetworkText();
+  Rng rng(99);
+  static const char kBytes[] = "0123456789 .-abcXYZ\n,#";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = text;
+    size_t flips = 1 + rng.NextBounded(4);
+    for (size_t f = 0; f < flips; ++f) {
+      size_t pos = rng.NextBounded(mutated.size());
+      mutated[pos] = kBytes[rng.NextBounded(sizeof(kBytes) - 1)];
+    }
+    auto result = DeserializeNetwork(mutated);
+    if (result.ok()) {
+      // If it parses, it must be a structurally valid network.
+      const ExpertNetwork& net = result.ValueOrDie();
+      for (SkillId s = 0; s < net.num_skills(); ++s) {
+        for (NodeId v : net.ExpertsWithSkill(s)) {
+          EXPECT_TRUE(net.HasSkill(v, s));
+        }
+      }
+    }
+  }
+}
+
+TEST(NetworkIoFuzzTest, LineDeletionsNeverCrash) {
+  std::string text = ValidNetworkText();
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  for (size_t skip = 0; skip < lines.size(); ++skip) {
+    std::string mutated;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (i != skip) mutated += lines[i] + "\n";
+    }
+    (void)DeserializeNetwork(mutated);  // must not crash; status either way
+  }
+}
+
+TEST(GraphIoFuzzTest, ByteMutationsNeverCrash) {
+  std::string text = ValidGraphText();
+  Rng rng(7);
+  static const char kBytes[] = "0123456789 .-e\n#";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = text;
+    size_t pos = rng.NextBounded(mutated.size());
+    mutated[pos] = kBytes[rng.NextBounded(sizeof(kBytes) - 1)];
+    auto result = DeserializeGraph(mutated);
+    if (result.ok()) {
+      // Parsed graphs must be internally consistent (symmetric CSR).
+      const Graph& g = result.ValueOrDie();
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (const Neighbor& n : g.Neighbors(u)) {
+          EXPECT_EQ(g.EdgeWeight(n.node, u), n.weight);
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphIoFuzzTest, GarbageInputsFailCleanly) {
+  for (const char* garbage :
+       {"", "\n\n\n", "###", "nan", "3 2 1", "1e999", "-5",
+        "4\n0 1 1.0\n0 1", "4\n1 0", "18446744073709551616"}) {
+    auto result = DeserializeGraph(garbage);
+    if (result.ok()) {
+      EXPECT_EQ(result.ValueOrDie().num_edges(), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace teamdisc

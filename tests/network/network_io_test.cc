@@ -1,0 +1,97 @@
+#include "network/network_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace teamdisc {
+namespace {
+
+ExpertNetwork SampleNet() {
+  ExpertNetworkBuilder b;
+  b.AddExpert("Alice Smith", {"data mining", "nlp"}, 12.0, 40);
+  b.AddExpert("Bob", {}, 3.0, 7);
+  b.AddExpert("Carol", {"nlp"}, 1.0, 2);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.5));
+  TD_CHECK_OK(b.AddEdge(1, 2, 0.125));
+  return b.Finish().ValueOrDie();
+}
+
+TEST(NetworkIoTest, SerializeSections) {
+  std::string s = SerializeNetwork(SampleNet());
+  EXPECT_NE(s.find("experts 3"), std::string::npos);
+  EXPECT_NE(s.find("edges 2"), std::string::npos);
+  // Spaces in names and skills become underscores.
+  EXPECT_NE(s.find("Alice_Smith"), std::string::npos);
+  EXPECT_NE(s.find("data_mining,nlp"), std::string::npos);
+  // Skill-less experts serialize a dash.
+  EXPECT_NE(s.find(" Bob -"), std::string::npos);
+}
+
+TEST(NetworkIoTest, RoundTripPreservesEverything) {
+  ExpertNetwork net = SampleNet();
+  ExpertNetwork parsed = DeserializeNetwork(SerializeNetwork(net)).ValueOrDie();
+  EXPECT_EQ(parsed.num_experts(), 3u);
+  EXPECT_EQ(parsed.graph().num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.Authority(0), 12.0);
+  EXPECT_EQ(parsed.expert(0).num_publications, 40u);
+  EXPECT_EQ(parsed.expert(1).name, "Bob");
+  EXPECT_TRUE(parsed.expert(1).skills.empty());
+  EXPECT_DOUBLE_EQ(parsed.graph().EdgeWeight(1, 2), 0.125);
+  SkillId nlp = parsed.skills().Find("nlp");
+  ASSERT_NE(nlp, kInvalidSkill);
+  EXPECT_EQ(parsed.ExpertsWithSkill(nlp).size(), 2u);
+}
+
+TEST(NetworkIoTest, FileRoundTrip) {
+  ExpertNetwork net = SampleNet();
+  std::string path = testing::TempDir() + "/network_io_test.txt";
+  ASSERT_TRUE(SaveNetwork(net, path).ok());
+  ExpertNetwork loaded = LoadNetwork(path).ValueOrDie();
+  EXPECT_EQ(loaded.num_experts(), net.num_experts());
+  EXPECT_EQ(loaded.graph().num_edges(), net.graph().num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, RejectsCountMismatches) {
+  EXPECT_FALSE(DeserializeNetwork("experts 2\n0 1 0 a -\nedges 0\n").ok());
+  EXPECT_FALSE(
+      DeserializeNetwork("experts 1\n0 1 0 a -\nedges 2\n0 0 1.0\n").ok());
+}
+
+TEST(NetworkIoTest, RejectsNonDenseIds) {
+  EXPECT_FALSE(
+      DeserializeNetwork("experts 2\n0 1 0 a -\n2 1 0 b -\nedges 0\n").ok());
+}
+
+TEST(NetworkIoTest, RejectsMalformedLines) {
+  EXPECT_FALSE(DeserializeNetwork("bogus\n").ok());
+  EXPECT_FALSE(DeserializeNetwork("experts 1\n0 1 0 a\nedges 0\n").ok());
+  EXPECT_FALSE(DeserializeNetwork("experts 0\nedges 1\n0 1\n").ok());
+  EXPECT_FALSE(DeserializeNetwork("").ok());
+  EXPECT_FALSE(DeserializeNetwork("experts 0\n").ok());  // missing edges
+}
+
+TEST(NetworkIoTest, RejectsBadEdgeEndpoint) {
+  auto r = DeserializeNetwork("experts 1\n0 1 0 a -\nedges 1\n0 5 1.0\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NetworkIoTest, EmptyNetworkRoundTrip) {
+  ExpertNetworkBuilder b;
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  ExpertNetwork parsed = DeserializeNetwork(SerializeNetwork(net)).ValueOrDie();
+  EXPECT_EQ(parsed.num_experts(), 0u);
+}
+
+TEST(NetworkIoTest, CommentsIgnored) {
+  std::string content =
+      "# header comment\nexperts 1\n# expert line next\n0 2.5 3 solo "
+      "skill_a\nedges 0\n";
+  ExpertNetwork net = DeserializeNetwork(content).ValueOrDie();
+  EXPECT_EQ(net.num_experts(), 1u);
+  EXPECT_DOUBLE_EQ(net.Authority(0), 2.5);
+}
+
+}  // namespace
+}  // namespace teamdisc

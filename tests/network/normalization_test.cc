@@ -1,0 +1,102 @@
+#include "network/normalization.h"
+
+#include <gtest/gtest.h>
+
+namespace teamdisc {
+namespace {
+
+ExpertNetwork RawNet() {
+  ExpertNetworkBuilder b;
+  b.AddExpert("a", {"x"}, 1.0, 3);   // a' = 1.0
+  b.AddExpert("b", {"y"}, 4.0, 9);   // a' = 0.25
+  b.AddExpert("c", {}, 2.0, 1);      // a' = 0.5
+  TD_CHECK_OK(b.AddEdge(0, 1, 2.0));
+  TD_CHECK_OK(b.AddEdge(1, 2, 10.0));
+  return b.Finish().ValueOrDie();
+}
+
+TEST(NormalizationStatsTest, ApplyModes) {
+  NormalizationStats stats;
+  stats.min = 2.0;
+  stats.max = 10.0;
+  stats.mode = NormalizationMode::kNone;
+  EXPECT_DOUBLE_EQ(stats.Apply(6.0), 6.0);
+  stats.mode = NormalizationMode::kMinMax;
+  EXPECT_DOUBLE_EQ(stats.Apply(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Apply(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Apply(6.0), 0.5);
+  stats.mode = NormalizationMode::kMax;
+  EXPECT_DOUBLE_EQ(stats.Apply(5.0), 0.5);
+}
+
+TEST(NormalizationStatsTest, DegenerateRange) {
+  NormalizationStats stats;
+  stats.min = stats.max = 3.0;
+  stats.mode = NormalizationMode::kMinMax;
+  EXPECT_DOUBLE_EQ(stats.Apply(3.0), 0.0);
+  stats.max = 0.0;
+  stats.mode = NormalizationMode::kMax;
+  EXPECT_DOUBLE_EQ(stats.Apply(3.0), 0.0);
+}
+
+TEST(ComputeStatsTest, EdgeWeightRange) {
+  ExpertNetwork net = RawNet();
+  NormalizationStats stats =
+      ComputeEdgeWeightStats(net, NormalizationMode::kMinMax);
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 10.0);
+}
+
+TEST(ComputeStatsTest, InverseAuthorityRange) {
+  ExpertNetwork net = RawNet();
+  NormalizationStats stats =
+      ComputeInverseAuthorityStats(net, NormalizationMode::kMax);
+  EXPECT_DOUBLE_EQ(stats.min, 0.25);
+  EXPECT_DOUBLE_EQ(stats.max, 1.0);
+}
+
+TEST(NormalizeNetworkTest, MaxModeScalesToUnit) {
+  ExpertNetwork net = RawNet();
+  ExpertNetwork norm =
+      NormalizeNetwork(net, NormalizationMode::kMax).ValueOrDie();
+  // Edge weights scaled by 1/10.
+  EXPECT_NEAR(norm.graph().EdgeWeight(0, 1), 0.2, 1e-12);
+  EXPECT_NEAR(norm.graph().EdgeWeight(1, 2), 1.0, 1e-12);
+  // a' scaled by 1/max(a') = 1: expert a had the max a' = 1 -> stays 1.
+  EXPECT_NEAR(norm.InverseAuthority(0), 1.0, 1e-12);
+  EXPECT_NEAR(norm.InverseAuthority(1), 0.25, 1e-12);
+}
+
+TEST(NormalizeNetworkTest, PreservesStructureAndMetadata) {
+  ExpertNetwork net = RawNet();
+  ExpertNetwork norm =
+      NormalizeNetwork(net, NormalizationMode::kMinMax).ValueOrDie();
+  EXPECT_EQ(norm.num_experts(), net.num_experts());
+  EXPECT_EQ(norm.graph().num_edges(), net.graph().num_edges());
+  EXPECT_EQ(norm.expert(0).name, "a");
+  EXPECT_EQ(norm.expert(1).num_publications, 9u);
+  EXPECT_EQ(norm.skills().Find("x"), net.skills().Find("x"));
+  EXPECT_TRUE(norm.HasSkill(1, norm.skills().Find("y")));
+}
+
+TEST(NormalizeNetworkTest, MinMaxFloorsAtMinValue) {
+  ExpertNetwork net = RawNet();
+  const double floor = 1e-6;
+  ExpertNetwork norm =
+      NormalizeNetwork(net, NormalizationMode::kMinMax, floor).ValueOrDie();
+  // The min-weight edge maps to 0 and is floored to min_value.
+  EXPECT_DOUBLE_EQ(norm.graph().EdgeWeight(0, 1), floor);
+  // The min a' (expert b) maps to 0 -> floored; authority = 1/floor.
+  EXPECT_NEAR(norm.Authority(1), 1.0 / floor, 1.0);
+}
+
+TEST(NormalizeNetworkTest, NoneModeKeepsValues) {
+  ExpertNetwork net = RawNet();
+  ExpertNetwork norm =
+      NormalizeNetwork(net, NormalizationMode::kNone).ValueOrDie();
+  EXPECT_DOUBLE_EQ(norm.graph().EdgeWeight(1, 2), 10.0);
+  EXPECT_NEAR(norm.InverseAuthority(2), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace teamdisc

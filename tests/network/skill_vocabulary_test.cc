@@ -1,0 +1,64 @@
+#include "network/skill_vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace teamdisc {
+namespace {
+
+TEST(SkillVocabularyTest, InternsInOrder) {
+  SkillVocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("databases"), 0u);
+  EXPECT_EQ(vocab.GetOrAdd("text mining"), 1u);
+  EXPECT_EQ(vocab.GetOrAdd("databases"), 0u);  // idempotent
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(SkillVocabularyTest, FindKnownAndUnknown) {
+  SkillVocabulary vocab;
+  vocab.GetOrAdd("graphs");
+  EXPECT_EQ(vocab.Find("graphs"), 0u);
+  EXPECT_EQ(vocab.Find("unknown"), kInvalidSkill);
+}
+
+TEST(SkillVocabularyTest, CaseSensitive) {
+  SkillVocabulary vocab;
+  SkillId a = vocab.GetOrAdd("ML");
+  SkillId b = vocab.GetOrAdd("ml");
+  EXPECT_NE(a, b);
+}
+
+TEST(SkillVocabularyTest, NameLookup) {
+  SkillVocabulary vocab;
+  vocab.GetOrAdd("nlp");
+  EXPECT_EQ(vocab.Name(0).ValueOrDie(), "nlp");
+  EXPECT_EQ(vocab.NameUnchecked(0), "nlp");
+  EXPECT_TRUE(vocab.Name(5).status().IsOutOfRange());
+}
+
+TEST(SkillVocabularyTest, EmptyVocabulary) {
+  SkillVocabulary vocab;
+  EXPECT_TRUE(vocab.empty());
+  EXPECT_EQ(vocab.size(), 0u);
+  EXPECT_EQ(vocab.Find("x"), kInvalidSkill);
+}
+
+TEST(SkillVocabularyTest, NamesVectorMatchesIds) {
+  SkillVocabulary vocab;
+  vocab.GetOrAdd("a");
+  vocab.GetOrAdd("b");
+  vocab.GetOrAdd("c");
+  ASSERT_EQ(vocab.names().size(), 3u);
+  EXPECT_EQ(vocab.names()[1], "b");
+}
+
+TEST(SkillVocabularyTest, ManySkillsStableIds) {
+  SkillVocabulary vocab;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(vocab.GetOrAdd("skill-" + std::to_string(i)),
+              static_cast<SkillId>(i));
+  }
+  EXPECT_EQ(vocab.Find("skill-250"), 250u);
+}
+
+}  // namespace
+}  // namespace teamdisc

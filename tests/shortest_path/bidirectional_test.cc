@@ -1,0 +1,71 @@
+#include "shortest_path/bidirectional_dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+#include "shortest_path/dijkstra.h"
+#include "shortest_path/path.h"
+
+namespace teamdisc {
+namespace {
+
+TEST(BidirectionalSearchTest, SelfQuery) {
+  Graph g = PathGraph(3).ValueOrDie();
+  BidirResult r = BidirectionalSearch(g, 1, 1);
+  EXPECT_EQ(r.distance, 0.0);
+  EXPECT_EQ(r.meeting_node, 1u);
+}
+
+TEST(BidirectionalSearchTest, PathGraphDistances) {
+  Graph g = PathGraph(10, 2.0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(BidirectionalSearch(g, 0, 9).distance, 18.0);
+  EXPECT_DOUBLE_EQ(BidirectionalSearch(g, 3, 5).distance, 4.0);
+}
+
+TEST(BidirectionalSearchTest, DisconnectedReturnsInfinity) {
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(2, 3, 1.0));
+  Graph g = b.Finish().ValueOrDie();
+  BidirResult r = BidirectionalSearch(g, 0, 2);
+  EXPECT_EQ(r.distance, kInfDistance);
+  EXPECT_EQ(r.meeting_node, kInvalidNode);
+}
+
+TEST(BidirectionalSearchTest, AgreesWithDijkstraOnRandomGraphs) {
+  Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = RandomConnectedGraph(40, 60, rng).ValueOrDie();
+    for (int q = 0; q < 20; ++q) {
+      NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      NodeId t = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      EXPECT_NEAR(BidirectionalSearch(g, s, t).distance,
+                  DijkstraPointToPoint(g, s, t), 1e-9);
+    }
+  }
+}
+
+TEST(BidirectionalOracleTest, PathIsValidAndShortest) {
+  Rng rng(37);
+  Graph g = RandomConnectedGraph(30, 40, rng).ValueOrDie();
+  BidirectionalDijkstraOracle oracle(g);
+  EXPECT_EQ(oracle.name(), "bidirectional_dijkstra");
+  for (int q = 0; q < 15; ++q) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    auto path = oracle.ShortestPath(s, t).ValueOrDie();
+    EXPECT_TRUE(ValidatePath(g, path, s, t).ok());
+    EXPECT_NEAR(PathLength(g, path), DijkstraPointToPoint(g, s, t), 1e-9);
+  }
+}
+
+TEST(BidirectionalOracleTest, UnreachableIsNotFound) {
+  GraphBuilder b(2);
+  Graph g = b.Finish().ValueOrDie();
+  BidirectionalDijkstraOracle oracle(g);
+  EXPECT_TRUE(oracle.ShortestPath(0, 1).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace teamdisc

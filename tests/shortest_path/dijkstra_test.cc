@@ -1,0 +1,137 @@
+#include "shortest_path/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+#include "shortest_path/path.h"
+
+namespace teamdisc {
+namespace {
+
+Graph Diamond() {
+  //   0 --1-- 1 --1-- 3
+  //    \--1-- 2 --5--/
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(1, 3, 1.0));
+  TD_CHECK_OK(b.AddEdge(0, 2, 1.0));
+  TD_CHECK_OK(b.AddEdge(2, 3, 5.0));
+  return b.Finish().ValueOrDie();
+}
+
+TEST(DijkstraSsspTest, DistancesOnDiamond) {
+  Graph g = Diamond();
+  ShortestPathTree tree = DijkstraSssp(g, 0);
+  EXPECT_EQ(tree.dist[0], 0.0);
+  EXPECT_EQ(tree.dist[1], 1.0);
+  EXPECT_EQ(tree.dist[2], 1.0);
+  EXPECT_EQ(tree.dist[3], 2.0);
+}
+
+TEST(DijkstraSsspTest, ParentsFormShortestPaths) {
+  Graph g = Diamond();
+  ShortestPathTree tree = DijkstraSssp(g, 0);
+  std::vector<NodeId> path = tree.PathTo(3);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_TRUE(ValidatePath(g, path, 0, 3).ok());
+}
+
+TEST(DijkstraSsspTest, UnreachableIsInfinite) {
+  GraphBuilder b(3);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  Graph g = b.Finish().ValueOrDie();
+  ShortestPathTree tree = DijkstraSssp(g, 0);
+  EXPECT_EQ(tree.dist[2], kInfDistance);
+  EXPECT_TRUE(tree.PathTo(2).empty());
+  EXPECT_EQ(tree.parent[2], kInvalidNode);
+}
+
+TEST(DijkstraSsspTest, SourcePath) {
+  Graph g = Diamond();
+  ShortestPathTree tree = DijkstraSssp(g, 2);
+  EXPECT_EQ(tree.PathTo(2), (std::vector<NodeId>{2}));
+}
+
+TEST(DijkstraPointToPointTest, MatchesSssp) {
+  Rng rng(21);
+  Graph g = RandomConnectedGraph(60, 80, rng).ValueOrDie();
+  for (NodeId s = 0; s < 5; ++s) {
+    ShortestPathTree tree = DijkstraSssp(g, s);
+    for (NodeId t = 0; t < g.num_nodes(); t += 7) {
+      EXPECT_DOUBLE_EQ(DijkstraPointToPoint(g, s, t), tree.dist[t]);
+    }
+  }
+}
+
+TEST(DijkstraPointToPointTest, SelfDistanceZero) {
+  Graph g = Diamond();
+  EXPECT_EQ(DijkstraPointToPoint(g, 2, 2), 0.0);
+}
+
+TEST(DijkstraPointToPointTest, DisconnectedIsInfinite) {
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(2, 3, 1.0));
+  Graph g = b.Finish().ValueOrDie();
+  EXPECT_EQ(DijkstraPointToPoint(g, 0, 3), kInfDistance);
+}
+
+TEST(DijkstraMultiTargetTest, AlignsWithTargets) {
+  Graph g = Diamond();
+  std::vector<NodeId> targets = {3, 0, 2};
+  std::vector<double> dists = DijkstraMultiTarget(g, 0, targets);
+  ASSERT_EQ(dists.size(), 3u);
+  EXPECT_EQ(dists[0], 2.0);
+  EXPECT_EQ(dists[1], 0.0);
+  EXPECT_EQ(dists[2], 1.0);
+}
+
+TEST(DijkstraMultiTargetTest, DuplicatesAndUnreachables) {
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.5));
+  Graph g = b.Finish().ValueOrDie();
+  std::vector<NodeId> targets = {1, 1, 3};
+  std::vector<double> dists = DijkstraMultiTarget(g, 0, targets);
+  EXPECT_EQ(dists[0], 1.5);
+  EXPECT_EQ(dists[1], 1.5);
+  EXPECT_EQ(dists[2], kInfDistance);
+}
+
+TEST(DijkstraOracleTest, InterfaceBasics) {
+  Graph g = Diamond();
+  DijkstraOracle oracle(g);
+  EXPECT_EQ(oracle.name(), "dijkstra");
+  EXPECT_EQ(&oracle.graph(), &g);
+  EXPECT_EQ(oracle.Distance(0, 3), 2.0);
+  auto path = oracle.ShortestPath(0, 3).ValueOrDie();
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  EXPECT_DOUBLE_EQ(PathLength(g, path), 2.0);
+}
+
+TEST(DijkstraOracleTest, SelfPath) {
+  Graph g = Diamond();
+  DijkstraOracle oracle(g);
+  EXPECT_EQ(oracle.ShortestPath(1, 1).ValueOrDie(), (std::vector<NodeId>{1}));
+}
+
+TEST(DijkstraOracleTest, UnreachablePathIsNotFound) {
+  GraphBuilder b(3);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  Graph g = b.Finish().ValueOrDie();
+  DijkstraOracle oracle(g);
+  EXPECT_TRUE(oracle.ShortestPath(0, 2).status().IsNotFound());
+}
+
+TEST(DijkstraOracleTest, ZeroWeightEdges) {
+  GraphBuilder b(3);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.0));
+  TD_CHECK_OK(b.AddEdge(1, 2, 0.0));
+  Graph g = b.Finish().ValueOrDie();
+  DijkstraOracle oracle(g);
+  EXPECT_EQ(oracle.Distance(0, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace teamdisc

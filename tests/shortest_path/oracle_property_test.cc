@@ -1,0 +1,138 @@
+// Property sweeps: every oracle implementation must agree with plain
+// Dijkstra on distances, and produce valid shortest paths, across many
+// random graph families (TEST_P over family x size x seed).
+#include <gtest/gtest.h>
+
+#include "graph/graph_generators.h"
+#include "shortest_path/dijkstra.h"
+#include "shortest_path/distance_oracle.h"
+#include "shortest_path/path.h"
+
+namespace teamdisc {
+namespace {
+
+enum class Family { kErdosRenyi, kBarabasiAlbert, kWattsStrogatz, kTree, kGrid };
+
+struct OracleCase {
+  Family family;
+  NodeId n;
+  uint64_t seed;
+  OracleKind kind;
+};
+
+std::string CaseName(const testing::TestParamInfo<OracleCase>& info) {
+  const char* family = "";
+  switch (info.param.family) {
+    case Family::kErdosRenyi: family = "er"; break;
+    case Family::kBarabasiAlbert: family = "ba"; break;
+    case Family::kWattsStrogatz: family = "ws"; break;
+    case Family::kTree: family = "tree"; break;
+    case Family::kGrid: family = "grid"; break;
+  }
+  return std::string(family) + "_n" + std::to_string(info.param.n) + "_s" +
+         std::to_string(info.param.seed) + "_" +
+         std::string(OracleKindToString(info.param.kind));
+}
+
+Graph MakeGraph(Family family, NodeId n, uint64_t seed) {
+  Rng rng(seed);
+  switch (family) {
+    case Family::kErdosRenyi:
+      return ErdosRenyi(n, 6.0 / n, rng).ValueOrDie();
+    case Family::kBarabasiAlbert:
+      return BarabasiAlbert(n, 2, rng).ValueOrDie();
+    case Family::kWattsStrogatz:
+      return WattsStrogatz(n, 2, 0.3, rng).ValueOrDie();
+    case Family::kTree:
+      return RandomConnectedGraph(n, 0, rng).ValueOrDie();
+    case Family::kGrid:
+      return GridGraph(n / 8, 8).ValueOrDie();
+  }
+  return Graph();
+}
+
+class OraclePropertyTest : public testing::TestWithParam<OracleCase> {};
+
+TEST_P(OraclePropertyTest, DistancesMatchDijkstra) {
+  const OracleCase& c = GetParam();
+  Graph g = MakeGraph(c.family, c.n, c.seed);
+  auto oracle = MakeOracle(g, c.kind).ValueOrDie();
+  Rng rng(c.seed ^ 0xfeed);
+  for (int q = 0; q < 60; ++q) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    double expected = DijkstraPointToPoint(g, s, t);
+    double actual = oracle->Distance(s, t);
+    if (expected == kInfDistance) {
+      EXPECT_EQ(actual, kInfDistance) << "s=" << s << " t=" << t;
+    } else {
+      EXPECT_NEAR(actual, expected, 1e-9) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_P(OraclePropertyTest, PathsAreValidShortestPaths) {
+  const OracleCase& c = GetParam();
+  Graph g = MakeGraph(c.family, c.n, c.seed);
+  auto oracle = MakeOracle(g, c.kind).ValueOrDie();
+  Rng rng(c.seed ^ 0xbeef);
+  for (int q = 0; q < 30; ++q) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    double expected = DijkstraPointToPoint(g, s, t);
+    auto path = oracle->ShortestPath(s, t);
+    if (expected == kInfDistance) {
+      EXPECT_FALSE(path.ok());
+      continue;
+    }
+    ASSERT_TRUE(path.ok()) << path.status().ToString();
+    EXPECT_TRUE(ValidatePath(g, path.ValueOrDie(), s, t).ok());
+    EXPECT_TRUE(IsSimplePath(path.ValueOrDie()));
+    EXPECT_NEAR(PathLength(g, path.ValueOrDie()), expected, 1e-9);
+  }
+}
+
+TEST_P(OraclePropertyTest, BatchedDistancesMatchPointQueries) {
+  const OracleCase& c = GetParam();
+  Graph g = MakeGraph(c.family, c.n, c.seed);
+  auto oracle = MakeOracle(g, c.kind).ValueOrDie();
+  Rng rng(c.seed ^ 0xcafe);
+  NodeId source = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 12; ++i) {
+    targets.push_back(static_cast<NodeId>(rng.NextBounded(g.num_nodes())));
+  }
+  std::vector<double> batched = oracle->Distances(source, targets);
+  ASSERT_EQ(batched.size(), targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    double expected = oracle->Distance(source, targets[i]);
+    if (expected == kInfDistance) {
+      EXPECT_EQ(batched[i], kInfDistance);
+    } else {
+      EXPECT_NEAR(batched[i], expected, 1e-9);
+    }
+  }
+}
+
+std::vector<OracleCase> MakeCases() {
+  std::vector<OracleCase> cases;
+  for (Family family : {Family::kErdosRenyi, Family::kBarabasiAlbert,
+                        Family::kWattsStrogatz, Family::kTree, Family::kGrid}) {
+    for (NodeId n : {24u, 64u, 160u}) {
+      for (uint64_t seed : {1u, 2u}) {
+        for (OracleKind kind :
+             {OracleKind::kPrunedLandmarkLabeling, OracleKind::kDijkstra,
+              OracleKind::kBidirectionalDijkstra}) {
+          cases.push_back({family, n, seed, kind});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OraclePropertyTest,
+                         testing::ValuesIn(MakeCases()), CaseName);
+
+}  // namespace
+}  // namespace teamdisc

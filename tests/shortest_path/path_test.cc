@@ -1,0 +1,78 @@
+#include "shortest_path/path.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+
+namespace teamdisc {
+namespace {
+
+TEST(PathLengthTest, SumsEdges) {
+  Graph g = PathGraph(5, 2.0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(PathLength(g, {0, 1, 2, 3}), 6.0);
+  EXPECT_EQ(PathLength(g, {0}), 0.0);
+  EXPECT_EQ(PathLength(g, {}), 0.0);
+}
+
+TEST(PathLengthTest, MissingEdgeIsInfinite) {
+  Graph g = PathGraph(5).ValueOrDie();
+  EXPECT_EQ(PathLength(g, {0, 2}), kInfDistance);
+}
+
+TEST(ValidatePathTest, AcceptsValidWalk) {
+  Graph g = PathGraph(5).ValueOrDie();
+  EXPECT_TRUE(ValidatePath(g, {1, 2, 3}, 1, 3).ok());
+  // Backtracking walks are allowed (they are still edge-valid).
+  EXPECT_TRUE(ValidatePath(g, {1, 2, 1, 2, 3}, 1, 3).ok());
+}
+
+TEST(ValidatePathTest, RejectsBadEndpointsAndEdges) {
+  Graph g = PathGraph(5).ValueOrDie();
+  EXPECT_FALSE(ValidatePath(g, {}, 0, 0).ok());
+  EXPECT_FALSE(ValidatePath(g, {1, 2}, 0, 2).ok());  // wrong start
+  EXPECT_FALSE(ValidatePath(g, {1, 2}, 1, 3).ok());  // wrong end
+  EXPECT_FALSE(ValidatePath(g, {0, 2}, 0, 2).ok());  // missing edge
+  EXPECT_FALSE(ValidatePath(g, {0, 9}, 0, 9).ok());  // out of range
+}
+
+TEST(SimplifyWalkTest, NoopOnSimplePath) {
+  std::vector<NodeId> path = {0, 1, 2, 3};
+  EXPECT_EQ(SimplifyWalk(path), path);
+}
+
+TEST(SimplifyWalkTest, RemovesSimpleLoop) {
+  // 0-1-2-1-3 revisits 1: the loop 1-2-1 is excised.
+  EXPECT_EQ(SimplifyWalk({0, 1, 2, 1, 3}), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(SimplifyWalkTest, RemovesNestedLoops) {
+  EXPECT_EQ(SimplifyWalk({0, 1, 2, 3, 2, 1, 4}), (std::vector<NodeId>{0, 1, 4}));
+}
+
+TEST(SimplifyWalkTest, FullCycleCollapsesToStart) {
+  EXPECT_EQ(SimplifyWalk({0, 1, 2, 0}), (std::vector<NodeId>{0}));
+}
+
+TEST(SimplifyWalkTest, PreservesEndpoints) {
+  std::vector<NodeId> walk = {5, 3, 7, 3, 9};
+  auto simplified = SimplifyWalk(walk);
+  EXPECT_EQ(simplified.front(), 5u);
+  EXPECT_EQ(simplified.back(), 9u);
+  EXPECT_TRUE(IsSimplePath(simplified));
+}
+
+TEST(SimplifyWalkTest, EmptyAndSingle) {
+  EXPECT_TRUE(SimplifyWalk({}).empty());
+  EXPECT_EQ(SimplifyWalk({4}), (std::vector<NodeId>{4}));
+}
+
+TEST(IsSimplePathTest, Basics) {
+  EXPECT_TRUE(IsSimplePath({}));
+  EXPECT_TRUE(IsSimplePath({1}));
+  EXPECT_TRUE(IsSimplePath({1, 2, 3}));
+  EXPECT_FALSE(IsSimplePath({1, 2, 1}));
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/graph_generators.h"
+#include "shortest_path/dijkstra.h"
+#include "shortest_path/pruned_landmark_labeling.h"
+
+namespace teamdisc {
+namespace {
+
+TEST(PllPersistenceTest, RoundTripAnswersIdenticalQueries) {
+  Rng rng(71);
+  Graph g = BarabasiAlbert(120, 2, rng).ValueOrDie();
+  auto original = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+  auto restored =
+      PrunedLandmarkLabeling::Deserialize(g, original->Serialize()).ValueOrDie();
+  EXPECT_EQ(restored->stats().total_entries, original->stats().total_entries);
+  for (int q = 0; q < 200; ++q) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    EXPECT_EQ(original->Distance(u, v), restored->Distance(u, v));
+  }
+}
+
+TEST(PllPersistenceTest, RestoredPathsAreValid) {
+  Rng rng(73);
+  Graph g = RandomConnectedGraph(60, 40, rng).ValueOrDie();
+  auto original = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+  auto restored =
+      PrunedLandmarkLabeling::Deserialize(g, original->Serialize()).ValueOrDie();
+  for (int q = 0; q < 40; ++q) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    auto path = restored->ShortestPath(u, v).ValueOrDie();
+    EXPECT_EQ(path.front(), u);
+    EXPECT_EQ(path.back(), v);
+    double expected = DijkstraPointToPoint(g, u, v);
+    double total = 0.0;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      total += g.EdgeWeight(path[i], path[i + 1]);
+    }
+    EXPECT_NEAR(total, expected, 1e-9);
+  }
+}
+
+TEST(PllPersistenceTest, FileRoundTrip) {
+  Rng rng(79);
+  Graph g = RandomConnectedGraph(40, 20, rng).ValueOrDie();
+  auto original = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+  std::string path = testing::TempDir() + "/pll_index.txt";
+  ASSERT_TRUE(original->SaveToFile(path).ok());
+  auto restored = PrunedLandmarkLabeling::LoadFromFile(g, path).ValueOrDie();
+  EXPECT_EQ(restored->Distance(0, 39), original->Distance(0, 39));
+  std::remove(path.c_str());
+}
+
+TEST(PllPersistenceTest, RejectsMismatchedGraph) {
+  Rng rng(83);
+  Graph g1 = RandomConnectedGraph(30, 10, rng).ValueOrDie();
+  Graph g2 = RandomConnectedGraph(31, 10, rng).ValueOrDie();
+  auto original = PrunedLandmarkLabeling::Build(g1).ValueOrDie();
+  auto result = PrunedLandmarkLabeling::Deserialize(g2, original->Serialize());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(PllPersistenceTest, RejectsCorruptInput) {
+  Rng rng(89);
+  Graph g = RandomConnectedGraph(20, 8, rng).ValueOrDie();
+  auto original = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+  std::string good = original->Serialize();
+  EXPECT_FALSE(PrunedLandmarkLabeling::Deserialize(g, "").ok());
+  EXPECT_FALSE(PrunedLandmarkLabeling::Deserialize(g, "garbage").ok());
+  EXPECT_FALSE(
+      PrunedLandmarkLabeling::Deserialize(g, good.substr(0, good.size() / 2))
+          .ok());
+  // Negative distance injection.
+  std::string tampered = good;
+  size_t pos = tampered.find(" 0 ");  // some numeric field
+  if (pos != std::string::npos) tampered.replace(pos, 3, " -9 ");
+  (void)PrunedLandmarkLabeling::Deserialize(g, tampered);  // must not crash
+}
+
+TEST(PllPersistenceTest, LoadMissingFileFails) {
+  Rng rng(97);
+  Graph g = RandomConnectedGraph(10, 4, rng).ValueOrDie();
+  EXPECT_TRUE(PrunedLandmarkLabeling::LoadFromFile(g, "/no/such/index.txt")
+                  .status()
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,119 @@
+#include "shortest_path/pruned_landmark_labeling.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+#include "shortest_path/dijkstra.h"
+#include "shortest_path/path.h"
+
+namespace teamdisc {
+namespace {
+
+std::unique_ptr<PrunedLandmarkLabeling> BuildPll(const Graph& g) {
+  return PrunedLandmarkLabeling::Build(g).ValueOrDie();
+}
+
+TEST(PllTest, PathGraphDistances) {
+  Graph g = PathGraph(8, 1.5).ValueOrDie();
+  auto pll = BuildPll(g);
+  EXPECT_DOUBLE_EQ(pll->Distance(0, 7), 10.5);
+  EXPECT_DOUBLE_EQ(pll->Distance(2, 5), 4.5);
+  EXPECT_EQ(pll->Distance(4, 4), 0.0);
+}
+
+TEST(PllTest, StarGraphLabelsAreSmall) {
+  Graph g = StarGraph(50).ValueOrDie();
+  auto pll = BuildPll(g);
+  // The center is the top hub; every leaf label should be tiny.
+  EXPECT_LE(pll->stats().avg_label_size, 3.0);
+  EXPECT_DOUBLE_EQ(pll->Distance(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(pll->Distance(0, 10), 1.0);
+}
+
+TEST(PllTest, DisconnectedPairsAreInfinite) {
+  GraphBuilder b(5);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(2, 3, 1.0));
+  Graph g = b.Finish().ValueOrDie();
+  auto pll = BuildPll(g);
+  EXPECT_EQ(pll->Distance(0, 2), kInfDistance);
+  EXPECT_EQ(pll->Distance(0, 4), kInfDistance);
+  EXPECT_DOUBLE_EQ(pll->Distance(2, 3), 1.0);
+  EXPECT_TRUE(pll->ShortestPath(0, 4).status().IsNotFound());
+}
+
+TEST(PllTest, EmptyAndSingletonGraphs) {
+  GraphBuilder b0(0);
+  Graph g0 = b0.Finish().ValueOrDie();
+  auto pll0 = BuildPll(g0);
+  EXPECT_EQ(pll0->stats().total_entries, 0u);
+
+  GraphBuilder b1(1);
+  Graph g1 = b1.Finish().ValueOrDie();
+  auto pll1 = BuildPll(g1);
+  EXPECT_EQ(pll1->Distance(0, 0), 0.0);
+  EXPECT_EQ(pll1->ShortestPath(0, 0).ValueOrDie(), (std::vector<NodeId>{0}));
+}
+
+TEST(PllTest, PathReconstructionOnDiamond) {
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(1, 3, 1.0));
+  TD_CHECK_OK(b.AddEdge(0, 2, 1.0));
+  TD_CHECK_OK(b.AddEdge(2, 3, 5.0));
+  Graph g = b.Finish().ValueOrDie();
+  auto pll = BuildPll(g);
+  auto path = pll->ShortestPath(0, 3).ValueOrDie();
+  EXPECT_TRUE(ValidatePath(g, path, 0, 3).ok());
+  EXPECT_DOUBLE_EQ(PathLength(g, path), 2.0);
+}
+
+TEST(PllTest, ZeroWeightEdgesPathStillValid) {
+  GraphBuilder b(4);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.0));
+  TD_CHECK_OK(b.AddEdge(1, 2, 0.0));
+  TD_CHECK_OK(b.AddEdge(2, 3, 0.0));
+  TD_CHECK_OK(b.AddEdge(0, 3, 0.0));
+  Graph g = b.Finish().ValueOrDie();
+  auto pll = BuildPll(g);
+  EXPECT_EQ(pll->Distance(0, 3), 0.0);
+  auto path = pll->ShortestPath(0, 3).ValueOrDie();
+  EXPECT_TRUE(ValidatePath(g, path, 0, 3).ok());
+  EXPECT_TRUE(IsSimplePath(path));
+  EXPECT_DOUBLE_EQ(PathLength(g, path), 0.0);
+}
+
+TEST(PllTest, StatsArePopulated) {
+  Rng rng(41);
+  Graph g = BarabasiAlbert(200, 2, rng).ValueOrDie();
+  auto pll = BuildPll(g);
+  const PllStats& stats = pll->stats();
+  EXPECT_GT(stats.total_entries, 200u);  // at least one entry per node
+  EXPECT_GT(stats.avg_label_size, 1.0);
+  EXPECT_GE(stats.max_label_size, static_cast<size_t>(stats.avg_label_size));
+  EXPECT_GE(stats.build_seconds, 0.0);
+  size_t total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) total += pll->LabelSize(v);
+  EXPECT_EQ(total, stats.total_entries);
+}
+
+TEST(PllTest, HighestDegreeHubLabeledEverywhere) {
+  // In a connected graph, every node's label contains the rank-0 hub.
+  Rng rng(43);
+  Graph g = RandomConnectedGraph(60, 60, rng).ValueOrDie();
+  auto pll = BuildPll(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(pll->LabelSize(v), 1u);
+  }
+}
+
+TEST(PllTest, OracleNameAndGraph) {
+  Graph g = PathGraph(3).ValueOrDie();
+  auto pll = BuildPll(g);
+  EXPECT_EQ(pll->name(), "pruned_landmark_labeling");
+  EXPECT_EQ(&pll->graph(), &g);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,286 @@
+// teamdisc command-line tool: generate, inspect, and query expert networks
+// from the shell.
+//
+//   teamdisc_cli generate <out.net> [--experts=N] [--edges=M] [--seed=S]
+//       Generate a synthetic DBLP-style expert network and save it.
+//
+//   teamdisc_cli info <net>
+//       Print network statistics (experts, edges, skills, components).
+//
+//   teamdisc_cli skills <net> [--min-holders=K]
+//       List skills with their holder counts.
+//
+//   teamdisc_cli find <net> --skills=a,b,c [--strategy=cc|cacc|sacacc]
+//       [--gamma=0.6] [--lambda=0.6] [--top-k=1] [--oracle=pll|dijkstra]
+//       Discover the top-k teams for the given skills.
+//
+//   teamdisc_cli pareto <net> --skills=a,b,c [--grid=5]
+//       Print the Pareto front over (CC, CA, SA).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/greedy_team_finder.h"
+#include "core/objectives.h"
+#include "core/pareto.h"
+#include "datagen/synthetic_dblp.h"
+#include "eval/table_printer.h"
+#include "graph/graph_algos.h"
+#include "network/network_io.h"
+
+namespace teamdisc {
+namespace {
+
+/// Parsed --key=value flags plus positional arguments.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    auto parsed = ParseDouble(it->second);
+    return parsed.ok() ? parsed.ValueOrDie() : fallback;
+  }
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const {
+    auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    auto parsed = ParseUint64(it->second);
+    return parsed.ok() ? parsed.ValueOrDie() : fallback;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (StartsWith(arg, "--")) {
+      arg.remove_prefix(2);
+      size_t eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        args.flags.insert_or_assign(std::string(arg), std::string("1"));
+      } else {
+        args.flags.insert_or_assign(std::string(arg.substr(0, eq)),
+                                    std::string(arg.substr(eq + 1)));
+      }
+    } else {
+      args.positional.emplace_back(arg);
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: teamdisc_cli <generate|info|skills|find|pareto> ...\n"
+               "see the header of tools/teamdisc_cli.cc for details\n");
+  return 2;
+}
+
+Result<ExpertNetwork> Load(const Args& args) {
+  if (args.positional.size() < 2) {
+    return Status::InvalidArgument("missing network file argument");
+  }
+  return LoadNetwork(args.positional[1]);
+}
+
+Result<Project> ParseSkills(const ExpertNetwork& net, const Args& args) {
+  auto it = args.flags.find("skills");
+  if (it == args.flags.end()) {
+    return Status::InvalidArgument("--skills=a,b,c is required");
+  }
+  std::vector<std::string> names;
+  for (std::string_view s : Split(it->second, ',')) {
+    // Skill names may contain underscores in files; accept both.
+    std::string name(StripWhitespace(s));
+    for (char& c : name) {
+      if (c == '_') c = ' ';
+    }
+    if (net.skills().Find(name) == kInvalidSkill) {
+      // Retry with underscores kept (files store them that way).
+      name = std::string(StripWhitespace(s));
+    }
+    names.push_back(std::move(name));
+  }
+  return MakeProject(net, names);
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  DblpConfig config;
+  config.num_authors = static_cast<uint32_t>(args.GetUint("experts", 4000));
+  config.target_edges = static_cast<uint32_t>(
+      args.GetUint("edges", config.num_authors * 3));
+  config.seed = args.GetUint("seed", 42);
+  auto corpus = GenerateSyntheticDblp(config);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  Status s = SaveNetwork(corpus.ValueOrDie().network, args.positional[1]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %s\n", args.positional[1].c_str(),
+              corpus.ValueOrDie().network.DebugString().c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  auto net = Load(args);
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const ExpertNetwork& n = net.ValueOrDie();
+  ComponentInfo comps = ConnectedComponents(n.graph());
+  DegreeStats degrees = ComputeDegreeStats(n.graph());
+  std::printf("%s\n", n.DebugString().c_str());
+  std::printf("components: %u (largest %u)\n", comps.num_components(),
+              comps.sizes[comps.LargestComponent()]);
+  std::printf("degree: min %zu / mean %.2f / max %zu, %zu isolated\n",
+              degrees.min, degrees.mean, degrees.max, degrees.isolated);
+  double min_auth = kInfDistance, max_auth = 0;
+  uint32_t with_skills = 0;
+  for (NodeId v = 0; v < n.num_experts(); ++v) {
+    min_auth = std::min(min_auth, n.Authority(v));
+    max_auth = std::max(max_auth, n.Authority(v));
+    if (!n.expert(v).skills.empty()) ++with_skills;
+  }
+  std::printf("authority: min %.1f / max %.1f; %u experts hold skills\n",
+              min_auth, max_auth, with_skills);
+  return 0;
+}
+
+int CmdSkills(const Args& args) {
+  auto net = Load(args);
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const ExpertNetwork& n = net.ValueOrDie();
+  uint64_t min_holders = args.GetUint("min-holders", 1);
+  TablePrinter table({"skill", "holders"});
+  for (SkillId s = 0; s < n.num_skills(); ++s) {
+    size_t holders = n.ExpertsWithSkill(s).size();
+    if (holders >= min_holders) {
+      table.AddRow({n.skills().NameUnchecked(s), std::to_string(holders)});
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+int CmdFind(const Args& args) {
+  auto net = Load(args);
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const ExpertNetwork& n = net.ValueOrDie();
+  auto project = ParseSkills(n, args);
+  if (!project.ok()) {
+    std::fprintf(stderr, "%s\n", project.status().ToString().c_str());
+    return 1;
+  }
+  FinderOptions options;
+  std::string strategy = args.Get("strategy", "sacacc");
+  if (strategy == "cc") {
+    options.strategy = RankingStrategy::kCC;
+  } else if (strategy == "cacc") {
+    options.strategy = RankingStrategy::kCACC;
+  } else if (strategy == "sacacc") {
+    options.strategy = RankingStrategy::kSACACC;
+  } else {
+    std::fprintf(stderr, "unknown strategy '%s'\n", strategy.c_str());
+    return 2;
+  }
+  options.params.gamma = args.GetDouble("gamma", 0.6);
+  options.params.lambda = args.GetDouble("lambda", 0.6);
+  options.top_k = static_cast<uint32_t>(args.GetUint("top-k", 1));
+  options.oracle = args.Get("oracle", "pll") == "dijkstra"
+                       ? OracleKind::kDijkstra
+                       : OracleKind::kPrunedLandmarkLabeling;
+  auto finder = GreedyTeamFinder::Make(n, options);
+  if (!finder.ok()) {
+    std::fprintf(stderr, "%s\n", finder.status().ToString().c_str());
+    return 1;
+  }
+  auto teams = finder.ValueOrDie()->FindTeams(project.ValueOrDie());
+  if (!teams.ok()) {
+    std::fprintf(stderr, "%s\n", teams.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < teams.ValueOrDie().size(); ++i) {
+    const ScoredTeam& st = teams.ValueOrDie()[i];
+    ObjectiveBreakdown b = ComputeBreakdown(n, st.team, options.params);
+    std::printf("#%zu (objective %.4f)\n%s", i + 1, st.objective,
+                st.team.Format(n).c_str());
+    std::printf("   CC=%.3f CA=%.4f SA=%.4f CA-CC=%.4f SA-CA-CC=%.4f\n\n",
+                b.cc, b.ca, b.sa, b.ca_cc, b.sa_ca_cc);
+  }
+  return 0;
+}
+
+int CmdPareto(const Args& args) {
+  auto net = Load(args);
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const ExpertNetwork& n = net.ValueOrDie();
+  auto project = ParseSkills(n, args);
+  if (!project.ok()) {
+    std::fprintf(stderr, "%s\n", project.status().ToString().c_str());
+    return 1;
+  }
+  ParetoOptions options;
+  options.grid_points = static_cast<uint32_t>(args.GetUint("grid", 5));
+  auto front = DiscoverParetoTeams(n, project.ValueOrDie(), options);
+  if (!front.ok()) {
+    std::fprintf(stderr, "%s\n", front.status().ToString().c_str());
+    return 1;
+  }
+  TablePrinter table({"rank", "CC", "CA", "SA", "members"});
+  for (size_t i = 0; i < front.ValueOrDie().size(); ++i) {
+    const ParetoTeam& t = front.ValueOrDie()[i];
+    table.AddRow({std::to_string(i + 1), TablePrinter::Num(t.cc, 3),
+                  TablePrinter::Num(t.ca, 3), TablePrinter::Num(t.sa, 3),
+                  std::to_string(t.team.size())});
+  }
+  table.Print();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args = ParseArgs(argc, argv);
+  std::string command = argv[1];
+  args.positional.insert(args.positional.begin(), command);
+  // Note: ParseArgs already collected positionals including the command;
+  // rebuild cleanly instead.
+  args.positional.clear();
+  for (int i = 1; i < argc; ++i) {
+    if (!StartsWith(argv[i], "--")) args.positional.emplace_back(argv[i]);
+  }
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "info") return CmdInfo(args);
+  if (command == "skills") return CmdSkills(args);
+  if (command == "find") return CmdFind(args);
+  if (command == "pareto") return CmdPareto(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace teamdisc
+
+int main(int argc, char** argv) { return teamdisc::Main(argc, argv); }
