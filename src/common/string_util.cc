@@ -98,7 +98,9 @@ Result<int64_t> ParseInt64(std::string_view input) {
   if (negative && magnitude > static_cast<uint64_t>(INT64_MAX) + 1) {
     return Status::OutOfRange("int64 underflow");
   }
-  return negative ? -static_cast<int64_t>(magnitude) : static_cast<int64_t>(magnitude);
+  // Negate in the unsigned domain: -INT64_MIN is not representable, but
+  // unsigned negation wraps to the right bit pattern.
+  return negative ? static_cast<int64_t>(-magnitude) : static_cast<int64_t>(magnitude);
 }
 
 Result<double> ParseDouble(std::string_view input) {

@@ -1,0 +1,70 @@
+# End-to-end smoke test for teamdisc_cli, run via `cmake -P` so it works on
+# any platform ctest runs on. Drives: generate -> info -> skills -> find ->
+# pareto on a tiny synthetic network, checking exit codes and output shape.
+#
+# Required -D variables: TEAMDISC_CLI (path to binary), WORK_DIR (scratch dir).
+
+if(NOT TEAMDISC_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "pass -DTEAMDISC_CLI=... -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(NET "${WORK_DIR}/tiny.net")
+
+function(run_cli expect_substr)
+  execute_process(
+    COMMAND ${TEAMDISC_CLI} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "teamdisc_cli ${ARGN} exited ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  if(expect_substr AND NOT out MATCHES "${expect_substr}")
+    message(FATAL_ERROR "teamdisc_cli ${ARGN}: output missing '${expect_substr}'\nstdout:\n${out}")
+  endif()
+  set(CLI_OUT "${out}" PARENT_SCOPE)
+endfunction()
+
+# 1. generate: writes the network file and reports its shape.
+run_cli("wrote .*tiny\\.net" generate "${NET}" --experts=150 --edges=500 --seed=7)
+if(NOT EXISTS "${NET}")
+  message(FATAL_ERROR "generate did not create ${NET}")
+endif()
+
+# 2. info: statistics incl. component and degree summaries.
+run_cli("components:" info "${NET}")
+run_cli("degree:" info "${NET}")
+
+# 3. skills: table with header columns `skill` and `holders`.
+run_cli("skill" skills "${NET}")
+run_cli("holders" skills "${NET}")
+
+# Parse one skill name out of the skills table. Data rows look like
+# "| distributed_systems | 52 |"; pick a skill with several holders so the
+# find/pareto steps have a non-trivial candidate pool.
+string(REPLACE "\n" ";" skill_lines "${CLI_OUT}")
+set(SKILL "")
+foreach(line ${skill_lines})
+  if(line MATCHES "^\\| +([^|]*[^| ]) +\\| +([0-9]+) +\\|" AND
+     NOT CMAKE_MATCH_1 STREQUAL "skill" AND CMAKE_MATCH_2 GREATER 2)
+    set(SKILL "${CMAKE_MATCH_1}")
+    break()
+  endif()
+endforeach()
+if(SKILL STREQUAL "")
+  message(FATAL_ERROR "could not parse a skill name from skills output:\n${CLI_OUT}")
+endif()
+# The CLI accepts underscores in place of spaces on the command line.
+string(REPLACE " " "_" SKILL_ARG "${SKILL}")
+
+# 4. find: top-1 team for a single-skill project; expect a ranked team with
+# an objective value and the CC/CA/SA breakdown line.
+run_cli("#1 \\(objective " find "${NET}" "--skills=${SKILL_ARG}" --strategy=sacacc --top-k=1)
+run_cli("CC=" find "${NET}" "--skills=${SKILL_ARG}" --oracle=dijkstra)
+
+# 5. pareto: front table over (CC, CA, SA).
+run_cli("CC" pareto "${NET}" "--skills=${SKILL_ARG}" --grid=3)
+
+message(STATUS "cli_smoke passed")
