@@ -86,6 +86,49 @@ void BM_PllBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_PllBuild)->Unit(benchmark::kMillisecond)->Iterations(1);
 
+void BM_PllBuildThreads(benchmark::State& state) {
+  // Batched parallel index construction; Arg = worker threads.
+  auto& ctx = Context();
+  PllBuildOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  size_t entries = 0, rounds = 0;
+  for (auto _ : state) {
+    auto pll =
+        PrunedLandmarkLabeling::Build(ctx.network().graph(), options).ValueOrDie();
+    entries = pll->stats().total_entries;
+    rounds = pll->stats().num_rounds;
+    benchmark::DoNotOptimize(pll);
+  }
+  state.counters["label_entries"] = static_cast<double>(entries);
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_PllBuildThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+void BM_PllBatchedDistances(benchmark::State& state) {
+  // Distances(source, targets) with |targets| = Arg — the shape of the
+  // greedy finder's inner loop (one root against all holders of a skill).
+  auto& ctx = Context();
+  const DistanceOracle* oracle = ctx.BaseOracle().ValueOrDie();
+  Rng rng(2);
+  NodeId n = ctx.network().num_experts();
+  std::vector<NodeId> targets(static_cast<size_t>(state.range(0)));
+  for (NodeId& t : targets) t = static_cast<NodeId>(rng.NextBounded(n));
+  std::vector<double> out;
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(n));
+    oracle->DistancesInto(s, targets, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PllBatchedDistances)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_PllQuery(benchmark::State& state) {
   auto& ctx = Context();
   const DistanceOracle* oracle = ctx.BaseOracle().ValueOrDie();

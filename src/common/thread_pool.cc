@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace teamdisc {
@@ -45,18 +46,28 @@ size_t ThreadPool::DefaultThreadCount() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForWorkers(n, [&fn](size_t /*worker*/, size_t i) { fn(i); });
+}
+
+void ThreadPool::ParallelForWorkers(
+    size_t n, const std::function<void(size_t worker, size_t i)>& fn) {
   if (workers_.empty() || n <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
   std::atomic<size_t> next{0};
-  size_t shards = std::min(n, workers_.size());
+  size_t shards = NumShards(n);
   for (size_t s = 0; s < shards; ++s) {
-    Submit([&next, n, &fn] {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    Submit([&next, n, &fn, s] {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(s, i);
     });
   }
   Wait();
+}
+
+size_t ThreadPool::NumShards(size_t n) const {
+  if (workers_.empty() || n <= 1) return 1;
+  return std::min(n, workers_.size());
 }
 
 void ThreadPool::WorkerLoop() {

@@ -42,6 +42,17 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n), distributing over the pool ("parallel for").
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Like ParallelFor, but passes fn a dense worker slot in [0, NumShards(n))
+  /// alongside the item index. No two concurrent invocations share a slot, so
+  /// callers can hand each strand its own scratch buffers (the PLL index
+  /// builder keys per-thread Dijkstra state on it).
+  void ParallelForWorkers(size_t n,
+                          const std::function<void(size_t worker, size_t i)>& fn);
+
+  /// Number of concurrent strands ParallelFor / ParallelForWorkers uses for
+  /// `n` items: min(n, num_threads()), at least 1 (the inline fallback).
+  size_t NumShards(size_t n) const;
+
  private:
   void WorkerLoop();
 

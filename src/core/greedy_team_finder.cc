@@ -142,8 +142,9 @@ Result<std::vector<ScoredTeam>> GreedyTeamFinder::FindTeams(
         team_cost += RootHoldsSkillCost(root);
         continue;
       }
-      // min over v in C(s_i) of the strategy-adjusted DIST(root, v).
-      dists = oracle_->Distances(root, candidates[i]);
+      // min over v in C(s_i) of the strategy-adjusted DIST(root, v); the
+      // batched oracle call reuses `dists` across the whole root sweep.
+      oracle_->DistancesInto(root, candidates[i], dists);
       double best_cost = kInfDistance;
       NodeId best_expert = kInvalidNode;
       for (size_t c = 0; c < candidates[i].size(); ++c) {

@@ -38,6 +38,7 @@ Result<std::vector<ScoredTeam>> RarestFirstFinder::FindTeams(
   };
   TopK<Candidate> best(options_.top_k);
 
+  std::vector<double> dists;
   for (NodeId leader : candidates[rarest]) {
     Candidate cand;
     cand.leader = leader;
@@ -48,7 +49,7 @@ Result<std::vector<ScoredTeam>> RarestFirstFinder::FindTeams(
     bool feasible = true;
     for (size_t i = 0; i < project.size(); ++i) {
       if (i == rarest) continue;
-      std::vector<double> dists = oracle_.Distances(leader, candidates[i]);
+      oracle_.DistancesInto(leader, candidates[i], dists);
       double best_d = kInfDistance;
       NodeId best_v = kInvalidNode;
       for (size_t c = 0; c < candidates[i].size(); ++c) {

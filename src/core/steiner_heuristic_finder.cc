@@ -60,14 +60,14 @@ Result<std::vector<ScoredTeam>> SteinerHeuristicFinder::FindTeams(
     Status grow = assembler.AddAssignment(project[rarest], leader, {leader});
     if (!grow.ok()) return grow;
     bool feasible = true;
+    std::vector<double> dists;
     for (size_t oi = 1; oi < order.size() && feasible; ++oi) {
       size_t skill_index = order[oi];
       double best_d = kInfDistance;
       NodeId best_holder = kInvalidNode;
       NodeId best_anchor = kInvalidNode;
       for (NodeId anchor : tree_nodes) {
-        std::vector<double> dists =
-            oracle_.Distances(anchor, candidates[skill_index]);
+        oracle_.DistancesInto(anchor, candidates[skill_index], dists);
         for (size_t c = 0; c < dists.size(); ++c) {
           NodeId holder = candidates[skill_index][c];
           if (dists[c] < best_d ||

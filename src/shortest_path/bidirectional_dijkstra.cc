@@ -1,25 +1,17 @@
 #include "shortest_path/bidirectional_dijkstra.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/string_util.h"
 #include "shortest_path/dijkstra.h"
+#include "shortest_path/min_heap.h"
 #include "shortest_path/path.h"
 
 namespace teamdisc {
 
 namespace {
 
-struct HeapItem {
-  double dist;
-  NodeId node;
-  friend bool operator>(const HeapItem& a, const HeapItem& b) {
-    return a.dist > b.dist;
-  }
-};
-
-using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+using internal::MinHeap;
 
 struct Side {
   std::vector<double> dist;

@@ -1,26 +1,13 @@
 #include "shortest_path/dijkstra.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/string_util.h"
+#include "shortest_path/min_heap.h"
 
 namespace teamdisc {
 
-namespace {
-
-/// Min-heap entry; lazy-deletion Dijkstra.
-struct HeapItem {
-  double dist;
-  NodeId node;
-  friend bool operator>(const HeapItem& a, const HeapItem& b) {
-    return a.dist > b.dist;
-  }
-};
-
-using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
-
-}  // namespace
+using internal::MinHeap;
 
 std::vector<NodeId> ShortestPathTree::PathTo(NodeId target) const {
   TD_CHECK(target < dist.size());
@@ -79,8 +66,9 @@ double DijkstraPointToPoint(const Graph& g, NodeId source, NodeId target) {
   return kInfDistance;
 }
 
-std::vector<double> DijkstraMultiTarget(const Graph& g, NodeId source,
-                                        std::span<const NodeId> targets) {
+void DijkstraMultiTargetInto(const Graph& g, NodeId source,
+                             std::span<const NodeId> targets,
+                             std::vector<double>& out) {
   TD_CHECK(source < g.num_nodes());
   std::vector<double> dist(g.num_nodes(), kInfDistance);
   std::vector<bool> is_target(g.num_nodes(), false);
@@ -111,17 +99,15 @@ std::vector<double> DijkstraMultiTarget(const Graph& g, NodeId source,
       }
     }
   }
-  std::vector<double> out;
+  out.clear();
   out.reserve(targets.size());
   for (NodeId t : targets) out.push_back(dist[t]);
-  return out;
 }
 
-std::vector<double> DistanceOracle::Distances(
-    NodeId source, std::span<const NodeId> targets) const {
+std::vector<double> DijkstraMultiTarget(const Graph& g, NodeId source,
+                                        std::span<const NodeId> targets) {
   std::vector<double> out;
-  out.reserve(targets.size());
-  for (NodeId t : targets) out.push_back(Distance(source, t));
+  DijkstraMultiTargetInto(g, source, targets, out);
   return out;
 }
 
@@ -141,9 +127,10 @@ Result<std::vector<NodeId>> DijkstraOracle::ShortestPath(NodeId u, NodeId v) con
   return path;
 }
 
-std::vector<double> DijkstraOracle::Distances(NodeId source,
-                                              std::span<const NodeId> targets) const {
-  return DijkstraMultiTarget(graph_, source, targets);
+void DijkstraOracle::DistancesInto(NodeId source,
+                                   std::span<const NodeId> targets,
+                                   std::vector<double>& out) const {
+  DijkstraMultiTargetInto(graph_, source, targets, out);
 }
 
 }  // namespace teamdisc

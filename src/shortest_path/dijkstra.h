@@ -32,6 +32,11 @@ double DijkstraPointToPoint(const Graph& g, NodeId source, NodeId target);
 std::vector<double> DijkstraMultiTarget(const Graph& g, NodeId source,
                                         std::span<const NodeId> targets);
 
+/// As DijkstraMultiTarget, filling a caller-owned vector (cleared first).
+void DijkstraMultiTargetInto(const Graph& g, NodeId source,
+                             std::span<const NodeId> targets,
+                             std::vector<double>& out);
+
 /// \brief DistanceOracle running (early-exit) Dijkstra per query.
 ///
 /// Exact but slow for repeated queries; the reference implementation that
@@ -42,8 +47,8 @@ class DijkstraOracle final : public DistanceOracle {
 
   double Distance(NodeId u, NodeId v) const override;
   Result<std::vector<NodeId>> ShortestPath(NodeId u, NodeId v) const override;
-  std::vector<double> Distances(NodeId source,
-                                std::span<const NodeId> targets) const override;
+  void DistancesInto(NodeId source, std::span<const NodeId> targets,
+                     std::vector<double>& out) const override;
   std::string name() const override { return "dijkstra"; }
   const Graph& graph() const override { return graph_; }
 

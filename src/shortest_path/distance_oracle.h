@@ -32,10 +32,18 @@ class DistanceOracle {
   /// v is unreachable from u. Returns {u} when u == v.
   virtual Result<std::vector<NodeId>> ShortestPath(NodeId u, NodeId v) const = 0;
 
-  /// Distances from `source` to each of `targets`. The default loops over
-  /// Distance(); single-source implementations override with one traversal.
-  virtual std::vector<double> Distances(NodeId source,
-                                        std::span<const NodeId> targets) const;
+  /// Distances from `source` to each of `targets`; convenience wrapper over
+  /// DistancesInto that allocates the result vector.
+  std::vector<double> Distances(NodeId source,
+                                std::span<const NodeId> targets) const;
+
+  /// Fills `out` with the distance from `source` to each target (aligned with
+  /// `targets`; `out` is cleared first). The default loops over Distance();
+  /// batched implementations override with one traversal (Dijkstra) or one
+  /// label scatter (PLL). Hot loops should reuse `out` across calls so its
+  /// capacity amortizes.
+  virtual void DistancesInto(NodeId source, std::span<const NodeId> targets,
+                             std::vector<double>& out) const;
 
   /// Implementation name for logs and ablation tables.
   virtual std::string name() const = 0;

@@ -1,0 +1,31 @@
+// Internal shared priority-queue plumbing for the Dijkstra family.
+//
+// Every search in this layer (plain Dijkstra, bidirectional Dijkstra, the
+// pruned Dijkstras inside PLL index construction) uses the same lazy-deletion
+// min-heap keyed on tentative distance. Kept out of the public headers: this
+// is an implementation detail, include it from .cc files only.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace teamdisc {
+namespace internal {
+
+/// Min-heap entry; lazy-deletion Dijkstra (stale entries are skipped when
+/// popped instead of being decreased in place).
+struct HeapItem {
+  double dist;
+  NodeId node;
+  friend bool operator>(const HeapItem& a, const HeapItem& b) {
+    return a.dist > b.dist;
+  }
+};
+
+using MinHeap =
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+}  // namespace internal
+}  // namespace teamdisc

@@ -5,6 +5,21 @@
 
 namespace teamdisc {
 
+std::vector<double> DistanceOracle::Distances(
+    NodeId source, std::span<const NodeId> targets) const {
+  std::vector<double> out;
+  DistancesInto(source, targets, out);
+  return out;
+}
+
+void DistanceOracle::DistancesInto(NodeId source,
+                                   std::span<const NodeId> targets,
+                                   std::vector<double>& out) const {
+  out.clear();
+  out.reserve(targets.size());
+  for (NodeId t : targets) out.push_back(Distance(source, t));
+}
+
 Result<std::unique_ptr<DistanceOracle>> MakeOracle(const Graph& g, OracleKind kind) {
   switch (kind) {
     case OracleKind::kPrunedLandmarkLabeling: {

@@ -4,41 +4,43 @@
 #include <cmath>
 #include <fstream>
 #include <numeric>
-#include <queue>
 #include <sstream>
+#include <thread>
 
+#include "common/env.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
+#include "shortest_path/min_heap.h"
 #include "shortest_path/path.h"
 
 namespace teamdisc {
 
 namespace {
 
-struct HeapItem {
-  double dist;
-  NodeId node;
-  friend bool operator>(const HeapItem& a, const HeapItem& b) {
-    return a.dist > b.dist;
-  }
-};
-
-using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+/// Effective worker count: explicit option, else TEAMDISC_PLL_THREADS, else
+/// the hardware concurrency.
+size_t ResolveBuildThreads(const PllBuildOptions& options) {
+  if (options.num_threads != 0) return options.num_threads;
+  uint64_t env = GetEnvOr("TEAMDISC_PLL_THREADS", uint64_t{0});
+  if (env != 0) return static_cast<size_t>(env);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
 
 }  // namespace
 
 Result<std::unique_ptr<PrunedLandmarkLabeling>> PrunedLandmarkLabeling::Build(
-    const Graph& g) {
+    const Graph& g, const PllBuildOptions& options) {
   auto pll = std::unique_ptr<PrunedLandmarkLabeling>(new PrunedLandmarkLabeling(g));
-  pll->BuildIndex();
+  pll->BuildIndex(options);
   return pll;
 }
 
-void PrunedLandmarkLabeling::BuildIndex() {
+void PrunedLandmarkLabeling::BuildIndex(const PllBuildOptions& options) {
   Timer timer;
   const Graph& g = *graph_;
   const NodeId n = g.num_nodes();
-  labels_.assign(n, {});
   order_.resize(n);
   rank_of_.resize(n);
   std::iota(order_.begin(), order_.end(), NodeId{0});
@@ -51,30 +53,59 @@ void PrunedLandmarkLabeling::BuildIndex() {
   });
   for (NodeId rank = 0; rank < n; ++rank) rank_of_[order_[rank]] = rank;
 
-  // Scratch arrays reused across hubs; `touched` records what to reset.
-  std::vector<double> dist(n, kInfDistance);
-  std::vector<NodeId> parent(n, kInvalidNode);
-  std::vector<NodeId> touched;
+  const size_t threads = ResolveBuildThreads(options);
+  // A single thread gains nothing from batching but would still lose the
+  // within-batch prunings, so it keeps the classic one-hub-at-a-time order.
+  const size_t batch_cap =
+      threads <= 1 ? 1
+                   : (options.max_batch_size != 0 ? options.max_batch_size
+                                                  : 16 * threads);
 
-  for (NodeId rank = 0; rank < n; ++rank) {
+  // Labels under construction (nested; flattened into the CSR at the end).
+  // Reading is concurrent during a round; writes happen only in the
+  // single-threaded commit step between rounds.
+  std::vector<std::vector<LabelEntry>> labels(n);
+
+  // Per-worker Dijkstra scratch, allocated once and reset via `touched`.
+  struct Scratch {
+    std::vector<double> dist;
+    std::vector<NodeId> parent;
+    std::vector<NodeId> touched;
+    internal::MinHeap heap;
+  };
+  ThreadPool pool(threads > 1 ? threads : 0);
+  std::vector<Scratch> scratch(pool.NumShards(threads > 1 ? batch_cap : 1));
+  for (Scratch& s : scratch) {
+    s.dist.assign(n, kInfDistance);
+    s.parent.assign(n, kInvalidNode);
+    s.touched.reserve(n);
+  }
+
+  // An entry discovered for one hub, in Dijkstra settle order.
+  struct Pending {
+    NodeId node;
+    NodeId parent;
+    double dist;
+  };
+
+  // Pruned Dijkstra from the hub at `rank` against the frozen labels;
+  // appends every labeled node to `out` instead of mutating `labels`.
+  auto run_hub = [&](Scratch& s, NodeId rank, std::vector<Pending>& out) {
     const NodeId hub = order_[rank];
-    const auto& hub_label = labels_[hub];
-    MinHeap heap;
-    dist[hub] = 0.0;
-    parent[hub] = kInvalidNode;
-    touched.push_back(hub);
-    heap.push({0.0, hub});
-    while (!heap.empty()) {
-      auto [d, u] = heap.top();
-      heap.pop();
-      if (d > dist[u]) continue;  // stale entry
-      // Prune: if existing labels already certify a distance <= d for the
+    const std::vector<LabelEntry>& hub_label = labels[hub];
+    s.dist[hub] = 0.0;
+    s.touched.push_back(hub);
+    s.heap.push({0.0, hub});
+    while (!s.heap.empty()) {
+      auto [d, u] = s.heap.top();
+      s.heap.pop();
+      if (d > s.dist[u]) continue;  // stale entry
+      // Prune: if committed labels already certify a distance <= d for the
       // pair (hub, u), u needs no entry for this hub and no expansion.
-      // (Entries in both labels have rank < current rank, except hub's own
-      // rank-0 self entry which appears only once hub == u handled below.)
+      // (All committed entries have rank below this round's batch.)
       bool pruned = false;
       if (u != hub) {
-        const auto& u_label = labels_[u];
+        const std::vector<LabelEntry>& u_label = labels[u];
         size_t i = 0, j = 0;
         while (i < hub_label.size() && j < u_label.size()) {
           if (hub_label[i].hub_rank < u_label[j].hub_rank) {
@@ -92,55 +123,119 @@ void PrunedLandmarkLabeling::BuildIndex() {
         }
       }
       if (pruned) continue;
-      labels_[u].push_back(LabelEntry{rank, d, parent[u]});
+      out.push_back(Pending{u, s.parent[u], d});
       for (const Neighbor& nb : g.Neighbors(u)) {
         double nd = d + nb.weight;
-        if (nd < dist[nb.node]) {
-          if (dist[nb.node] == kInfDistance) touched.push_back(nb.node);
-          dist[nb.node] = nd;
-          parent[nb.node] = u;
-          heap.push({nd, nb.node});
+        if (nd < s.dist[nb.node]) {
+          if (s.dist[nb.node] == kInfDistance) s.touched.push_back(nb.node);
+          s.dist[nb.node] = nd;
+          s.parent[nb.node] = u;
+          s.heap.push({nd, nb.node});
         }
       }
     }
-    for (NodeId v : touched) {
-      dist[v] = kInfDistance;
-      parent[v] = kInvalidNode;
+    for (NodeId v : s.touched) {
+      s.dist[v] = kInfDistance;
+      s.parent[v] = kInvalidNode;
     }
-    touched.clear();
+    s.touched.clear();
+  };
+
+  // Round-by-round batched construction. The batch grows geometrically from
+  // 1 to batch_cap: the first (highest-degree) hubs prune the most, and
+  // committing them before wide rounds keeps labels close to the sequential
+  // build's size.
+  std::vector<std::vector<Pending>> round_out;
+  size_t rounds = 0;
+  size_t max_batch_used = n > 0 ? 1 : 0;
+  size_t batch = 1;
+  NodeId next_rank = 0;
+  while (next_rank < n) {
+    const size_t count = std::min<size_t>(batch, n - next_rank);
+    if (round_out.size() < count) round_out.resize(count);
+    pool.ParallelForWorkers(count, [&](size_t worker, size_t i) {
+      run_hub(scratch[worker], next_rank + static_cast<NodeId>(i), round_out[i]);
+    });
+    // Commit in rank order so every per-node label stays rank-sorted.
+    for (size_t i = 0; i < count; ++i) {
+      const NodeId rank = next_rank + static_cast<NodeId>(i);
+      for (const Pending& p : round_out[i]) {
+        labels[p.node].push_back(LabelEntry{rank, p.dist, p.parent});
+      }
+      round_out[i].clear();
+    }
+    max_batch_used = std::max(max_batch_used, count);
+    ++rounds;
+    next_rank += static_cast<NodeId>(count);
+    batch = std::min(batch * 2, batch_cap);
   }
 
+  Flatten(labels);
+  stats_.num_threads = threads;
+  stats_.max_batch_size = max_batch_used;
+  stats_.num_rounds = rounds;
+  stats_.build_seconds = timer.ElapsedSeconds();
+}
+
+void PrunedLandmarkLabeling::Flatten(
+    const std::vector<std::vector<LabelEntry>>& labels) {
+  const size_t n = labels.size();
   stats_.total_entries = 0;
   stats_.max_label_size = 0;
-  for (const auto& label : labels_) {
+  for (const auto& label : labels) {
     stats_.total_entries += label.size();
     stats_.max_label_size = std::max(stats_.max_label_size, label.size());
   }
   stats_.avg_label_size =
       n == 0 ? 0.0 : static_cast<double>(stats_.total_entries) / n;
-  stats_.build_seconds = timer.ElapsedSeconds();
+
+  const size_t flat = stats_.total_entries + n;  // one sentinel per node
+  label_offsets_.assign(n + 1, 0);
+  hub_ranks_.resize(flat);
+  label_dists_.resize(flat);
+  label_parents_.resize(flat);
+  uint64_t off = 0;
+  for (size_t v = 0; v < n; ++v) {
+    label_offsets_[v] = off;
+    for (const LabelEntry& e : labels[v]) {
+      hub_ranks_[off] = e.hub_rank;
+      label_dists_[off] = e.dist;
+      label_parents_[off] = e.parent;
+      ++off;
+    }
+    hub_ranks_[off] = kInvalidNode;  // sentinel: compares greater than any rank
+    label_dists_[off] = kInfDistance;
+    label_parents_[off] = kInvalidNode;
+    ++off;
+  }
+  label_offsets_[n] = off;
 }
 
 double PrunedLandmarkLabeling::QueryWithHub(NodeId u, NodeId v,
                                             NodeId* best_hub_rank) const {
-  const auto& lu = labels_[u];
-  const auto& lv = labels_[v];
+  const NodeId* ru = hub_ranks_.data() + label_offsets_[u];
+  const NodeId* rv = hub_ranks_.data() + label_offsets_[v];
+  const double* du = label_dists_.data() + label_offsets_[u];
+  const double* dv = label_dists_.data() + label_offsets_[v];
   double best = kInfDistance;
   NodeId best_rank = kInvalidNode;
-  size_t i = 0, j = 0;
-  while (i < lu.size() && j < lv.size()) {
-    if (lu[i].hub_rank < lv[j].hub_rank) {
-      ++i;
-    } else if (lu[i].hub_rank > lv[j].hub_rank) {
-      ++j;
-    } else {
-      double d = lu[i].dist + lv[j].dist;
+  // Sentinel-terminated merge: each label ends with rank kInvalidNode, which
+  // is greater than every real rank, so the walk needs no bounds checks and
+  // stops when both cursors sit on their sentinels.
+  for (;;) {
+    const NodeId a = *ru, b = *rv;
+    if (a == b) {
+      if (a == kInvalidNode) break;
+      const double d = *du + *dv;
       if (d < best) {
         best = d;
-        best_rank = lu[i].hub_rank;
+        best_rank = a;
       }
-      ++i;
-      ++j;
+      ++ru, ++du, ++rv, ++dv;
+    } else if (a < b) {
+      ++ru, ++du;
+    } else {
+      ++rv, ++dv;
     }
   }
   if (best_hub_rank != nullptr) *best_hub_rank = best_rank;
@@ -148,10 +243,45 @@ double PrunedLandmarkLabeling::QueryWithHub(NodeId u, NodeId v,
 }
 
 double PrunedLandmarkLabeling::Distance(NodeId u, NodeId v) const {
-  TD_DCHECK(u < labels_.size());
-  TD_DCHECK(v < labels_.size());
+  TD_DCHECK(u < graph_->num_nodes());
+  TD_DCHECK(v < graph_->num_nodes());
   if (u == v) return 0.0;
   return QueryWithHub(u, v, nullptr);
+}
+
+void PrunedLandmarkLabeling::DistancesInto(NodeId source,
+                                           std::span<const NodeId> targets,
+                                           std::vector<double>& out) const {
+  TD_DCHECK(source < graph_->num_nodes());
+  out.clear();
+  out.reserve(targets.size());
+  // Rank-indexed scratch, grown on demand and restored to kInfDistance after
+  // every call so it can be shared across oracles on the same thread.
+  thread_local std::vector<double> scratch;
+  const size_t n = rank_of_.size();
+  if (scratch.size() < n) scratch.resize(n, kInfDistance);
+  const uint64_t s_begin = label_offsets_[source];
+  const uint64_t s_end = label_offsets_[source + 1] - 1;  // exclude sentinel
+  for (uint64_t k = s_begin; k < s_end; ++k) {
+    scratch[hub_ranks_[k]] = label_dists_[k];
+  }
+  for (NodeId t : targets) {
+    TD_DCHECK(t < graph_->num_nodes());
+    if (t == source) {
+      out.push_back(0.0);
+      continue;
+    }
+    double best = kInfDistance;
+    const uint64_t t_end = label_offsets_[t + 1] - 1;
+    for (uint64_t k = label_offsets_[t]; k < t_end; ++k) {
+      const double d = scratch[hub_ranks_[k]] + label_dists_[k];
+      if (d < best) best = d;
+    }
+    out.push_back(best);
+  }
+  for (uint64_t k = s_begin; k < s_end; ++k) {
+    scratch[hub_ranks_[k]] = kInfDistance;
+  }
 }
 
 std::vector<NodeId> PrunedLandmarkLabeling::UnwindToHub(NodeId v,
@@ -164,36 +294,55 @@ std::vector<NodeId> PrunedLandmarkLabeling::UnwindToHub(NodeId v,
   NodeId cur = v;
   while (true) {
     chain.push_back(cur);
-    const auto& label = labels_[cur];
-    auto it = std::lower_bound(
-        label.begin(), label.end(), hub_rank,
-        [](const LabelEntry& e, NodeId rank) { return e.hub_rank < rank; });
-    TD_CHECK(it != label.end() && it->hub_rank == hub_rank)
+    const NodeId* begin = hub_ranks_.data() + label_offsets_[cur];
+    const NodeId* end = hub_ranks_.data() + (label_offsets_[cur + 1] - 1);
+    const NodeId* it = std::lower_bound(begin, end, hub_rank);
+    TD_CHECK(it != end && *it == hub_rank)
         << "PLL parent chain broken at node " << cur;
-    if (it->parent == kInvalidNode) break;  // reached the hub
-    cur = it->parent;
+    const uint64_t k = label_offsets_[cur] + static_cast<uint64_t>(it - begin);
+    if (label_parents_[k] == kInvalidNode) break;  // reached the hub
+    cur = label_parents_[k];
   }
   return chain;
 }
 
 std::string PrunedLandmarkLabeling::Serialize() const {
-  // Format:
-  //   pll v1 <num_nodes> <num_edges>
+  // v2 mirrors the in-memory flat CSR (sentinels excluded):
+  //   pll v2 <num_nodes> <num_edges> <total_entries>
   //   order <rank0_node> <rank1_node> ...
-  //   label <node> <entries>: (<hub_rank> <dist> <parent>)*
-  std::string out = StrFormat("pll v1 %u %zu\n", graph_->num_nodes(),
-                              graph_->num_edges());
+  //   sizes <entries(node 0)> <entries(node 1)> ...
+  //   ranks <all hub_ranks, node-major>
+  //   dists <all distances, node-major>
+  //   parents <all parents, node-major; -1 encodes "at the hub">
+  const NodeId n = graph_->num_nodes();
+  std::string out = StrFormat("pll v2 %u %zu %zu\n", n, graph_->num_edges(),
+                              stats_.total_entries);
   out += "order";
   for (NodeId v : order_) out += StrFormat(" %u", v);
-  out += '\n';
-  for (NodeId v = 0; v < labels_.size(); ++v) {
-    out += StrFormat("label %u %zu", v, labels_[v].size());
-    for (const LabelEntry& e : labels_[v]) {
-      out += StrFormat(" %u %.17g %d", e.hub_rank, e.dist,
-                       e.parent == kInvalidNode ? -1 : static_cast<int>(e.parent));
+  out += "\nsizes";
+  for (NodeId v = 0; v < n; ++v) out += StrFormat(" %zu", LabelSize(v));
+  out += "\nranks";
+  for (NodeId v = 0; v < n; ++v) {
+    for (uint64_t k = label_offsets_[v]; k < label_offsets_[v + 1] - 1; ++k) {
+      out += StrFormat(" %u", hub_ranks_[k]);
     }
-    out += '\n';
   }
+  out += "\ndists";
+  for (NodeId v = 0; v < n; ++v) {
+    for (uint64_t k = label_offsets_[v]; k < label_offsets_[v + 1] - 1; ++k) {
+      out += StrFormat(" %.17g", label_dists_[k]);
+    }
+  }
+  out += "\nparents";
+  for (NodeId v = 0; v < n; ++v) {
+    for (uint64_t k = label_offsets_[v]; k < label_offsets_[v + 1] - 1; ++k) {
+      out += StrFormat(
+          " %d", label_parents_[k] == kInvalidNode
+                     ? -1
+                     : static_cast<int>(label_parents_[k]));
+    }
+  }
+  out += '\n';
   return out;
 }
 
@@ -204,8 +353,13 @@ Result<std::unique_ptr<PrunedLandmarkLabeling>> PrunedLandmarkLabeling::Deserial
   NodeId num_nodes = 0;
   size_t num_edges = 0;
   in >> tag >> version >> num_nodes >> num_edges;
-  if (!in || tag != "pll" || version != "v1") {
-    return Status::InvalidArgument("not a pll v1 index");
+  if (!in || tag != "pll" || (version != "v1" && version != "v2")) {
+    return Status::InvalidArgument("not a pll v1/v2 index");
+  }
+  size_t total_entries = 0;
+  if (version == "v2") {
+    in >> total_entries;
+    if (!in) return Status::InvalidArgument("v2 header missing entry count");
   }
   if (num_nodes != g.num_nodes() || num_edges != g.num_edges()) {
     return Status::InvalidArgument(
@@ -228,47 +382,99 @@ Result<std::unique_ptr<PrunedLandmarkLabeling>> PrunedLandmarkLabeling::Deserial
     pll->order_[rank] = v;
     pll->rank_of_[v] = rank;
   }
-  pll->labels_.assign(num_nodes, {});
-  for (NodeId i = 0; i < num_nodes; ++i) {
-    NodeId node;
-    size_t entries;
-    in >> tag >> node >> entries;
-    if (!in || tag != "label" || node != i) {
-      return Status::InvalidArgument(StrFormat("corrupt label for node %u", i));
-    }
-    if (entries > num_nodes) {
-      return Status::InvalidArgument("label larger than the graph");
-    }
-    auto& label = pll->labels_[i];
-    label.resize(entries);
-    NodeId prev_rank = 0;
-    for (size_t e = 0; e < entries; ++e) {
-      double dist;
-      int64_t parent;
-      in >> label[e].hub_rank >> dist >> parent;
-      if (!in || label[e].hub_rank >= num_nodes || !std::isfinite(dist) ||
-          dist < 0.0 || parent < -1 || parent >= static_cast<int64_t>(num_nodes)) {
-        return Status::InvalidArgument(
-            StrFormat("corrupt label entry for node %u", i));
+
+  std::vector<std::vector<LabelEntry>> labels(num_nodes);
+  if (version == "v1") {
+    for (NodeId i = 0; i < num_nodes; ++i) {
+      NodeId node;
+      size_t entries;
+      in >> tag >> node >> entries;
+      if (!in || tag != "label" || node != i) {
+        return Status::InvalidArgument(StrFormat("corrupt label for node %u", i));
       }
-      if (e > 0 && label[e].hub_rank <= prev_rank) {
-        return Status::InvalidArgument("label hub ranks not strictly increasing");
+      if (entries > num_nodes) {
+        return Status::InvalidArgument("label larger than the graph");
       }
-      prev_rank = label[e].hub_rank;
-      label[e].dist = dist;
-      label[e].parent =
-          parent < 0 ? kInvalidNode : static_cast<NodeId>(parent);
+      auto& label = labels[i];
+      label.resize(entries);
+      NodeId prev_rank = 0;
+      for (size_t e = 0; e < entries; ++e) {
+        double dist;
+        int64_t parent;
+        in >> label[e].hub_rank >> dist >> parent;
+        if (!in || label[e].hub_rank >= num_nodes || !std::isfinite(dist) ||
+            dist < 0.0 || parent < -1 ||
+            parent >= static_cast<int64_t>(num_nodes)) {
+          return Status::InvalidArgument(
+              StrFormat("corrupt label entry for node %u", i));
+        }
+        if (e > 0 && label[e].hub_rank <= prev_rank) {
+          return Status::InvalidArgument("label hub ranks not strictly increasing");
+        }
+        prev_rank = label[e].hub_rank;
+        label[e].dist = dist;
+        label[e].parent = parent < 0 ? kInvalidNode : static_cast<NodeId>(parent);
+      }
+    }
+  } else {
+    in >> tag;
+    if (!in || tag != "sizes") return Status::InvalidArgument("missing sizes section");
+    size_t sum = 0;
+    for (NodeId i = 0; i < num_nodes; ++i) {
+      size_t entries;
+      in >> entries;
+      if (!in || entries > num_nodes) {
+        return Status::InvalidArgument(StrFormat("corrupt label size for node %u", i));
+      }
+      labels[i].resize(entries);
+      sum += entries;
+    }
+    if (sum != total_entries) {
+      return Status::InvalidArgument("label sizes do not sum to the entry count");
+    }
+    in >> tag;
+    if (!in || tag != "ranks") return Status::InvalidArgument("missing ranks section");
+    for (NodeId i = 0; i < num_nodes; ++i) {
+      NodeId prev_rank = 0;
+      for (size_t e = 0; e < labels[i].size(); ++e) {
+        in >> labels[i][e].hub_rank;
+        if (!in || labels[i][e].hub_rank >= num_nodes ||
+            (e > 0 && labels[i][e].hub_rank <= prev_rank)) {
+          return Status::InvalidArgument(
+              StrFormat("corrupt hub rank for node %u", i));
+        }
+        prev_rank = labels[i][e].hub_rank;
+      }
+    }
+    in >> tag;
+    if (!in || tag != "dists") return Status::InvalidArgument("missing dists section");
+    for (NodeId i = 0; i < num_nodes; ++i) {
+      for (auto& e : labels[i]) {
+        in >> e.dist;
+        if (!in || !std::isfinite(e.dist) || e.dist < 0.0) {
+          return Status::InvalidArgument(
+              StrFormat("corrupt label distance for node %u", i));
+        }
+      }
+    }
+    in >> tag;
+    if (!in || tag != "parents") {
+      return Status::InvalidArgument("missing parents section");
+    }
+    for (NodeId i = 0; i < num_nodes; ++i) {
+      for (auto& e : labels[i]) {
+        int64_t parent;
+        in >> parent;
+        if (!in || parent < -1 || parent >= static_cast<int64_t>(num_nodes)) {
+          return Status::InvalidArgument(
+              StrFormat("corrupt label parent for node %u", i));
+        }
+        e.parent = parent < 0 ? kInvalidNode : static_cast<NodeId>(parent);
+      }
     }
   }
   pll->stats_ = PllStats{};
-  for (const auto& label : pll->labels_) {
-    pll->stats_.total_entries += label.size();
-    pll->stats_.max_label_size =
-        std::max(pll->stats_.max_label_size, label.size());
-  }
-  pll->stats_.avg_label_size =
-      num_nodes == 0 ? 0.0
-                     : static_cast<double>(pll->stats_.total_entries) / num_nodes;
+  pll->Flatten(labels);
   return pll;
 }
 

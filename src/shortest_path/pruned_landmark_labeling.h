@@ -8,13 +8,36 @@
 // by hub rank. A query merges the two labels and minimizes d(u,h) + d(h,v).
 // Parent pointers (the predecessor on the hub's shortest-path tree) make
 // exact path reconstruction possible without re-running any search.
+//
+// Storage is a flat struct-of-arrays CSR: one contiguous hub-rank array, one
+// distance array, one parent array, plus per-node offsets. Every label ends
+// with a sentinel entry of rank kInvalidNode so the query merge loop runs
+// without bounds checks. Construction proceeds round-by-round: within a
+// round, pruned Dijkstras for a batch of hubs run in parallel against the
+// frozen label set, and the batch's entries are committed in rank order.
+// Batching only weakens pruning (labels may grow slightly versus the
+// sequential order); query answers stay exact.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "shortest_path/distance_oracle.h"
 
 namespace teamdisc {
+
+/// \brief Index-construction knobs.
+struct PllBuildOptions {
+  /// Worker threads for BuildIndex. 0 resolves TEAMDISC_PLL_THREADS from the
+  /// environment, falling back to the hardware concurrency. 1 builds fully
+  /// sequentially (classic pruned-Dijkstra order, tightest labels).
+  size_t num_threads = 0;
+  /// Upper bound on hubs per parallel round; the batch grows geometrically
+  /// from 1 up to this cap so the top-ranked hubs (which prune the most)
+  /// commit before wide rounds begin. 0 means 16 * num_threads. Forced to 1
+  /// when building with a single thread.
+  size_t max_batch_size = 0;
+};
 
 /// \brief Build-time and size statistics of a PLL index.
 struct PllStats {
@@ -22,6 +45,9 @@ struct PllStats {
   double avg_label_size = 0.0;
   size_t max_label_size = 0;
   double build_seconds = 0.0;
+  size_t num_threads = 1;     ///< worker threads BuildIndex actually used
+  size_t max_batch_size = 1;  ///< largest hub batch committed in one round
+  size_t num_rounds = 0;      ///< rounds (== number of hubs when sequential)
 };
 
 /// \brief Exact 2-hop-cover distance/path oracle.
@@ -29,30 +55,42 @@ struct PllStats {
 /// Index construction: nodes are ranked by degree (descending, ties by id);
 /// for each hub in rank order a pruned Dijkstra labels every node whose
 /// current-label query cannot already certify the popped distance.
-/// Queries are O(|L(u)| + |L(v)|) merge joins.
+/// Queries are O(|L(u)| + |L(v)|) merge joins over the flat label arrays.
 class PrunedLandmarkLabeling final : public DistanceOracle {
  public:
   /// Builds the index over `g`; `g` must outlive the oracle.
-  static Result<std::unique_ptr<PrunedLandmarkLabeling>> Build(const Graph& g);
+  static Result<std::unique_ptr<PrunedLandmarkLabeling>> Build(
+      const Graph& g, const PllBuildOptions& options = {});
 
   double Distance(NodeId u, NodeId v) const override;
   Result<std::vector<NodeId>> ShortestPath(NodeId u, NodeId v) const override;
+
+  /// Batched distances: scatters the source label into a rank-indexed scratch
+  /// array once, then answers each target with a single O(|L(t)|) scan —
+  /// O(|L(s)| + sum |L(t)|) total instead of one merge join per target.
+  void DistancesInto(NodeId source, std::span<const NodeId> targets,
+                     std::vector<double>& out) const override;
+
   std::string name() const override { return "pruned_landmark_labeling"; }
   const Graph& graph() const override { return *graph_; }
 
   const PllStats& stats() const { return stats_; }
 
-  /// Label size of node v (for tests / diagnostics).
-  size_t LabelSize(NodeId v) const { return labels_[v].size(); }
+  /// Label size of node v, excluding the sentinel (for tests / diagnostics).
+  size_t LabelSize(NodeId v) const {
+    return static_cast<size_t>(label_offsets_[v + 1] - label_offsets_[v]) - 1;
+  }
 
   /// Serializes the index (labels + hub order) to a portable text format so
   /// production deployments can reuse an index across runs instead of
-  /// rebuilding it. The graph itself is NOT stored; Deserialize checks that
-  /// the supplied graph has the same shape.
+  /// rebuilding it. Writes the v2 format, which mirrors the flat CSR layout.
+  /// The graph itself is NOT stored; Deserialize checks that the supplied
+  /// graph has the same shape.
   std::string Serialize() const;
 
-  /// Restores an index previously produced by Serialize over the same
-  /// graph. Fails InvalidArgument on corrupt input or a mismatched graph.
+  /// Restores an index previously produced by Serialize over the same graph.
+  /// Reads both the current v2 format and the legacy v1 (nested per-node)
+  /// format. Fails InvalidArgument on corrupt input or a mismatched graph.
   static Result<std::unique_ptr<PrunedLandmarkLabeling>> Deserialize(
       const Graph& g, const std::string& content);
 
@@ -62,6 +100,8 @@ class PrunedLandmarkLabeling final : public DistanceOracle {
       const Graph& g, const std::string& path);
 
  private:
+  /// One label entry during construction / deserialization; the query-time
+  /// representation is the flat struct-of-arrays CSR below.
   struct LabelEntry {
     NodeId hub_rank;  ///< rank (not id) of the hub, ascending within a label
     double dist;      ///< d(node, hub)
@@ -70,7 +110,11 @@ class PrunedLandmarkLabeling final : public DistanceOracle {
 
   explicit PrunedLandmarkLabeling(const Graph& g) : graph_(&g) {}
 
-  void BuildIndex();
+  void BuildIndex(const PllBuildOptions& options);
+
+  /// Moves nested per-node labels into the flat CSR arrays (appending one
+  /// sentinel per node) and fills the size statistics.
+  void Flatten(const std::vector<std::vector<LabelEntry>>& labels);
 
   /// Distance query by label merge; also reports the best hub rank.
   double QueryWithHub(NodeId u, NodeId v, NodeId* best_hub_rank) const;
@@ -80,7 +124,14 @@ class PrunedLandmarkLabeling final : public DistanceOracle {
   std::vector<NodeId> UnwindToHub(NodeId v, NodeId hub_rank) const;
 
   const Graph* graph_;
-  std::vector<std::vector<LabelEntry>> labels_;
+  // Flat CSR label storage (struct-of-arrays). Entry k of node v lives at
+  // flat index label_offsets_[v] + k; hub_ranks_ ascends within each label
+  // and ends with a kInvalidNode sentinel (dist kInfDistance), so merge
+  // loops terminate without bounds checks.
+  std::vector<uint64_t> label_offsets_;  ///< size n + 1
+  std::vector<NodeId> hub_ranks_;
+  std::vector<double> label_dists_;
+  std::vector<NodeId> label_parents_;
   std::vector<NodeId> order_;    ///< rank -> node id
   std::vector<NodeId> rank_of_;  ///< node id -> rank
   PllStats stats_;

@@ -86,5 +86,48 @@ TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
 }
 
+TEST(ThreadPoolTest, ParallelForWorkersCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(211);
+  std::atomic<bool> worker_in_range{true};
+  pool.ParallelForWorkers(hits.size(), [&](size_t worker, size_t i) {
+    if (worker >= pool.NumShards(hits.size())) worker_in_range = false;
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_TRUE(worker_in_range.load());
+}
+
+TEST(ThreadPoolTest, ParallelForWorkersSlotsAreExclusive) {
+  // No two concurrent invocations may share a worker slot: each slot owns a
+  // non-atomic counter, and TSan-free correct totals imply exclusivity.
+  ThreadPool pool(4);
+  constexpr size_t kItems = 500;
+  std::vector<size_t> per_slot(pool.NumShards(kItems), 0);
+  pool.ParallelForWorkers(kItems,
+                          [&per_slot](size_t worker, size_t) { ++per_slot[worker]; });
+  size_t total = std::accumulate(per_slot.begin(), per_slot.end(), size_t{0});
+  EXPECT_EQ(total, kItems);
+}
+
+TEST(ThreadPoolTest, ParallelForWorkersInlineUsesSlotZero) {
+  ThreadPool pool(0);
+  std::vector<size_t> workers;
+  pool.ParallelForWorkers(5, [&workers](size_t worker, size_t) {
+    workers.push_back(worker);
+  });
+  EXPECT_EQ(workers, (std::vector<size_t>{0, 0, 0, 0, 0}));
+}
+
+TEST(ThreadPoolTest, NumShards) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.NumShards(0), 1u);
+  EXPECT_EQ(pool.NumShards(1), 1u);
+  EXPECT_EQ(pool.NumShards(2), 2u);
+  EXPECT_EQ(pool.NumShards(100), 3u);
+  ThreadPool inline_pool(0);
+  EXPECT_EQ(inline_pool.NumShards(100), 1u);
+}
+
 }  // namespace
 }  // namespace teamdisc

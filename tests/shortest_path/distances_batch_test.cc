@@ -1,0 +1,120 @@
+// DistanceOracle::Distances / DistancesInto coverage across every oracle
+// kind: agreement with per-pair Distance (including unreachable targets,
+// duplicates, and the source itself), buffer reuse, and the PLL fast path on
+// a nontrivial weighted graph.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+#include "shortest_path/dijkstra.h"
+#include "shortest_path/distance_oracle.h"
+#include "shortest_path/pruned_landmark_labeling.h"
+
+namespace teamdisc {
+namespace {
+
+constexpr OracleKind kAllKinds[] = {OracleKind::kPrunedLandmarkLabeling,
+                                    OracleKind::kDijkstra,
+                                    OracleKind::kBidirectionalDijkstra};
+
+/// Two components: {0..4} wired as a weighted cycle + chord, {5..7} a path.
+Graph TwoComponentGraph() {
+  GraphBuilder b(8);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.5));
+  TD_CHECK_OK(b.AddEdge(1, 2, 2.25));
+  TD_CHECK_OK(b.AddEdge(2, 3, 0.5));
+  TD_CHECK_OK(b.AddEdge(3, 4, 1.0));
+  TD_CHECK_OK(b.AddEdge(4, 0, 3.0));
+  TD_CHECK_OK(b.AddEdge(1, 3, 0.75));
+  TD_CHECK_OK(b.AddEdge(5, 6, 4.0));
+  TD_CHECK_OK(b.AddEdge(6, 7, 0.25));
+  return b.Finish().ValueOrDie();
+}
+
+class DistancesBatchTest : public testing::TestWithParam<OracleKind> {};
+
+TEST_P(DistancesBatchTest, AgreesWithPerPairIncludingUnreachable) {
+  Graph g = TwoComponentGraph();
+  auto oracle = MakeOracle(g, GetParam()).ValueOrDie();
+  // Targets mix reachable nodes, unreachable nodes (other component), the
+  // source itself, and duplicates.
+  std::vector<NodeId> targets = {3, 5, 0, 7, 3, 6, 2};
+  std::vector<double> batched = oracle->Distances(0, targets);
+  ASSERT_EQ(batched.size(), targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    double expected = oracle->Distance(0, targets[i]);
+    EXPECT_EQ(batched[i], expected) << "target " << targets[i];
+  }
+  EXPECT_EQ(batched[1], kInfDistance);  // other component
+  EXPECT_EQ(batched[2], 0.0);           // source itself
+  EXPECT_EQ(batched[0], batched[4]);    // duplicate target
+  // And from inside the small component.
+  std::vector<NodeId> back = {0, 5, 7, 6};
+  std::vector<double> from6 = oracle->Distances(6, back);
+  EXPECT_EQ(from6[0], kInfDistance);
+  EXPECT_EQ(from6[1], 4.0);
+  EXPECT_EQ(from6[2], 0.25);
+  EXPECT_EQ(from6[3], 0.0);
+}
+
+TEST_P(DistancesBatchTest, DistancesIntoReusesBuffer) {
+  Graph g = TwoComponentGraph();
+  auto oracle = MakeOracle(g, GetParam()).ValueOrDie();
+  std::vector<double> out(17, -1.0);  // stale content must be discarded
+  std::vector<NodeId> targets = {1, 4};
+  oracle->DistancesInto(2, targets, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], oracle->Distance(2, 1));
+  EXPECT_EQ(out[1], oracle->Distance(2, 4));
+  oracle->DistancesInto(2, {}, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(DistancesBatchTest, AgreesOnRandomWeightedGraph) {
+  Rng rng(2024);
+  Graph g = BarabasiAlbert(150, 2, rng).ValueOrDie();
+  auto oracle = MakeOracle(g, GetParam()).ValueOrDie();
+  std::vector<double> out;
+  for (int round = 0; round < 8; ++round) {
+    NodeId source = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    std::vector<NodeId> targets;
+    for (int i = 0; i < 25; ++i) {
+      targets.push_back(static_cast<NodeId>(rng.NextBounded(g.num_nodes())));
+    }
+    oracle->DistancesInto(source, targets, out);
+    ASSERT_EQ(out.size(), targets.size());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      EXPECT_DOUBLE_EQ(out[i], oracle->Distance(source, targets[i]))
+          << "source " << source << " target " << targets[i];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DistancesBatchTest,
+                         testing::ValuesIn(kAllKinds),
+                         [](const testing::TestParamInfo<OracleKind>& info) {
+                           return std::string(OracleKindToString(info.param));
+                         });
+
+TEST(PllBatchedDistancesTest, ScratchResetBetweenCallsAndOracles) {
+  // Two PLL oracles on different graphs share the thread-local scratch; a
+  // query on one must not leak hub distances into the other.
+  Graph g1 = TwoComponentGraph();
+  Rng rng(7);
+  Graph g2 = RandomConnectedGraph(40, 15, rng).ValueOrDie();
+  auto pll1 = PrunedLandmarkLabeling::Build(g1).ValueOrDie();
+  auto pll2 = PrunedLandmarkLabeling::Build(g2).ValueOrDie();
+  std::vector<NodeId> t1 = {1, 5, 3};
+  std::vector<NodeId> t2 = {0, 20, 39};
+  std::vector<double> first = pll1->Distances(0, t1);
+  std::vector<double> other = pll2->Distances(3, t2);
+  for (size_t i = 0; i < t2.size(); ++i) {
+    EXPECT_DOUBLE_EQ(other[i], pll2->Distance(3, t2[i]));
+  }
+  EXPECT_EQ(pll1->Distances(0, t1), first);  // unchanged after interleaving
+}
+
+}  // namespace
+}  // namespace teamdisc

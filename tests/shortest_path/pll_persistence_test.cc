@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
 #include "graph/graph_generators.h"
 #include "shortest_path/dijkstra.h"
 #include "shortest_path/pruned_landmark_labeling.h"
@@ -79,6 +81,81 @@ TEST(PllPersistenceTest, RejectsCorruptInput) {
   size_t pos = tampered.find(" 0 ");  // some numeric field
   if (pos != std::string::npos) tampered.replace(pos, 3, " -9 ");
   (void)PrunedLandmarkLabeling::Deserialize(g, tampered);  // must not crash
+}
+
+TEST(PllPersistenceTest, V2RoundTripIdenticalAnswersOnWeightedGraph) {
+  // Nontrivial weighted graph, parallel-built index: the v2 (flat CSR)
+  // round-trip must answer every query identically, bit for bit.
+  Rng rng(101);
+  Graph g = BarabasiAlbert(180, 3, rng, 0.2, 5.0).ValueOrDie();
+  auto original =
+      PrunedLandmarkLabeling::Build(g, {.num_threads = 4}).ValueOrDie();
+  std::string serialized = original->Serialize();
+  EXPECT_EQ(serialized.rfind("pll v2 ", 0), 0u) << "Serialize must emit v2";
+  auto restored = PrunedLandmarkLabeling::Deserialize(g, serialized).ValueOrDie();
+  EXPECT_EQ(restored->stats().total_entries, original->stats().total_entries);
+  EXPECT_EQ(restored->stats().max_label_size, original->stats().max_label_size);
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 16; ++i) {
+    targets.push_back(static_cast<NodeId>(rng.NextBounded(g.num_nodes())));
+  }
+  for (int q = 0; q < 300; ++q) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    ASSERT_EQ(original->Distance(u, v), restored->Distance(u, v));
+  }
+  NodeId s = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+  EXPECT_EQ(original->Distances(s, targets), restored->Distances(s, targets));
+}
+
+TEST(PllPersistenceTest, ReadsLegacyV1Format) {
+  // Hand-written v1 index for the path graph 0 -1.5- 1 -2.5- 2. Hub order is
+  // degree-descending (node 1 first); labels follow the sequential pruned
+  // Dijkstra: every node is covered by hub 1, nodes 0 and 2 add themselves.
+  Graph g = [] {
+    GraphBuilder b(3);
+    TD_CHECK_OK(b.AddEdge(0, 1, 1.5));
+    TD_CHECK_OK(b.AddEdge(1, 2, 2.5));
+    return b.Finish().ValueOrDie();
+  }();
+  const std::string v1 =
+      "pll v1 3 2\n"
+      "order 1 0 2\n"
+      "label 0 2 0 1.5 1 1 0 -1\n"
+      "label 1 1 0 0 -1\n"
+      "label 2 2 0 2.5 1 2 0 -1\n";
+  auto pll = PrunedLandmarkLabeling::Deserialize(g, v1).ValueOrDie();
+  EXPECT_DOUBLE_EQ(pll->Distance(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(pll->Distance(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(pll->Distance(1, 2), 2.5);
+  EXPECT_EQ(pll->ShortestPath(0, 2).ValueOrDie(), (std::vector<NodeId>{0, 1, 2}));
+  // Re-serializing upgrades to v2 with identical answers.
+  auto upgraded =
+      PrunedLandmarkLabeling::Deserialize(g, pll->Serialize()).ValueOrDie();
+  EXPECT_EQ(upgraded->Distance(0, 2), pll->Distance(0, 2));
+}
+
+TEST(PllPersistenceTest, RejectsCorruptV2Input) {
+  Rng rng(103);
+  Graph g = RandomConnectedGraph(25, 10, rng).ValueOrDie();
+  auto original = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+  std::string good = original->Serialize();
+  EXPECT_FALSE(
+      PrunedLandmarkLabeling::Deserialize(g, good.substr(0, good.size() / 3))
+          .ok());
+  // Entry count that disagrees with the sizes section.
+  std::string tampered = good;
+  size_t header_end = tampered.find('\n');
+  tampered.replace(0, header_end, StrFormat("pll v2 %u %zu %zu", g.num_nodes(),
+                                            g.num_edges(), size_t{999999}));
+  EXPECT_TRUE(
+      PrunedLandmarkLabeling::Deserialize(g, tampered).status().IsInvalidArgument());
+  // Out-of-range hub rank.
+  std::string bad_rank = good;
+  size_t pos = bad_rank.find("\nranks ");
+  ASSERT_NE(pos, std::string::npos);
+  bad_rank.replace(pos + 7, 1, "9999999");
+  EXPECT_FALSE(PrunedLandmarkLabeling::Deserialize(g, bad_rank).ok());
 }
 
 TEST(PllPersistenceTest, LoadMissingFileFails) {

@@ -115,5 +115,88 @@ TEST(PllTest, OracleNameAndGraph) {
   EXPECT_EQ(&pll->graph(), &g);
 }
 
+/// Random connected graph whose weights are small dyadic rationals
+/// (multiples of 1/4), so shortest-path sums are exact in double and PLL
+/// distances must be bit-identical to Dijkstra's.
+Graph DyadicWeightGraph(NodeId n, size_t extra_edges, Rng& rng) {
+  GraphBuilder b(n);
+  auto weight = [&rng] { return 0.25 * static_cast<double>(1 + rng.NextBounded(16)); };
+  for (NodeId v = 1; v < n; ++v) {
+    TD_CHECK_OK(b.AddEdge(static_cast<NodeId>(rng.NextBounded(v)), v, weight()));
+  }
+  for (size_t e = 0; e < extra_edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    (void)b.AddEdge(u, v, weight());  // duplicate chords are fine to drop
+  }
+  return b.Finish().ValueOrDie();
+}
+
+TEST(PllParallelBuildTest, AllPairsBitIdenticalToDijkstra) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    Rng rng(seed);
+    Graph g = DyadicWeightGraph(90, 60, rng);
+    auto pll =
+        PrunedLandmarkLabeling::Build(g, {.num_threads = 4}).ValueOrDie();
+    for (NodeId s = 0; s < g.num_nodes(); ++s) {
+      ShortestPathTree tree = DijkstraSssp(g, s);
+      for (NodeId t = 0; t < g.num_nodes(); ++t) {
+        ASSERT_EQ(pll->Distance(s, t), tree.dist[t])
+            << "seed " << seed << " s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(PllParallelBuildTest, ParallelAnswersMatchSequentialBuild) {
+  Rng rng(51);
+  Graph g = BarabasiAlbert(300, 3, rng).ValueOrDie();
+  auto sequential =
+      PrunedLandmarkLabeling::Build(g, {.num_threads = 1}).ValueOrDie();
+  auto parallel = PrunedLandmarkLabeling::Build(
+                      g, {.num_threads = 4, .max_batch_size = 32})
+                      .ValueOrDie();
+  // Batching weakens pruning, so the two indexes may answer through
+  // different (equally shortest) hubs; distances agree to rounding.
+  for (int q = 0; q < 400; ++q) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    EXPECT_DOUBLE_EQ(parallel->Distance(u, v), sequential->Distance(u, v));
+  }
+}
+
+TEST(PllParallelBuildTest, ParallelPathsAreValid) {
+  Rng rng(57);
+  Graph g = RandomConnectedGraph(120, 80, rng).ValueOrDie();
+  auto pll = PrunedLandmarkLabeling::Build(g, {.num_threads = 3}).ValueOrDie();
+  for (int q = 0; q < 60; ++q) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    auto path = pll->ShortestPath(u, v).ValueOrDie();
+    EXPECT_TRUE(ValidatePath(g, path, u, v).ok());
+    EXPECT_NEAR(PathLength(g, path), DijkstraPointToPoint(g, u, v), 1e-9);
+  }
+}
+
+TEST(PllParallelBuildTest, StatsReportThreadsBatchesAndRounds) {
+  Rng rng(61);
+  Graph g = BarabasiAlbert(200, 2, rng).ValueOrDie();
+  auto parallel = PrunedLandmarkLabeling::Build(
+                      g, {.num_threads = 4, .max_batch_size = 16})
+                      .ValueOrDie();
+  EXPECT_EQ(parallel->stats().num_threads, 4u);
+  EXPECT_GT(parallel->stats().max_batch_size, 1u);
+  EXPECT_LE(parallel->stats().max_batch_size, 16u);
+  EXPECT_GT(parallel->stats().num_rounds, 0u);
+  EXPECT_LT(parallel->stats().num_rounds, 200u);  // genuinely batched
+
+  auto sequential =
+      PrunedLandmarkLabeling::Build(g, {.num_threads = 1}).ValueOrDie();
+  EXPECT_EQ(sequential->stats().num_threads, 1u);
+  EXPECT_EQ(sequential->stats().max_batch_size, 1u);
+  EXPECT_EQ(sequential->stats().num_rounds, 200u);  // one hub per round
+}
+
 }  // namespace
 }  // namespace teamdisc
