@@ -28,33 +28,23 @@ int Run() {
                   projects_or.status().ToString().c_str());
       continue;
     }
-    double precision[3] = {0, 0, 0};
-    uint32_t counted = 0;
-    for (const Project& project : projects_or.ValueOrDie()) {
-      RankingStrategy strategies[3] = {RankingStrategy::kCC,
-                                       RankingStrategy::kCACC,
-                                       RankingStrategy::kSACACC};
-      double row[3];
-      bool ok = true;
-      for (int s = 0; s < 3 && ok; ++s) {
-        GreedyTeamFinder* finder =
-            ctx->Finder(strategies[s], gamma, lambda, 5).ValueOrDie();
-        auto teams = finder->FindTeams(project);
-        if (!teams.ok()) {
-          ok = false;
-          break;
-        }
-        row[s] = study.PrecisionAtK(bench::Teams(teams.ValueOrDie()), 5);
-      }
-      if (!ok) continue;
-      for (int s = 0; s < 3; ++s) precision[s] += row[s];
-      ++counted;
+    // All three strategies draw their finders from the context's shared
+    // oracle cache: the transform + index per gamma is built exactly once
+    // across the whole figure.
+    auto result_or =
+        RunPrecisionStudy(study, ctx->oracle_cache(), projects_or.ValueOrDie(),
+                          ObjectiveParams{.gamma = gamma, .lambda = lambda}, 5);
+    if (!result_or.ok()) {
+      std::printf("[%u skills] study failed: %s\n", skills,
+                  result_or.status().ToString().c_str());
+      continue;
     }
-    if (counted == 0) continue;
+    const PrecisionStudyResult& result = result_or.ValueOrDie();
+    if (result.counted == 0) continue;
     table.AddRow({std::to_string(skills),
-                  TablePrinter::Num(100.0 * precision[0] / counted, 1),
-                  TablePrinter::Num(100.0 * precision[1] / counted, 1),
-                  TablePrinter::Num(100.0 * precision[2] / counted, 1)});
+                  TablePrinter::Num(100.0 * result.precision[0], 1),
+                  TablePrinter::Num(100.0 * result.precision[1], 1),
+                  TablePrinter::Num(100.0 * result.precision[2], 1)});
   }
   table.Print();
   std::printf(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/env.h"
+
 namespace teamdisc {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -43,6 +45,16 @@ void ThreadPool::Wait() {
 size_t ThreadPool::DefaultThreadCount() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 1 ? hw - 1 : 1;
+}
+
+size_t ThreadPool::ResolveThreadCount(size_t requested, const char* env_var) {
+  if (requested != 0) return requested;
+  if (env_var != nullptr) {
+    uint64_t env = GetEnvOr(env_var, uint64_t{0});
+    if (env != 0) return static_cast<size_t>(env);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {

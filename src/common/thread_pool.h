@@ -39,6 +39,13 @@ class ThreadPool {
   /// Hardware concurrency minus one, at least 1.
   static size_t DefaultThreadCount();
 
+  /// Effective worker count for a parallel subsystem: `requested` when
+  /// non-zero, else the env var named `env_var` (when set, non-zero, and
+  /// env_var itself non-null), else the hardware concurrency (at least 1).
+  /// The PLL builder resolves TEAMDISC_PLL_THREADS and the eval layer
+  /// TEAMDISC_EVAL_THREADS this way.
+  static size_t ResolveThreadCount(size_t requested, const char* env_var);
+
   /// Runs fn(i) for i in [0, n), distributing over the pool ("parallel for").
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
@@ -46,6 +53,12 @@ class ThreadPool {
   /// alongside the item index. No two concurrent invocations share a slot, so
   /// callers can hand each strand its own scratch buffers (the PLL index
   /// builder keys per-thread Dijkstra state on it).
+  ///
+  /// Contract: each slot claims its items in ascending index order (items
+  /// come from one shared monotone counter). The greedy finder's parallel
+  /// root sweep proves its bit-identical-pruning guarantee from this — keep
+  /// the property if the scheduling is ever changed (e.g. no block
+  /// partitioning that hands a slot an earlier index after a later one).
   void ParallelForWorkers(size_t n,
                           const std::function<void(size_t worker, size_t i)>& fn);
 

@@ -8,14 +8,20 @@
 
 namespace teamdisc {
 
-namespace {
-
 /// A candidate solution kept during the root sweep: cheap to store, the
 /// Team (paths) is only materialized for entries that survive the sweep.
-struct Candidate {
+struct GreedyTeamFinder::Candidate {
   NodeId root;
   std::vector<NodeId> holder_per_skill;  // aligned with the project
 };
+
+namespace {
+
+/// Workers for the root sweep: > 1 gets a pool (0 = hardware concurrency).
+std::unique_ptr<ThreadPool> MakeSweepPool(const FinderOptions& options) {
+  size_t threads = ThreadPool::ResolveThreadCount(options.num_threads, nullptr);
+  return threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+}
 
 }  // namespace
 
@@ -24,6 +30,7 @@ Result<std::unique_ptr<GreedyTeamFinder>> GreedyTeamFinder::Make(
   TD_RETURN_IF_ERROR(options.Validate());
   auto finder = std::unique_ptr<GreedyTeamFinder>(
       new GreedyTeamFinder(net, std::move(options)));
+  finder->pool_ = MakeSweepPool(finder->options_);
   const FinderOptions& opt = finder->options_;
   if (opt.strategy == RankingStrategy::kCC) {
     TD_ASSIGN_OR_RETURN(finder->owned_oracle_,
@@ -55,6 +62,7 @@ Result<std::unique_ptr<GreedyTeamFinder>> GreedyTeamFinder::MakeWithExternalOrac
   }
   auto finder = std::unique_ptr<GreedyTeamFinder>(
       new GreedyTeamFinder(net, std::move(options)));
+  finder->pool_ = MakeSweepPool(finder->options_);
   finder->oracle_ = &oracle;
   return finder;
 }
@@ -96,6 +104,52 @@ double GreedyTeamFinder::RootHoldsSkillCost(NodeId root) const {
   return 0.0;
 }
 
+void GreedyTeamFinder::SweepRoot(
+    NodeId root, const std::vector<std::span<const NodeId>>& candidates,
+    const Project& project, TopK<Candidate>& best,
+    std::vector<double>& dists) const {
+  double team_cost = 0.0;
+  Candidate candidate;
+  candidate.root = root;
+  candidate.holder_per_skill.resize(project.size(), kInvalidNode);
+  for (size_t i = 0; i < project.size(); ++i) {
+    if (net_.HasSkill(root, project[i])) {
+      candidate.holder_per_skill[i] = root;
+      team_cost += RootHoldsSkillCost(root);
+      continue;
+    }
+    // min over v in C(s_i) of the strategy-adjusted DIST(root, v); the
+    // batched oracle call reuses `dists` across the whole root sweep.
+    oracle_->DistancesInto(root, candidates[i], dists);
+    double best_cost = kInfDistance;
+    NodeId best_expert = kInvalidNode;
+    for (size_t c = 0; c < candidates[i].size(); ++c) {
+      if (dists[c] == kInfDistance) continue;
+      double adjusted = AdjustedCost(dists[c], candidates[i][c]);
+      if (adjusted < best_cost ||
+          (adjusted == best_cost && candidates[i][c] < best_expert)) {
+        best_cost = adjusted;
+        best_expert = candidates[i][c];
+      }
+    }
+    if (best_expert == kInvalidNode) return;  // no holder reachable
+    candidate.holder_per_skill[i] = best_expert;
+    team_cost += best_cost;
+    // Partial sums are monotone under kZeroCost (all per-skill costs are
+    // non-negative), so a prefix that already exceeds the kept list's
+    // worst cost can be abandoned. The ablation policy can charge
+    // negative root credits, which breaks monotonicity — no pruning then.
+    // (In the parallel sweep each strand prunes against its own list; that
+    // is laxer than the sequential threshold, so strands only ever keep a
+    // superset of what the sequential sweep keeps — never less.)
+    if (options_.root_skill_policy == RootSkillPolicy::kZeroCost &&
+        !best.WouldAccept(team_cost)) {
+      return;
+    }
+  }
+  best.Add(team_cost, std::move(candidate));
+}
+
 Result<std::vector<ScoredTeam>> GreedyTeamFinder::FindTeams(
     const Project& project) {
   if (project.empty()) return Status::InvalidArgument("empty project");
@@ -129,51 +183,40 @@ Result<std::vector<ScoredTeam>> GreedyTeamFinder::FindTeams(
       (options_.dedupe_top_k ? options_.dedupe_buffer_factor : 1);
   TopK<Candidate> best(keep);
 
-  std::vector<double> dists;
-  for (NodeId root = 0; root < n; root += stride) {
-    double team_cost = 0.0;
-    Candidate candidate;
-    candidate.root = root;
-    candidate.holder_per_skill.resize(project.size(), kInvalidNode);
-    bool feasible = true;
-    for (size_t i = 0; i < project.size() && feasible; ++i) {
-      if (net_.HasSkill(root, project[i])) {
-        candidate.holder_per_skill[i] = root;
-        team_cost += RootHoldsSkillCost(root);
-        continue;
-      }
-      // min over v in C(s_i) of the strategy-adjusted DIST(root, v); the
-      // batched oracle call reuses `dists` across the whole root sweep.
-      oracle_->DistancesInto(root, candidates[i], dists);
-      double best_cost = kInfDistance;
-      NodeId best_expert = kInvalidNode;
-      for (size_t c = 0; c < candidates[i].size(); ++c) {
-        if (dists[c] == kInfDistance) continue;
-        double adjusted = AdjustedCost(dists[c], candidates[i][c]);
-        if (adjusted < best_cost ||
-            (adjusted == best_cost && candidates[i][c] < best_expert)) {
-          best_cost = adjusted;
-          best_expert = candidates[i][c];
-        }
-      }
-      if (best_expert == kInvalidNode) {
-        feasible = false;  // no holder reachable from this root
-        break;
-      }
-      candidate.holder_per_skill[i] = best_expert;
-      team_cost += best_cost;
-      // Partial sums are monotone under kZeroCost (all per-skill costs are
-      // non-negative), so a prefix that already exceeds the kept list's
-      // worst cost can be abandoned. The ablation policy can charge
-      // negative root credits, which breaks monotonicity — no pruning then.
-      if (options_.root_skill_policy == RootSkillPolicy::kZeroCost &&
-          !best.WouldAccept(team_cost)) {
-        feasible = false;
-        break;
-      }
+  const size_t num_roots = (n + stride - 1) / stride;
+  if (pool_ == nullptr || num_roots <= 1) {
+    std::vector<double> dists;
+    for (NodeId root = 0; root < n; root += stride) {
+      SweepRoot(root, candidates, project, best, dists);
     }
-    if (!feasible) continue;
-    best.Add(team_cost, std::move(candidate));
+  } else {
+    // Parallel sweep: strands claim roots dynamically, each keeping its own
+    // bounded list and distance scratch. Every candidate the sequential
+    // sweep would keep survives in its strand's list: a strand's pruning
+    // threshold is at most as strict as the sequential one because its list
+    // holds a subset of the lower-rooted candidates (ParallelForWorkers
+    // guarantees each slot claims indices in ascending order — see its
+    // contract). Replaying all kept candidates into one list in
+    // ascending-root order therefore reproduces the sequential insertion
+    // order, costs and ties included: results are bit-identical at any
+    // thread count.
+    const size_t shards = pool_->NumShards(num_roots);
+    std::vector<TopK<Candidate>> local(shards, TopK<Candidate>(keep));
+    std::vector<std::vector<double>> dists(shards);
+    pool_->ParallelForWorkers(num_roots, [&](size_t worker, size_t i) {
+      SweepRoot(static_cast<NodeId>(i * stride), candidates, project,
+                local[worker], dists[worker]);
+    });
+    std::vector<TopK<Candidate>::Entry> merged;
+    for (TopK<Candidate>& l : local) {
+      for (auto& entry : l.Take()) merged.push_back(std::move(entry));
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const TopK<Candidate>::Entry& a,
+                 const TopK<Candidate>::Entry& b) {
+                return a.value.root < b.value.root;  // roots are unique
+              });
+    for (auto& entry : merged) best.Add(entry.cost, std::move(entry.value));
   }
 
   if (best.empty()) {
@@ -205,8 +248,22 @@ Result<std::vector<ScoredTeam>> GreedyTeamFinder::FindTeams(
     }
     ScoredTeam scored;
     scored.proxy_cost = entry.cost;
-    scored.objective =
-        EvaluateObjective(net_, team, options_.strategy, options_.params);
+    // One ComputeBreakdown call yields every component; the strategy's own
+    // objective is the matching composite term (bit-identical to
+    // EvaluateObjective, which evaluates the same expressions).
+    scored.breakdown = ComputeBreakdown(net_, team, options_.params);
+    scored.has_breakdown = true;
+    switch (options_.strategy) {
+      case RankingStrategy::kCC:
+        scored.objective = scored.breakdown.cc;
+        break;
+      case RankingStrategy::kCACC:
+        scored.objective = scored.breakdown.ca_cc;
+        break;
+      case RankingStrategy::kSACACC:
+        scored.objective = scored.breakdown.sa_ca_cc;
+        break;
+    }
     scored.team = std::move(team);
     out.push_back(std::move(scored));
     if (out.size() == options_.top_k) break;

@@ -9,8 +9,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "core/team_finder.h"
+#include "core/top_k.h"
 #include "network/authority_transform.h"
 
 namespace teamdisc {
@@ -57,6 +60,8 @@ class GreedyTeamFinder final : public TeamFinder {
   NodeId num_search_nodes() const { return net_.num_experts(); }
 
  private:
+  struct Candidate;
+
   GreedyTeamFinder(const ExpertNetwork& net, FinderOptions options)
       : net_(net), options_(std::move(options)) {}
 
@@ -67,8 +72,19 @@ class GreedyTeamFinder final : public TeamFinder {
   /// Cost charged when the root itself holds the skill.
   double RootHoldsSkillCost(NodeId root) const;
 
+  /// Evaluates one candidate root against every required skill, inserting a
+  /// surviving candidate into `best`. `dists` is reusable scratch for the
+  /// batched oracle call; each sweep strand owns its own `best`/`dists`.
+  void SweepRoot(NodeId root,
+                 const std::vector<std::span<const NodeId>>& candidates,
+                 const Project& project, TopK<Candidate>& best,
+                 std::vector<double>& dists) const;
+
   const ExpertNetwork& net_;
   FinderOptions options_;
+  /// Non-null iff options_.num_threads resolved to > 1 at construction;
+  /// shared by all FindTeams calls on this finder.
+  std::unique_ptr<ThreadPool> pool_;
   /// Non-null iff strategy uses the transform AND the finder owns it.
   std::unique_ptr<TransformedGraph> transformed_;
   /// Non-null iff the finder owns its oracle (Make); MakeWithExternalOracle

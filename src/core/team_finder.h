@@ -39,6 +39,11 @@ struct FinderOptions {
   /// a documented approximation for very large graphs; 0 sweeps all roots
   /// exactly as in the paper's Algorithm 1.
   uint32_t max_roots = 0;
+  /// Worker threads for the greedy root sweep. 1 (default) runs the classic
+  /// sequential loop; 0 resolves to the hardware concurrency. Results are
+  /// bit-identical at any thread count (candidates are merged back in root
+  /// order), so this is purely a latency knob.
+  size_t num_threads = 1;
 
   Status Validate() const;
 };
@@ -51,6 +56,11 @@ struct ScoredTeam {
   /// The exact objective of `team` under the finder's strategy/params,
   /// recomputed on the original network.
   double objective = 0.0;
+  /// Full objective breakdown of `team` (valid iff has_breakdown). The
+  /// greedy finder fills it as a byproduct of scoring so evaluation
+  /// harnesses never recompute the components per project.
+  ObjectiveBreakdown breakdown;
+  bool has_breakdown = false;
 };
 
 /// \brief Abstract team-discovery algorithm.

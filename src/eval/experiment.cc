@@ -1,7 +1,5 @@
 #include "eval/experiment.h"
 
-#include <cmath>
-
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -22,6 +20,7 @@ Result<std::unique_ptr<ExperimentContext>> ExperimentContext::Make(
                << scale.label << ")";
   TD_ASSIGN_OR_RETURN(ctx->corpus_, GenerateSyntheticDblp(config));
   TD_LOG(Info) << ctx->corpus_.network.DebugString();
+  ctx->oracle_cache_ = std::make_unique<OracleCache>(ctx->corpus_.network);
   TD_ASSIGN_OR_RETURN(ProjectGenerator gen,
                       ProjectGenerator::Make(ctx->corpus_.network, project_options));
   ctx->projects_ = std::make_unique<ProjectGenerator>(std::move(gen));
@@ -35,27 +34,11 @@ Result<std::vector<Project>> ExperimentContext::SampleProjects(
   return projects_->SampleMany(num_skills, count, rng);
 }
 
-Result<const DistanceOracle*> ExperimentContext::TransformOracle(double gamma) {
-  int key = static_cast<int>(std::lround(gamma * 10000));
-  auto it = transform_indexes_.find(key);
-  if (it == transform_indexes_.end()) {
-    TransformIndex index;
-    TD_ASSIGN_OR_RETURN(TransformedGraph transformed,
-                        BuildAuthorityTransform(corpus_.network, gamma));
-    index.transformed = std::make_unique<TransformedGraph>(std::move(transformed));
-    TD_ASSIGN_OR_RETURN(
-        index.oracle,
-        MakeOracle(index.transformed->graph, OracleKind::kPrunedLandmarkLabeling));
-    it = transform_indexes_.emplace(key, std::move(index)).first;
-  }
-  return it->second.oracle.get();
-}
-
 Result<GreedyTeamFinder*> ExperimentContext::Finder(RankingStrategy strategy,
                                                     double gamma, double lambda,
                                                     uint32_t top_k) {
-  auto key = std::make_pair(static_cast<int>(strategy),
-                            static_cast<int>(std::lround(gamma * 10000)));
+  auto key =
+      std::make_pair(static_cast<int>(strategy), GammaBasisPoints(gamma));
   auto it = finders_.find(key);
   if (it == finders_.end()) {
     FinderOptions options;
@@ -64,16 +47,9 @@ Result<GreedyTeamFinder*> ExperimentContext::Finder(RankingStrategy strategy,
     options.params.lambda = lambda;
     options.top_k = top_k;
     // CA-CC and SA-CA-CC finders with the same gamma share one PLL index
-    // over G'; CC shares the base-graph index.
-    const DistanceOracle* oracle = nullptr;
-    if (strategy == RankingStrategy::kCC) {
-      TD_ASSIGN_OR_RETURN(oracle, BaseOracle());
-    } else {
-      TD_ASSIGN_OR_RETURN(oracle, TransformOracle(gamma));
-    }
-    TD_ASSIGN_OR_RETURN(auto finder,
-                        GreedyTeamFinder::MakeWithExternalOracle(
-                            corpus_.network, options, *oracle));
+    // over G'; CC shares the base-graph index (OracleCache keys on the
+    // search graph, not the strategy).
+    TD_ASSIGN_OR_RETURN(auto finder, oracle_cache_->MakeFinder(options));
     it = finders_.emplace(key, std::move(finder)).first;
   }
   TD_RETURN_IF_ERROR(it->second->set_lambda(lambda));
@@ -82,12 +58,10 @@ Result<GreedyTeamFinder*> ExperimentContext::Finder(RankingStrategy strategy,
 }
 
 Result<const DistanceOracle*> ExperimentContext::BaseOracle() {
-  if (base_oracle_ == nullptr) {
-    TD_ASSIGN_OR_RETURN(
-        base_oracle_,
-        MakeOracle(corpus_.network.graph(), OracleKind::kPrunedLandmarkLabeling));
-  }
-  return base_oracle_.get();
+  TD_ASSIGN_OR_RETURN(OracleCache::View view,
+                      oracle_cache_->Get(RankingStrategy::kCC, 0.0,
+                                         OracleKind::kPrunedLandmarkLabeling));
+  return view.oracle;
 }
 
 Result<std::vector<ScoredTeam>> ExperimentContext::RunRandom(

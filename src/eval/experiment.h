@@ -11,6 +11,7 @@
 #include "core/greedy_team_finder.h"
 #include "core/random_team_finder.h"
 #include "datagen/synthetic_dblp.h"
+#include "eval/oracle_cache.h"
 #include "eval/project_generator.h"
 
 namespace teamdisc {
@@ -42,6 +43,11 @@ class ExperimentContext {
   /// A PLL oracle over the original graph G (for Random & friends).
   Result<const DistanceOracle*> BaseOracle();
 
+  /// The shared index registry: one authority transform + oracle per
+  /// (gamma, kind), reused by Finder(), the grid sweep, and the user-study
+  /// harness. Builds happen at most once per key.
+  OracleCache& oracle_cache() { return *oracle_cache_; }
+
   /// Random baseline over the base oracle.
   Result<std::vector<ScoredTeam>> RunRandom(const Project& project,
                                             const ObjectiveParams& params,
@@ -57,22 +63,15 @@ class ExperimentContext {
  private:
   ExperimentContext() = default;
 
-  /// Shared PLL index over the transform for one gamma.
-  struct TransformIndex {
-    std::unique_ptr<TransformedGraph> transformed;
-    std::unique_ptr<DistanceOracle> oracle;
-  };
-  Result<const DistanceOracle*> TransformOracle(double gamma);
-
   ExperimentScale scale_;
   uint64_t seed_ = 0;
   SyntheticDblp corpus_;
   std::unique_ptr<ProjectGenerator> projects_;
+  /// All index building routes through here (one build per (gamma, kind)).
+  std::unique_ptr<OracleCache> oracle_cache_;
   // Finder cache keyed by (strategy, gamma in basis points); CA-CC and
-  // SA-CA-CC finders of equal gamma share one PLL index (below).
+  // SA-CA-CC finders of equal gamma share one PLL index via oracle_cache_.
   std::map<std::pair<int, int>, std::unique_ptr<GreedyTeamFinder>> finders_;
-  std::map<int, TransformIndex> transform_indexes_;
-  std::unique_ptr<DistanceOracle> base_oracle_;
 };
 
 /// Mean of `values` (0 for empty).

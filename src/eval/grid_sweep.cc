@@ -1,9 +1,28 @@
 #include "eval/grid_sweep.h"
 
 #include "common/csv.h"
+#include "common/thread_pool.h"
 #include "core/greedy_team_finder.h"
 
 namespace teamdisc {
+
+namespace {
+
+/// Outcome of one (cell, project) query, held until the deterministic merge.
+struct ProjectOutcome {
+  Status status = Status::OK();
+  bool solved = false;
+  ObjectiveBreakdown breakdown;
+  TeamMetrics metrics;
+};
+
+/// Effective worker count for the sweep fan-out: `requested` if non-zero,
+/// else TEAMDISC_EVAL_THREADS, else the hardware concurrency.
+size_t ResolveEvalThreads(size_t requested) {
+  return ThreadPool::ResolveThreadCount(requested, "TEAMDISC_EVAL_THREADS");
+}
+
+}  // namespace
 
 Status GridSweepOptions::Validate() const {
   if (grid_points < 2) return Status::InvalidArgument("grid_points must be >= 2");
@@ -15,50 +34,124 @@ Result<std::vector<GridCell>> RunGridSweep(const ExpertNetwork& net,
                                            const GridSweepOptions& options) {
   TD_RETURN_IF_ERROR(options.Validate());
   if (projects.empty()) return Status::InvalidArgument("no projects");
-  std::vector<GridCell> cells;
-  for (uint32_t gi = 0; gi < options.grid_points; ++gi) {
-    double gamma = static_cast<double>(gi) / (options.grid_points - 1);
-    // One finder (and one index over G') per gamma; lambda is re-pointed.
-    FinderOptions finder_options;
-    finder_options.strategy = RankingStrategy::kSACACC;
-    finder_options.params.gamma = gamma;
-    finder_options.oracle = options.oracle;
-    TD_ASSIGN_OR_RETURN(auto finder, GreedyTeamFinder::Make(net, finder_options));
-    for (uint32_t li = 0; li < options.grid_points; ++li) {
-      double lambda = static_cast<double>(li) / (options.grid_points - 1);
-      TD_RETURN_IF_ERROR(finder->set_lambda(lambda));
-      GridCell cell;
-      cell.gamma = gamma;
-      cell.lambda = lambda;
-      std::vector<TeamMetrics> metrics;
-      ObjectiveParams params{.gamma = gamma, .lambda = lambda};
-      for (const Project& project : projects) {
-        auto teams = finder->FindTeams(project);
-        if (!teams.ok()) {
-          if (teams.status().IsInfeasible()) continue;
-          return teams.status();
-        }
-        const Team& team = teams.ValueOrDie()[0].team;
-        ObjectiveBreakdown b = ComputeBreakdown(net, team, params);
-        cell.breakdown.cc += b.cc;
-        cell.breakdown.ca += b.ca;
-        cell.breakdown.sa += b.sa;
-        cell.breakdown.ca_cc += b.ca_cc;
-        cell.breakdown.sa_ca_cc += b.sa_ca_cc;
-        metrics.push_back(ComputeTeamMetrics(net, team));
-        ++cell.solved;
+
+  const uint32_t g = options.grid_points;
+  if (options.cache != nullptr && &options.cache->network() != &net) {
+    return Status::InvalidArgument(
+        "GridSweepOptions::cache was built over a different network");
+  }
+  OracleCache local_cache(net);
+  OracleCache& cache = options.cache != nullptr ? *options.cache : local_cache;
+
+  // Resolve every per-gamma index up front (one Get — and at most one build —
+  // per gamma), so sweep workers construct finders from shared views without
+  // ever contending on an index build.
+  std::vector<double> gammas(g);
+  std::vector<OracleCache::View> views(g);
+  for (uint32_t gi = 0; gi < g; ++gi) {
+    gammas[gi] = static_cast<double>(gi) / (g - 1);
+    TD_ASSIGN_OR_RETURN(
+        views[gi],
+        cache.Get(RankingStrategy::kSACACC, gammas[gi], options.oracle));
+  }
+
+  const size_t num_cells = static_cast<size_t>(g) * g;
+  const size_t num_projects = projects.size();
+  const size_t num_tasks = num_cells * num_projects;
+  std::vector<ProjectOutcome> outcomes(num_tasks);
+
+  // One (cell, project) query per task. Workers cache their finder across
+  // consecutive tasks of the same gamma (tasks are cell-major, so a strand
+  // mostly re-points lambda instead of re-wiring the oracle).
+  struct WorkerState {
+    std::unique_ptr<GreedyTeamFinder> finder;
+    uint32_t finder_gi = UINT32_MAX;
+  };
+  const size_t threads = ResolveEvalThreads(options.num_threads);
+  ThreadPool pool(threads > 1 ? threads : 0);
+  const size_t shards = pool.NumShards(num_tasks);
+  std::vector<WorkerState> workers(shards);
+
+  pool.ParallelForWorkers(num_tasks, [&](size_t worker, size_t task) {
+    const size_t cell = task / num_projects;
+    const size_t pi = task % num_projects;
+    const uint32_t gi = static_cast<uint32_t>(cell / g);
+    const uint32_t li = static_cast<uint32_t>(cell % g);
+    const double lambda = static_cast<double>(li) / (g - 1);
+    ProjectOutcome& out = outcomes[task];
+
+    WorkerState& state = workers[worker];
+    if (state.finder_gi != gi) {
+      FinderOptions finder_options;
+      finder_options.strategy = RankingStrategy::kSACACC;
+      finder_options.params.gamma = gammas[gi];
+      finder_options.oracle = options.oracle;
+      finder_options.num_threads = 1;  // the sweep itself is the fan-out
+      auto finder = GreedyTeamFinder::MakeWithExternalOracle(
+          net, finder_options, *views[gi].oracle);
+      if (!finder.ok()) {
+        out.status = finder.status();
+        return;
       }
-      if (cell.solved > 0) {
-        double n = cell.solved;
-        cell.breakdown.cc /= n;
-        cell.breakdown.ca /= n;
-        cell.breakdown.sa /= n;
-        cell.breakdown.ca_cc /= n;
-        cell.breakdown.sa_ca_cc /= n;
-        cell.metrics = AverageMetrics(metrics);
-      }
-      cells.push_back(cell);
+      state.finder = std::move(finder).ValueOrDie();
+      state.finder_gi = gi;
     }
+    Status set = state.finder->set_lambda(lambda);
+    if (!set.ok()) {
+      out.status = set;
+      return;
+    }
+    auto teams = state.finder->FindTeams(projects[pi]);
+    if (!teams.ok()) {
+      if (!teams.status().IsInfeasible()) out.status = teams.status();
+      return;  // infeasible projects are skipped, not counted as solved
+    }
+    const ScoredTeam& scored = teams.ValueOrDie()[0];
+    out.solved = true;
+    // The finder already scored the breakdown under this cell's params; only
+    // recompute if a non-greedy finder ever feeds this path.
+    out.breakdown =
+        scored.has_breakdown
+            ? scored.breakdown
+            : ComputeBreakdown(net, scored.team,
+                               ObjectiveParams{.gamma = gammas[gi],
+                                               .lambda = lambda});
+    out.metrics = ComputeTeamMetrics(net, scored.team);
+  });
+
+  // Deterministic merge in cell-major, project order: identical accumulation
+  // order (and therefore bit-identical doubles) at any thread count.
+  std::vector<GridCell> cells;
+  cells.reserve(num_cells);
+  std::vector<TeamMetrics> metrics;
+  for (size_t cell = 0; cell < num_cells; ++cell) {
+    GridCell out;
+    out.gamma = gammas[cell / g];
+    out.lambda = static_cast<double>(cell % g) / (g - 1);
+    metrics.clear();
+    metrics.reserve(num_projects);
+    for (size_t pi = 0; pi < num_projects; ++pi) {
+      const ProjectOutcome& r = outcomes[cell * num_projects + pi];
+      TD_RETURN_IF_ERROR(r.status);
+      if (!r.solved) continue;
+      out.breakdown.cc += r.breakdown.cc;
+      out.breakdown.ca += r.breakdown.ca;
+      out.breakdown.sa += r.breakdown.sa;
+      out.breakdown.ca_cc += r.breakdown.ca_cc;
+      out.breakdown.sa_ca_cc += r.breakdown.sa_ca_cc;
+      metrics.push_back(r.metrics);
+      ++out.solved;
+    }
+    if (out.solved > 0) {
+      double n = out.solved;
+      out.breakdown.cc /= n;
+      out.breakdown.ca /= n;
+      out.breakdown.sa /= n;
+      out.breakdown.ca_cc /= n;
+      out.breakdown.sa_ca_cc /= n;
+      out.metrics = AverageMetrics(metrics);
+    }
+    cells.push_back(out);
   }
   return cells;
 }

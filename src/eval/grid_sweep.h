@@ -3,13 +3,21 @@
 // whole parameter plane for a set of projects so that feedback loop has
 // data to work with (objective components + team metrics per cell), and
 // exports the sweep as CSV.
+//
+// The sweep is a throughput workload: grid² cells x |projects| independent
+// queries over at most grid-many shared indexes. Indexes come from an
+// OracleCache (each (gamma, oracle) index is built exactly once) and the
+// queries fan out over a thread pool; per-cell results are merged back in
+// project order, so the output is bit-identical at any thread count.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "core/objectives.h"
 #include "core/team.h"
+#include "eval/oracle_cache.h"
 #include "eval/team_metrics.h"
 #include "shortest_path/distance_oracle.h"
 
@@ -31,6 +39,16 @@ struct GridCell {
 struct GridSweepOptions {
   uint32_t grid_points = 5;  ///< values 0, 1/(g-1), ..., 1 on each axis
   OracleKind oracle = OracleKind::kPrunedLandmarkLabeling;
+  /// Worker threads for the cell x project fan-out. 0 resolves
+  /// TEAMDISC_EVAL_THREADS from the environment, falling back to the
+  /// hardware concurrency; 1 runs fully sequentially. Cell contents are
+  /// bit-identical at any value.
+  size_t num_threads = 0;
+  /// Shared index cache; must have been built over the swept network (the
+  /// sweep rejects a mismatch). When null the sweep builds a private one
+  /// (each per-gamma index still built once); pass a cache to reuse indexes
+  /// across sweeps and with other harnesses.
+  OracleCache* cache = nullptr;
 
   Status Validate() const;
 };

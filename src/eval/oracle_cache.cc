@@ -1,0 +1,62 @@
+#include "eval/oracle_cache.h"
+
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+Result<OracleCache::View> OracleCache::Get(RankingStrategy strategy,
+                                           double gamma, OracleKind kind) {
+  const bool needs_transform = strategy != RankingStrategy::kCC;
+  if (needs_transform && (gamma < 0.0 || gamma > 1.0)) {
+    return Status::InvalidArgument(StrFormat("gamma %f outside [0,1]", gamma));
+  }
+  Key key{needs_transform, needs_transform ? GammaBasisPoints(gamma) : 0,
+          static_cast<int>(kind)};
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Entry>& slot = entries_[key];
+    if (slot == nullptr) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  // The build runs outside mu_ so distinct indexes build concurrently; the
+  // once_flag serializes requesters of this entry (losers block until the
+  // winner finishes, then read the committed pointers — or the sticky error).
+  bool built_now = false;
+  std::call_once(entry->once, [&] {
+    built_now = true;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    const Graph* search_graph = &net_.graph();
+    if (needs_transform) {
+      auto transformed = BuildAuthorityTransform(net_, gamma);
+      if (!transformed.ok()) {
+        entry->status = transformed.status();
+        return;
+      }
+      entry->transformed = std::make_unique<TransformedGraph>(
+          std::move(transformed).ValueOrDie());
+      search_graph = &entry->transformed->graph;
+    }
+    auto oracle = MakeOracle(*search_graph, kind);
+    if (!oracle.ok()) {
+      entry->status = oracle.status();
+      entry->transformed.reset();
+      return;
+    }
+    entry->oracle = std::move(oracle).ValueOrDie();
+  });
+  if (!built_now) hits_.fetch_add(1, std::memory_order_relaxed);
+  TD_RETURN_IF_ERROR(entry->status);
+  return View{entry->oracle.get(), entry->transformed.get()};
+}
+
+Result<std::unique_ptr<GreedyTeamFinder>> OracleCache::MakeFinder(
+    FinderOptions options) {
+  TD_RETURN_IF_ERROR(options.Validate());
+  TD_ASSIGN_OR_RETURN(
+      View view, Get(options.strategy, options.params.gamma, options.oracle));
+  return GreedyTeamFinder::MakeWithExternalOracle(net_, std::move(options),
+                                                  *view.oracle);
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,92 @@
+// Shared distance-oracle cache for the evaluation layer.
+//
+// Every experiment harness used to rebuild the authority transform G' and a
+// fresh PLL index for each (gamma, oracle) it encountered — the dominant
+// cost of a grid sweep. OracleCache builds each index exactly once and hands
+// out shared const views: entries are keyed by (search graph, gamma, oracle
+// kind) and guarded by a per-entry std::once_flag, so concurrent requesters
+// of the same index block on the one in-flight build instead of duplicating
+// it, while requesters of different indexes build in parallel.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/greedy_team_finder.h"
+#include "network/authority_transform.h"
+#include "shortest_path/distance_oracle.h"
+
+namespace teamdisc {
+
+/// Gamma quantized to basis points — the resolution at which eval caches
+/// (OracleCache, ExperimentContext's finder cache) consider two gammas
+/// equal. Shared so the caches can never alias gammas differently.
+inline int GammaBasisPoints(double gamma) {
+  return static_cast<int>(std::lround(gamma * 10000));
+}
+
+/// \brief Build-once, share-everywhere oracle registry over one network.
+///
+/// The network must outlive the cache; views handed out remain valid for the
+/// cache's lifetime (entries are never evicted).
+class OracleCache {
+ public:
+  explicit OracleCache(const ExpertNetwork& net) : net_(net) {}
+
+  OracleCache(const OracleCache&) = delete;
+  OracleCache& operator=(const OracleCache&) = delete;
+
+  /// \brief Shared views of one cached index.
+  struct View {
+    /// Oracle over the strategy's search graph; owned by the cache.
+    const DistanceOracle* oracle = nullptr;
+    /// The transform it was built over; nullptr for CC (base graph).
+    const TransformedGraph* transformed = nullptr;
+  };
+
+  /// Returns the oracle for (strategy, gamma, kind), building the authority
+  /// transform and the index on first use. CC strategies share one entry per
+  /// kind over the base graph (gamma is ignored); CA-CC and SA-CA-CC share
+  /// an entry per (gamma, kind) since both query the same G'. Thread-safe.
+  Result<View> Get(RankingStrategy strategy, double gamma, OracleKind kind);
+
+  /// Convenience: a greedy finder wired to the shared index for
+  /// (options.strategy, options.params.gamma, options.oracle) via
+  /// GreedyTeamFinder::MakeWithExternalOracle. Cheap once the index is
+  /// cached — suitable for per-worker finders in parallel sweeps.
+  Result<std::unique_ptr<GreedyTeamFinder>> MakeFinder(FinderOptions options);
+
+  /// \brief Cache-effectiveness counters (misses == indexes built).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  Stats stats() const {
+    return Stats{hits_.load(std::memory_order_relaxed),
+                 misses_.load(std::memory_order_relaxed)};
+  }
+
+  const ExpertNetwork& network() const { return net_; }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    Status status = Status::OK();  ///< build outcome, sticky per entry
+    std::unique_ptr<TransformedGraph> transformed;
+    std::unique_ptr<DistanceOracle> oracle;
+  };
+  /// (needs transform, gamma in basis points — 0 for base graph, kind).
+  using Key = std::tuple<bool, int, int>;
+
+  const ExpertNetwork& net_;
+  mutable std::mutex mu_;  ///< guards the map shape only, never a build
+  std::map<Key, std::unique_ptr<Entry>> entries_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace teamdisc

@@ -71,4 +71,48 @@ double UserStudy::PrecisionAtK(const std::vector<Team>& teams, size_t k) const {
   return total / static_cast<double>(count);
 }
 
+Result<PrecisionStudyResult> RunPrecisionStudy(
+    const UserStudy& study, OracleCache& cache,
+    const std::vector<Project>& projects, const ObjectiveParams& params,
+    uint32_t top_k) {
+  constexpr RankingStrategy kStrategies[3] = {
+      RankingStrategy::kCC, RankingStrategy::kCACC, RankingStrategy::kSACACC};
+  std::unique_ptr<GreedyTeamFinder> finders[3];
+  for (int s = 0; s < 3; ++s) {
+    FinderOptions options;
+    options.strategy = kStrategies[s];
+    options.params = params;
+    options.top_k = top_k;
+    TD_ASSIGN_OR_RETURN(finders[s], cache.MakeFinder(options));
+  }
+  PrecisionStudyResult result;
+  for (const Project& project : projects) {
+    double row[3];
+    bool ok = true;
+    for (int s = 0; s < 3 && ok; ++s) {
+      auto teams = finders[s]->FindTeams(project);
+      if (!teams.ok()) {
+        if (!teams.status().IsInfeasible()) return teams.status();
+        ok = false;
+        break;
+      }
+      std::vector<Team> plain;
+      plain.reserve(teams.ValueOrDie().size());
+      for (ScoredTeam& scored : teams.ValueOrDie()) {
+        plain.push_back(std::move(scored.team));
+      }
+      row[s] = study.PrecisionAtK(plain, top_k);
+    }
+    if (!ok) continue;
+    for (int s = 0; s < 3; ++s) result.precision[s] += row[s];
+    ++result.counted;
+  }
+  if (result.counted > 0) {
+    for (double& p : result.precision) {
+      p /= static_cast<double>(result.counted);
+    }
+  }
+  return result;
+}
+
 }  // namespace teamdisc

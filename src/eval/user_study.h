@@ -9,7 +9,9 @@
 
 #include "common/random.h"
 #include "core/team.h"
+#include "core/team_finder.h"
 #include "datagen/synthetic_dblp.h"
+#include "eval/oracle_cache.h"
 
 namespace teamdisc {
 
@@ -54,5 +56,25 @@ class UserStudy {
   /// percentile_[v] in [0, 1]: rank of author v's latent ability.
   std::vector<double> percentile_;
 };
+
+/// \brief Mean precision@k of CC / CA-CC / SA-CA-CC over one project set
+/// (the Figure 4 protocol).
+struct PrecisionStudyResult {
+  /// Mean panel precision@k, indexed like RankingStrategy (kCC, kCACC,
+  /// kSACACC).
+  double precision[3] = {0.0, 0.0, 0.0};
+  /// Projects every strategy solved (failures skip the whole project so the
+  /// three columns stay comparable).
+  uint32_t counted = 0;
+};
+
+/// Scores each strategy's top-k teams for every project with `study`'s
+/// panel. All three greedy finders are drawn from `cache` (shared authority
+/// transforms + indexes, built at most once) instead of constructing
+/// per-strategy indexes of their own.
+Result<PrecisionStudyResult> RunPrecisionStudy(
+    const UserStudy& study, OracleCache& cache,
+    const std::vector<Project>& projects, const ObjectiveParams& params,
+    uint32_t top_k);
 
 }  // namespace teamdisc

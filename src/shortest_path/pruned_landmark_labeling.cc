@@ -21,11 +21,8 @@ namespace {
 /// Effective worker count: explicit option, else TEAMDISC_PLL_THREADS, else
 /// the hardware concurrency.
 size_t ResolveBuildThreads(const PllBuildOptions& options) {
-  if (options.num_threads != 0) return options.num_threads;
-  uint64_t env = GetEnvOr("TEAMDISC_PLL_THREADS", uint64_t{0});
-  if (env != 0) return static_cast<size_t>(env);
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw != 0 ? hw : 1;
+  return ThreadPool::ResolveThreadCount(options.num_threads,
+                                        "TEAMDISC_PLL_THREADS");
 }
 
 }  // namespace

@@ -297,6 +297,81 @@ TEST(GreedyFinderTest, ExternalOracleValidation) {
                    .ok());
 }
 
+void ExpectSameTeams(const std::vector<ScoredTeam>& a,
+                     const std::vector<ScoredTeam>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("rank " + std::to_string(i));
+    EXPECT_EQ(a[i].team.root, b[i].team.root);
+    EXPECT_EQ(a[i].team.nodes, b[i].team.nodes);
+    EXPECT_EQ(a[i].proxy_cost, b[i].proxy_cost);  // bit-identical
+    EXPECT_EQ(a[i].objective, b[i].objective);
+  }
+}
+
+TEST(GreedyFinderTest, ParallelRootSweepIsBitIdentical) {
+  // The parallel sweep merges per-strand candidates back in root order, so
+  // the kept list — costs, tie-breaks, and ranking — must match the
+  // sequential sweep exactly at any thread count.
+  for (auto strategy : {RankingStrategy::kCC, RankingStrategy::kCACC,
+                        RankingStrategy::kSACACC}) {
+    SCOPED_TRACE(std::string(RankingStrategyToString(strategy)));
+    for (uint32_t num_skills : {2u, 4u}) {
+      ExpertNetwork net = RandomSmallNetwork(60, num_skills, 7 + num_skills);
+      Project project;
+      for (uint32_t s = 0; s < num_skills; ++s) {
+        project.push_back(net.skills().Find("s" + std::to_string(s)));
+      }
+      FinderOptions sequential = Options(strategy, 0.6, 0.6, 5);
+      sequential.oracle = OracleKind::kDijkstra;
+      sequential.num_threads = 1;
+      FinderOptions parallel = sequential;
+      parallel.num_threads = 4;
+      auto base = GreedyTeamFinder::Make(net, sequential).ValueOrDie();
+      auto fan = GreedyTeamFinder::Make(net, parallel).ValueOrDie();
+      ExpectSameTeams(base->FindTeams(project).ValueOrDie(),
+                      fan->FindTeams(project).ValueOrDie());
+    }
+  }
+}
+
+TEST(GreedyFinderTest, ParallelRootSweepHonorsMaxRootsAndPolicies) {
+  ExpertNetwork net = RandomSmallNetwork(60, 3, 11);
+  Project project = {net.skills().Find("s0"), net.skills().Find("s1"),
+                     net.skills().Find("s2")};
+  for (auto policy :
+       {RootSkillPolicy::kZeroCost, RootSkillPolicy::kFormulaZeroDist}) {
+    FinderOptions sequential = Options(RankingStrategy::kSACACC, 0.6, 0.6, 3);
+    sequential.oracle = OracleKind::kDijkstra;
+    sequential.root_skill_policy = policy;
+    sequential.max_roots = 17;  // strided sweep must shard identically
+    sequential.num_threads = 1;
+    FinderOptions parallel = sequential;
+    parallel.num_threads = 3;
+    auto base = GreedyTeamFinder::Make(net, sequential).ValueOrDie();
+    auto fan = GreedyTeamFinder::Make(net, parallel).ValueOrDie();
+    ExpectSameTeams(base->FindTeams(project).ValueOrDie(),
+                    fan->FindTeams(project).ValueOrDie());
+  }
+}
+
+TEST(GreedyFinderTest, BreakdownMatchesRecomputedObjective) {
+  ExpertNetwork net = MediumNetwork();
+  auto finder = GreedyTeamFinder::Make(net, Options(RankingStrategy::kSACACC))
+                    .ValueOrDie();
+  Project project = {net.skills().Find("a"), net.skills().Find("d")};
+  auto teams = finder->FindTeams(project).ValueOrDie();
+  ASSERT_FALSE(teams.empty());
+  ASSERT_TRUE(teams[0].has_breakdown);
+  ObjectiveParams params{.gamma = 0.6, .lambda = 0.6};
+  ObjectiveBreakdown expect = ComputeBreakdown(net, teams[0].team, params);
+  EXPECT_EQ(teams[0].breakdown.sa_ca_cc, expect.sa_ca_cc);
+  EXPECT_EQ(teams[0].objective, expect.sa_ca_cc);
+  EXPECT_EQ(teams[0].objective,
+            EvaluateObjective(net, teams[0].team, RankingStrategy::kSACACC,
+                              params));
+}
+
 TEST(MakeProjectTest, ResolvesNames) {
   ExpertNetwork net = Figure1Network();
   Project p = MakeProject(net, {"SN", "TM"}).ValueOrDie();

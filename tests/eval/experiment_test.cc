@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "eval/grid_sweep.h"
+
 namespace teamdisc {
 namespace {
 
@@ -64,6 +66,33 @@ TEST_F(ExperimentContextTest, FindersSolveSampledProjects) {
     auto teams = finder->FindTeams(p);
     ASSERT_TRUE(teams.ok()) << teams.status().ToString();
     EXPECT_TRUE(teams.ValueOrDie()[0].team.Covers(p));
+  }
+}
+
+TEST_F(ExperimentContextTest, GridSweepOverSharedCacheBuildsIndexesOnce) {
+  // The whole-corpus throughput contract: a grid sweep drawing from the
+  // context's shared cache builds one PLL index per gamma row — and none at
+  // all when re-run — while producing bit-identical cells at any thread
+  // count.
+  auto projects = ctx_->SampleProjects(4, 2).ValueOrDie();
+  GridSweepOptions options;
+  options.grid_points = 3;
+  options.cache = &ctx_->oracle_cache();
+  options.num_threads = 1;
+  uint64_t misses_before = ctx_->oracle_cache().stats().misses;
+  auto sequential = RunGridSweep(ctx_->network(), projects, options).ValueOrDie();
+  EXPECT_EQ(ctx_->oracle_cache().stats().misses - misses_before,
+            uint64_t{options.grid_points});
+  options.num_threads = 4;
+  auto parallel = RunGridSweep(ctx_->network(), projects, options).ValueOrDie();
+  // Re-sweeping (even fanned out) touches the cache only for hits.
+  EXPECT_EQ(ctx_->oracle_cache().stats().misses - misses_before,
+            uint64_t{options.grid_points});
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].solved, parallel[i].solved);
+    EXPECT_EQ(sequential[i].breakdown.sa_ca_cc, parallel[i].breakdown.sa_ca_cc);
+    EXPECT_EQ(sequential[i].metrics.team_size, parallel[i].metrics.team_size);
   }
 }
 

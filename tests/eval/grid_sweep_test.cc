@@ -84,6 +84,92 @@ TEST_F(GridSweepTest, ErrorPaths) {
   bad.grid_points = 1;
   EXPECT_FALSE(RunGridSweep(net_, projects_, bad).ok());
   EXPECT_FALSE(RunGridSweep(net_, {}, options_).ok());
+  // A shared cache built over a different network is rejected, even one
+  // whose graph happens to have the same node count.
+  ExpertNetwork other = MediumNetwork();
+  OracleCache foreign(other);
+  GridSweepOptions mismatched = options_;
+  mismatched.cache = &foreign;
+  EXPECT_FALSE(RunGridSweep(net_, projects_, mismatched).ok());
+}
+
+/// Field-by-field exact equality (doubles compared bit-for-bit: the sweep
+/// promises identical accumulation order at any thread count).
+void ExpectCellsIdentical(const std::vector<GridCell>& a,
+                          const std::vector<GridCell>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_EQ(a[i].gamma, b[i].gamma);
+    EXPECT_EQ(a[i].lambda, b[i].lambda);
+    EXPECT_EQ(a[i].solved, b[i].solved);
+    EXPECT_EQ(a[i].breakdown.cc, b[i].breakdown.cc);
+    EXPECT_EQ(a[i].breakdown.ca, b[i].breakdown.ca);
+    EXPECT_EQ(a[i].breakdown.sa, b[i].breakdown.sa);
+    EXPECT_EQ(a[i].breakdown.ca_cc, b[i].breakdown.ca_cc);
+    EXPECT_EQ(a[i].breakdown.sa_ca_cc, b[i].breakdown.sa_ca_cc);
+    EXPECT_EQ(a[i].metrics.team_size, b[i].metrics.team_size);
+    EXPECT_EQ(a[i].metrics.avg_skill_holder_hindex,
+              b[i].metrics.avg_skill_holder_hindex);
+    EXPECT_EQ(a[i].metrics.avg_connector_hindex,
+              b[i].metrics.avg_connector_hindex);
+    EXPECT_EQ(a[i].metrics.avg_num_publications,
+              b[i].metrics.avg_num_publications);
+    EXPECT_EQ(a[i].metrics.team_hindex, b[i].metrics.team_hindex);
+    EXPECT_EQ(a[i].metrics.num_connectors, b[i].metrics.num_connectors);
+    EXPECT_EQ(a[i].metrics.num_skill_holders, b[i].metrics.num_skill_holders);
+    EXPECT_EQ(a[i].metrics.diameter, b[i].metrics.diameter);
+  }
+}
+
+TEST_F(GridSweepTest, ParallelSweepIsBitIdentical) {
+  GridSweepOptions sequential = options_;
+  sequential.num_threads = 1;
+  GridSweepOptions parallel = options_;
+  parallel.num_threads = 4;
+  auto base = RunGridSweep(net_, projects_, sequential).ValueOrDie();
+  auto fan = RunGridSweep(net_, projects_, parallel).ValueOrDie();
+  ExpectCellsIdentical(base, fan);
+}
+
+TEST_F(GridSweepTest, ParallelSweepCountsInfeasibleProjectsIdentically) {
+  // An isolated expert holds the only "z": every {*, z} project is
+  // infeasible (no root reaches both a z-holder and anything else), so the
+  // solved counter must stay below the project count — identically at every
+  // thread count.
+  ExpertNetworkBuilder b;
+  b.AddExpert("e0", {"a"}, 2.0, 4);
+  b.AddExpert("e1", {"b"}, 8.0, 20);
+  b.AddExpert("e2", {"a", "b"}, 4.0, 10);
+  b.AddExpert("isolated", {"z"}, 1.0, 1);
+  TD_CHECK_OK(b.AddEdge(0, 1, 0.4));
+  TD_CHECK_OK(b.AddEdge(1, 2, 0.3));
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  std::vector<Project> projects = {
+      {net.skills().Find("a"), net.skills().Find("b")},
+      {net.skills().Find("a"), net.skills().Find("z")}};
+  GridSweepOptions sequential = options_;
+  sequential.num_threads = 1;
+  GridSweepOptions parallel = options_;
+  parallel.num_threads = 4;
+  auto base = RunGridSweep(net, projects, sequential).ValueOrDie();
+  auto fan = RunGridSweep(net, projects, parallel).ValueOrDie();
+  for (const GridCell& cell : base) EXPECT_EQ(cell.solved, 1u);
+  ExpectCellsIdentical(base, fan);
+}
+
+TEST_F(GridSweepTest, SharedCacheBuildsEachGammaIndexExactlyOnce) {
+  OracleCache cache(net_);
+  GridSweepOptions opts = options_;
+  opts.cache = &cache;
+  opts.num_threads = 4;
+  auto first = RunGridSweep(net_, projects_, opts).ValueOrDie();
+  // One index per gamma row, despite grid_points x projects queries.
+  EXPECT_EQ(cache.stats().misses, uint64_t{options_.grid_points});
+  auto second = RunGridSweep(net_, projects_, opts).ValueOrDie();
+  EXPECT_EQ(cache.stats().misses, uint64_t{options_.grid_points});
+  EXPECT_EQ(cache.stats().hits, uint64_t{options_.grid_points});
+  ExpectCellsIdentical(first, second);
 }
 
 }  // namespace

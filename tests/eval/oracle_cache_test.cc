@@ -1,0 +1,124 @@
+#include "eval/oracle_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "../core/test_networks.h"
+#include "common/thread_pool.h"
+
+namespace teamdisc {
+namespace {
+
+class OracleCacheTest : public testing::Test {
+ protected:
+  OracleCacheTest() : net_(MediumNetwork()), cache_(net_) {}
+  ExpertNetwork net_;
+  OracleCache cache_;
+};
+
+TEST_F(OracleCacheTest, BuildsOncePerKey) {
+  auto first = cache_.Get(RankingStrategy::kSACACC, 0.6,
+                          OracleKind::kPrunedLandmarkLabeling);
+  ASSERT_TRUE(first.ok());
+  auto second = cache_.Get(RankingStrategy::kSACACC, 0.6,
+                           OracleKind::kPrunedLandmarkLabeling);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.ValueOrDie().oracle, second.ValueOrDie().oracle);
+  EXPECT_EQ(first.ValueOrDie().transformed, second.ValueOrDie().transformed);
+  EXPECT_EQ(cache_.stats().misses, 1u);
+  EXPECT_EQ(cache_.stats().hits, 1u);
+}
+
+TEST_F(OracleCacheTest, TransformViewMatchesGamma) {
+  auto view = cache_.Get(RankingStrategy::kCACC, 0.3, OracleKind::kDijkstra)
+                  .ValueOrDie();
+  ASSERT_NE(view.transformed, nullptr);
+  EXPECT_DOUBLE_EQ(view.transformed->gamma, 0.3);
+  EXPECT_EQ(&view.oracle->graph(), &view.transformed->graph);
+}
+
+TEST_F(OracleCacheTest, CcIgnoresGammaAndHasNoTransform) {
+  auto a = cache_.Get(RankingStrategy::kCC, 0.2, OracleKind::kDijkstra)
+               .ValueOrDie();
+  auto b = cache_.Get(RankingStrategy::kCC, 0.9, OracleKind::kDijkstra)
+               .ValueOrDie();
+  EXPECT_EQ(a.oracle, b.oracle);
+  EXPECT_EQ(a.transformed, nullptr);
+  EXPECT_EQ(&a.oracle->graph(), &net_.graph());
+  EXPECT_EQ(cache_.stats().misses, 1u);
+}
+
+TEST_F(OracleCacheTest, CaCcAndSaCaCcShareTheTransformEntry) {
+  auto a = cache_.Get(RankingStrategy::kCACC, 0.6, OracleKind::kDijkstra)
+               .ValueOrDie();
+  auto b = cache_.Get(RankingStrategy::kSACACC, 0.6, OracleKind::kDijkstra)
+               .ValueOrDie();
+  EXPECT_EQ(a.oracle, b.oracle);
+  EXPECT_EQ(cache_.stats().misses, 1u);
+}
+
+TEST_F(OracleCacheTest, DistinctGammasAndKindsGetDistinctEntries) {
+  cache_.Get(RankingStrategy::kSACACC, 0.2, OracleKind::kDijkstra).ValueOrDie();
+  cache_.Get(RankingStrategy::kSACACC, 0.8, OracleKind::kDijkstra).ValueOrDie();
+  cache_.Get(RankingStrategy::kSACACC, 0.8, OracleKind::kPrunedLandmarkLabeling)
+      .ValueOrDie();
+  EXPECT_EQ(cache_.stats().misses, 3u);
+  EXPECT_EQ(cache_.stats().hits, 0u);
+}
+
+TEST_F(OracleCacheTest, InvalidGammaFails) {
+  EXPECT_FALSE(
+      cache_.Get(RankingStrategy::kSACACC, -0.1, OracleKind::kDijkstra).ok());
+  EXPECT_FALSE(
+      cache_.Get(RankingStrategy::kSACACC, 1.1, OracleKind::kDijkstra).ok());
+  // Rejected before any entry is created.
+  EXPECT_EQ(cache_.stats().misses, 0u);
+}
+
+TEST_F(OracleCacheTest, ConcurrentGetBuildsExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> failures{0};
+  const DistanceOracle* seen[16] = {};
+  pool.ParallelFor(16, [&](size_t i) {
+    auto view = cache_.Get(RankingStrategy::kSACACC, 0.5,
+                           OracleKind::kPrunedLandmarkLabeling);
+    if (!view.ok()) {
+      ++failures;
+      return;
+    }
+    seen[i] = view.ValueOrDie().oracle;
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache_.stats().misses, 1u);
+  EXPECT_EQ(cache_.stats().hits, 15u);
+  for (int i = 1; i < 16; ++i) EXPECT_EQ(seen[i], seen[0]);
+}
+
+TEST_F(OracleCacheTest, MakeFinderMatchesSelfBuiltFinder) {
+  FinderOptions options;
+  options.strategy = RankingStrategy::kSACACC;
+  options.params.gamma = 0.6;
+  options.params.lambda = 0.6;
+  options.oracle = OracleKind::kDijkstra;
+  auto cached = cache_.MakeFinder(options).ValueOrDie();
+  auto owned = GreedyTeamFinder::Make(net_, options).ValueOrDie();
+  Project project = {net_.skills().Find("a"), net_.skills().Find("d")};
+  auto from_cache = cached->FindTeams(project).ValueOrDie();
+  auto from_own = owned->FindTeams(project).ValueOrDie();
+  ASSERT_EQ(from_cache.size(), from_own.size());
+  for (size_t i = 0; i < from_cache.size(); ++i) {
+    EXPECT_EQ(from_cache[i].team.nodes, from_own[i].team.nodes);
+    EXPECT_EQ(from_cache[i].proxy_cost, from_own[i].proxy_cost);
+    EXPECT_EQ(from_cache[i].objective, from_own[i].objective);
+  }
+}
+
+TEST_F(OracleCacheTest, MakeFinderRejectsInvalidOptions) {
+  FinderOptions options;
+  options.params.gamma = 2.0;
+  EXPECT_FALSE(cache_.MakeFinder(options).ok());
+}
+
+}  // namespace
+}  // namespace teamdisc
