@@ -1,0 +1,108 @@
+// Serving-layer benchmarks (google-benchmark): closed-loop request batches
+// against a snapshot-backed TeamDiscoveryService.
+//
+//   BM_ServeBatch/<w>        - a fixed 64-request mix over the snapshot's
+//                              pre-built gammas, fanned over <w> workers;
+//                              reports qps as a counter. 0 index builds — the
+//                              serving steady state.
+//   BM_ColdOpenFirstRequest  - Open() + one request per iteration: the
+//                              process-restart path (manifest read, network
+//                              load + fingerprint check, one index artifact
+//                              deserialized from disk).
+//
+// Request results are bit-identical at any worker count (asserted by the
+// service tests); these benches only measure the wall-time side.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/env.h"
+#include "eval/experiment.h"
+#include "service/team_discovery_service.h"
+
+namespace teamdisc {
+namespace {
+
+constexpr double kGammas[] = {0.25, 0.5, 0.75};
+
+/// Builds (once) a snapshot of the ci-scale synthetic corpus in the system
+/// temp directory and returns its path.
+const std::string& SnapshotDir() {
+  static const std::string* dir = [] {
+    ExperimentScale scale = ResolveScale();
+    if (scale.label == "ci") {
+      scale.num_experts = GetEnvOr("TEAMDISC_RUNTIME_NODES", uint64_t{4000});
+      scale.target_edges = scale.num_experts * 3;
+    }
+    auto ctx = ExperimentContext::Make(scale).ValueOrDie();
+    auto path = std::filesystem::temp_directory_path() /
+                ("teamdisc_serve_bench_" + scale.label);
+    std::filesystem::remove_all(path);
+    BuildSnapshotOptions options;
+    options.gammas.assign(std::begin(kGammas), std::end(kGammas));
+    BuildSnapshot(ctx->network(), path.string(), options).ValueOrDie();
+    return new std::string(path.string());
+  }();
+  return *dir;
+}
+
+std::vector<TeamRequest> RequestMix(const TeamDiscoveryService& svc,
+                                    size_t count) {
+  RequestMixOptions mix;
+  mix.count = count;
+  mix.seed = 4242;
+  return MakeRequestMix(svc.network(), svc.manifest(), mix);
+}
+
+void BM_ServeBatch(benchmark::State& state) {
+  static auto* svc =
+      TeamDiscoveryService::Open({.snapshot_dir = SnapshotDir()})
+          .ValueOrDie()
+          .release();
+  static const auto* requests =
+      new std::vector<TeamRequest>(RequestMix(*svc, 64));
+  const size_t workers = static_cast<size_t>(state.range(0));
+  double qps = 0.0;
+  for (auto _ : state) {
+    auto report = svc->ServeBatch(*requests, workers);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    qps = report.ValueOrDie().qps;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["qps"] = qps;
+  state.counters["index_builds"] =
+      static_cast<double>(svc->cache_stats().builds);
+}
+BENCHMARK(BM_ServeBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ColdOpenFirstRequest(benchmark::State& state) {
+  const std::string& dir = SnapshotDir();
+  TeamRequest request;
+  {
+    auto probe = TeamDiscoveryService::Open({.snapshot_dir = dir}).ValueOrDie();
+    request = RequestMix(*probe, 1)[0];
+  }
+  for (auto _ : state) {
+    auto svc = TeamDiscoveryService::Open({.snapshot_dir = dir}).ValueOrDie();
+    auto teams = svc->FindTeam(request);
+    if (!teams.ok() && !teams.status().IsInfeasible()) {
+      state.SkipWithError(teams.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(teams);
+  }
+}
+BENCHMARK(BM_ColdOpenFirstRequest)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace teamdisc
+
+BENCHMARK_MAIN();

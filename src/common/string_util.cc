@@ -103,6 +103,27 @@ Result<int64_t> ParseInt64(std::string_view input) {
   return negative ? static_cast<int64_t>(-magnitude) : static_cast<int64_t>(magnitude);
 }
 
+Result<uint64_t> ParseHex64(std::string_view input) {
+  if (input.empty()) return Status::InvalidArgument("empty hex value");
+  uint64_t value = 0;
+  for (char c : input) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument("malformed hex value '" +
+                                     std::string(input) + "'");
+    }
+    if ((value >> 60) != 0) return Status::OutOfRange("hex value overflows u64");
+    value = value * 16 + static_cast<uint64_t>(digit);
+  }
+  return value;
+}
+
 Result<double> ParseDouble(std::string_view input) {
   input = StripWhitespace(input);
   if (input.empty()) return Status::InvalidArgument("empty double");

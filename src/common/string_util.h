@@ -35,6 +35,11 @@ Result<uint64_t> ParseUint64(std::string_view input);
 /// Parses a signed integer.
 Result<int64_t> ParseInt64(std::string_view input);
 
+/// Parses an unsigned 64-bit value from bare hex digits (no 0x prefix, no
+/// sign, no whitespace); rejects empty input, non-hex characters, and
+/// overflow. Used for the fingerprint fields of index/snapshot artifacts.
+Result<uint64_t> ParseHex64(std::string_view input);
+
 /// Parses a double; rejects trailing garbage, NaN and infinities.
 Result<double> ParseDouble(std::string_view input);
 

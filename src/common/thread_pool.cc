@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
-#include "common/env.h"
+#include "common/logging.h"
+#include "common/string_util.h"
 
 namespace teamdisc {
 
@@ -48,13 +50,36 @@ size_t ThreadPool::DefaultThreadCount() {
 }
 
 size_t ThreadPool::ResolveThreadCount(size_t requested, const char* env_var) {
-  if (requested != 0) return requested;
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const size_t hw = hw_raw != 0 ? hw_raw : 1;
+  // Oversubscription beyond a few workers per core only adds contention; an
+  // absurd value (a typo'd 10^9) would otherwise try to spawn that many
+  // threads and take the process down.
+  const size_t max_sane = hw * kMaxThreadsPerCore;
+  const auto clamp = [&](size_t value, const char* origin) {
+    if (value <= max_sane) return value;
+    TD_LOG(Warning) << origin << " thread count " << value << " exceeds "
+                    << kMaxThreadsPerCore << "x the hardware concurrency ("
+                    << hw << "); clamping to " << max_sane;
+    return max_sane;
+  };
+  if (requested != 0) return clamp(requested, "requested");
   if (env_var != nullptr) {
-    uint64_t env = GetEnvOr(env_var, uint64_t{0});
-    if (env != 0) return static_cast<size_t>(env);
+    const char* raw = std::getenv(env_var);
+    if (raw != nullptr) {
+      auto parsed = ParseUint64(raw);
+      if (!parsed.ok()) {
+        // A malformed value used to be silently treated as unset — a typo'd
+        // TEAMDISC_PLL_THREADS=1O ran on every core with no diagnostic.
+        TD_LOG(Warning) << env_var << "='" << raw
+                        << "' is not a valid thread count ("
+                        << parsed.status().ToString() << "); using the default";
+      } else if (parsed.ValueOrDie() != 0) {
+        return clamp(static_cast<size_t>(parsed.ValueOrDie()), env_var);
+      }
+    }
   }
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw != 0 ? hw : 1;
+  return hw;
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {

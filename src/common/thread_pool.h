@@ -39,11 +39,18 @@ class ThreadPool {
   /// Hardware concurrency minus one, at least 1.
   static size_t DefaultThreadCount();
 
+  /// Hard ceiling on resolved thread counts, as a multiple of the hardware
+  /// concurrency: more workers per core than this only adds contention.
+  static constexpr size_t kMaxThreadsPerCore = 4;
+
   /// Effective worker count for a parallel subsystem: `requested` when
   /// non-zero, else the env var named `env_var` (when set, non-zero, and
   /// env_var itself non-null), else the hardware concurrency (at least 1).
   /// The PLL builder resolves TEAMDISC_PLL_THREADS and the eval layer
-  /// TEAMDISC_EVAL_THREADS this way.
+  /// TEAMDISC_EVAL_THREADS this way. A malformed env value logs a warning
+  /// and falls back to the default (it is never silently treated as 0), and
+  /// any resolved count is clamped — with a warning — to kMaxThreadsPerCore
+  /// x hardware_concurrency so a typo'd 10^9 cannot spawn 10^9 threads.
   static size_t ResolveThreadCount(size_t requested, const char* env_var);
 
   /// Runs fn(i) for i in [0, n), distributing over the pool ("parallel for").

@@ -55,6 +55,14 @@ class GreedyTeamFinder final : public TeamFinder {
   /// The oracle used for DIST (exposed for benchmarks/diagnostics).
   const DistanceOracle& oracle() const { return *oracle_; }
 
+  /// Takes shared ownership of the external oracle this finder was wired to
+  /// via MakeWithExternalOracle, so a cache that might evict the index (and
+  /// everything aliased to its entry, e.g. the transformed graph) cannot
+  /// free it while this finder is alive. No-op semantics otherwise.
+  void RetainOracle(std::shared_ptr<const DistanceOracle> oracle) {
+    oracle_pin_ = std::move(oracle);
+  }
+
   /// The node count of the search graph — used to sanity-check external
   /// oracles.
   NodeId num_search_nodes() const { return net_.num_experts(); }
@@ -90,6 +98,8 @@ class GreedyTeamFinder final : public TeamFinder {
   /// Non-null iff the finder owns its oracle (Make); MakeWithExternalOracle
   /// leaves this empty and only sets oracle_.
   std::unique_ptr<DistanceOracle> owned_oracle_;
+  /// Optional shared ownership of an external oracle (see RetainOracle).
+  std::shared_ptr<const DistanceOracle> oracle_pin_;
   /// Oracle over net_.graph() (CC) or the transformed graph (others).
   const DistanceOracle* oracle_ = nullptr;
 };

@@ -17,10 +17,12 @@ std::string_view RankingStrategyToString(RankingStrategy strategy) {
 }
 
 Status ObjectiveParams::Validate() const {
-  if (gamma < 0.0 || gamma > 1.0) {
+  // Negated >= / <= form so NaN (which fails every comparison) is rejected
+  // too, instead of flowing into std::lround and the gamma-keyed caches.
+  if (!(gamma >= 0.0 && gamma <= 1.0)) {
     return Status::InvalidArgument(StrFormat("gamma %f outside [0,1]", gamma));
   }
-  if (lambda < 0.0 || lambda > 1.0) {
+  if (!(lambda >= 0.0 && lambda <= 1.0)) {
     return Status::InvalidArgument(StrFormat("lambda %f outside [0,1]", lambda));
   }
   return Status::OK();

@@ -126,10 +126,17 @@ void ComputeHypervolumeContributions(std::vector<ParetoTeam>& front) {
   }
 }
 
-Result<std::vector<ParetoTeam>> DiscoverParetoTeams(const ExpertNetwork& net,
-                                                    const Project& project,
-                                                    const ParetoOptions& options) {
+Result<std::vector<ParetoTeam>> DiscoverParetoTeams(
+    const ExpertNetwork& net, const Project& project,
+    const ParetoOptions& options, const GreedyFinderFactory& finder_factory,
+    const DistanceOracle* random_oracle) {
   TD_RETURN_IF_ERROR(options.Validate());
+  const GreedyFinderFactory make_finder =
+      finder_factory != nullptr
+          ? finder_factory
+          : [&net](FinderOptions fo) {
+              return GreedyTeamFinder::Make(net, std::move(fo));
+            };
   std::vector<ParetoTeam> pool;
   std::unordered_set<std::string> seen;
   ObjectiveParams probe_params;  // reused for breakdowns
@@ -151,7 +158,7 @@ Result<std::vector<ParetoTeam>> DiscoverParetoTeams(const ExpertNetwork& net,
     cc_options.strategy = RankingStrategy::kCC;
     cc_options.top_k = options.teams_per_cell;
     cc_options.oracle = options.oracle;
-    TD_ASSIGN_OR_RETURN(auto cc_finder, GreedyTeamFinder::Make(net, cc_options));
+    TD_ASSIGN_OR_RETURN(auto cc_finder, make_finder(cc_options));
     auto teams = cc_finder->FindTeams(project);
     if (!teams.ok() && !teams.status().IsInfeasible()) return teams.status();
     if (teams.ok()) {
@@ -166,7 +173,7 @@ Result<std::vector<ParetoTeam>> DiscoverParetoTeams(const ExpertNetwork& net,
       fo.params.lambda = static_cast<double>(li) / (options.grid_points - 1);
       fo.top_k = options.teams_per_cell;
       fo.oracle = options.oracle;
-      TD_ASSIGN_OR_RETURN(auto finder, GreedyTeamFinder::Make(net, fo));
+      TD_ASSIGN_OR_RETURN(auto finder, make_finder(fo));
       auto teams = finder->FindTeams(project);
       if (!teams.ok()) {
         if (teams.status().IsInfeasible()) continue;
@@ -178,13 +185,17 @@ Result<std::vector<ParetoTeam>> DiscoverParetoTeams(const ExpertNetwork& net,
 
   // Phase 1b: random teams for diversity.
   if (options.random_teams > 0) {
-    TD_ASSIGN_OR_RETURN(auto oracle, MakeOracle(net.graph(), options.oracle));
+    std::unique_ptr<DistanceOracle> owned_oracle;
+    if (random_oracle == nullptr) {
+      TD_ASSIGN_OR_RETURN(owned_oracle, MakeOracle(net.graph(), options.oracle));
+      random_oracle = owned_oracle.get();
+    }
     RandomFinderOptions ro;
     ro.num_samples = options.random_teams;
     ro.top_k = std::max<uint32_t>(options.random_teams / 10, 1);
     ro.seed = options.seed;
     TD_ASSIGN_OR_RETURN(auto random_finder,
-                        RandomTeamFinder::Make(net, *oracle, ro));
+                        RandomTeamFinder::Make(net, *random_oracle, ro));
     auto teams = random_finder->FindTeams(project);
     if (!teams.ok() && !teams.status().IsInfeasible()) return teams.status();
     if (teams.ok()) {

@@ -8,12 +8,15 @@
 // contribution w.r.t. the pool's nadir point).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/team_finder.h"
 
 namespace teamdisc {
+
+class GreedyTeamFinder;
 
 /// \brief A team with its objective vector.
 struct ParetoTeam {
@@ -64,11 +67,24 @@ void ComputeHypervolumeContributions(std::vector<ParetoTeam>& front);
 /// objective vectors keep only the first).
 std::vector<ParetoTeam> NonDominatedFilter(std::vector<ParetoTeam> pool);
 
+/// Constructs the greedy finders of the candidate-generation phase. The
+/// default factory is GreedyTeamFinder::Make over the network — which
+/// builds a fresh transform + index per grid cell. A serving or evaluation
+/// layer injects a factory backed by its shared index cache so a Pareto
+/// query reuses (and never rebuilds) existing indexes.
+using GreedyFinderFactory =
+    std::function<Result<std::unique_ptr<GreedyTeamFinder>>(FinderOptions)>;
+
 /// \brief Discovers a Pareto front of teams for `project`.
 ///
 /// Returns the non-dominated teams sorted by descending interestingness.
-Result<std::vector<ParetoTeam>> DiscoverParetoTeams(const ExpertNetwork& net,
-                                                    const Project& project,
-                                                    const ParetoOptions& options);
+/// `finder_factory` (when set) supplies the per-cell greedy finders, and
+/// `random_oracle` (when non-null) is used for the random phase instead of
+/// building a fresh base-graph oracle.
+Result<std::vector<ParetoTeam>> DiscoverParetoTeams(
+    const ExpertNetwork& net, const Project& project,
+    const ParetoOptions& options,
+    const GreedyFinderFactory& finder_factory = nullptr,
+    const DistanceOracle* random_oracle = nullptr);
 
 }  // namespace teamdisc

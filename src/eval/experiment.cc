@@ -61,7 +61,10 @@ Result<const DistanceOracle*> ExperimentContext::BaseOracle() {
   TD_ASSIGN_OR_RETURN(OracleCache::View view,
                       oracle_cache_->Get(RankingStrategy::kCC, 0.0,
                                          OracleKind::kPrunedLandmarkLabeling));
-  return view.oracle;
+  // The context's cache is unbounded (never evicts), so pinning the view in
+  // a member just documents the raw pointer's lifetime.
+  base_view_ = view;
+  return base_view_.oracle.get();
 }
 
 Result<std::vector<ScoredTeam>> ExperimentContext::RunRandom(

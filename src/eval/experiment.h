@@ -69,6 +69,8 @@ class ExperimentContext {
   std::unique_ptr<ProjectGenerator> projects_;
   /// All index building routes through here (one build per (gamma, kind)).
   std::unique_ptr<OracleCache> oracle_cache_;
+  /// Pins the base-graph PLL view handed out by BaseOracle().
+  OracleCache::View base_view_;
   // Finder cache keyed by (strategy, gamma in basis points); CA-CC and
   // SA-CA-CC finders of equal gamma share one PLL index via oracle_cache_.
   std::map<std::pair<int, int>, std::unique_ptr<GreedyTeamFinder>> finders_;

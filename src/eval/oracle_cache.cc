@@ -1,5 +1,6 @@
 #include "eval/oracle_cache.h"
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace teamdisc {
@@ -7,17 +8,32 @@ namespace teamdisc {
 Result<OracleCache::View> OracleCache::Get(RankingStrategy strategy,
                                            double gamma, OracleKind kind) {
   const bool needs_transform = strategy != RankingStrategy::kCC;
-  if (needs_transform && (gamma < 0.0 || gamma > 1.0)) {
-    return Status::InvalidArgument(StrFormat("gamma %f outside [0,1]", gamma));
+  // Negated form so NaN fails too: lround(NaN * 10000) in GammaBasisPoints
+  // is undefined behavior, and a huge gamma would overflow the basis-point
+  // key — neither may ever reach the key computation.
+  if (needs_transform && !(std::isfinite(gamma) && gamma >= 0.0 && gamma <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("gamma %f must be finite and within [0,1]", gamma));
   }
-  Key key{needs_transform, needs_transform ? GammaBasisPoints(gamma) : 0,
-          static_cast<int>(kind)};
-  Entry* entry;
+  EntryInfo info;
+  info.transformed = needs_transform;
+  info.gamma_bp = needs_transform ? GammaBasisPoints(gamma) : 0;
+  // The transform is built at the cache's own equality resolution (basis
+  // points), not the raw request gamma: every requester of a bucket then
+  // gets the identical G' regardless of arrival order, and a persisted
+  // artifact always matches the transform a later process rebuilds from
+  // the bucket. (Scoring params keep the caller's exact gamma — only DIST
+  // is quantized.)
+  info.gamma = needs_transform ? info.gamma_bp / 10000.0 : 0.0;
+  info.kind = kind;
+  Key key{info.transformed, info.gamma_bp, static_cast<int>(kind)};
+  std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::unique_ptr<Entry>& slot = entries_[key];
-    if (slot == nullptr) slot = std::make_unique<Entry>();
-    entry = slot.get();
+    std::shared_ptr<Entry>& slot = entries_[key];
+    if (slot == nullptr) slot = std::make_shared<Entry>();
+    entry = slot;
+    entry->last_used = ++lru_clock_;
   }
   // The build runs outside mu_ so distinct indexes build concurrently; the
   // once_flag serializes requesters of this entry (losers block until the
@@ -28,7 +44,7 @@ Result<OracleCache::View> OracleCache::Get(RankingStrategy strategy,
     misses_.fetch_add(1, std::memory_order_relaxed);
     const Graph* search_graph = &net_.graph();
     if (needs_transform) {
-      auto transformed = BuildAuthorityTransform(net_, gamma);
+      auto transformed = BuildAuthorityTransform(net_, info.gamma);
       if (!transformed.ok()) {
         entry->status = transformed.status();
         return;
@@ -37,17 +53,96 @@ Result<OracleCache::View> OracleCache::Get(RankingStrategy strategy,
           std::move(transformed).ValueOrDie());
       search_graph = &entry->transformed->graph;
     }
-    auto oracle = MakeOracle(*search_graph, kind);
-    if (!oracle.ok()) {
-      entry->status = oracle.status();
-      entry->transformed.reset();
-      return;
+    // A persisted artifact satisfies the miss without a build; a loader
+    // failure (stale fingerprint, corrupt file) downgrades to a fresh build
+    // so snapshot rot can never take the cache down.
+    bool loaded = false;
+    if (loader_) {
+      auto from_artifact = loader_(info, *search_graph);
+      if (!from_artifact.ok()) {
+        TD_LOG(Warning) << "oracle artifact load failed ("
+                        << from_artifact.status().ToString()
+                        << "); building fresh";
+      } else if (from_artifact.ValueOrDie() != nullptr) {
+        entry->oracle = std::move(from_artifact).ValueOrDie();
+        loads_.fetch_add(1, std::memory_order_relaxed);
+        loaded = true;
+      }
     }
-    entry->oracle = std::move(oracle).ValueOrDie();
+    if (!loaded) {
+      auto oracle = MakeOracle(*search_graph, kind);
+      if (!oracle.ok()) {
+        entry->status = oracle.status();
+        entry->transformed.reset();
+        return;
+      }
+      entry->oracle = std::move(oracle).ValueOrDie();
+      builds_.fetch_add(1, std::memory_order_relaxed);
+      if (saver_) saver_(info, *entry->oracle);
+    }
+    entry->memory_bytes =
+        entry->oracle->MemoryBytes() +
+        (entry->transformed != nullptr ? entry->transformed->graph.MemoryBytes()
+                                       : 0) +
+        sizeof(Entry);
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->resident = true;
+    resident_bytes_ += entry->memory_bytes;
+    EvictUnderLockExcept(entry.get());
   });
-  if (!built_now) hits_.fetch_add(1, std::memory_order_relaxed);
+  if (!built_now) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    // A hit on an entry that was evicted between map lookup and here simply
+    // serves from the pinned shared_ptr; re-requests after eviction create a
+    // fresh map slot (the evicted one was erased), so no special casing.
+  }
   TD_RETURN_IF_ERROR(entry->status);
-  return View{entry->oracle.get(), entry->transformed.get()};
+  View view;
+  view.oracle =
+      std::shared_ptr<const DistanceOracle>(entry, entry->oracle.get());
+  if (entry->transformed != nullptr) {
+    view.transformed =
+        std::shared_ptr<const TransformedGraph>(entry, entry->transformed.get());
+  }
+  return view;
+}
+
+void OracleCache::EvictUnderLockExcept(const Entry* keep) {
+  if (options_.memory_budget_bytes == 0) return;
+  while (resident_bytes_ > options_.memory_budget_bytes) {
+    // Linear LRU scan: entry counts are small (one per (gamma, kind)), so a
+    // scan beats maintaining an intrusive list across the once_flag dance.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      Entry* e = it->second.get();
+      if (!e->resident || e == keep) continue;
+      if (victim == entries_.end() ||
+          e->last_used < victim->second->last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // only `keep` (or nothing) left
+    resident_bytes_ -= victim->second->memory_bytes;
+    victim->second->resident = false;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    // Outstanding Views still share ownership of the Entry; erasing the map
+    // reference only drops the cache's pin.
+    entries_.erase(victim);
+  }
+}
+
+OracleCache::Stats OracleCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.builds = builds_.load(std::memory_order_relaxed);
+  s.loads = loads_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.resident_bytes = resident_bytes_;
+  }
+  return s;
 }
 
 Result<std::unique_ptr<GreedyTeamFinder>> OracleCache::MakeFinder(
@@ -55,8 +150,12 @@ Result<std::unique_ptr<GreedyTeamFinder>> OracleCache::MakeFinder(
   TD_RETURN_IF_ERROR(options.Validate());
   TD_ASSIGN_OR_RETURN(
       View view, Get(options.strategy, options.params.gamma, options.oracle));
-  return GreedyTeamFinder::MakeWithExternalOracle(net_, std::move(options),
-                                                  *view.oracle);
+  TD_ASSIGN_OR_RETURN(auto finder, GreedyTeamFinder::MakeWithExternalOracle(
+                                       net_, std::move(options), *view.oracle));
+  // The finder co-owns the index: eviction on a budgeted cache drops only
+  // the cache's reference, never the index under a live finder.
+  finder->RetainOracle(std::move(view.oracle));
+  return finder;
 }
 
 }  // namespace teamdisc

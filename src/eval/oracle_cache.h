@@ -1,4 +1,4 @@
-// Shared distance-oracle cache for the evaluation layer.
+// Shared distance-oracle cache for the evaluation and serving layers.
 //
 // Every experiment harness used to rebuild the authority transform G' and a
 // fresh PLL index for each (gamma, oracle) it encountered — the dominant
@@ -7,11 +7,20 @@
 // kind) and guarded by a per-entry std::once_flag, so concurrent requesters
 // of the same index block on the one in-flight build instead of duplicating
 // it, while requesters of different indexes build in parallel.
+//
+// For long-lived serving processes the cache can additionally be given a
+// memory budget: entries are then evicted least-recently-used once the
+// resident index bytes exceed the budget. Views pin their entry through a
+// shared_ptr, so eviction never invalidates an in-flight query — the evicted
+// index is freed when the last outstanding View drops. Artifact hooks let a
+// persistence layer (src/service) satisfy misses from on-disk snapshots and
+// persist freshly built indexes.
 #pragma once
 
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,50 +34,113 @@ namespace teamdisc {
 /// Gamma quantized to basis points — the resolution at which eval caches
 /// (OracleCache, ExperimentContext's finder cache) consider two gammas
 /// equal. Shared so the caches can never alias gammas differently.
+/// Callers must validate gamma first (finite, within [0,1]); std::lround on
+/// NaN or a huge value is undefined, which is why OracleCache::Get rejects
+/// such gammas before ever reaching this.
 inline int GammaBasisPoints(double gamma) {
   return static_cast<int>(std::lround(gamma * 10000));
 }
 
 /// \brief Build-once, share-everywhere oracle registry over one network.
 ///
-/// The network must outlive the cache; views handed out remain valid for the
-/// cache's lifetime (entries are never evicted).
+/// The network must outlive the cache. Views pin the entry they came from,
+/// so they stay valid even if the entry is evicted while they are held; raw
+/// pointers extracted from a View are only safe while the View (or the
+/// entry) lives.
 class OracleCache {
  public:
-  explicit OracleCache(const ExpertNetwork& net) : net_(net) {}
+  /// \brief Cache sizing knobs.
+  struct Options {
+    /// Soft cap on resident index bytes (oracle labels + owned transformed
+    /// graphs). 0 means unbounded — the pre-serving behavior where entries
+    /// are never evicted. When exceeded, least-recently-used entries are
+    /// evicted until the cache fits; the entry being returned is never
+    /// evicted, so a single index larger than the budget still serves.
+    size_t memory_budget_bytes = 0;
+  };
+
+  explicit OracleCache(const ExpertNetwork& net) : OracleCache(net, Options()) {}
+  OracleCache(const ExpertNetwork& net, Options options)
+      : net_(net), options_(options) {}
 
   OracleCache(const OracleCache&) = delete;
   OracleCache& operator=(const OracleCache&) = delete;
 
   /// \brief Shared views of one cached index.
+  ///
+  /// The shared_ptrs alias the cache entry, keeping the oracle (and its
+  /// transformed graph) alive past eviction until the View is dropped.
   struct View {
-    /// Oracle over the strategy's search graph; owned by the cache.
-    const DistanceOracle* oracle = nullptr;
+    /// Oracle over the strategy's search graph.
+    std::shared_ptr<const DistanceOracle> oracle;
     /// The transform it was built over; nullptr for CC (base graph).
-    const TransformedGraph* transformed = nullptr;
+    std::shared_ptr<const TransformedGraph> transformed;
   };
+
+  /// \brief Key parameters of one cache entry, as passed to artifact hooks.
+  struct EntryInfo {
+    bool transformed = false;  ///< true when over the authority transform G'
+    /// Gamma the transform was actually built with — quantized to basis-
+    /// point resolution (gamma_bp / 10000.0), the resolution at which the
+    /// cache considers gammas equal. Meaningful iff transformed.
+    double gamma = 0.0;
+    int gamma_bp = 0;          ///< GammaBasisPoints(request gamma), 0 for base
+    OracleKind kind = OracleKind::kPrunedLandmarkLabeling;
+  };
+
+  /// Artifact loader: returns a prebuilt oracle over `search_graph` for the
+  /// entry, a null pointer when no artifact exists (the cache then builds
+  /// fresh), or an error. A loader error is logged and falls back to a
+  /// fresh build — a stale or corrupt artifact must never take serving down.
+  using ArtifactLoader = std::function<Result<std::unique_ptr<DistanceOracle>>(
+      const EntryInfo& info, const Graph& search_graph)>;
+
+  /// Artifact saver: invoked once after a fresh (not loaded) build succeeds,
+  /// outside the cache lock, so the persistence layer can write the new
+  /// index to its snapshot.
+  using ArtifactSaver =
+      std::function<void(const EntryInfo& info, const DistanceOracle& oracle)>;
+
+  void set_artifact_loader(ArtifactLoader loader) { loader_ = std::move(loader); }
+  void set_artifact_saver(ArtifactSaver saver) { saver_ = std::move(saver); }
 
   /// Returns the oracle for (strategy, gamma, kind), building the authority
   /// transform and the index on first use. CC strategies share one entry per
   /// kind over the base graph (gamma is ignored); CA-CC and SA-CA-CC share
-  /// an entry per (gamma, kind) since both query the same G'. Thread-safe.
+  /// an entry per (gamma, kind) since both query the same G'. The transform
+  /// itself is built at basis-point resolution (EntryInfo::gamma), so every
+  /// gamma in a bucket maps to the identical G' — independent of request
+  /// order — and persisted artifacts keep matching across processes.
+  /// Thread-safe. Fails InvalidArgument when a transform strategy's gamma
+  /// is not finite or outside [0,1].
   Result<View> Get(RankingStrategy strategy, double gamma, OracleKind kind);
 
   /// Convenience: a greedy finder wired to the shared index for
   /// (options.strategy, options.params.gamma, options.oracle) via
   /// GreedyTeamFinder::MakeWithExternalOracle. Cheap once the index is
-  /// cached — suitable for per-worker finders in parallel sweeps.
+  /// cached — suitable for per-worker finders in parallel sweeps. The
+  /// finder co-owns the index (GreedyTeamFinder::RetainOracle), so it stays
+  /// valid even if a budgeted cache evicts the entry while the finder is
+  /// alive.
   Result<std::unique_ptr<GreedyTeamFinder>> MakeFinder(FinderOptions options);
 
-  /// \brief Cache-effectiveness counters (misses == indexes built).
+  /// \brief Cache-effectiveness counters.
+  ///
+  /// misses counts first-requests of an entry (each triggers one load or
+  /// build attempt); builds counts indexes constructed from scratch, loads
+  /// counts indexes deserialized via the artifact loader, evictions counts
+  /// entries dropped under memory pressure. A serving process running purely
+  /// off a snapshot shows builds == 0.
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t builds = 0;
+    uint64_t loads = 0;
+    uint64_t evictions = 0;
+    /// Resident index bytes currently accounted against the budget.
+    size_t resident_bytes = 0;
   };
-  Stats stats() const {
-    return Stats{hits_.load(std::memory_order_relaxed),
-                 misses_.load(std::memory_order_relaxed)};
-  }
+  Stats stats() const;
 
   const ExpertNetwork& network() const { return net_; }
 
@@ -78,15 +150,30 @@ class OracleCache {
     Status status = Status::OK();  ///< build outcome, sticky per entry
     std::unique_ptr<TransformedGraph> transformed;
     std::unique_ptr<DistanceOracle> oracle;
+    size_t memory_bytes = 0;  ///< accounted bytes; 0 until built
+    uint64_t last_used = 0;   ///< LRU stamp; guarded by mu_
+    bool resident = false;    ///< accounted against resident_bytes_; guarded by mu_
   };
   /// (needs transform, gamma in basis points — 0 for base graph, kind).
   using Key = std::tuple<bool, int, int>;
 
+  /// Evicts least-recently-used resident entries (never `keep`) until the
+  /// budget fits. Caller holds mu_.
+  void EvictUnderLockExcept(const Entry* keep);
+
   const ExpertNetwork& net_;
-  mutable std::mutex mu_;  ///< guards the map shape only, never a build
-  std::map<Key, std::unique_ptr<Entry>> entries_;
+  const Options options_;
+  ArtifactLoader loader_;
+  ArtifactSaver saver_;
+  mutable std::mutex mu_;  ///< guards the map shape + LRU state, never a build
+  std::map<Key, std::shared_ptr<Entry>> entries_;
+  uint64_t lru_clock_ = 0;      ///< guarded by mu_
+  size_t resident_bytes_ = 0;   ///< guarded by mu_
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> builds_{0};
+  std::atomic<uint64_t> loads_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace teamdisc

@@ -1,10 +1,34 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/string_util.h"
 
 namespace teamdisc {
+
+uint64_t WeightedEdgeFingerprint(const Graph& g) {
+  // FNV-1a 64. Mixes the node count first so an edgeless 3-node graph and an
+  // edgeless 4-node graph differ, then every canonical edge in sorted order.
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t h = kOffset;
+  auto mix64 = [&h](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (value >> (8 * byte)) & 0xffULL;
+      h *= kPrime;
+    }
+  };
+  mix64(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Neighbor& n : g.Neighbors(u)) {
+      if (u >= n.node) continue;  // canonical orientation only
+      mix64(EdgeKey(u, n.node));
+      mix64(std::bit_cast<uint64_t>(n.weight));
+    }
+  }
+  return h;
+}
 
 double Graph::EdgeWeight(NodeId u, NodeId v) const {
   TD_DCHECK(u < num_nodes());

@@ -100,6 +100,12 @@ class Graph {
   double MaxEdgeWeight() const;
   double MinEdgeWeight() const;
 
+  /// Approximate heap footprint of the CSR arrays (for cache budgeting).
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(size_t) +
+           neighbors_.capacity() * sizeof(Neighbor);
+  }
+
   /// Human-readable one-line summary.
   std::string DebugString() const;
 
@@ -117,5 +123,13 @@ class Graph {
   std::vector<size_t> offsets_{0};
   std::vector<Neighbor> neighbors_;
 };
+
+/// 64-bit FNV-1a fingerprint of a graph's weighted edge set: node count plus
+/// every canonical (u, v, weight-bits) triple in sorted order. Two graphs
+/// share a fingerprint iff they have the same topology AND the same
+/// bit-exact edge weights — which is what persisted index artifacts must
+/// check, since e.g. two authority transforms of one network differ only in
+/// weights. Deterministic across runs and platforms (IEEE-754 bit pattern).
+uint64_t WeightedEdgeFingerprint(const Graph& g);
 
 }  // namespace teamdisc

@@ -1,5 +1,6 @@
 #include "network/network_io.h"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
@@ -9,29 +10,87 @@ namespace teamdisc {
 
 namespace {
 
-std::string SanitizeName(std::string_view name) {
-  std::string out(name);
-  for (char& c : out) {
-    if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+/// Percent-escapes a name so it survives as one whitespace-delimited token:
+/// '%' itself, ASCII whitespace, and ',' (the skill-list separator) become
+/// %XX. The empty string — not representable as a token — is encoded as the
+/// reserved sequence "%00". Lossless, unlike the old underscore folding
+/// ("John Smith" used to come back as "John_Smith").
+std::string EscapeName(std::string_view name) {
+  if (name.empty()) return "%00";
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '%' || c == ',' || std::isspace(u)) {
+      out += '%';
+      out += kHex[u >> 4];
+      out += kHex[u & 0xf];
+    } else {
+      out += c;
+    }
   }
-  return out.empty() ? "_" : out;
+  return out;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Inverse of EscapeName. Fails on a dangling or non-hex escape.
+Result<std::string> UnescapeName(std::string_view token) {
+  if (token == "%00") return std::string();
+  std::string out;
+  out.reserve(token.size());
+  for (size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '%') {
+      out += token[i];
+      continue;
+    }
+    if (i + 2 >= token.size()) {
+      return Status::InvalidArgument("dangling escape in name '" +
+                                     std::string(token) + "'");
+    }
+    const int hi = HexDigit(token[i + 1]);
+    const int lo = HexDigit(token[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("malformed escape in name '" +
+                                     std::string(token) + "'");
+    }
+    out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return out;
 }
 
 }  // namespace
 
 std::string SerializeNetwork(const ExpertNetwork& net) {
-  std::string out = "# teamdisc expert network v1\n";
+  std::string out = "# teamdisc expert network v2\n";
+  // The format line tells the reader names are percent-escaped; v1 files
+  // (no format line) carry legacy underscore-folded names and are read
+  // literally.
+  out += "format 2\n";
   out += StrFormat("experts %u\n", net.num_experts());
   for (NodeId id = 0; id < net.num_experts(); ++id) {
     const Expert& e = net.expert(id);
     std::string skills;
     for (size_t i = 0; i < e.skills.size(); ++i) {
       if (i > 0) skills += ',';
-      skills += SanitizeName(net.skills().NameUnchecked(e.skills[i]));
+      skills += EscapeName(net.skills().NameUnchecked(e.skills[i]));
     }
-    if (skills.empty()) skills = "-";
+    if (skills.empty()) {
+      skills = "-";
+    } else if (skills == "-") {
+      // A single skill literally named "-" would collide with the
+      // empty-skill-list sentinel; escape it so it round-trips.
+      skills = "%2D";
+    }
     out += StrFormat("%u %.17g %u %s %s\n", id, e.authority, e.num_publications,
-                     SanitizeName(e.name).c_str(), skills.c_str());
+                     EscapeName(e.name).c_str(), skills.c_str());
   }
   std::vector<Edge> edges = net.graph().CanonicalEdges();
   out += StrFormat("edges %zu\n", edges.size());
@@ -46,15 +105,41 @@ Result<ExpertNetwork> DeserializeNetwork(const std::string& content) {
   std::string line;
   size_t line_no = 0;
   enum class Section { kStart, kExperts, kEdges } section = Section::kStart;
+  uint64_t format_version = 1;  // files without a format line are legacy v1
   uint64_t expected_experts = 0, expected_edges = 0;
   uint64_t seen_experts = 0, seen_edges = 0;
   ExpertNetworkBuilder builder;
+
+  // v2 names are percent-escaped; v1 names are stored literally (their
+  // whitespace was already lost to the old writer's underscore folding).
+  auto decode_name = [&format_version,
+                      &line_no](std::string_view token) -> Result<std::string> {
+    if (format_version < 2) return std::string(token);
+    Result<std::string> decoded = UnescapeName(token);
+    if (!decoded.ok()) {
+      return decoded.status().WithContext(StrFormat("line %zu", line_no));
+    }
+    return decoded;
+  };
 
   while (std::getline(in, line)) {
     ++line_no;
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped.front() == '#') continue;
     auto fields = SplitWhitespace(stripped);
+    if (fields[0] == "format") {
+      if (section != Section::kStart || fields.size() != 2) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: malformed format header", line_no));
+      }
+      TD_ASSIGN_OR_RETURN(format_version, ParseUint64(fields[1]));
+      if (format_version < 1 || format_version > 2) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: unsupported network format %llu", line_no,
+                      static_cast<unsigned long long>(format_version)));
+      }
+      continue;
+    }
     if (fields[0] == "experts") {
       if (section != Section::kStart || fields.size() != 2) {
         return Status::InvalidArgument(
@@ -91,6 +176,7 @@ Result<ExpertNetwork> DeserializeNetwork(const std::string& content) {
       }
       TD_ASSIGN_OR_RETURN(double authority, ParseDouble(fields[1]));
       TD_ASSIGN_OR_RETURN(uint64_t pubs, ParseUint64(fields[2]));
+      TD_ASSIGN_OR_RETURN(std::string name, decode_name(fields[3]));
       std::vector<std::string> skills;
       if (fields[4] != "-") {
         for (std::string_view s : Split(fields[4], ',')) {
@@ -98,10 +184,11 @@ Result<ExpertNetwork> DeserializeNetwork(const std::string& content) {
             return Status::InvalidArgument(
                 StrFormat("line %zu: empty skill name", line_no));
           }
-          skills.emplace_back(s);
+          TD_ASSIGN_OR_RETURN(std::string skill, decode_name(s));
+          skills.push_back(std::move(skill));
         }
       }
-      builder.AddExpert(std::string(fields[3]), std::move(skills), authority,
+      builder.AddExpert(std::move(name), std::move(skills), authority,
                         static_cast<uint32_t>(pubs));
       ++seen_experts;
       continue;

@@ -1,10 +1,16 @@
 // Text persistence of ExpertNetwork.
 //
 // Format ('#' comments, sections in order):
+//   format 2
 //   experts <count>
-//   <id> <authority> <num_publications> <name-with-underscores> <skill,skill,...|->
+//   <id> <authority> <num_publications> <escaped-name> <skill,skill,...|->
 //   edges <count>
 //   <u> <v> <weight>
+//
+// Names are percent-escaped ('%', whitespace, and ',' become %XX; the empty
+// string is "%00") so save -> load preserves them exactly. Files without the
+// `format` line are legacy v1: their names were underscore-folded by the old
+// writer and are read back literally.
 #pragma once
 
 #include <string>

@@ -1,0 +1,278 @@
+#include "service/snapshot.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "eval/oracle_cache.h"
+#include "network/authority_transform.h"
+#include "network/network_io.h"
+
+namespace teamdisc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Writes `content` to `path` via a sibling temp file + rename, so a reader
+/// never observes a half-written file. The temp name is unique per process
+/// and call: two replicas persisting into a shared snapshot then race only
+/// on the atomic rename (last writer wins), never on interleaved writes to
+/// one temp file.
+Status AtomicWriteFile(const fs::path& path, const std::string& content) {
+  static std::atomic<uint64_t> sequence{0};
+  const fs::path tmp =
+      path.string() + StrFormat(".%ld.%llu.tmp", static_cast<long>(::getpid()),
+                                static_cast<unsigned long long>(
+                                    sequence.fetch_add(1)));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for writing: " + tmp.string());
+    out << content;
+    // Flush before the rename: a buffered write that only fails at close
+    // (e.g. ENOSPC) must not get a truncated file promoted into place.
+    out.close();
+    if (out.fail()) return Status::IOError("write failed: " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("rename failed: " + tmp.string() + " -> " +
+                           path.string() + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create snapshot directory " + dir + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SnapshotIndexFileName(bool transformed, int gamma_bp,
+                                  OracleKind kind) {
+  const std::string kind_str(OracleKindToString(kind));
+  if (!transformed) return "index-base-" + kind_str + ".pll";
+  return StrFormat("index-g%04d-%s.pll", gamma_bp, kind_str.c_str());
+}
+
+std::string SerializeSnapshotManifest(const SnapshotManifest& manifest) {
+  std::string out = "teamdisc-snapshot v1\n";
+  out += StrFormat("network %s %016llx\n", manifest.network_file.c_str(),
+                   static_cast<unsigned long long>(manifest.network_fingerprint));
+  for (const SnapshotIndexEntry& e : manifest.entries) {
+    out += StrFormat("index %s %d %s %s\n", e.transformed ? "transform" : "base",
+                     e.gamma_bp,
+                     std::string(OracleKindToString(e.kind)).c_str(),
+                     e.file.c_str());
+  }
+  return out;
+}
+
+Result<SnapshotManifest> ParseSnapshotManifest(const std::string& content) {
+  std::istringstream in(content);
+  std::string line;
+  size_t line_no = 0;
+  bool saw_header = false, saw_network = false;
+  SnapshotManifest manifest;
+  manifest.network_file.clear();
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    auto fields = SplitWhitespace(stripped);
+    if (!saw_header) {
+      if (fields.size() != 2 || fields[0] != "teamdisc-snapshot" ||
+          fields[1] != "v1") {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: not a teamdisc-snapshot v1 manifest", line_no));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (fields[0] == "network") {
+      if (saw_network || fields.size() != 3) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: malformed network line", line_no));
+      }
+      manifest.network_file = std::string(fields[1]);
+      if (manifest.network_file.find('/') != std::string::npos ||
+          manifest.network_file.find("..") != std::string::npos) {
+        // Same trust boundary as the artifact files below: everything a
+        // manifest references must live inside the snapshot directory.
+        return Status::InvalidArgument(
+            StrFormat("line %zu: network file must be a bare name", line_no));
+      }
+      TD_ASSIGN_OR_RETURN(manifest.network_fingerprint, ParseHex64(fields[2]));
+      saw_network = true;
+      continue;
+    }
+    if (fields[0] == "index") {
+      if (!saw_network || fields.size() != 5) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: malformed index line", line_no));
+      }
+      SnapshotIndexEntry entry;
+      if (fields[1] == "transform") {
+        entry.transformed = true;
+      } else if (fields[1] != "base") {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: index scope must be base|transform", line_no));
+      }
+      TD_ASSIGN_OR_RETURN(uint64_t bp, ParseUint64(fields[2]));
+      if (bp > 10000 || (!entry.transformed && bp != 0)) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: gamma_bp %llu out of range", line_no,
+                      static_cast<unsigned long long>(bp)));
+      }
+      entry.gamma_bp = static_cast<int>(bp);
+      TD_ASSIGN_OR_RETURN(entry.kind, OracleKindFromString(fields[3]));
+      entry.file = std::string(fields[4]);
+      if (entry.file.find('/') != std::string::npos ||
+          entry.file.find("..") != std::string::npos) {
+        // Artifact paths are confined to the snapshot directory.
+        return Status::InvalidArgument(
+            StrFormat("line %zu: artifact file must be a bare name", line_no));
+      }
+      manifest.entries.push_back(std::move(entry));
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrFormat("line %zu: unknown manifest directive '%s'", line_no,
+                  std::string(fields[0]).c_str()));
+  }
+  if (!saw_header) return Status::InvalidArgument("empty manifest");
+  if (!saw_network) return Status::InvalidArgument("manifest missing network line");
+  return manifest;
+}
+
+Result<SnapshotManifest> ReadSnapshotManifest(const std::string& dir) {
+  const fs::path path = fs::path(dir) / "manifest.txt";
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseSnapshotManifest(buffer.str());
+}
+
+Status WriteSnapshotManifest(const std::string& dir,
+                             const SnapshotManifest& manifest) {
+  TD_RETURN_IF_ERROR(EnsureDirectory(dir));
+  return AtomicWriteFile(fs::path(dir) / "manifest.txt",
+                         SerializeSnapshotManifest(manifest));
+}
+
+Result<SnapshotManifest> BuildSnapshot(const ExpertNetwork& net,
+                                       const std::string& dir,
+                                       const BuildSnapshotOptions& options) {
+  TD_RETURN_IF_ERROR(EnsureDirectory(dir));
+  SnapshotManifest manifest;
+  manifest.network_fingerprint = WeightedEdgeFingerprint(net.graph());
+  TD_RETURN_IF_ERROR(
+      SaveNetwork(net, (fs::path(dir) / manifest.network_file).string()));
+
+  auto build_and_write = [&](const Graph& search_graph, bool transformed,
+                             int gamma_bp) -> Status {
+    TD_ASSIGN_OR_RETURN(auto pll,
+                        PrunedLandmarkLabeling::Build(search_graph, options.pll));
+    SnapshotIndexEntry entry;
+    entry.transformed = transformed;
+    entry.gamma_bp = gamma_bp;
+    entry.kind = OracleKind::kPrunedLandmarkLabeling;
+    entry.file = SnapshotIndexFileName(transformed, gamma_bp, entry.kind);
+    TD_RETURN_IF_ERROR(
+        AtomicWriteFile(fs::path(dir) / entry.file, pll->Serialize()));
+    manifest.entries.push_back(std::move(entry));
+    return Status::OK();
+  };
+
+  if (options.include_base) {
+    TD_RETURN_IF_ERROR(build_and_write(net.graph(), false, 0));
+  }
+  std::vector<int> built_bp;
+  for (double gamma : options.gammas) {
+    if (!(std::isfinite(gamma) && gamma >= 0.0 && gamma <= 1.0)) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot gamma %f must be finite and within [0,1]", gamma));
+    }
+    // Dedupe at the cache's own resolution: gammas equal after basis-point
+    // quantization would build the identical index twice and list the same
+    // artifact file in the manifest twice.
+    const int gamma_bp = GammaBasisPoints(gamma);
+    if (std::find(built_bp.begin(), built_bp.end(), gamma_bp) !=
+        built_bp.end()) {
+      continue;
+    }
+    built_bp.push_back(gamma_bp);
+    // Build at basis-point resolution, mirroring OracleCache::Get: the
+    // serving cache rebuilds G' from gamma_bp / 10000.0, and the artifact's
+    // fingerprint only matches if this build used the identical weights.
+    TD_ASSIGN_OR_RETURN(TransformedGraph transformed,
+                        BuildAuthorityTransform(net, gamma_bp / 10000.0));
+    TD_RETURN_IF_ERROR(build_and_write(transformed.graph, true, gamma_bp));
+  }
+  TD_RETURN_IF_ERROR(WriteSnapshotManifest(dir, manifest));
+  return manifest;
+}
+
+Status AddIndexArtifact(const std::string& dir, SnapshotManifest& manifest,
+                        bool transformed, int gamma_bp, OracleKind kind,
+                        const DistanceOracle& oracle) {
+  const auto* pll = dynamic_cast<const PrunedLandmarkLabeling*>(&oracle);
+  if (pll == nullptr) return Status::OK();  // nothing worth persisting
+  // Always (re)write the artifact, even when the manifest already lists the
+  // entry: a rebuild reaches this path precisely when the on-disk file was
+  // corrupt or stale (the loader fell back to building), so skipping the
+  // write would leave the snapshot broken and force a rebuild every start.
+  SnapshotIndexEntry entry;
+  entry.transformed = transformed;
+  entry.gamma_bp = gamma_bp;
+  entry.kind = kind;
+  entry.file = SnapshotIndexFileName(transformed, gamma_bp, kind);
+  TD_RETURN_IF_ERROR(EnsureDirectory(dir));
+  // Atomic like the manifest: a crash (or a concurrent replica persisting
+  // the same key) must never leave a truncated artifact behind a manifest
+  // entry that claims it is valid.
+  TD_RETURN_IF_ERROR(
+      AtomicWriteFile(fs::path(dir) / entry.file, pll->Serialize()));
+  for (const SnapshotIndexEntry& e : manifest.entries) {
+    if (e.transformed == transformed && e.gamma_bp == gamma_bp &&
+        e.kind == kind) {
+      return Status::OK();  // already listed; file repaired in place
+    }
+  }
+  manifest.entries.push_back(std::move(entry));
+  return WriteSnapshotManifest(dir, manifest);
+}
+
+Result<std::unique_ptr<DistanceOracle>> LoadIndexArtifact(
+    const std::string& dir, const SnapshotManifest& manifest, bool transformed,
+    int gamma_bp, OracleKind kind, const Graph& search_graph) {
+  for (const SnapshotIndexEntry& e : manifest.entries) {
+    if (e.transformed != transformed || e.gamma_bp != gamma_bp ||
+        e.kind != kind) {
+      continue;
+    }
+    // The artifact's v3 fingerprint ties it to the exact weighted graph it
+    // was built over; Deserialize rejects a stale or cross-gamma artifact.
+    TD_ASSIGN_OR_RETURN(auto pll,
+                        PrunedLandmarkLabeling::LoadFromFile(
+                            search_graph, (fs::path(dir) / e.file).string()));
+    return std::unique_ptr<DistanceOracle>(std::move(pll));
+  }
+  return std::unique_ptr<DistanceOracle>(nullptr);  // no matching artifact
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,103 @@
+// On-disk snapshot of an expert network plus pre-built distance-oracle
+// artifacts — the persistence substrate of TeamDiscoveryService. A snapshot
+// is what `teamdisc_cli build-index` writes and what a serving process loads
+// at startup so it never rebuilds an index it already paid for.
+//
+// Layout of a snapshot directory:
+//   manifest.txt    versioned listing (format below)
+//   network.net     the expert network (network_io text format)
+//   index-*.pll     one PrunedLandmarkLabeling artifact per entry, in the
+//                   v3 serialized format (carries a weighted-edge-set
+//                   fingerprint of the graph it was built over, so a stale
+//                   artifact can never be loaded against the wrong weights)
+//
+// Manifest format ('#' comments allowed, sections in order):
+//   teamdisc-snapshot v1
+//   network <file> <weighted-edge-fingerprint-hex of the base graph>
+//   index base 0 <kind> <file>
+//   index transform <gamma_bp> <kind> <file>
+//
+// `base` entries index the network's own graph (the CC strategy's search
+// graph); `transform` entries index the authority transform G' built at
+// gamma = gamma_bp / 10000. Only PLL indexes are persisted — the Dijkstra
+// oracles have no index worth storing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "network/expert_network.h"
+#include "shortest_path/distance_oracle.h"
+#include "shortest_path/pruned_landmark_labeling.h"
+
+namespace teamdisc {
+
+/// \brief One persisted index artifact in a snapshot.
+struct SnapshotIndexEntry {
+  bool transformed = false;  ///< over G' (true) or the base graph (false)
+  int gamma_bp = 0;          ///< gamma in basis points; 0 for base entries
+  OracleKind kind = OracleKind::kPrunedLandmarkLabeling;
+  std::string file;          ///< artifact file name, relative to the snapshot dir
+};
+
+/// \brief Parsed manifest of a snapshot directory.
+struct SnapshotManifest {
+  std::string network_file = "network.net";
+  /// WeightedEdgeFingerprint of the network's base graph at build time; a
+  /// loader must verify the loaded network still hashes to this.
+  uint64_t network_fingerprint = 0;
+  std::vector<SnapshotIndexEntry> entries;
+};
+
+/// Canonical artifact file name for an index entry
+/// ("index-base-pll.pll" / "index-g2500-pll.pll").
+std::string SnapshotIndexFileName(bool transformed, int gamma_bp,
+                                  OracleKind kind);
+
+/// Serializes / parses the manifest text (exposed for tests).
+std::string SerializeSnapshotManifest(const SnapshotManifest& manifest);
+Result<SnapshotManifest> ParseSnapshotManifest(const std::string& content);
+
+/// Reads `<dir>/manifest.txt`.
+Result<SnapshotManifest> ReadSnapshotManifest(const std::string& dir);
+
+/// Writes `<dir>/manifest.txt` atomically (write-to-temp + rename), creating
+/// `dir` if needed.
+Status WriteSnapshotManifest(const std::string& dir,
+                             const SnapshotManifest& manifest);
+
+/// \brief What BuildSnapshot should pre-build.
+struct BuildSnapshotOptions {
+  /// Gammas whose authority-transform indexes are persisted.
+  std::vector<double> gammas = {0.0, 0.25, 0.5, 0.75, 1.0};
+  /// Also persist the base-graph (CC strategy) index.
+  bool include_base = true;
+  /// Index construction knobs, forwarded to PrunedLandmarkLabeling::Build.
+  PllBuildOptions pll;
+};
+
+/// Builds a PLL index per configured search graph, writes every artifact
+/// plus the network and manifest into `dir` (created if needed), and returns
+/// the manifest. Existing artifacts in `dir` are overwritten.
+Result<SnapshotManifest> BuildSnapshot(const ExpertNetwork& net,
+                                       const std::string& dir,
+                                       const BuildSnapshotOptions& options);
+
+/// Persists one freshly built index into an existing snapshot and appends it
+/// to `manifest` (rewriting `<dir>/manifest.txt`). No-op with OK status when
+/// the oracle is not a PrunedLandmarkLabeling (nothing worth persisting) or
+/// when the manifest already lists the entry.
+Status AddIndexArtifact(const std::string& dir, SnapshotManifest& manifest,
+                        bool transformed, int gamma_bp, OracleKind kind,
+                        const DistanceOracle& oracle);
+
+/// Loads the artifact for (transformed, gamma_bp, kind) against
+/// `search_graph`. Returns a null pointer when the manifest has no matching
+/// entry; fails InvalidArgument when the artifact exists but does not match
+/// the graph (v3 fingerprint check inside PLL Deserialize).
+Result<std::unique_ptr<DistanceOracle>> LoadIndexArtifact(
+    const std::string& dir, const SnapshotManifest& manifest, bool transformed,
+    int gamma_bp, OracleKind kind, const Graph& search_graph);
+
+}  // namespace teamdisc

@@ -1,0 +1,342 @@
+#include "service/team_discovery_service.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <tuple>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/greedy_team_finder.h"
+#include "network/network_io.h"
+
+namespace teamdisc {
+
+namespace {
+
+/// Nearest-rank latency percentile (rank = ceil(q * n), 1-based) over an
+/// already sorted sample set.
+double PercentileMs(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace
+
+std::vector<TeamRequest> MakeRequestMix(const ExpertNetwork& net,
+                                        const SnapshotManifest& manifest,
+                                        const RequestMixOptions& options) {
+  std::vector<double> gammas;
+  for (const SnapshotIndexEntry& e : manifest.entries) {
+    if (e.transformed) gammas.push_back(e.gamma_bp / 10000.0);
+  }
+  if (gammas.empty()) gammas.push_back(0.6);  // empty snapshot: build once
+  Rng rng(options.seed);
+  std::vector<TeamRequest> requests;
+  requests.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    TeamRequest request;
+    std::vector<SkillId> drawn;
+    // Bounded by the vocabulary size so a tiny network cannot spin forever
+    // hunting for another distinct skill.
+    while (drawn.size() < options.skills_per_request &&
+           drawn.size() < net.num_skills()) {
+      SkillId s = static_cast<SkillId>(rng.NextBounded(net.num_skills()));
+      if (std::find(drawn.begin(), drawn.end(), s) == drawn.end()) {
+        drawn.push_back(s);
+        request.skills.emplace_back(net.skills().NameUnchecked(s));
+      }
+    }
+    request.gamma = gammas[i % gammas.size()];
+    request.lambda = options.lambda;
+    request.top_k = options.top_k;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+Result<std::unique_ptr<TeamDiscoveryService>> TeamDiscoveryService::Open(
+    ServiceOptions options) {
+  if (options.snapshot_dir.empty()) {
+    return Status::InvalidArgument("ServiceOptions::snapshot_dir is required");
+  }
+  auto svc = std::unique_ptr<TeamDiscoveryService>(new TeamDiscoveryService());
+  svc->options_ = std::move(options);
+  TD_ASSIGN_OR_RETURN(svc->manifest_,
+                      ReadSnapshotManifest(svc->options_.snapshot_dir));
+  const std::string net_path =
+      (std::filesystem::path(svc->options_.snapshot_dir) /
+       svc->manifest_.network_file)
+          .string();
+  TD_ASSIGN_OR_RETURN(svc->net_, LoadNetwork(net_path));
+  const uint64_t actual = WeightedEdgeFingerprint(svc->net_.graph());
+  if (actual != svc->manifest_.network_fingerprint) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot network %s hashes to %016llx but the manifest records "
+        "%016llx: the snapshot is internally inconsistent",
+        net_path.c_str(), static_cast<unsigned long long>(actual),
+        static_cast<unsigned long long>(svc->manifest_.network_fingerprint)));
+  }
+
+  OracleCache::Options cache_options;
+  cache_options.memory_budget_bytes = svc->options_.cache_budget_bytes;
+  if (cache_options.memory_budget_bytes == 0) {
+    // Parse the env budget by hand so a typo'd value warns instead of
+    // silently running unbounded (the same failure mode the thread-count
+    // resolution guards against).
+    if (const char* raw = std::getenv("TEAMDISC_CACHE_BUDGET_MB")) {
+      auto parsed = ParseUint64(raw);
+      if (!parsed.ok()) {
+        TD_LOG(Warning) << "TEAMDISC_CACHE_BUDGET_MB='" << raw
+                        << "' is not a valid MiB count ("
+                        << parsed.status().ToString()
+                        << "); cache runs unbounded";
+      } else {
+        cache_options.memory_budget_bytes =
+            static_cast<size_t>(parsed.ValueOrDie()) * (size_t{1} << 20);
+      }
+    }
+  }
+  svc->cache_ = std::make_unique<OracleCache>(svc->net_, cache_options);
+
+  TeamDiscoveryService* self = svc.get();
+  svc->cache_->set_artifact_loader(
+      [self](const OracleCache::EntryInfo& info, const Graph& search_graph)
+          -> Result<std::unique_ptr<DistanceOracle>> {
+        // Copy the manifest under the lock, but run the disk read +
+        // deserialization outside it: concurrent cold loads of distinct
+        // indexes must proceed in parallel, not serialize on manifest_mu_.
+        SnapshotManifest manifest;
+        {
+          std::lock_guard<std::mutex> lock(self->manifest_mu_);
+          manifest = self->manifest_;
+        }
+        return LoadIndexArtifact(self->options_.snapshot_dir, manifest,
+                                 info.transformed, info.gamma_bp, info.kind,
+                                 search_graph);
+      });
+  if (svc->options_.persist_built_indexes) {
+    svc->cache_->set_artifact_saver(
+        [self](const OracleCache::EntryInfo& info, const DistanceOracle& oracle) {
+          // persist_mu_ serializes whole persist operations so manifest
+          // rewrites stay ordered; manifest_mu_ is held only for the
+          // in-memory copy/commit, never across the artifact disk write —
+          // concurrent cold loads and manifest() readers keep flowing.
+          std::lock_guard<std::mutex> persist_lock(self->persist_mu_);
+          SnapshotManifest manifest;
+          {
+            std::lock_guard<std::mutex> lock(self->manifest_mu_);
+            manifest = self->manifest_;
+          }
+          Status persisted =
+              AddIndexArtifact(self->options_.snapshot_dir, manifest,
+                               info.transformed, info.gamma_bp, info.kind,
+                               oracle);
+          if (persisted.ok()) {
+            std::lock_guard<std::mutex> lock(self->manifest_mu_);
+            self->manifest_ = std::move(manifest);
+          } else {
+            // Persisting is an optimization for the next process; failing to
+            // write it must not fail the request that triggered the build.
+            TD_LOG(Warning) << "could not persist index into snapshot: "
+                            << persisted.ToString();
+          }
+        });
+  }
+  return svc;
+}
+
+Result<FinderOptions> TeamDiscoveryService::MakeFinderOptions(
+    const TeamRequest& request) const {
+  FinderOptions options;
+  options.strategy = request.strategy;
+  options.params.gamma = request.gamma;
+  options.params.lambda = request.lambda;
+  options.top_k = request.top_k;
+  options.oracle = request.oracle;
+  options.num_threads = 1;  // the batch fan-out is the parallelism
+  TD_RETURN_IF_ERROR(options.Validate());
+  return options;
+}
+
+Result<std::vector<ScoredTeam>> TeamDiscoveryService::TopK(
+    const TeamRequest& request) const {
+  TD_ASSIGN_OR_RETURN(FinderOptions options, MakeFinderOptions(request));
+  TD_ASSIGN_OR_RETURN(Project project, MakeProject(net_, request.skills));
+  // Hold the view across the query: it pins the index, so a concurrent
+  // eviction (memory budget) can never free it mid-request.
+  TD_ASSIGN_OR_RETURN(OracleCache::View view,
+                      cache_->Get(request.strategy, request.gamma,
+                                  request.oracle));
+  TD_ASSIGN_OR_RETURN(auto finder, GreedyTeamFinder::MakeWithExternalOracle(
+                                       net_, std::move(options), *view.oracle));
+  return finder->FindTeams(project);
+}
+
+Result<std::vector<ScoredTeam>> TeamDiscoveryService::FindTeam(
+    const TeamRequest& request) const {
+  TeamRequest best_only = request;
+  best_only.top_k = 1;
+  return TopK(best_only);
+}
+
+Result<std::vector<ParetoTeam>> TeamDiscoveryService::Pareto(
+    const ParetoRequest& request) const {
+  TD_ASSIGN_OR_RETURN(Project project, MakeProject(net_, request.skills));
+  // Per-cell finders draw from the snapshot-backed cache instead of the
+  // default factory, which would rebuild a transform + index for every one
+  // of the ~grid_points^2 cells on every request. MakeFinder pins the index
+  // into each finder, so eviction under a budget stays safe.
+  GreedyFinderFactory factory = [this](FinderOptions fo) {
+    return cache_->MakeFinder(std::move(fo));
+  };
+  // The base-graph oracle only feeds the random phase; fetching it when
+  // that phase is disabled could cost a full index build for nothing.
+  OracleCache::View base_view;
+  if (request.options.random_teams > 0) {
+    TD_ASSIGN_OR_RETURN(base_view, cache_->Get(RankingStrategy::kCC, 0.0,
+                                               request.options.oracle));
+  }
+  return DiscoverParetoTeams(net_, project, request.options, factory,
+                             base_view.oracle.get());
+}
+
+Result<ServeReport> TeamDiscoveryService::ServeBatch(
+    const std::vector<TeamRequest>& requests, size_t workers,
+    std::vector<std::vector<ScoredTeam>>* results) const {
+  if (requests.empty()) return Status::InvalidArgument("no requests");
+
+  struct Outcome {
+    Status status = Status::OK();
+    std::vector<ScoredTeam> teams;
+    double millis = 0.0;
+  };
+  std::vector<Outcome> outcomes(requests.size());
+
+  // Per-worker finder reuse: consecutive requests sharing (strategy, exact
+  // gamma, kind) re-point lambda/top_k on a cached finder instead of
+  // re-wiring the oracle. Keyed on the exact gamma bits — not its basis-
+  // point bucket — because the finder's scoring params carry the exact
+  // gamma: bucketing here would let one request inherit another's params
+  // depending on scheduling, breaking the worker-count-independence
+  // contract. The View member pins the index for as long as the finder
+  // references it.
+  struct CachedFinder {
+    OracleCache::View view;
+    std::unique_ptr<GreedyTeamFinder> finder;
+  };
+  using FinderKey = std::tuple<int, uint64_t, int>;
+  struct WorkerState {
+    std::map<FinderKey, CachedFinder> finders;
+  };
+  // Clamp through the same guard the thread subsystems use, so a typo'd
+  // --workers=10^9 warns and caps instead of spawning 10^9 threads.
+  workers = ThreadPool::ResolveThreadCount(workers > 0 ? workers : 1, nullptr);
+  ThreadPool pool(workers > 1 ? workers : 0);
+  std::vector<WorkerState> states(pool.NumShards(requests.size()));
+
+  Timer wall;
+  pool.ParallelForWorkers(requests.size(), [&](size_t worker, size_t i) {
+    const TeamRequest& request = requests[i];
+    Outcome& out = outcomes[i];
+    Timer latency;
+    auto finish = [&] { out.millis = latency.ElapsedMillis(); };
+
+    auto options = MakeFinderOptions(request);
+    if (!options.ok()) {
+      out.status = options.status();
+      finish();
+      return;
+    }
+    auto project = MakeProject(net_, request.skills);
+    if (!project.ok()) {
+      out.status = project.status();
+      finish();
+      return;
+    }
+    FinderKey key{static_cast<int>(request.strategy),
+                  request.strategy == RankingStrategy::kCC
+                      ? 0
+                      : std::bit_cast<uint64_t>(request.gamma),
+                  static_cast<int>(request.oracle)};
+    WorkerState& state = states[worker];
+    auto it = state.finders.find(key);
+    if (it == state.finders.end()) {
+      auto view = cache_->Get(request.strategy, request.gamma, request.oracle);
+      if (!view.ok()) {
+        out.status = view.status();
+        finish();
+        return;
+      }
+      auto finder = GreedyTeamFinder::MakeWithExternalOracle(
+          net_, options.ValueOrDie(), *view.ValueOrDie().oracle);
+      if (!finder.ok()) {
+        out.status = finder.status();
+        finish();
+        return;
+      }
+      it = state.finders
+               .emplace(key, CachedFinder{std::move(view).ValueOrDie(),
+                                          std::move(finder).ValueOrDie()})
+               .first;
+    }
+    GreedyTeamFinder& finder = *it->second.finder;
+    Status tuned = finder.set_lambda(request.lambda);
+    if (tuned.ok()) tuned = finder.set_top_k(request.top_k);
+    if (!tuned.ok()) {
+      out.status = tuned;
+      finish();
+      return;
+    }
+    auto teams = finder.FindTeams(project.ValueOrDie());
+    if (!teams.ok()) {
+      out.status = teams.status();
+      finish();
+      return;
+    }
+    out.teams = std::move(teams).ValueOrDie();
+    finish();
+  });
+
+  ServeReport report;
+  report.wall_seconds = wall.ElapsedSeconds();
+  report.requests = requests.size();
+  if (results != nullptr) {
+    results->clear();
+    results->resize(requests.size());
+  }
+  std::vector<double> latencies;
+  latencies.reserve(requests.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    Outcome& out = outcomes[i];
+    latencies.push_back(out.millis);
+    if (out.status.ok()) {
+      ++report.solved;
+      if (results != nullptr) (*results)[i] = std::move(out.teams);
+    } else if (out.status.IsInfeasible()) {
+      ++report.infeasible;
+    } else {
+      ++report.failures;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_ms = PercentileMs(latencies, 0.50);
+  report.p90_ms = PercentileMs(latencies, 0.90);
+  report.p99_ms = PercentileMs(latencies, 0.99);
+  report.max_ms = latencies.back();
+  report.qps = report.wall_seconds > 0.0
+                   ? static_cast<double>(report.requests) / report.wall_seconds
+                   : 0.0;
+  return report;
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,157 @@
+// Long-lived team-discovery serving layer.
+//
+// The paper's workload is interactive team queries over a fixed expert
+// network — the shape of a serving process, not a batch experiment.
+// TeamDiscoveryService loads a network plus pre-built per-(strategy, gamma,
+// oracle-kind) index artifacts from a snapshot directory (written by
+// `teamdisc_cli build-index` / BuildSnapshot), answers FindTeam / TopK /
+// Pareto requests, and fans request batches over a thread pool with
+// per-worker finders drawn from a memory-budgeted, LRU-evicting OracleCache.
+// A request whose index is missing from the snapshot falls back to building
+// it once — and persisting it back into the snapshot — instead of failing.
+//
+// Determinism contract: each request's result depends only on the request
+// and the snapshot, never on worker count or on whether its index was
+// loaded warm from disk or built cold on miss (the index payload is
+// identical either way; PLL answers are exact).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pareto.h"
+#include "core/team_finder.h"
+#include "eval/oracle_cache.h"
+#include "service/snapshot.h"
+
+namespace teamdisc {
+
+/// \brief One team-discovery request, skill names as the user typed them.
+struct TeamRequest {
+  std::vector<std::string> skills;
+  RankingStrategy strategy = RankingStrategy::kSACACC;
+  double gamma = 0.6;
+  double lambda = 0.6;
+  uint32_t top_k = 1;
+  OracleKind oracle = OracleKind::kPrunedLandmarkLabeling;
+};
+
+/// \brief A Pareto-front request over the three raw objectives.
+struct ParetoRequest {
+  std::vector<std::string> skills;
+  ParetoOptions options;
+};
+
+/// \brief Aggregate outcome of one ServeBatch run.
+struct ServeReport {
+  uint64_t requests = 0;
+  uint64_t solved = 0;
+  uint64_t infeasible = 0;  ///< no covering team exists (not an error)
+  uint64_t failures = 0;    ///< hard errors (bad skills, index failures)
+  double wall_seconds = 0.0;
+  double qps = 0.0;       ///< requests / wall_seconds
+  double p50_ms = 0.0;    ///< per-request latency percentiles
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// \brief Service configuration.
+struct ServiceOptions {
+  /// Snapshot directory to serve from (required).
+  std::string snapshot_dir;
+  /// Soft cap on resident index bytes. 0 resolves TEAMDISC_CACHE_BUDGET_MB
+  /// from the environment (in MiB); unset/0 means unbounded.
+  size_t cache_budget_bytes = 0;
+  /// Persist an index built on a snapshot miss back into the snapshot so
+  /// the next process loads it instead of rebuilding. Misses always build
+  /// (serving never fails for lack of an artifact); this only controls
+  /// whether the build is written back — disable for read-only snapshot
+  /// directories.
+  bool persist_built_indexes = true;
+};
+
+/// \brief Knobs of MakeRequestMix.
+struct RequestMixOptions {
+  size_t count = 200;
+  uint32_t skills_per_request = 3;
+  double lambda = 0.6;
+  uint32_t top_k = 1;
+  uint64_t seed = 42;
+};
+
+/// Deterministic closed-loop request mix shared by `teamdisc_cli
+/// serve-bench` and bench/serve_throughput: each request draws distinct
+/// random skills from the network's vocabulary (bounded by its size), and
+/// gammas cycle through the manifest's pre-built transform entries (0.6
+/// when the snapshot has none), so a healthy snapshot-backed run performs
+/// zero index builds.
+std::vector<TeamRequest> MakeRequestMix(const ExpertNetwork& net,
+                                        const SnapshotManifest& manifest,
+                                        const RequestMixOptions& options);
+
+/// \brief Snapshot-backed team-discovery server.
+class TeamDiscoveryService {
+ public:
+  /// Opens a snapshot: loads the network, verifies it against the manifest
+  /// fingerprint, and wires the index cache to the snapshot's artifacts.
+  /// No index is loaded until a request needs it.
+  static Result<std::unique_ptr<TeamDiscoveryService>> Open(
+      ServiceOptions options);
+
+  TeamDiscoveryService(const TeamDiscoveryService&) = delete;
+  TeamDiscoveryService& operator=(const TeamDiscoveryService&) = delete;
+
+  /// Best single team for the request (top_k forced to 1). Thread-safe.
+  Result<std::vector<ScoredTeam>> FindTeam(const TeamRequest& request) const;
+
+  /// Up to request.top_k teams, best first. Thread-safe.
+  Result<std::vector<ScoredTeam>> TopK(const TeamRequest& request) const;
+
+  /// Pareto front over (CC, CA, SA) for the request's skills. Thread-safe.
+  Result<std::vector<ParetoTeam>> Pareto(const ParetoRequest& request) const;
+
+  /// Answers every request over `workers` threads (1 = inline) and reports
+  /// throughput/latency. When `results` is non-null it is resized to
+  /// `requests.size()` and filled positionally — entry i is request i's team
+  /// list (empty when infeasible/failed) — so callers can assert that
+  /// results are identical at any worker count. Per-worker finders are
+  /// reused across consecutive requests that share (strategy, gamma, kind).
+  Result<ServeReport> ServeBatch(
+      const std::vector<TeamRequest>& requests, size_t workers,
+      std::vector<std::vector<ScoredTeam>>* results = nullptr) const;
+
+  const ExpertNetwork& network() const { return net_; }
+  OracleCache::Stats cache_stats() const { return cache_->stats(); }
+
+  /// Snapshot of the manifest, by value: the persist-on-miss saver hook may
+  /// append entries concurrently (under manifest_mu_), so handing out a
+  /// reference would race with that mutation.
+  SnapshotManifest manifest() const {
+    std::lock_guard<std::mutex> lock(manifest_mu_);
+    return manifest_;
+  }
+
+ private:
+  TeamDiscoveryService() = default;
+
+  /// Validates and translates a request into finder options.
+  Result<FinderOptions> MakeFinderOptions(const TeamRequest& request) const;
+
+  ServiceOptions options_;
+  SnapshotManifest manifest_;
+  ExpertNetwork net_;
+  /// Guards the in-memory manifest_ (copy/commit only — never held across
+  /// disk I/O).
+  mutable std::mutex manifest_mu_;
+  /// Serializes whole persist-on-miss operations (artifact + manifest
+  /// writes), keeping on-disk manifest rewrites ordered without blocking
+  /// loaders.
+  mutable std::mutex persist_mu_;
+  /// Built over net_; declared after it so destruction order is safe.
+  std::unique_ptr<OracleCache> cache_;
+};
+
+}  // namespace teamdisc

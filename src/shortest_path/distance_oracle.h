@@ -45,6 +45,11 @@ class DistanceOracle {
   virtual void DistancesInto(NodeId source, std::span<const NodeId> targets,
                              std::vector<double>& out) const;
 
+  /// Approximate heap footprint of the oracle's own index structures,
+  /// excluding the graph it references (for cache budgeting). Oracles that
+  /// keep no index (per-query Dijkstra) report 0.
+  virtual size_t MemoryBytes() const { return 0; }
+
   /// Implementation name for logs and ablation tables.
   virtual std::string name() const = 0;
 
@@ -63,5 +68,9 @@ enum class OracleKind {
 Result<std::unique_ptr<DistanceOracle>> MakeOracle(const Graph& g, OracleKind kind);
 
 std::string_view OracleKindToString(OracleKind kind);
+
+/// Inverse of OracleKindToString ("pll", "dijkstra", "bidirectional");
+/// fails InvalidArgument on anything else.
+Result<OracleKind> OracleKindFromString(std::string_view name);
 
 }  // namespace teamdisc

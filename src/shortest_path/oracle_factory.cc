@@ -47,4 +47,12 @@ std::string_view OracleKindToString(OracleKind kind) {
   return "unknown";
 }
 
+Result<OracleKind> OracleKindFromString(std::string_view name) {
+  if (name == "pll") return OracleKind::kPrunedLandmarkLabeling;
+  if (name == "dijkstra") return OracleKind::kDijkstra;
+  if (name == "bidirectional") return OracleKind::kBidirectionalDijkstra;
+  return Status::InvalidArgument("unknown oracle kind '" + std::string(name) +
+                                 "' (expected pll|dijkstra|bidirectional)");
+}
+
 }  // namespace teamdisc

@@ -304,16 +304,21 @@ std::vector<NodeId> PrunedLandmarkLabeling::UnwindToHub(NodeId v,
 }
 
 std::string PrunedLandmarkLabeling::Serialize() const {
-  // v2 mirrors the in-memory flat CSR (sentinels excluded):
-  //   pll v2 <num_nodes> <num_edges> <total_entries>
+  // v3 mirrors the in-memory flat CSR (sentinels excluded):
+  //   pll v3 <num_nodes> <num_edges> <total_entries> <graph-fingerprint-hex>
   //   order <rank0_node> <rank1_node> ...
   //   sizes <entries(node 0)> <entries(node 1)> ...
   //   ranks <all hub_ranks, node-major>
   //   dists <all distances, node-major>
   //   parents <all parents, node-major; -1 encodes "at the hub">
+  // The fingerprint covers the weighted edge set (see WeightedEdgeFingerprint)
+  // so a v3 artifact can never be loaded against a graph whose weights differ
+  // from the build-time graph, even when the shape matches.
   const NodeId n = graph_->num_nodes();
-  std::string out = StrFormat("pll v2 %u %zu %zu\n", n, graph_->num_edges(),
-                              stats_.total_entries);
+  std::string out =
+      StrFormat("pll v3 %u %zu %zu %016llx\n", n, graph_->num_edges(),
+                stats_.total_entries,
+                static_cast<unsigned long long>(WeightedEdgeFingerprint(*graph_)));
   out += "order";
   for (NodeId v : order_) out += StrFormat(" %u", v);
   out += "\nsizes";
@@ -350,18 +355,43 @@ Result<std::unique_ptr<PrunedLandmarkLabeling>> PrunedLandmarkLabeling::Deserial
   NodeId num_nodes = 0;
   size_t num_edges = 0;
   in >> tag >> version >> num_nodes >> num_edges;
-  if (!in || tag != "pll" || (version != "v1" && version != "v2")) {
-    return Status::InvalidArgument("not a pll v1/v2 index");
+  if (!in || tag != "pll" ||
+      (version != "v1" && version != "v2" && version != "v3")) {
+    return Status::InvalidArgument("not a pll v1/v2/v3 index");
   }
   size_t total_entries = 0;
-  if (version == "v2") {
+  if (version != "v1") {
     in >> total_entries;
-    if (!in) return Status::InvalidArgument("v2 header missing entry count");
+    if (!in) {
+      return Status::InvalidArgument(version + " header missing entry count");
+    }
   }
   if (num_nodes != g.num_nodes() || num_edges != g.num_edges()) {
     return Status::InvalidArgument(
         StrFormat("index was built for a %u-node/%zu-edge graph, got %u/%zu",
                   num_nodes, num_edges, g.num_nodes(), g.num_edges()));
+  }
+  if (version == "v3") {
+    // The weighted-edge fingerprint is what actually ties the artifact to
+    // this graph: equal node/edge counts (checked above) do not rule out a
+    // different topology or — the dangerous case — the same topology with
+    // different weights, against which every stored distance would be wrong.
+    std::string fp_hex;
+    in >> fp_hex;
+    auto parsed = ParseHex64(fp_hex);
+    if (!in || !parsed.ok()) {
+      return Status::InvalidArgument("v3 header has a malformed fingerprint");
+    }
+    const uint64_t stored = parsed.ValueOrDie();
+    const uint64_t actual = WeightedEdgeFingerprint(g);
+    if (stored != actual) {
+      return Status::InvalidArgument(StrFormat(
+          "index fingerprint %016llx does not match the supplied graph's "
+          "%016llx: the index was built over a graph with a different "
+          "weighted edge set (same shape is not enough)",
+          static_cast<unsigned long long>(stored),
+          static_cast<unsigned long long>(actual)));
+    }
   }
   auto pll = std::unique_ptr<PrunedLandmarkLabeling>(new PrunedLandmarkLabeling(g));
   in >> tag;

@@ -76,6 +76,15 @@ class PrunedLandmarkLabeling final : public DistanceOracle {
 
   const PllStats& stats() const { return stats_; }
 
+  /// Approximate heap footprint of the flat label arrays.
+  size_t MemoryBytes() const override {
+    return label_offsets_.capacity() * sizeof(uint64_t) +
+           hub_ranks_.capacity() * sizeof(NodeId) +
+           label_dists_.capacity() * sizeof(double) +
+           label_parents_.capacity() * sizeof(NodeId) +
+           (order_.capacity() + rank_of_.capacity()) * sizeof(NodeId);
+  }
+
   /// Label size of node v, excluding the sentinel (for tests / diagnostics).
   size_t LabelSize(NodeId v) const {
     return static_cast<size_t>(label_offsets_[v + 1] - label_offsets_[v]) - 1;
@@ -83,14 +92,20 @@ class PrunedLandmarkLabeling final : public DistanceOracle {
 
   /// Serializes the index (labels + hub order) to a portable text format so
   /// production deployments can reuse an index across runs instead of
-  /// rebuilding it. Writes the v2 format, which mirrors the flat CSR layout.
-  /// The graph itself is NOT stored; Deserialize checks that the supplied
-  /// graph has the same shape.
+  /// rebuilding it. Writes the v3 format: the v2 flat-CSR layout plus a
+  /// 64-bit weighted-edge-set fingerprint of the graph the index was built
+  /// over. The graph itself is NOT stored; Deserialize checks the supplied
+  /// graph against the fingerprint.
   std::string Serialize() const;
 
   /// Restores an index previously produced by Serialize over the same graph.
-  /// Reads both the current v2 format and the legacy v1 (nested per-node)
-  /// format. Fails InvalidArgument on corrupt input or a mismatched graph.
+  /// Reads the current v3 format plus the legacy v2 (flat, no fingerprint)
+  /// and v1 (nested per-node) formats. Fails InvalidArgument on corrupt
+  /// input or a mismatched graph: v3 artifacts must match the supplied
+  /// graph's weighted-edge fingerprint exactly, so an index built over a
+  /// same-shape graph with different weights (e.g. another gamma's authority
+  /// transform) is rejected instead of silently answering wrong distances.
+  /// v1/v2 artifacts predate the fingerprint and are checked on shape only.
   static Result<std::unique_ptr<PrunedLandmarkLabeling>> Deserialize(
       const Graph& g, const std::string& content);
 

@@ -129,5 +129,67 @@ TEST(ThreadPoolTest, NumShards) {
   EXPECT_EQ(inline_pool.NumShards(100), 1u);
 }
 
+/// Scoped setenv/unsetenv so env-var tests cannot leak into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+size_t MaxSaneThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return (hw != 0 ? hw : 1) * ThreadPool::kMaxThreadsPerCore;
+}
+
+TEST(ResolveThreadCountTest, ExplicitRequestWins) {
+  ScopedEnv env("TEAMDISC_TEST_THREADS", "3");
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(2, "TEAMDISC_TEST_THREADS"), 2u);
+}
+
+TEST(ResolveThreadCountTest, EnvVarUsedWhenRequestedZero) {
+  ScopedEnv env("TEAMDISC_TEST_THREADS", "3");
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0, "TEAMDISC_TEST_THREADS"), 3u);
+}
+
+TEST(ResolveThreadCountTest, UnsetEnvFallsBackToHardware) {
+  unsetenv("TEAMDISC_TEST_THREADS");
+  size_t resolved = ThreadPool::ResolveThreadCount(0, "TEAMDISC_TEST_THREADS");
+  EXPECT_GE(resolved, 1u);
+  EXPECT_LE(resolved, MaxSaneThreads());
+}
+
+TEST(ResolveThreadCountTest, MalformedEnvFallsBackWithWarningNotZero) {
+  // A typo'd value ("1O", "four", "2x") used to be silently treated as
+  // unset; it must never resolve to 0 and must not be taken at face value.
+  for (const char* bad : {"1O", "four", "2x", "-3", "1.5", ""}) {
+    ScopedEnv env("TEAMDISC_TEST_THREADS", bad);
+    size_t resolved = ThreadPool::ResolveThreadCount(0, "TEAMDISC_TEST_THREADS");
+    EXPECT_GE(resolved, 1u) << "value '" << bad << "'";
+    EXPECT_LE(resolved, MaxSaneThreads()) << "value '" << bad << "'";
+  }
+}
+
+TEST(ResolveThreadCountTest, AbsurdEnvValueIsClamped) {
+  ScopedEnv env("TEAMDISC_TEST_THREADS", "1000000000");
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0, "TEAMDISC_TEST_THREADS"),
+            MaxSaneThreads());
+}
+
+TEST(ResolveThreadCountTest, AbsurdExplicitRequestIsClamped) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(size_t{1} << 40, nullptr),
+            MaxSaneThreads());
+}
+
+TEST(ResolveThreadCountTest, NullEnvVarFallsBackToHardware) {
+  size_t resolved = ThreadPool::ResolveThreadCount(0, nullptr);
+  EXPECT_GE(resolved, 1u);
+  EXPECT_LE(resolved, MaxSaneThreads());
+}
+
 }  // namespace
 }  // namespace teamdisc

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 
 #include "../core/test_networks.h"
 #include "common/thread_pool.h"
+#include "shortest_path/pruned_landmark_labeling.h"
 
 namespace teamdisc {
 namespace {
@@ -76,6 +79,137 @@ TEST_F(OracleCacheTest, InvalidGammaFails) {
   EXPECT_EQ(cache_.stats().misses, 0u);
 }
 
+TEST_F(OracleCacheTest, NonFiniteGammaIsInvalidArgumentNotUb) {
+  // NaN passes plain range comparisons (NaN < 0 and NaN > 1 are both false)
+  // and would reach std::lround in GammaBasisPoints, which is undefined for
+  // NaN; huge values would overflow the basis-point key. All must be
+  // rejected up front.
+  const double bad[] = {std::nan(""), std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity(), 1e300,
+                        -1e300};
+  for (double gamma : bad) {
+    auto result = cache_.Get(RankingStrategy::kSACACC, gamma,
+                             OracleKind::kDijkstra);
+    ASSERT_FALSE(result.ok()) << "gamma=" << gamma;
+    EXPECT_TRUE(result.status().IsInvalidArgument()) << "gamma=" << gamma;
+  }
+  EXPECT_EQ(cache_.stats().misses, 0u);
+  // CC ignores gamma entirely, so even a NaN gamma is fine there.
+  EXPECT_TRUE(
+      cache_.Get(RankingStrategy::kCC, std::nan(""), OracleKind::kDijkstra).ok());
+}
+
+TEST_F(OracleCacheTest, EvictsLeastRecentlyUsedUnderMemoryPressure) {
+  // A budget of one byte forces an eviction on every insertion beyond the
+  // first resident entry (the just-returned entry is never evicted).
+  OracleCache tiny(net_, {.memory_budget_bytes = 1});
+  auto a = tiny.Get(RankingStrategy::kSACACC, 0.2,
+                    OracleKind::kPrunedLandmarkLabeling)
+               .ValueOrDie();
+  EXPECT_EQ(tiny.stats().evictions, 0u);  // sole entry is kept
+  auto b = tiny.Get(RankingStrategy::kSACACC, 0.8,
+                    OracleKind::kPrunedLandmarkLabeling)
+               .ValueOrDie();
+  auto stats = tiny.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);  // the 0.2 entry was LRU and over budget
+  // Re-requesting the evicted gamma is a fresh miss (and evicts 0.8 in turn).
+  auto a2 = tiny.Get(RankingStrategy::kSACACC, 0.2,
+                     OracleKind::kPrunedLandmarkLabeling)
+                .ValueOrDie();
+  stats = tiny.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST_F(OracleCacheTest, HeldViewSurvivesEviction) {
+  OracleCache tiny(net_, {.memory_budget_bytes = 1});
+  auto view = tiny.Get(RankingStrategy::kSACACC, 0.3,
+                       OracleKind::kPrunedLandmarkLabeling)
+                  .ValueOrDie();
+  const double before = view.oracle->Distance(0, 9);
+  ASSERT_NE(view.transformed, nullptr);
+  const double gamma_before = view.transformed->gamma;
+  // Force the 0.3 entry out while `view` is still held.
+  for (double gamma : {0.1, 0.5, 0.9}) {
+    tiny.Get(RankingStrategy::kSACACC, gamma,
+             OracleKind::kPrunedLandmarkLabeling)
+        .ValueOrDie();
+  }
+  EXPECT_GE(tiny.stats().evictions, 1u);
+  // The pinned view still answers identically: eviction dropped the cache's
+  // reference, not the index (freed only when the last View goes away).
+  EXPECT_EQ(view.oracle->Distance(0, 9), before);
+  EXPECT_EQ(view.transformed->gamma, gamma_before);
+  // The budget counts only resident entries, so the pinned-but-evicted
+  // index is no longer part of resident_bytes.
+  EXPECT_GT(tiny.stats().resident_bytes, 0u);
+}
+
+TEST_F(OracleCacheTest, UnboundedCacheNeverEvicts) {
+  for (double gamma : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    cache_.Get(RankingStrategy::kSACACC, gamma, OracleKind::kDijkstra)
+        .ValueOrDie();
+  }
+  EXPECT_EQ(cache_.stats().evictions, 0u);
+  EXPECT_EQ(cache_.stats().misses, 5u);
+}
+
+TEST_F(OracleCacheTest, ArtifactLoaderSatisfiesMissWithoutBuild) {
+  // Serialize an index for gamma=0.4's transform, then serve it through the
+  // loader hook: the cache must count a load, not a build.
+  auto transformed = BuildAuthorityTransform(net_, 0.4).ValueOrDie();
+  auto prebuilt =
+      PrunedLandmarkLabeling::Build(transformed.graph).ValueOrDie();
+  const std::string artifact = prebuilt->Serialize();
+  int loader_calls = 0;
+  cache_.set_artifact_loader(
+      [&](const OracleCache::EntryInfo& info, const Graph& search_graph)
+          -> Result<std::unique_ptr<DistanceOracle>> {
+        ++loader_calls;
+        if (!info.transformed || info.gamma_bp != 4000 ||
+            info.kind != OracleKind::kPrunedLandmarkLabeling) {
+          return std::unique_ptr<DistanceOracle>(nullptr);  // no artifact
+        }
+        TD_ASSIGN_OR_RETURN(auto pll, PrunedLandmarkLabeling::Deserialize(
+                                          search_graph, artifact));
+        return std::unique_ptr<DistanceOracle>(std::move(pll));
+      });
+  auto view = cache_.Get(RankingStrategy::kSACACC, 0.4,
+                         OracleKind::kPrunedLandmarkLabeling)
+                  .ValueOrDie();
+  EXPECT_EQ(loader_calls, 1);
+  auto stats = cache_.stats();
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.builds, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  // The loaded index answers over the rebuilt transform.
+  EXPECT_EQ(view.oracle->Distance(1, 6), prebuilt->Distance(1, 6));
+  // A key with no artifact falls through to a build.
+  cache_.Get(RankingStrategy::kSACACC, 0.6, OracleKind::kPrunedLandmarkLabeling)
+      .ValueOrDie();
+  stats = cache_.stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.loads, 1u);
+}
+
+TEST_F(OracleCacheTest, ArtifactSaverSeesFreshBuildsOnly) {
+  int saves = 0;
+  cache_.set_artifact_saver(
+      [&](const OracleCache::EntryInfo& info, const DistanceOracle& oracle) {
+        ++saves;
+        EXPECT_TRUE(info.transformed);
+        EXPECT_EQ(info.gamma_bp, 7000);
+        EXPECT_GT(oracle.MemoryBytes(), 0u);
+      });
+  cache_.Get(RankingStrategy::kSACACC, 0.7, OracleKind::kPrunedLandmarkLabeling)
+      .ValueOrDie();
+  cache_.Get(RankingStrategy::kSACACC, 0.7, OracleKind::kPrunedLandmarkLabeling)
+      .ValueOrDie();  // hit: no second save
+  EXPECT_EQ(saves, 1);
+}
+
 TEST_F(OracleCacheTest, ConcurrentGetBuildsExactlyOnce) {
   ThreadPool pool(4);
   std::atomic<int> failures{0};
@@ -87,7 +221,7 @@ TEST_F(OracleCacheTest, ConcurrentGetBuildsExactlyOnce) {
       ++failures;
       return;
     }
-    seen[i] = view.ValueOrDie().oracle;
+    seen[i] = view.ValueOrDie().oracle.get();
   });
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(cache_.stats().misses, 1u);

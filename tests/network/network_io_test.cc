@@ -19,13 +19,85 @@ ExpertNetwork SampleNet() {
 
 TEST(NetworkIoTest, SerializeSections) {
   std::string s = SerializeNetwork(SampleNet());
+  EXPECT_NE(s.find("format 2"), std::string::npos);
   EXPECT_NE(s.find("experts 3"), std::string::npos);
   EXPECT_NE(s.find("edges 2"), std::string::npos);
-  // Spaces in names and skills become underscores.
-  EXPECT_NE(s.find("Alice_Smith"), std::string::npos);
-  EXPECT_NE(s.find("data_mining,nlp"), std::string::npos);
+  // Spaces in names and skills are percent-escaped, never folded.
+  EXPECT_NE(s.find("Alice%20Smith"), std::string::npos);
+  EXPECT_NE(s.find("data%20mining,nlp"), std::string::npos);
+  EXPECT_EQ(s.find("Alice_Smith"), std::string::npos);
   // Skill-less experts serialize a dash.
   EXPECT_NE(s.find(" Bob -"), std::string::npos);
+}
+
+TEST(NetworkIoTest, RoundTripPreservesNamesWithSpaces) {
+  // The old writer folded whitespace to '_', so "John Smith" came back as
+  // "John_Smith" and the CLI papered over it with an underscore<->space
+  // retry. The escaped format must round-trip names exactly.
+  ExpertNetworkBuilder b;
+  b.AddExpert("John Smith", {"machine learning", "data, wrangling"}, 5.0, 9);
+  b.AddExpert("Ada 100% Lovelace", {"machine learning"}, 9.0, 3);
+  b.AddExpert("", {}, 2.0, 0);  // empty name must survive too
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.25));
+  TD_CHECK_OK(b.AddEdge(1, 2, 0.5));
+  ExpertNetwork net = b.Finish().ValueOrDie();
+  ExpertNetwork parsed = DeserializeNetwork(SerializeNetwork(net)).ValueOrDie();
+  ASSERT_EQ(parsed.num_experts(), 3u);
+  EXPECT_EQ(parsed.expert(0).name, "John Smith");
+  EXPECT_EQ(parsed.expert(1).name, "Ada 100% Lovelace");
+  EXPECT_EQ(parsed.expert(2).name, "");
+  SkillId ml = parsed.skills().Find("machine learning");
+  ASSERT_NE(ml, kInvalidSkill);
+  EXPECT_EQ(parsed.ExpertsWithSkill(ml).size(), 2u);
+  // Even a comma inside a skill name survives the comma-separated list.
+  EXPECT_NE(parsed.skills().Find("data, wrangling"), kInvalidSkill);
+}
+
+TEST(NetworkIoTest, SkillNamedDashDoesNotCollideWithEmptySentinel) {
+  // "-" as the whole skills field means "no skills"; a skill literally
+  // named "-" must therefore serialize escaped, not vanish on round trip.
+  ExpertNetworkBuilder b;
+  b.AddExpert("solo", {"-"}, 3.0, 1);
+  b.AddExpert("none", {}, 2.0, 0);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  ExpertNetwork parsed =
+      DeserializeNetwork(SerializeNetwork(b.Finish().ValueOrDie())).ValueOrDie();
+  ASSERT_EQ(parsed.expert(0).skills.size(), 1u);
+  EXPECT_NE(parsed.skills().Find("-"), kInvalidSkill);
+  EXPECT_TRUE(parsed.expert(1).skills.empty());
+}
+
+TEST(NetworkIoTest, ReadsLegacyV1FilesLiterally) {
+  // No `format` line: a legacy file whose names were underscore-folded by
+  // the old writer. They parse back exactly as stored — including '%',
+  // which must NOT be treated as an escape in v1.
+  std::string content =
+      "# teamdisc expert network v1\n"
+      "experts 2\n"
+      "0 4 7 John_Smith data_mining\n"
+      "1 2 1 100%_done -\n"
+      "edges 1\n"
+      "0 1 0.75\n";
+  ExpertNetwork net = DeserializeNetwork(content).ValueOrDie();
+  EXPECT_EQ(net.expert(0).name, "John_Smith");
+  EXPECT_EQ(net.expert(1).name, "100%_done");
+  EXPECT_NE(net.skills().Find("data_mining"), kInvalidSkill);
+}
+
+TEST(NetworkIoTest, RejectsMalformedEscapes) {
+  const std::string prefix = "format 2\nexperts 1\n0 1 0 ";
+  const std::string suffix = " -\nedges 0\n";
+  EXPECT_FALSE(DeserializeNetwork(prefix + "bad%2" + suffix).ok());
+  EXPECT_FALSE(DeserializeNetwork(prefix + "bad%zz" + suffix).ok());
+  EXPECT_FALSE(DeserializeNetwork(prefix + "trailing%" + suffix).ok());
+}
+
+TEST(NetworkIoTest, RejectsUnsupportedFormatVersion) {
+  EXPECT_FALSE(DeserializeNetwork("format 3\nexperts 0\nedges 0\n").ok());
+  EXPECT_FALSE(DeserializeNetwork("format 0\nexperts 0\nedges 0\n").ok());
+  // format after the experts header is malformed.
+  EXPECT_FALSE(
+      DeserializeNetwork("experts 0\nformat 2\nedges 0\n").ok());
 }
 
 TEST(NetworkIoTest, RoundTripPreservesEverything) {

@@ -1,0 +1,199 @@
+#include "service/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "../core/test_networks.h"
+#include "network/authority_transform.h"
+#include "network/network_io.h"
+
+namespace teamdisc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(SnapshotManifestTest, SerializeParseRoundTrip) {
+  SnapshotManifest manifest;
+  manifest.network_file = "network.net";
+  manifest.network_fingerprint = 0xdeadbeefcafef00dULL;
+  manifest.entries.push_back(
+      {false, 0, OracleKind::kPrunedLandmarkLabeling, "index-base-pll.pll"});
+  manifest.entries.push_back(
+      {true, 2500, OracleKind::kPrunedLandmarkLabeling, "index-g2500-pll.pll"});
+  auto parsed =
+      ParseSnapshotManifest(SerializeSnapshotManifest(manifest)).ValueOrDie();
+  EXPECT_EQ(parsed.network_file, manifest.network_file);
+  EXPECT_EQ(parsed.network_fingerprint, manifest.network_fingerprint);
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_FALSE(parsed.entries[0].transformed);
+  EXPECT_TRUE(parsed.entries[1].transformed);
+  EXPECT_EQ(parsed.entries[1].gamma_bp, 2500);
+  EXPECT_EQ(parsed.entries[1].file, "index-g2500-pll.pll");
+}
+
+TEST(SnapshotManifestTest, RejectsMalformedManifests) {
+  EXPECT_TRUE(ParseSnapshotManifest("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSnapshotManifest("garbage v1\n").status().IsInvalidArgument());
+  // Missing network line.
+  EXPECT_TRUE(ParseSnapshotManifest("teamdisc-snapshot v1\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Index line before network line.
+  EXPECT_TRUE(ParseSnapshotManifest("teamdisc-snapshot v1\n"
+                                    "index base 0 pll x.pll\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Non-hex fingerprint.
+  EXPECT_TRUE(ParseSnapshotManifest("teamdisc-snapshot v1\n"
+                                    "network net.net nothex!\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Artifact path escaping the snapshot directory.
+  EXPECT_TRUE(ParseSnapshotManifest("teamdisc-snapshot v1\n"
+                                    "network net.net 0abc\n"
+                                    "index base 0 pll ../evil.pll\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Network file escaping the snapshot directory (same trust boundary).
+  EXPECT_TRUE(ParseSnapshotManifest("teamdisc-snapshot v1\n"
+                                    "network ../outside.net 0abc\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSnapshotManifest("teamdisc-snapshot v1\n"
+                                    "network /etc/passwd 0abc\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Base entry with a nonzero gamma.
+  EXPECT_TRUE(ParseSnapshotManifest("teamdisc-snapshot v1\n"
+                                    "network net.net 0abc\n"
+                                    "index base 500 pll x.pll\n")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SnapshotTest, BuildSnapshotWritesLoadableArtifacts) {
+  ExpertNetwork net = MediumNetwork();
+  const std::string dir = FreshDir("snapshot_build");
+  BuildSnapshotOptions options;
+  options.gammas = {0.25, 0.75};
+  auto manifest = BuildSnapshot(net, dir, options).ValueOrDie();
+  ASSERT_EQ(manifest.entries.size(), 3u);  // base + two gammas
+  EXPECT_EQ(manifest.network_fingerprint, WeightedEdgeFingerprint(net.graph()));
+
+  // The manifest on disk parses back to the same contents.
+  auto reread = ReadSnapshotManifest(dir).ValueOrDie();
+  EXPECT_EQ(SerializeSnapshotManifest(reread),
+            SerializeSnapshotManifest(manifest));
+
+  // The persisted network round-trips.
+  auto net2 = LoadNetwork(dir + "/" + manifest.network_file).ValueOrDie();
+  EXPECT_EQ(WeightedEdgeFingerprint(net2.graph()),
+            manifest.network_fingerprint);
+
+  // Every artifact deserializes against the graph it claims to index.
+  auto base = LoadIndexArtifact(dir, manifest, false, 0,
+                                OracleKind::kPrunedLandmarkLabeling,
+                                net.graph())
+                  .ValueOrDie();
+  ASSERT_NE(base, nullptr);
+  auto transformed = BuildAuthorityTransform(net, 0.25).ValueOrDie();
+  auto g25 = LoadIndexArtifact(dir, manifest, true, 2500,
+                               OracleKind::kPrunedLandmarkLabeling,
+                               transformed.graph)
+                 .ValueOrDie();
+  ASSERT_NE(g25, nullptr);
+  EXPECT_EQ(g25->Distance(0, 9), PrunedLandmarkLabeling::Build(transformed.graph)
+                                     .ValueOrDie()
+                                     ->Distance(0, 9));
+}
+
+TEST(SnapshotTest, LoadRejectsCrossGammaArtifact) {
+  // The regression at the heart of this PR: the gamma=0.25 artifact loaded
+  // against the gamma=0.75 transform (same shape, different weights) must
+  // fail, not silently serve wrong distances.
+  ExpertNetwork net = MediumNetwork();
+  const std::string dir = FreshDir("snapshot_cross_gamma");
+  BuildSnapshotOptions options;
+  options.gammas = {0.25};
+  options.include_base = false;
+  auto manifest = BuildSnapshot(net, dir, options).ValueOrDie();
+  // Doctor the manifest so the 0.25 artifact claims to be the 0.75 index.
+  ASSERT_EQ(manifest.entries.size(), 1u);
+  manifest.entries[0].gamma_bp = 7500;
+  auto wrong = BuildAuthorityTransform(net, 0.75).ValueOrDie();
+  auto result = LoadIndexArtifact(dir, manifest, true, 7500,
+                                  OracleKind::kPrunedLandmarkLabeling,
+                                  wrong.graph);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status().ToString();
+}
+
+TEST(SnapshotTest, BuildSnapshotDedupesGammasAtBasisPointResolution) {
+  // 0.5 twice plus a value that quantizes to the same basis points must
+  // produce one transform artifact, not three identical builds / duplicate
+  // manifest lines.
+  ExpertNetwork net = MediumNetwork();
+  const std::string dir = FreshDir("snapshot_dedupe");
+  BuildSnapshotOptions options;
+  options.gammas = {0.5, 0.5, 0.500001};
+  options.include_base = false;
+  auto manifest = BuildSnapshot(net, dir, options).ValueOrDie();
+  ASSERT_EQ(manifest.entries.size(), 1u);
+  EXPECT_EQ(manifest.entries[0].gamma_bp, 5000);
+}
+
+TEST(SnapshotTest, LoadReturnsNullForMissingEntry) {
+  ExpertNetwork net = MediumNetwork();
+  const std::string dir = FreshDir("snapshot_missing");
+  BuildSnapshotOptions options;
+  options.gammas = {};
+  auto manifest = BuildSnapshot(net, dir, options).ValueOrDie();
+  auto absent = LoadIndexArtifact(dir, manifest, true, 5000,
+                                  OracleKind::kPrunedLandmarkLabeling,
+                                  net.graph())
+                    .ValueOrDie();
+  EXPECT_EQ(absent, nullptr);
+}
+
+TEST(SnapshotTest, AddIndexArtifactAppendsAndPersists) {
+  ExpertNetwork net = MediumNetwork();
+  const std::string dir = FreshDir("snapshot_append");
+  BuildSnapshotOptions options;
+  options.gammas = {};
+  auto manifest = BuildSnapshot(net, dir, options).ValueOrDie();
+  ASSERT_EQ(manifest.entries.size(), 1u);
+
+  auto transformed = BuildAuthorityTransform(net, 0.5).ValueOrDie();
+  auto pll = PrunedLandmarkLabeling::Build(transformed.graph).ValueOrDie();
+  TD_CHECK_OK(AddIndexArtifact(dir, manifest, true, 5000,
+                               OracleKind::kPrunedLandmarkLabeling, *pll));
+  EXPECT_EQ(manifest.entries.size(), 2u);
+  // Idempotent: a second add of the same key is a no-op.
+  TD_CHECK_OK(AddIndexArtifact(dir, manifest, true, 5000,
+                               OracleKind::kPrunedLandmarkLabeling, *pll));
+  EXPECT_EQ(manifest.entries.size(), 2u);
+  // The rewritten on-disk manifest lists the new artifact, and it loads.
+  auto reread = ReadSnapshotManifest(dir).ValueOrDie();
+  ASSERT_EQ(reread.entries.size(), 2u);
+  auto loaded = LoadIndexArtifact(dir, reread, true, 5000,
+                                  OracleKind::kPrunedLandmarkLabeling,
+                                  transformed.graph)
+                    .ValueOrDie();
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->Distance(2, 6), pll->Distance(2, 6));
+}
+
+TEST(SnapshotTest, ReadMissingDirectoryFails) {
+  EXPECT_TRUE(
+      ReadSnapshotManifest("/no/such/snapshot").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace teamdisc

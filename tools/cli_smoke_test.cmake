@@ -1,6 +1,7 @@
 # End-to-end smoke test for teamdisc_cli, run via `cmake -P` so it works on
 # any platform ctest runs on. Drives: generate -> info -> skills -> find ->
-# pareto on a tiny synthetic network, checking exit codes and output shape.
+# pareto -> build-index -> serve-bench on a tiny synthetic network, checking
+# exit codes and output shape, plus the unknown-flag rejection path.
 #
 # Required -D variables: TEAMDISC_CLI (path to binary), WORK_DIR (scratch dir).
 
@@ -11,6 +12,7 @@ endif()
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(NET "${WORK_DIR}/tiny.net")
+set(SNAP "${WORK_DIR}/snapshot")
 
 function(run_cli expect_substr)
   execute_process(
@@ -25,6 +27,22 @@ function(run_cli expect_substr)
     message(FATAL_ERROR "teamdisc_cli ${ARGN}: output missing '${expect_substr}'\nstdout:\n${out}")
   endif()
   set(CLI_OUT "${out}" PARENT_SCOPE)
+endfunction()
+
+# Expects the command to fail with exit code `expect_rc` and stderr matching
+# `expect_substr` (the unknown-flag diagnostic path).
+function(run_cli_expect_fail expect_rc expect_substr)
+  execute_process(
+    COMMAND ${TEAMDISC_CLI} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "teamdisc_cli ${ARGN}: expected exit ${expect_rc}, got ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  if(expect_substr AND NOT err MATCHES "${expect_substr}")
+    message(FATAL_ERROR "teamdisc_cli ${ARGN}: stderr missing '${expect_substr}'\nstderr:\n${err}")
+  endif()
 endfunction()
 
 # 1. generate: writes the network file and reports its shape.
@@ -56,15 +74,49 @@ endforeach()
 if(SKILL STREQUAL "")
   message(FATAL_ERROR "could not parse a skill name from skills output:\n${CLI_OUT}")
 endif()
-# The CLI accepts underscores in place of spaces on the command line.
-string(REPLACE " " "_" SKILL_ARG "${SKILL}")
+# Names round-trip exactly now (percent-escaped in the file), so the table's
+# skill name — spaces and all — is the name the CLI takes.
 
 # 4. find: top-1 team for a single-skill project; expect a ranked team with
 # an objective value and the CC/CA/SA breakdown line.
-run_cli("#1 \\(objective " find "${NET}" "--skills=${SKILL_ARG}" --strategy=sacacc --top-k=1)
-run_cli("CC=" find "${NET}" "--skills=${SKILL_ARG}" --oracle=dijkstra)
+run_cli("#1 \\(objective " find "${NET}" "--skills=${SKILL}" --strategy=sacacc --top-k=1)
+run_cli("CC=" find "${NET}" "--skills=${SKILL}" --oracle=dijkstra)
 
 # 5. pareto: front table over (CC, CA, SA).
-run_cli("CC" pareto "${NET}" "--skills=${SKILL_ARG}" --grid=3)
+run_cli("CC" pareto "${NET}" "--skills=${SKILL}" --grid=3)
+
+# 6. Unknown flags are rejected with exit 2 and a diagnostic naming the
+# valid ones — a typo'd --gama must never silently use the default gamma.
+run_cli_expect_fail(2 "unknown flag --gama" find "${NET}" "--skills=${SKILL}" --gama=0.5)
+run_cli_expect_fail(2 "valid flags: .*--gamma" find "${NET}" "--skills=${SKILL}" --gama=0.5)
+run_cli_expect_fail(2 "unknown flag --expert" generate "${WORK_DIR}/x.net" --expert=5)
+run_cli_expect_fail(2 "this command takes no flags" info "${NET}" --verbose)
+
+# 7. build-index: writes a serving snapshot with fingerprinted artifacts.
+run_cli("wrote snapshot .*2 index artifact" build-index "${NET}" "${SNAP}" --gammas=0.6)
+if(NOT EXISTS "${SNAP}/manifest.txt")
+  message(FATAL_ERROR "build-index did not write ${SNAP}/manifest.txt")
+endif()
+if(NOT EXISTS "${SNAP}/index-g6000-pll.pll")
+  message(FATAL_ERROR "build-index did not write the gamma=0.6 artifact")
+endif()
+run_cli_expect_fail(2 "unknown flag --gama" build-index "${NET}" "${SNAP}" --gama=0.6)
+
+# 8. serve-bench: answers every request off the snapshot (0 builds) and
+# reports QPS + latency percentiles, persisted as JSON.
+run_cli("qps [0-9]" serve-bench "${SNAP}" --requests=24 --workers=2
+        "--out=${WORK_DIR}/BENCH_serve.json")
+run_cli("0 builds" serve-bench "${SNAP}" --requests=24 --workers=2
+        "--out=${WORK_DIR}/BENCH_serve.json")
+if(NOT EXISTS "${WORK_DIR}/BENCH_serve.json")
+  message(FATAL_ERROR "serve-bench did not write BENCH_serve.json")
+endif()
+file(READ "${WORK_DIR}/BENCH_serve.json" SERVE_JSON)
+foreach(field qps p50_ms p99_ms "\"builds\": 0")
+  if(NOT SERVE_JSON MATCHES "${field}")
+    message(FATAL_ERROR "BENCH_serve.json missing ${field}:\n${SERVE_JSON}")
+  endif()
+endforeach()
+run_cli_expect_fail(2 "unknown flag --worker\n" serve-bench "${SNAP}" --worker=2)
 
 message(STATUS "cli_smoke passed")

@@ -16,6 +16,22 @@
 //
 //   teamdisc_cli pareto <net> --skills=a,b,c [--grid=5]
 //       Print the Pareto front over (CC, CA, SA).
+//
+//   teamdisc_cli build-index <net> <snapshot-dir> [--gammas=0,0.25,0.5,0.75,1]
+//       [--no-base] [--threads=N]
+//       Pre-build the per-gamma PLL indexes and write a serving snapshot
+//       (manifest + network + fingerprinted index artifacts).
+//
+//   teamdisc_cli serve-bench <snapshot-dir> [--requests=200] [--workers=4]
+//       [--skills-per-request=3] [--top-k=1] [--lambda=0.6] [--seed=42]
+//       [--budget-mb=0] [--out=BENCH_serve.json]
+//       Closed-loop request driver against a snapshot-backed
+//       TeamDiscoveryService; reports QPS and latency percentiles and
+//       writes them as JSON.
+//
+// Unknown --flags are rejected with exit code 2 (listing the valid ones),
+// so a typo'd --gama=0.5 can never silently run with the default gamma.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -30,6 +46,7 @@
 #include "eval/table_printer.h"
 #include "graph/graph_algos.h"
 #include "network/network_io.h"
+#include "service/team_discovery_service.h"
 
 namespace teamdisc {
 namespace {
@@ -79,8 +96,37 @@ Args ParseArgs(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: teamdisc_cli <generate|info|skills|find|pareto> ...\n"
+               "usage: teamdisc_cli "
+               "<generate|info|skills|find|pareto|build-index|serve-bench> ...\n"
                "see the header of tools/teamdisc_cli.cc for details\n");
+  return 2;
+}
+
+/// Rejects flags the command does not know (exit 2, listing the valid
+/// ones): a typo'd --gama=0.5 must fail loudly, not run with the default.
+/// Returns 0 when all flags are known.
+int RejectUnknownFlags(const Args& args,
+                       const std::vector<std::string>& known) {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : args.flags) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      unknown.push_back(key);
+    }
+  }
+  if (unknown.empty()) return 0;
+  for (const std::string& key : unknown) {
+    std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+  }
+  if (known.empty()) {
+    std::fprintf(stderr, "this command takes no flags\n");
+  } else {
+    std::string list;
+    for (const std::string& key : known) {
+      if (!list.empty()) list += ", ";
+      list += "--" + key;
+    }
+    std::fprintf(stderr, "valid flags: %s\n", list.c_str());
+  }
   return 2;
 }
 
@@ -98,21 +144,16 @@ Result<Project> ParseSkills(const ExpertNetwork& net, const Args& args) {
   }
   std::vector<std::string> names;
   for (std::string_view s : Split(it->second, ',')) {
-    // Skill names may contain underscores in files; accept both.
-    std::string name(StripWhitespace(s));
-    for (char& c : name) {
-      if (c == '_') c = ' ';
-    }
-    if (net.skills().Find(name) == kInvalidSkill) {
-      // Retry with underscores kept (files store them that way).
-      name = std::string(StripWhitespace(s));
-    }
-    names.push_back(std::move(name));
+    // The file format preserves names exactly (network_io escaping), so the
+    // name on the command line is the name in the network — no
+    // underscore/space guessing.
+    names.emplace_back(StripWhitespace(s));
   }
   return MakeProject(net, names);
 }
 
 int CmdGenerate(const Args& args) {
+  if (int rc = RejectUnknownFlags(args, {"experts", "edges", "seed"})) return rc;
   if (args.positional.size() < 2) return Usage();
   DblpConfig config;
   config.num_authors = static_cast<uint32_t>(args.GetUint("experts", 4000));
@@ -136,6 +177,7 @@ int CmdGenerate(const Args& args) {
 }
 
 int CmdInfo(const Args& args) {
+  if (int rc = RejectUnknownFlags(args, {})) return rc;
   auto net = Load(args);
   if (!net.ok()) {
     std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
@@ -162,6 +204,7 @@ int CmdInfo(const Args& args) {
 }
 
 int CmdSkills(const Args& args) {
+  if (int rc = RejectUnknownFlags(args, {"min-holders"})) return rc;
   auto net = Load(args);
   if (!net.ok()) {
     std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
@@ -181,6 +224,10 @@ int CmdSkills(const Args& args) {
 }
 
 int CmdFind(const Args& args) {
+  if (int rc = RejectUnknownFlags(
+          args, {"skills", "strategy", "gamma", "lambda", "top-k", "oracle"})) {
+    return rc;
+  }
   auto net = Load(args);
   if (!net.ok()) {
     std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
@@ -232,6 +279,7 @@ int CmdFind(const Args& args) {
 }
 
 int CmdPareto(const Args& args) {
+  if (int rc = RejectUnknownFlags(args, {"skills", "grid"})) return rc;
   auto net = Load(args);
   if (!net.ok()) {
     std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
@@ -261,6 +309,166 @@ int CmdPareto(const Args& args) {
   return 0;
 }
 
+int CmdBuildIndex(const Args& args) {
+  if (int rc = RejectUnknownFlags(args, {"gammas", "no-base", "threads"})) {
+    return rc;
+  }
+  if (args.positional.size() < 3) {
+    std::fprintf(stderr, "usage: teamdisc_cli build-index <net> <snapshot-dir> "
+                         "[--gammas=...] [--no-base] [--threads=N]\n");
+    return 2;
+  }
+  auto net = LoadNetwork(args.positional[1]);
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  BuildSnapshotOptions options;
+  options.pll.num_threads = static_cast<size_t>(args.GetUint("threads", 0));
+  options.include_base = args.flags.find("no-base") == args.flags.end();
+  auto it = args.flags.find("gammas");
+  if (it != args.flags.end()) {
+    options.gammas.clear();
+    for (std::string_view g : Split(it->second, ',')) {
+      auto parsed = ParseDouble(StripWhitespace(g));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --gammas value '%s': %s\n",
+                     std::string(g).c_str(),
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      options.gammas.push_back(parsed.ValueOrDie());
+    }
+  }
+  const std::string& dir = args.positional[2];
+  auto manifest = BuildSnapshot(net.ValueOrDie(), dir, options);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "build-index failed: %s\n",
+                 manifest.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote snapshot %s: %zu index artifact(s), network fingerprint "
+              "%016llx\n",
+              dir.c_str(), manifest.ValueOrDie().entries.size(),
+              static_cast<unsigned long long>(
+                  manifest.ValueOrDie().network_fingerprint));
+  for (const SnapshotIndexEntry& e : manifest.ValueOrDie().entries) {
+    std::printf("  %s gamma_bp=%d kind=%s -> %s\n",
+                e.transformed ? "transform" : "base", e.gamma_bp,
+                std::string(OracleKindToString(e.kind)).c_str(),
+                e.file.c_str());
+  }
+  return 0;
+}
+
+int CmdServeBench(const Args& args) {
+  if (int rc = RejectUnknownFlags(
+          args, {"requests", "workers", "skills-per-request", "top-k", "lambda",
+                 "seed", "budget-mb", "out"})) {
+    return rc;
+  }
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: teamdisc_cli serve-bench <snapshot-dir> [flags]\n");
+    return 2;
+  }
+  ServiceOptions options;
+  options.snapshot_dir = args.positional[1];
+  options.cache_budget_bytes =
+      static_cast<size_t>(args.GetUint("budget-mb", 0)) * (size_t{1} << 20);
+  auto service = TeamDiscoveryService::Open(options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "cannot open snapshot: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  const TeamDiscoveryService& svc = *service.ValueOrDie();
+  const ExpertNetwork& net = svc.network();
+  if (net.num_skills() == 0) {
+    std::fprintf(stderr, "snapshot network has no skills to query\n");
+    return 1;
+  }
+
+  const size_t workers = static_cast<size_t>(args.GetUint("workers", 4));
+  RequestMixOptions mix;
+  mix.count = static_cast<size_t>(args.GetUint("requests", 200));
+  mix.skills_per_request =
+      static_cast<uint32_t>(args.GetUint("skills-per-request", 3));
+  mix.lambda = args.GetDouble("lambda", 0.6);
+  mix.top_k = static_cast<uint32_t>(args.GetUint("top-k", 1));
+  mix.seed = args.GetUint("seed", 42);
+  const uint32_t skills_per_request = mix.skills_per_request;
+  std::vector<TeamRequest> requests =
+      MakeRequestMix(net, svc.manifest(), mix);
+
+  auto report = svc.ServeBatch(requests, workers);
+  if (!report.ok()) {
+    std::fprintf(stderr, "serve-bench failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const ServeReport& r = report.ValueOrDie();
+  const OracleCache::Stats cache = svc.cache_stats();
+  std::printf("served %llu requests over %zu worker(s) in %.3f s\n",
+              static_cast<unsigned long long>(r.requests), workers,
+              r.wall_seconds);
+  std::printf("qps %.1f | p50 %.3f ms | p90 %.3f ms | p99 %.3f ms | max %.3f ms\n",
+              r.qps, r.p50_ms, r.p90_ms, r.p99_ms, r.max_ms);
+  std::printf("solved %llu, infeasible %llu, failures %llu\n",
+              static_cast<unsigned long long>(r.solved),
+              static_cast<unsigned long long>(r.infeasible),
+              static_cast<unsigned long long>(r.failures));
+  std::printf("cache: %llu hits, %llu misses, %llu loads, %llu builds, "
+              "%llu evictions\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.loads),
+              static_cast<unsigned long long>(cache.builds),
+              static_cast<unsigned long long>(cache.evictions));
+
+  const std::string out_path = args.Get("out", "BENCH_serve.json");
+  if (!out_path.empty()) {
+    std::string json = StrFormat(
+        "{\n"
+        "  \"snapshot\": \"%s\",\n"
+        "  \"requests\": %llu,\n"
+        "  \"workers\": %zu,\n"
+        "  \"skills_per_request\": %u,\n"
+        "  \"wall_seconds\": %.6f,\n"
+        "  \"qps\": %.2f,\n"
+        "  \"p50_ms\": %.4f,\n"
+        "  \"p90_ms\": %.4f,\n"
+        "  \"p99_ms\": %.4f,\n"
+        "  \"max_ms\": %.4f,\n"
+        "  \"solved\": %llu,\n"
+        "  \"infeasible\": %llu,\n"
+        "  \"failures\": %llu,\n"
+        "  \"cache\": { \"hits\": %llu, \"misses\": %llu, \"loads\": %llu, "
+        "\"builds\": %llu, \"evictions\": %llu }\n"
+        "}\n",
+        options.snapshot_dir.c_str(),
+        static_cast<unsigned long long>(r.requests), workers,
+        skills_per_request, r.wall_seconds, r.qps, r.p50_ms, r.p90_ms,
+        r.p99_ms, r.max_ms, static_cast<unsigned long long>(r.solved),
+        static_cast<unsigned long long>(r.infeasible),
+        static_cast<unsigned long long>(r.failures),
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.loads),
+        static_cast<unsigned long long>(cache.builds),
+        static_cast<unsigned long long>(cache.evictions));
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return r.failures == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args = ParseArgs(argc, argv);
@@ -277,6 +485,8 @@ int Main(int argc, char** argv) {
   if (command == "skills") return CmdSkills(args);
   if (command == "find") return CmdFind(args);
   if (command == "pareto") return CmdPareto(args);
+  if (command == "build-index") return CmdBuildIndex(args);
+  if (command == "serve-bench") return CmdServeBench(args);
   return Usage();
 }
 
