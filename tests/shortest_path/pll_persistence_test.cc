@@ -83,15 +83,15 @@ TEST(PllPersistenceTest, RejectsCorruptInput) {
   (void)PrunedLandmarkLabeling::Deserialize(g, tampered);  // must not crash
 }
 
-TEST(PllPersistenceTest, V2RoundTripIdenticalAnswersOnWeightedGraph) {
-  // Nontrivial weighted graph, parallel-built index: the v2 (flat CSR)
-  // round-trip must answer every query identically, bit for bit.
+TEST(PllPersistenceTest, V3RoundTripIdenticalAnswersOnWeightedGraph) {
+  // Nontrivial weighted graph, parallel-built index: the v3 (flat CSR +
+  // fingerprint) round-trip must answer every query identically, bit for bit.
   Rng rng(101);
   Graph g = BarabasiAlbert(180, 3, rng, 0.2, 5.0).ValueOrDie();
   auto original =
       PrunedLandmarkLabeling::Build(g, {.num_threads = 4}).ValueOrDie();
   std::string serialized = original->Serialize();
-  EXPECT_EQ(serialized.rfind("pll v2 ", 0), 0u) << "Serialize must emit v2";
+  EXPECT_EQ(serialized.rfind("pll v3 ", 0), 0u) << "Serialize must emit v3";
   auto restored = PrunedLandmarkLabeling::Deserialize(g, serialized).ValueOrDie();
   EXPECT_EQ(restored->stats().total_entries, original->stats().total_entries);
   EXPECT_EQ(restored->stats().max_label_size, original->stats().max_label_size);
@@ -133,6 +133,73 @@ TEST(PllPersistenceTest, ReadsLegacyV1Format) {
   auto upgraded =
       PrunedLandmarkLabeling::Deserialize(g, pll->Serialize()).ValueOrDie();
   EXPECT_EQ(upgraded->Distance(0, 2), pll->Distance(0, 2));
+}
+
+// The v3 regression this format version exists for: an index serialized over
+// a graph with the SAME shape (nodes, edges, even the same topology) but
+// DIFFERENT weights must be rejected, not silently accepted with every
+// stored distance wrong. This is exactly the authority-transform trap: G'
+// at gamma=0.25 and gamma=0.75 share the topology of G and differ only in
+// edge weights.
+TEST(PllPersistenceTest, RejectsSameShapeDifferentWeightsGraph) {
+  auto build_weighted = [](double scale) {
+    GraphBuilder b(5);
+    TD_CHECK_OK(b.AddEdge(0, 1, 1.0 * scale));
+    TD_CHECK_OK(b.AddEdge(1, 2, 2.0 * scale));
+    TD_CHECK_OK(b.AddEdge(2, 3, 1.5 * scale));
+    TD_CHECK_OK(b.AddEdge(3, 4, 0.5 * scale));
+    TD_CHECK_OK(b.AddEdge(4, 0, 2.5 * scale));
+    return b.Finish().ValueOrDie();
+  };
+  Graph g1 = build_weighted(1.0);
+  Graph g2 = build_weighted(3.0);  // identical topology, different weights
+  ASSERT_EQ(g1.num_nodes(), g2.num_nodes());
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  auto original = PrunedLandmarkLabeling::Build(g1).ValueOrDie();
+  auto result = PrunedLandmarkLabeling::Deserialize(g2, original->Serialize());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("fingerprint"), std::string::npos)
+      << result.status().ToString();
+  // Against the graph it was built over, the same payload loads fine.
+  EXPECT_TRUE(PrunedLandmarkLabeling::Deserialize(g1, original->Serialize()).ok());
+}
+
+TEST(PllPersistenceTest, ReadsLegacyV2FormatFromSameGraph) {
+  // A v2 artifact (flat CSR, no fingerprint) from the same graph must keep
+  // loading: strip the fingerprint field off a v3 header to fabricate one.
+  Rng rng(107);
+  Graph g = BarabasiAlbert(90, 2, rng, 0.2, 4.0).ValueOrDie();
+  auto original = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+  std::string v3 = original->Serialize();
+  ASSERT_EQ(v3.rfind("pll v3 ", 0), 0u);
+  size_t header_end = v3.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  std::string header = v3.substr(0, header_end);
+  size_t last_space = header.rfind(' ');
+  ASSERT_NE(last_space, std::string::npos);
+  std::string v2 = "pll v2 " + header.substr(7, last_space - 7) +
+                   v3.substr(header_end);
+  auto restored = PrunedLandmarkLabeling::Deserialize(g, v2).ValueOrDie();
+  for (int q = 0; q < 100; ++q) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    ASSERT_EQ(original->Distance(u, v), restored->Distance(u, v));
+  }
+}
+
+TEST(PllPersistenceTest, RejectsMalformedV3Fingerprint) {
+  Rng rng(109);
+  Graph g = RandomConnectedGraph(15, 5, rng).ValueOrDie();
+  auto original = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+  std::string good = original->Serialize();
+  size_t header_end = good.find('\n');
+  std::string no_fp = good;
+  size_t last_space = good.rfind(' ', header_end);
+  no_fp.replace(last_space + 1, header_end - last_space - 1, "nothex!");
+  EXPECT_TRUE(
+      PrunedLandmarkLabeling::Deserialize(g, no_fp).status().IsInvalidArgument());
 }
 
 TEST(PllPersistenceTest, RejectsCorruptV2Input) {
