@@ -9,6 +9,12 @@
 //                              process-restart path (manifest read, network
 //                              load + fingerprint check, one index artifact
 //                              deserialized from disk).
+//   BM_ApplyDeltaSkillOnly   - one index-neutral (skill-toggle) epoch swap
+//                              per iteration: every index adopted by
+//                              fingerprint, zero rebuilds.
+//   BM_ApplyDeltaReweight    - one edge-reweight epoch swap per iteration:
+//                              base + transform indexes rebuild in the
+//                              background while the old epoch stays live.
 //
 // Request results are bit-identical at any worker count (asserted by the
 // service tests); these benches only measure the wall-time side.
@@ -51,7 +57,7 @@ std::vector<TeamRequest> RequestMix(const TeamDiscoveryService& svc,
   RequestMixOptions mix;
   mix.count = count;
   mix.seed = 4242;
-  return MakeRequestMix(svc.network(), svc.manifest(), mix);
+  return MakeRequestMix(*svc.network(), svc.manifest(), mix);
 }
 
 void BM_ServeBatch(benchmark::State& state) {
@@ -101,6 +107,58 @@ void BM_ColdOpenFirstRequest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ColdOpenFirstRequest)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// One live update per iteration. `skill_only` selects the index-neutral
+/// mix (every delta toggles a skill; all indexes adopted) versus the
+/// reweight mix (every delta changes an edge weight; indexes rebuild).
+/// Updates are epoch-only (persist_updates = false) so iterations measure
+/// the swap itself, not manifest/network disk commits.
+void ApplyDeltaBench(benchmark::State& state, bool skill_only) {
+  ServiceOptions options;
+  options.snapshot_dir = SnapshotDir();
+  options.persist_updates = false;
+  options.persist_built_indexes = false;
+  auto svc = TeamDiscoveryService::Open(options).ValueOrDie();
+  // Warm every snapshot index so the first swap adopts/rebuilds a fully
+  // resident cache, like a long-running server.
+  auto requests = RequestMix(*svc, 8);
+  svc->ServeBatch(requests, 1).ValueOrDie();
+  DeltaMixOptions mix;
+  mix.count = 512;  // more than any realistic --benchmark_min_time needs
+  mix.interleave_skill_only = false;
+  std::vector<ExpertNetworkDelta> reweights =
+      MakeDeltaMix(*svc->network(), mix);
+  // Skill-only mix: toggle the churn skill on expert 0 back and forth.
+  std::vector<ExpertNetworkDelta> toggles(2);
+  toggles[0].AddSkill(0, "churn");
+  toggles[1].RevokeSkill(0, "churn");
+  size_t i = 0;
+  uint64_t adopted = 0, rebuilt = 0;
+  for (auto _ : state) {
+    const ExpertNetworkDelta& delta =
+        skill_only ? toggles[i % 2] : reweights[i % reweights.size()];
+    ++i;
+    auto report = svc->ApplyDelta(delta);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    adopted += report.ValueOrDie().entries_adopted;
+    rebuilt += report.ValueOrDie().entries_rebuilt;
+  }
+  state.counters["entries_adopted"] = static_cast<double>(adopted);
+  state.counters["entries_rebuilt"] = static_cast<double>(rebuilt);
+}
+
+void BM_ApplyDeltaSkillOnly(benchmark::State& state) {
+  ApplyDeltaBench(state, /*skill_only=*/true);
+}
+BENCHMARK(BM_ApplyDeltaSkillOnly)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ApplyDeltaReweight(benchmark::State& state) {
+  ApplyDeltaBench(state, /*skill_only=*/false);
+}
+BENCHMARK(BM_ApplyDeltaReweight)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace teamdisc

@@ -42,14 +42,21 @@ Result<OracleCache::View> OracleCache::Get(RankingStrategy strategy,
   std::call_once(entry->once, [&] {
     built_now = true;
     misses_.fetch_add(1, std::memory_order_relaxed);
+    // `ready` publishes the entry for lock-free readers outside the
+    // call_once protocol (AdoptCompatibleEntries), on success and failure
+    // alike.
+    auto publish = [&entry] {
+      entry->ready.store(true, std::memory_order_release);
+    };
     const Graph* search_graph = &net_.graph();
     if (needs_transform) {
       auto transformed = BuildAuthorityTransform(net_, info.gamma);
       if (!transformed.ok()) {
         entry->status = transformed.status();
+        publish();
         return;
       }
-      entry->transformed = std::make_unique<TransformedGraph>(
+      entry->transformed = std::make_shared<TransformedGraph>(
           std::move(transformed).ValueOrDie());
       search_graph = &entry->transformed->graph;
     }
@@ -74,17 +81,22 @@ Result<OracleCache::View> OracleCache::Get(RankingStrategy strategy,
       if (!oracle.ok()) {
         entry->status = oracle.status();
         entry->transformed.reset();
+        publish();
         return;
       }
       entry->oracle = std::move(oracle).ValueOrDie();
       builds_.fetch_add(1, std::memory_order_relaxed);
       if (saver_) saver_(info, *entry->oracle);
     }
+    // The fingerprint keys epoch-swap invalidation: a successor cache only
+    // adopts this entry if its own search graph still hashes to this.
+    entry->graph_fingerprint = WeightedEdgeFingerprint(*search_graph);
     entry->memory_bytes =
         entry->oracle->MemoryBytes() +
         (entry->transformed != nullptr ? entry->transformed->graph.MemoryBytes()
                                        : 0) +
         sizeof(Entry);
+    publish();
     std::lock_guard<std::mutex> lock(mu_);
     entry->resident = true;
     resident_bytes_ += entry->memory_bytes;
@@ -98,6 +110,10 @@ Result<OracleCache::View> OracleCache::Get(RankingStrategy strategy,
   }
   TD_RETURN_IF_ERROR(entry->status);
   View view;
+  // Alias the Entry, not just the oracle: the entry is what roots the
+  // transformed graph and (for adopted entries) the keepalive chain of
+  // predecessor networks the oracle's graph pointer may reference. A plain
+  // copy of entry->oracle would let eviction free those under a live view.
   view.oracle =
       std::shared_ptr<const DistanceOracle>(entry, entry->oracle.get());
   if (entry->transformed != nullptr) {
@@ -105,6 +121,95 @@ Result<OracleCache::View> OracleCache::Get(RankingStrategy strategy,
         std::shared_ptr<const TransformedGraph>(entry, entry->transformed.get());
   }
   return view;
+}
+
+size_t OracleCache::AdoptCompatibleEntries(
+    const OracleCache& predecessor, std::shared_ptr<const void> keepalive) {
+  std::vector<std::pair<Key, std::shared_ptr<Entry>>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(predecessor.mu_);
+    candidates.assign(predecessor.entries_.begin(), predecessor.entries_.end());
+  }
+  const uint64_t base_fp = WeightedEdgeFingerprint(net_.graph());
+  // One transform fingerprint per gamma bucket: PLL and Dijkstra entries of
+  // the same gamma share a search graph. The fingerprint is predicted from
+  // the re-weighted edge list (AuthorityTransformFingerprint) — no G' is
+  // ever constructed just to decide adoption.
+  std::map<int, uint64_t> transform_fp;
+  size_t adopted = 0;
+  for (auto& [key, old_entry] : candidates) {
+    // Skip entries the predecessor is still building (never block an epoch
+    // swap on an in-flight build) and entries that failed.
+    if (!old_entry->ready.load(std::memory_order_acquire)) continue;
+    if (!old_entry->status.ok() || old_entry->oracle == nullptr) continue;
+    const auto [transformed, gamma_bp, kind_int] = key;
+    uint64_t want_fp = base_fp;
+    if (transformed) {
+      auto it = transform_fp.find(gamma_bp);
+      if (it == transform_fp.end()) {
+        it = transform_fp
+                 .emplace(gamma_bp, AuthorityTransformFingerprint(
+                                        net_, gamma_bp / 10000.0))
+                 .first;
+      }
+      want_fp = it->second;
+    }
+    if (want_fp != old_entry->graph_fingerprint) continue;
+
+    auto fresh = std::make_shared<Entry>();
+    std::call_once(fresh->once, [&] {
+      fresh->oracle = old_entry->oracle;
+      fresh->transformed = old_entry->transformed;
+      fresh->graph_fingerprint = old_entry->graph_fingerprint;
+      fresh->memory_bytes = old_entry->memory_bytes;
+      // Root the network the oracle may reference. An entry with an empty
+      // chain was built or loaded inside the predecessor cache, so its
+      // base-graph oracle points into the predecessor's network — pin it.
+      // An already-adopted entry's chain still roots its build-time
+      // network; copying it unchanged (instead of appending every epoch's
+      // network) keeps the chain at one element under sustained
+      // index-neutral churn rather than growing per swap.
+      fresh->keepalive = old_entry->keepalive;
+      if (fresh->keepalive.empty()) fresh->keepalive.push_back(keepalive);
+      fresh->ready.store(true, std::memory_order_release);
+    });
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_ptr<Entry>& slot = entries_[key];
+      if (slot != nullptr) continue;  // this cache already has the key
+      slot = fresh;
+      fresh->last_used = ++lru_clock_;
+      fresh->resident = true;
+      resident_bytes_ += fresh->memory_bytes;
+      EvictUnderLockExcept(fresh.get());
+    }
+    adoptions_.fetch_add(1, std::memory_order_relaxed);
+    ++adopted;
+  }
+  return adopted;
+}
+
+std::vector<OracleCache::EntryInfo> OracleCache::ResidentEntries() const {
+  std::vector<EntryInfo> infos;
+  std::lock_guard<std::mutex> lock(mu_);
+  infos.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    // Only successfully built entries: a sticky-failed or still-building
+    // key is not serving anything, and feeding it into an epoch-swap
+    // refresh sweep would let one bad request block every future update.
+    if (!entry->ready.load(std::memory_order_acquire) ||
+        !entry->status.ok() || entry->oracle == nullptr) {
+      continue;
+    }
+    const auto [transformed, gamma_bp, kind_int] = key;
+    EntryInfo info;
+    info.transformed = transformed;
+    info.gamma_bp = gamma_bp;
+    info.gamma = transformed ? gamma_bp / 10000.0 : 0.0;
+    info.kind = static_cast<OracleKind>(kind_int);
+    infos.push_back(info);
+  }
+  return infos;
 }
 
 void OracleCache::EvictUnderLockExcept(const Entry* keep) {
@@ -137,6 +242,7 @@ OracleCache::Stats OracleCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.builds = builds_.load(std::memory_order_relaxed);
   s.loads = loads_.load(std::memory_order_relaxed);
+  s.adoptions = adoptions_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);

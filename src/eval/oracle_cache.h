@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "core/greedy_team_finder.h"
 #include "network/authority_transform.h"
@@ -68,8 +69,11 @@ class OracleCache {
 
   /// \brief Shared views of one cached index.
   ///
-  /// The shared_ptrs alias the cache entry, keeping the oracle (and its
-  /// transformed graph) alive past eviction until the View is dropped.
+  /// The shared_ptrs alias the cache entry, keeping the oracle — and
+  /// everything the entry roots: its transformed graph and, for entries
+  /// adopted across epoch swaps, the predecessor networks the oracle's
+  /// graph pointer references — alive past eviction and past cache
+  /// retirement, until the View is dropped.
   struct View {
     /// Oracle over the strategy's search graph.
     std::shared_ptr<const DistanceOracle> oracle;
@@ -124,18 +128,50 @@ class OracleCache {
   /// alive.
   Result<std::unique_ptr<GreedyTeamFinder>> MakeFinder(FinderOptions options);
 
+  /// Adopts every successfully built entry of `predecessor` whose search
+  /// graph is bit-identical in this cache's network — i.e. the weighted-edge
+  /// fingerprint recorded when the entry was built equals the fingerprint of
+  /// the search graph this cache would build for the same key. Adopted
+  /// entries share the predecessor's oracle (and transformed graph), so no
+  /// index is rebuilt; entries whose fingerprint changed are skipped and
+  /// will build lazily (or via an explicit refresh sweep) on this cache.
+  ///
+  /// This is the dynamic-update primitive: after a skill-only network delta
+  /// every search graph is unchanged and every index is adopted; after an
+  /// edge reweight only the affected transforms rebuild.
+  ///
+  /// `keepalive` must own whatever the predecessor's oracles reference
+  /// (its ExpertNetwork — base-graph oracles point into it); adopted entries
+  /// pin it (plus the predecessor entries' own keepalives, transitively) so
+  /// the predecessor cache and epoch can be torn down safely.
+  ///
+  /// Entries still mid-build in the predecessor are skipped (never blocked
+  /// on). Keys already present in this cache are left untouched. Returns the
+  /// number of entries adopted. Thread-safe.
+  size_t AdoptCompatibleEntries(const OracleCache& predecessor,
+                                std::shared_ptr<const void> keepalive);
+
+  /// Key parameters of every successfully built entry, for refresh sweeps
+  /// after a network delta (strategy/gamma/kind reconstruction via
+  /// EntryInfo). Failed and still-building entries are excluded.
+  std::vector<EntryInfo> ResidentEntries() const;
+
   /// \brief Cache-effectiveness counters.
   ///
   /// misses counts first-requests of an entry (each triggers one load or
   /// build attempt); builds counts indexes constructed from scratch, loads
-  /// counts indexes deserialized via the artifact loader, evictions counts
-  /// entries dropped under memory pressure. A serving process running purely
-  /// off a snapshot shows builds == 0.
+  /// counts indexes deserialized via the artifact loader, adoptions counts
+  /// entries taken over from a predecessor cache with their fingerprint
+  /// unchanged (no build), evictions counts entries dropped under memory
+  /// pressure. A serving process running purely off a snapshot shows
+  /// builds == 0; an epoch swap over an index-neutral delta shows
+  /// builds == 0 with adoptions == the predecessor's entry count.
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t builds = 0;
     uint64_t loads = 0;
+    uint64_t adoptions = 0;
     uint64_t evictions = 0;
     /// Resident index bytes currently accounted against the budget.
     size_t resident_bytes = 0;
@@ -147,9 +183,21 @@ class OracleCache {
  private:
   struct Entry {
     std::once_flag once;
+    /// Set (release) after the call_once body finishes populating the entry;
+    /// AdoptCompatibleEntries reads it (acquire) to skip entries another
+    /// thread is still building without blocking on them. Requesters inside
+    /// Get don't need it — call_once already synchronizes them.
+    std::atomic<bool> ready{false};
     Status status = Status::OK();  ///< build outcome, sticky per entry
-    std::unique_ptr<TransformedGraph> transformed;
-    std::unique_ptr<DistanceOracle> oracle;
+    std::shared_ptr<const TransformedGraph> transformed;
+    std::shared_ptr<const DistanceOracle> oracle;
+    /// WeightedEdgeFingerprint of the search graph the oracle was built
+    /// (or loaded) over — the invalidation key for epoch swaps.
+    uint64_t graph_fingerprint = 0;
+    /// Ownership chain for adopted entries: the predecessor network the
+    /// oracle may reference, plus (transitively) whatever the predecessor
+    /// entry itself kept alive.
+    std::vector<std::shared_ptr<const void>> keepalive;
     size_t memory_bytes = 0;  ///< accounted bytes; 0 until built
     uint64_t last_used = 0;   ///< LRU stamp; guarded by mu_
     bool resident = false;    ///< accounted against resident_bytes_; guarded by mu_
@@ -173,6 +221,7 @@ class OracleCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> builds_{0};
   std::atomic<uint64_t> loads_{0};
+  std::atomic<uint64_t> adoptions_{0};
   std::atomic<uint64_t> evictions_{0};
 };
 

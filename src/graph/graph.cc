@@ -7,25 +7,43 @@
 
 namespace teamdisc {
 
+namespace {
+
+// FNV-1a 64. Mixes the node count first so an edgeless 3-node graph and an
+// edgeless 4-node graph differ, then every canonical edge in sorted order.
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void Mix64(uint64_t& h, uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (value >> (8 * byte)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
 uint64_t WeightedEdgeFingerprint(const Graph& g) {
-  // FNV-1a 64. Mixes the node count first so an edgeless 3-node graph and an
-  // edgeless 4-node graph differ, then every canonical edge in sorted order.
-  constexpr uint64_t kOffset = 1469598103934665603ULL;
-  constexpr uint64_t kPrime = 1099511628211ULL;
-  uint64_t h = kOffset;
-  auto mix64 = [&h](uint64_t value) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (value >> (8 * byte)) & 0xffULL;
-      h *= kPrime;
-    }
-  };
-  mix64(g.num_nodes());
+  uint64_t h = kFnvOffset;
+  Mix64(h, g.num_nodes());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     for (const Neighbor& n : g.Neighbors(u)) {
       if (u >= n.node) continue;  // canonical orientation only
-      mix64(EdgeKey(u, n.node));
-      mix64(std::bit_cast<uint64_t>(n.weight));
+      Mix64(h, EdgeKey(u, n.node));
+      Mix64(h, std::bit_cast<uint64_t>(n.weight));
     }
+  }
+  return h;
+}
+
+uint64_t WeightedEdgeSetFingerprint(NodeId num_nodes,
+                                    std::span<const Edge> edges) {
+  uint64_t h = kFnvOffset;
+  Mix64(h, num_nodes);
+  for (const Edge& e : edges) {
+    TD_DCHECK(e.u <= e.v);
+    Mix64(h, EdgeKey(e.u, e.v));
+    Mix64(h, std::bit_cast<uint64_t>(e.weight));
   }
   return h;
 }

@@ -132,4 +132,14 @@ class Graph {
 /// weights. Deterministic across runs and platforms (IEEE-754 bit pattern).
 uint64_t WeightedEdgeFingerprint(const Graph& g);
 
+/// Same fingerprint computed from an explicit edge list instead of a built
+/// CSR graph. `edges` must be canonical (u <= v) and sorted by (u, v) —
+/// exactly what Graph::CanonicalEdges returns — or the hash will not match
+/// the graph form. Lets update paths (network deltas) predict the
+/// fingerprint of a mutated edge set before paying for graph construction:
+/// WeightedEdgeFingerprint(g) == WeightedEdgeSetFingerprint(g.num_nodes(),
+/// g.CanonicalEdges()).
+uint64_t WeightedEdgeSetFingerprint(NodeId num_nodes,
+                                    std::span<const Edge> edges);
+
 }  // namespace teamdisc

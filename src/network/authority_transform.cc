@@ -25,4 +25,14 @@ Result<TransformedGraph> BuildAuthorityTransform(const ExpertNetwork& net,
   return TransformedGraph{std::move(graph), gamma};
 }
 
+uint64_t AuthorityTransformFingerprint(const ExpertNetwork& net, double gamma) {
+  TD_DCHECK(gamma >= 0.0 && gamma <= 1.0);
+  std::vector<Edge> edges = net.graph().CanonicalEdges();
+  for (Edge& e : edges) {
+    e.weight = TransformedEdgeWeight(gamma, net.InverseAuthority(e.u),
+                                     net.InverseAuthority(e.v), e.weight);
+  }
+  return WeightedEdgeSetFingerprint(net.num_experts(), edges);
+}
+
 }  // namespace teamdisc

@@ -26,6 +26,15 @@ struct TransformedGraph {
 Result<TransformedGraph> BuildAuthorityTransform(const ExpertNetwork& net,
                                                  double gamma);
 
+/// WeightedEdgeFingerprint of G'(gamma) computed without constructing the
+/// graph: the base network's canonical edges are re-weighted in place and
+/// hashed (WeightedEdgeSetFingerprint). Bit-identical to
+/// `WeightedEdgeFingerprint(BuildAuthorityTransform(net, gamma)->graph)` —
+/// both apply TransformedEdgeWeight to the same canonical edge list — at a
+/// fraction of the cost, which is what update paths use to decide
+/// keep-vs-rebuild per index. `gamma` must be within [0, 1].
+uint64_t AuthorityTransformFingerprint(const ExpertNetwork& net, double gamma);
+
 /// The transformed weight of a single edge (exposed for tests).
 double TransformedEdgeWeight(double gamma, double inv_auth_u, double inv_auth_v,
                              double weight);

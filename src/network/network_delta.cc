@@ -1,0 +1,457 @@
+#include "network/network_delta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "network/network_io.h"
+
+namespace teamdisc {
+
+namespace {
+
+const char* KindName(DeltaOp::Kind kind) {
+  switch (kind) {
+    case DeltaOp::Kind::kAddExpert: return "add-expert";
+    case DeltaOp::Kind::kRemoveExpert: return "remove-expert";
+    case DeltaOp::Kind::kAddSkill: return "add-skill";
+    case DeltaOp::Kind::kRevokeSkill: return "revoke-skill";
+    case DeltaOp::Kind::kAddEdge: return "add-edge";
+    case DeltaOp::Kind::kRemoveEdge: return "remove-edge";
+    case DeltaOp::Kind::kReweightEdge: return "reweight-edge";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ExpertNetworkDelta& ExpertNetworkDelta::AddExpert(
+    std::string name, std::vector<std::string> skills, double authority,
+    uint32_t num_publications) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kAddExpert;
+  op.name = std::move(name);
+  op.skills = std::move(skills);
+  op.authority = authority;
+  op.num_publications = num_publications;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ExpertNetworkDelta& ExpertNetworkDelta::RemoveExpert(NodeId expert) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kRemoveExpert;
+  op.u = expert;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ExpertNetworkDelta& ExpertNetworkDelta::AddSkill(NodeId expert,
+                                                 std::string skill) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kAddSkill;
+  op.u = expert;
+  op.skill = std::move(skill);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ExpertNetworkDelta& ExpertNetworkDelta::RevokeSkill(NodeId expert,
+                                                    std::string skill) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kRevokeSkill;
+  op.u = expert;
+  op.skill = std::move(skill);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ExpertNetworkDelta& ExpertNetworkDelta::AddCollaboration(NodeId u, NodeId v,
+                                                         double weight) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kAddEdge;
+  op.u = u;
+  op.v = v;
+  op.weight = weight;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ExpertNetworkDelta& ExpertNetworkDelta::RemoveCollaboration(NodeId u, NodeId v) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kRemoveEdge;
+  op.u = u;
+  op.v = v;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ExpertNetworkDelta& ExpertNetworkDelta::ReweightCollaboration(NodeId u, NodeId v,
+                                                              double weight) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kReweightEdge;
+  op.u = u;
+  op.v = v;
+  op.weight = weight;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+bool ExpertNetworkDelta::SkillOnly() const {
+  return std::all_of(ops_.begin(), ops_.end(), [](const DeltaOp& op) {
+    return op.kind == DeltaOp::Kind::kAddSkill ||
+           op.kind == DeltaOp::Kind::kRevokeSkill;
+  });
+}
+
+std::string ExpertNetworkDelta::DebugString() const {
+  size_t experts = 0, skills = 0, edges = 0;
+  for (const DeltaOp& op : ops_) {
+    switch (op.kind) {
+      case DeltaOp::Kind::kAddExpert:
+      case DeltaOp::Kind::kRemoveExpert:
+        ++experts;
+        break;
+      case DeltaOp::Kind::kAddSkill:
+      case DeltaOp::Kind::kRevokeSkill:
+        ++skills;
+        break;
+      default:
+        ++edges;
+        break;
+    }
+  }
+  return StrFormat("ExpertNetworkDelta{ops=%zu, expert=%zu, skill=%zu, edge=%zu}",
+                   ops_.size(), experts, skills, edges);
+}
+
+Result<ExpertNetwork> ApplyNetworkDelta(const ExpertNetwork& base,
+                                        const ExpertNetworkDelta& delta) {
+  struct WorkingExpert {
+    std::string name;
+    std::vector<std::string> skills;  // insertion order, duplicate-free
+    double authority = 1.0;
+    uint32_t num_publications = 0;
+    bool alive = true;
+  };
+  std::vector<WorkingExpert> experts;
+  experts.reserve(base.num_experts() + delta.size());
+  for (NodeId id = 0; id < base.num_experts(); ++id) {
+    const Expert& e = base.expert(id);
+    WorkingExpert w;
+    w.name = e.name;
+    w.skills.reserve(e.skills.size());
+    for (SkillId s : e.skills) w.skills.push_back(base.skills().NameUnchecked(s));
+    w.authority = e.authority;
+    w.num_publications = e.num_publications;
+    experts.push_back(std::move(w));
+  }
+  // Edges in the pre-removal id space, canonical (lo, hi) keys.
+  std::map<std::pair<NodeId, NodeId>, double> edges;
+  for (const Edge& e : base.graph().CanonicalEdges()) {
+    edges[{e.u, e.v}] = e.weight;
+  }
+
+  auto fail = [](size_t i, const DeltaOp& op, const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("delta op %zu (%s): %s", i, KindName(op.kind), what.c_str()));
+  };
+  auto check_expert = [&](size_t i, const DeltaOp& op,
+                          NodeId id) -> Status {
+    if (id >= experts.size()) {
+      return fail(i, op, StrFormat("references unknown expert %u", id));
+    }
+    if (!experts[id].alive) {
+      return fail(i, op, StrFormat("references removed expert %u", id));
+    }
+    return Status::OK();
+  };
+  auto canonical = [](NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+
+  for (size_t i = 0; i < delta.ops().size(); ++i) {
+    const DeltaOp& op = delta.ops()[i];
+    switch (op.kind) {
+      case DeltaOp::Kind::kAddExpert: {
+        if (!std::isfinite(op.authority) || op.authority <= 0.0) {
+          return fail(i, op, StrFormat("authority %f must be finite and > 0",
+                                       op.authority));
+        }
+        WorkingExpert w;
+        w.name = op.name;
+        w.authority = op.authority;
+        w.num_publications = op.num_publications;
+        for (const std::string& skill : op.skills) {
+          if (skill.empty()) return fail(i, op, "empty skill name");
+          if (std::find(w.skills.begin(), w.skills.end(), skill) ==
+              w.skills.end()) {
+            w.skills.push_back(skill);
+          }
+        }
+        experts.push_back(std::move(w));
+        break;
+      }
+      case DeltaOp::Kind::kRemoveExpert: {
+        TD_RETURN_IF_ERROR(check_expert(i, op, op.u));
+        experts[op.u].alive = false;
+        // Incident edges leave with the expert.
+        for (auto it = edges.begin(); it != edges.end();) {
+          if (it->first.first == op.u || it->first.second == op.u) {
+            it = edges.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        break;
+      }
+      case DeltaOp::Kind::kAddSkill: {
+        TD_RETURN_IF_ERROR(check_expert(i, op, op.u));
+        if (op.skill.empty()) return fail(i, op, "empty skill name");
+        auto& skills = experts[op.u].skills;
+        if (std::find(skills.begin(), skills.end(), op.skill) != skills.end()) {
+          return fail(i, op, StrFormat("expert %u already holds skill '%s'",
+                                       op.u, op.skill.c_str()));
+        }
+        skills.push_back(op.skill);
+        break;
+      }
+      case DeltaOp::Kind::kRevokeSkill: {
+        TD_RETURN_IF_ERROR(check_expert(i, op, op.u));
+        auto& skills = experts[op.u].skills;
+        auto it = std::find(skills.begin(), skills.end(), op.skill);
+        if (it == skills.end()) {
+          return fail(i, op, StrFormat("expert %u does not hold skill '%s'",
+                                       op.u, op.skill.c_str()));
+        }
+        skills.erase(it);
+        break;
+      }
+      case DeltaOp::Kind::kAddEdge:
+      case DeltaOp::Kind::kRemoveEdge:
+      case DeltaOp::Kind::kReweightEdge: {
+        TD_RETURN_IF_ERROR(check_expert(i, op, op.u));
+        TD_RETURN_IF_ERROR(check_expert(i, op, op.v));
+        if (op.u == op.v) return fail(i, op, "self-collaboration edge");
+        const auto key = canonical(op.u, op.v);
+        const bool exists = edges.find(key) != edges.end();
+        if (op.kind == DeltaOp::Kind::kRemoveEdge) {
+          if (!exists) {
+            return fail(i, op, StrFormat("edge (%u,%u) does not exist", op.u,
+                                         op.v));
+          }
+          edges.erase(key);
+          break;
+        }
+        if (!std::isfinite(op.weight) || op.weight < 0.0) {
+          return fail(i, op, StrFormat("invalid edge weight %f", op.weight));
+        }
+        if (op.kind == DeltaOp::Kind::kAddEdge && exists) {
+          return fail(i, op,
+                      StrFormat("edge (%u,%u) already exists; use reweight-edge",
+                                op.u, op.v));
+        }
+        if (op.kind == DeltaOp::Kind::kReweightEdge && !exists) {
+          return fail(i, op, StrFormat("edge (%u,%u) does not exist", op.u,
+                                       op.v));
+        }
+        edges[key] = op.weight;
+        break;
+      }
+    }
+  }
+
+  // Compact survivors into dense ids (relative order preserved) and rebuild.
+  ExpertNetworkBuilder builder;
+  std::vector<NodeId> remap(experts.size(), kInvalidNode);
+  for (size_t id = 0; id < experts.size(); ++id) {
+    if (!experts[id].alive) continue;
+    WorkingExpert& w = experts[id];
+    remap[id] = builder.AddExpert(std::move(w.name), std::move(w.skills),
+                                  w.authority, w.num_publications);
+  }
+  for (const auto& [key, weight] : edges) {
+    TD_RETURN_IF_ERROR(
+        builder.AddEdge(remap[key.first], remap[key.second], weight));
+  }
+  return builder.Finish();
+}
+
+std::string SerializeDelta(const ExpertNetworkDelta& delta) {
+  std::string out = "teamdisc-delta v1\n";
+  for (const DeltaOp& op : delta.ops()) {
+    switch (op.kind) {
+      case DeltaOp::Kind::kAddExpert:
+        out += StrFormat("add-expert %s %.17g %u %s\n",
+                         EscapeNetworkToken(op.name).c_str(), op.authority,
+                         op.num_publications, EncodeSkillList(op.skills).c_str());
+        break;
+      case DeltaOp::Kind::kRemoveExpert:
+        out += StrFormat("remove-expert %u\n", op.u);
+        break;
+      case DeltaOp::Kind::kAddSkill:
+        out += StrFormat("add-skill %u %s\n", op.u,
+                         EscapeNetworkToken(op.skill).c_str());
+        break;
+      case DeltaOp::Kind::kRevokeSkill:
+        out += StrFormat("revoke-skill %u %s\n", op.u,
+                         EscapeNetworkToken(op.skill).c_str());
+        break;
+      case DeltaOp::Kind::kAddEdge:
+        out += StrFormat("add-edge %u %u %.17g\n", op.u, op.v, op.weight);
+        break;
+      case DeltaOp::Kind::kRemoveEdge:
+        out += StrFormat("remove-edge %u %u\n", op.u, op.v);
+        break;
+      case DeltaOp::Kind::kReweightEdge:
+        out += StrFormat("reweight-edge %u %u %.17g\n", op.u, op.v, op.weight);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<ExpertNetworkDelta> DeserializeDelta(std::string_view content) {
+  std::istringstream in{std::string(content)};
+  std::string line;
+  size_t line_no = 0;
+  bool saw_header = false;
+  ExpertNetworkDelta delta;
+
+  auto parse_node = [](std::string_view token) -> Result<NodeId> {
+    TD_ASSIGN_OR_RETURN(uint64_t id, ParseUint64(token));
+    if (id >= kInvalidNode) {
+      return Status::InvalidArgument(
+          StrFormat("expert id %llu out of range",
+                    static_cast<unsigned long long>(id)));
+    }
+    return static_cast<NodeId>(id);
+  };
+  auto line_error = [&line_no](const Status& s) {
+    Status out = s;
+    return out.WithContext(StrFormat("line %zu", line_no));
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    auto fields = SplitWhitespace(stripped);
+    if (!saw_header) {
+      if (fields.size() != 2 || fields[0] != "teamdisc-delta" ||
+          fields[1] != "v1") {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: not a teamdisc-delta v1 file", line_no));
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::string_view verb = fields[0];
+    if (verb == "add-expert") {
+      if (fields.size() != 5) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: expected 'add-expert name authority pubs "
+                      "skills'", line_no));
+      }
+      auto name = UnescapeNetworkToken(fields[1]);
+      if (!name.ok()) return line_error(name.status());
+      auto authority = ParseDouble(fields[2]);
+      if (!authority.ok()) return line_error(authority.status());
+      auto pubs = ParseUint64(fields[3]);
+      if (!pubs.ok()) return line_error(pubs.status());
+      auto skills = DecodeSkillList(fields[4]);
+      if (!skills.ok()) return line_error(skills.status());
+      delta.AddExpert(std::move(name).ValueOrDie(),
+                      std::move(skills).ValueOrDie(), authority.ValueOrDie(),
+                      static_cast<uint32_t>(pubs.ValueOrDie()));
+      continue;
+    }
+    if (verb == "remove-expert") {
+      if (fields.size() != 2) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: expected 'remove-expert id'", line_no));
+      }
+      auto id = parse_node(fields[1]);
+      if (!id.ok()) return line_error(id.status());
+      delta.RemoveExpert(id.ValueOrDie());
+      continue;
+    }
+    if (verb == "add-skill" || verb == "revoke-skill") {
+      if (fields.size() != 3) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: expected '%s id skill'", line_no,
+            std::string(verb).c_str()));
+      }
+      auto id = parse_node(fields[1]);
+      if (!id.ok()) return line_error(id.status());
+      auto skill = UnescapeNetworkToken(fields[2]);
+      if (!skill.ok()) return line_error(skill.status());
+      if (verb == "add-skill") {
+        delta.AddSkill(id.ValueOrDie(), std::move(skill).ValueOrDie());
+      } else {
+        delta.RevokeSkill(id.ValueOrDie(), std::move(skill).ValueOrDie());
+      }
+      continue;
+    }
+    if (verb == "add-edge" || verb == "reweight-edge") {
+      if (fields.size() != 4) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: expected '%s u v weight'", line_no,
+            std::string(verb).c_str()));
+      }
+      auto u = parse_node(fields[1]);
+      if (!u.ok()) return line_error(u.status());
+      auto v = parse_node(fields[2]);
+      if (!v.ok()) return line_error(v.status());
+      auto w = ParseDouble(fields[3]);
+      if (!w.ok()) return line_error(w.status());
+      if (verb == "add-edge") {
+        delta.AddCollaboration(u.ValueOrDie(), v.ValueOrDie(), w.ValueOrDie());
+      } else {
+        delta.ReweightCollaboration(u.ValueOrDie(), v.ValueOrDie(),
+                                    w.ValueOrDie());
+      }
+      continue;
+    }
+    if (verb == "remove-edge") {
+      if (fields.size() != 3) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: expected 'remove-edge u v'", line_no));
+      }
+      auto u = parse_node(fields[1]);
+      if (!u.ok()) return line_error(u.status());
+      auto v = parse_node(fields[2]);
+      if (!v.ok()) return line_error(v.status());
+      delta.RemoveCollaboration(u.ValueOrDie(), v.ValueOrDie());
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrFormat("line %zu: unknown delta operation '%s'", line_no,
+                  std::string(verb).c_str()));
+  }
+  if (!saw_header) return Status::InvalidArgument("empty delta file");
+  return delta;
+}
+
+Status SaveDelta(const ExpertNetworkDelta& delta, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << SerializeDelta(delta);
+  out.close();
+  if (out.fail()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ExpertNetworkDelta> LoadDelta(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeDelta(buffer.str());
+}
+
+}  // namespace teamdisc

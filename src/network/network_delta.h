@@ -1,0 +1,126 @@
+// Dynamic expert-network updates.
+//
+// Real expert networks churn: experts join and leave, pick up and drop
+// skills, and collaboration edges appear, vanish, or change cost.
+// ExpertNetworkDelta records such a mutation batch as an ordered operation
+// log against a base network; ApplyNetworkDelta materializes the successor
+// ExpertNetwork (the base is immutable and untouched). The serving layer
+// (TeamDiscoveryService::ApplyDelta) consumes deltas to swap epochs without
+// pausing traffic; `teamdisc_cli apply-update` consumes them to evolve an
+// on-disk snapshot.
+//
+// Expert references: operations address experts in the delta's *pre-removal
+// id space* — ids 0..N-1 are the base network's experts, and the i-th
+// AddExpert of this delta gets id N+i, so later operations (skills, edges)
+// can reference experts the same delta introduces. Removals take effect
+// only during Apply: surviving experts are compacted into dense ids keeping
+// their relative order (base survivors first, then delta-added experts).
+//
+// Operations are validated in recorded order and the whole delta is
+// rejected (InvalidArgument, nothing applied) when any operation references
+// an unknown or already-removed expert, adds a skill the expert already
+// holds, revokes one it does not, adds an edge that already exists, or
+// removes/reweights one that does not. Strictness is deliberate: a delta is
+// an update log, and a silently-absorbed no-op usually means the log was
+// applied twice or against the wrong base.
+//
+// File format (one op per line, '#' comments allowed; names and skills are
+// percent-escaped with the network_io token escaping, weights/authority are
+// printed with %.17g so they round-trip bit-exactly):
+//   teamdisc-delta v1
+//   add-expert <name> <authority> <num_publications> <skill,skill,...|->
+//   remove-expert <id>
+//   add-skill <id> <skill>
+//   revoke-skill <id> <skill>
+//   add-edge <u> <v> <weight>
+//   remove-edge <u> <v>
+//   reweight-edge <u> <v> <weight>
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "network/expert_network.h"
+
+namespace teamdisc {
+
+/// \brief One recorded mutation (see the id-space contract above).
+struct DeltaOp {
+  enum class Kind {
+    kAddExpert,
+    kRemoveExpert,
+    kAddSkill,
+    kRevokeSkill,
+    kAddEdge,
+    kRemoveEdge,
+    kReweightEdge,
+  };
+
+  Kind kind = Kind::kAddExpert;
+  // kAddExpert payload.
+  std::string name;
+  std::vector<std::string> skills;
+  double authority = 1.0;
+  uint32_t num_publications = 0;
+  // Expert references (pre-removal id space). Skill/remove ops use `u`;
+  // edge ops use `u` and `v`.
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  std::string skill;     ///< kAddSkill / kRevokeSkill
+  double weight = 0.0;   ///< kAddEdge / kReweightEdge
+};
+
+/// \brief Ordered, serializable mutation batch against one base network.
+class ExpertNetworkDelta {
+ public:
+  ExpertNetworkDelta() = default;
+
+  /// Records a joining expert; returns *this for chaining. The expert's
+  /// delta-local id is base_count + (number of prior AddExpert calls).
+  ExpertNetworkDelta& AddExpert(std::string name,
+                                std::vector<std::string> skills,
+                                double authority,
+                                uint32_t num_publications = 0);
+  /// Records the departure of `expert` (incident edges go with it).
+  ExpertNetworkDelta& RemoveExpert(NodeId expert);
+  ExpertNetworkDelta& AddSkill(NodeId expert, std::string skill);
+  ExpertNetworkDelta& RevokeSkill(NodeId expert, std::string skill);
+  ExpertNetworkDelta& AddCollaboration(NodeId u, NodeId v, double weight);
+  ExpertNetworkDelta& RemoveCollaboration(NodeId u, NodeId v);
+  ExpertNetworkDelta& ReweightCollaboration(NodeId u, NodeId v, double weight);
+
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+  const std::vector<DeltaOp>& ops() const { return ops_; }
+
+  /// True when no operation can change any search graph (base or authority
+  /// transform): the delta contains only skill operations. Such a delta
+  /// never invalidates a distance index — the serving layer adopts every
+  /// cached index unchanged. (Edge and expert operations always change at
+  /// least one search graph.)
+  bool SkillOnly() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<DeltaOp> ops_;
+};
+
+/// Applies `delta` to `base`, returning the successor network. `base` is
+/// unchanged. Fails InvalidArgument on any invalid operation (see the
+/// strictness contract above); the error names the offending op index.
+Result<ExpertNetwork> ApplyNetworkDelta(const ExpertNetwork& base,
+                                        const ExpertNetworkDelta& delta);
+
+/// Serializes / parses the delta text format above. Serialization is
+/// deterministic: ops in recorded order, weights bit-exact.
+std::string SerializeDelta(const ExpertNetworkDelta& delta);
+Result<ExpertNetworkDelta> DeserializeDelta(std::string_view content);
+
+/// File convenience wrappers.
+Status SaveDelta(const ExpertNetworkDelta& delta, const std::string& path);
+Result<ExpertNetworkDelta> LoadDelta(const std::string& path);
+
+}  // namespace teamdisc

@@ -10,12 +10,18 @@ namespace teamdisc {
 
 namespace {
 
-/// Percent-escapes a name so it survives as one whitespace-delimited token:
-/// '%' itself, ASCII whitespace, and ',' (the skill-list separator) become
-/// %XX. The empty string — not representable as a token — is encoded as the
-/// reserved sequence "%00". Lossless, unlike the old underscore folding
-/// ("John Smith" used to come back as "John_Smith").
-std::string EscapeName(std::string_view name) {
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+// Lossless, unlike the old underscore folding ("John Smith" used to come
+// back as "John_Smith").
+std::string EscapeNetworkToken(std::string_view name) {
   if (name.empty()) return "%00";
   static constexpr char kHex[] = "0123456789ABCDEF";
   std::string out;
@@ -33,15 +39,7 @@ std::string EscapeName(std::string_view name) {
   return out;
 }
 
-int HexDigit(char c) {
-  if (c >= '0' && c <= '9') return c - '0';
-  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  return -1;
-}
-
-/// Inverse of EscapeName. Fails on a dangling or non-hex escape.
-Result<std::string> UnescapeName(std::string_view token) {
+Result<std::string> UnescapeNetworkToken(std::string_view token) {
   if (token == "%00") return std::string();
   std::string out;
   out.reserve(token.size());
@@ -66,7 +64,32 @@ Result<std::string> UnescapeName(std::string_view token) {
   return out;
 }
 
-}  // namespace
+std::string EncodeSkillList(const std::vector<std::string>& skills) {
+  std::string out;
+  for (size_t i = 0; i < skills.size(); ++i) {
+    if (i > 0) out += ',';
+    out += EscapeNetworkToken(skills[i]);
+  }
+  if (out.empty()) {
+    out = "-";
+  } else if (out == "-") {
+    // A single skill literally named "-" would collide with the
+    // empty-skill-list sentinel; escape it so it round-trips.
+    out = "%2D";
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DecodeSkillList(std::string_view token) {
+  std::vector<std::string> skills;
+  if (token == "-") return skills;
+  for (std::string_view s : Split(token, ',')) {
+    if (s.empty()) return Status::InvalidArgument("empty skill name");
+    TD_ASSIGN_OR_RETURN(std::string skill, UnescapeNetworkToken(s));
+    skills.push_back(std::move(skill));
+  }
+  return skills;
+}
 
 std::string SerializeNetwork(const ExpertNetwork& net) {
   std::string out = "# teamdisc expert network v2\n";
@@ -77,20 +100,14 @@ std::string SerializeNetwork(const ExpertNetwork& net) {
   out += StrFormat("experts %u\n", net.num_experts());
   for (NodeId id = 0; id < net.num_experts(); ++id) {
     const Expert& e = net.expert(id);
-    std::string skills;
-    for (size_t i = 0; i < e.skills.size(); ++i) {
-      if (i > 0) skills += ',';
-      skills += EscapeName(net.skills().NameUnchecked(e.skills[i]));
-    }
-    if (skills.empty()) {
-      skills = "-";
-    } else if (skills == "-") {
-      // A single skill literally named "-" would collide with the
-      // empty-skill-list sentinel; escape it so it round-trips.
-      skills = "%2D";
+    std::vector<std::string> skill_names;
+    skill_names.reserve(e.skills.size());
+    for (SkillId s : e.skills) {
+      skill_names.push_back(net.skills().NameUnchecked(s));
     }
     out += StrFormat("%u %.17g %u %s %s\n", id, e.authority, e.num_publications,
-                     EscapeName(e.name).c_str(), skills.c_str());
+                     EscapeNetworkToken(e.name).c_str(),
+                     EncodeSkillList(skill_names).c_str());
   }
   std::vector<Edge> edges = net.graph().CanonicalEdges();
   out += StrFormat("edges %zu\n", edges.size());
@@ -115,7 +132,7 @@ Result<ExpertNetwork> DeserializeNetwork(const std::string& content) {
   auto decode_name = [&format_version,
                       &line_no](std::string_view token) -> Result<std::string> {
     if (format_version < 2) return std::string(token);
-    Result<std::string> decoded = UnescapeName(token);
+    Result<std::string> decoded = UnescapeNetworkToken(token);
     if (!decoded.ok()) {
       return decoded.status().WithContext(StrFormat("line %zu", line_no));
     }

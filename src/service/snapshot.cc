@@ -69,14 +69,17 @@ std::string SnapshotIndexFileName(bool transformed, int gamma_bp,
 }
 
 std::string SerializeSnapshotManifest(const SnapshotManifest& manifest) {
-  std::string out = "teamdisc-snapshot v1\n";
+  std::string out = "teamdisc-snapshot v2\n";
+  out += StrFormat("generation %llu\n",
+                   static_cast<unsigned long long>(manifest.generation));
   out += StrFormat("network %s %016llx\n", manifest.network_file.c_str(),
                    static_cast<unsigned long long>(manifest.network_fingerprint));
   for (const SnapshotIndexEntry& e : manifest.entries) {
-    out += StrFormat("index %s %d %s %s\n", e.transformed ? "transform" : "base",
-                     e.gamma_bp,
+    out += StrFormat("index %s %d %s %s %016llx\n",
+                     e.transformed ? "transform" : "base", e.gamma_bp,
                      std::string(OracleKindToString(e.kind)).c_str(),
-                     e.file.c_str());
+                     e.file.c_str(),
+                     static_cast<unsigned long long>(e.fingerprint));
   }
   return out;
 }
@@ -95,11 +98,19 @@ Result<SnapshotManifest> ParseSnapshotManifest(const std::string& content) {
     auto fields = SplitWhitespace(stripped);
     if (!saw_header) {
       if (fields.size() != 2 || fields[0] != "teamdisc-snapshot" ||
-          fields[1] != "v1") {
-        return Status::InvalidArgument(
-            StrFormat("line %zu: not a teamdisc-snapshot v1 manifest", line_no));
+          (fields[1] != "v1" && fields[1] != "v2")) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: not a teamdisc-snapshot v1/v2 manifest", line_no));
       }
       saw_header = true;
+      continue;
+    }
+    if (fields[0] == "generation") {
+      if (saw_network || fields.size() != 2) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: malformed generation line", line_no));
+      }
+      TD_ASSIGN_OR_RETURN(manifest.generation, ParseUint64(fields[1]));
       continue;
     }
     if (fields[0] == "network") {
@@ -120,7 +131,8 @@ Result<SnapshotManifest> ParseSnapshotManifest(const std::string& content) {
       continue;
     }
     if (fields[0] == "index") {
-      if (!saw_network || fields.size() != 5) {
+      // 5 fields = legacy v1 entry (no per-artifact fingerprint); 6 = v2.
+      if (!saw_network || (fields.size() != 5 && fields.size() != 6)) {
         return Status::InvalidArgument(
             StrFormat("line %zu: malformed index line", line_no));
       }
@@ -145,6 +157,9 @@ Result<SnapshotManifest> ParseSnapshotManifest(const std::string& content) {
         // Artifact paths are confined to the snapshot directory.
         return Status::InvalidArgument(
             StrFormat("line %zu: artifact file must be a bare name", line_no));
+      }
+      if (fields.size() == 6) {
+        TD_ASSIGN_OR_RETURN(entry.fingerprint, ParseHex64(fields[5]));
       }
       manifest.entries.push_back(std::move(entry));
       continue;
@@ -192,6 +207,7 @@ Result<SnapshotManifest> BuildSnapshot(const ExpertNetwork& net,
     entry.gamma_bp = gamma_bp;
     entry.kind = OracleKind::kPrunedLandmarkLabeling;
     entry.file = SnapshotIndexFileName(transformed, gamma_bp, entry.kind);
+    entry.fingerprint = WeightedEdgeFingerprint(search_graph);
     TD_RETURN_IF_ERROR(
         AtomicWriteFile(fs::path(dir) / entry.file, pll->Serialize()));
     manifest.entries.push_back(std::move(entry));
@@ -241,38 +257,146 @@ Status AddIndexArtifact(const std::string& dir, SnapshotManifest& manifest,
   entry.gamma_bp = gamma_bp;
   entry.kind = kind;
   entry.file = SnapshotIndexFileName(transformed, gamma_bp, kind);
+  entry.fingerprint = WeightedEdgeFingerprint(oracle.graph());
   TD_RETURN_IF_ERROR(EnsureDirectory(dir));
   // Atomic like the manifest: a crash (or a concurrent replica persisting
   // the same key) must never leave a truncated artifact behind a manifest
   // entry that claims it is valid.
   TD_RETURN_IF_ERROR(
       AtomicWriteFile(fs::path(dir) / entry.file, pll->Serialize()));
-  for (const SnapshotIndexEntry& e : manifest.entries) {
+  for (SnapshotIndexEntry& e : manifest.entries) {
     if (e.transformed == transformed && e.gamma_bp == gamma_bp &&
         e.kind == kind) {
-      return Status::OK();  // already listed; file repaired in place
+      if (e.fingerprint == entry.fingerprint) {
+        return Status::OK();  // already listed; file repaired in place
+      }
+      // Same key, new search graph (an update rebuilt the index): retarget
+      // the manifest entry's fingerprint so keep/rebuild decisions and load
+      // diagnostics stay truthful.
+      e.fingerprint = entry.fingerprint;
+      return WriteSnapshotManifest(dir, manifest);
     }
   }
   manifest.entries.push_back(std::move(entry));
   return WriteSnapshotManifest(dir, manifest);
 }
 
+const SnapshotIndexEntry* FindSnapshotIndexEntry(
+    const SnapshotManifest& manifest, bool transformed, int gamma_bp,
+    OracleKind kind) {
+  for (const SnapshotIndexEntry& e : manifest.entries) {
+    if (e.transformed == transformed && e.gamma_bp == gamma_bp &&
+        e.kind == kind) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
 Result<std::unique_ptr<DistanceOracle>> LoadIndexArtifact(
     const std::string& dir, const SnapshotManifest& manifest, bool transformed,
     int gamma_bp, OracleKind kind, const Graph& search_graph) {
-  for (const SnapshotIndexEntry& e : manifest.entries) {
-    if (e.transformed != transformed || e.gamma_bp != gamma_bp ||
-        e.kind != kind) {
+  const SnapshotIndexEntry* e =
+      FindSnapshotIndexEntry(manifest, transformed, gamma_bp, kind);
+  if (e == nullptr) {
+    return std::unique_ptr<DistanceOracle>(nullptr);  // no matching artifact
+  }
+  // The artifact's v3 fingerprint ties it to the exact weighted graph it
+  // was built over; Deserialize rejects a stale or cross-gamma artifact.
+  const std::string path = (fs::path(dir) / e->file).string();
+  auto pll = PrunedLandmarkLabeling::LoadFromFile(search_graph, path);
+  if (!pll.ok()) {
+    // Name the exact artifact and both fingerprints: "manifest.txt is
+    // inconsistent" is not actionable, "index-g2500-pll.pll expected
+    // 0x… but the graph hashes to 0x…" is.
+    Status failed = pll.status();
+    return failed.WithContext(StrFormat(
+        "snapshot artifact %s (manifest fingerprint %016llx, search graph "
+        "fingerprint %016llx)",
+        path.c_str(), static_cast<unsigned long long>(e->fingerprint),
+        static_cast<unsigned long long>(
+            WeightedEdgeFingerprint(search_graph))));
+  }
+  return std::unique_ptr<DistanceOracle>(std::move(pll).ValueOrDie());
+}
+
+Status CommitSnapshotNetwork(const std::string& dir, SnapshotManifest& manifest,
+                             const ExpertNetwork& net) {
+  TD_RETURN_IF_ERROR(EnsureDirectory(dir));
+  const uint64_t next_generation = manifest.generation + 1;
+  const std::string next_file =
+      StrFormat("network-g%llu.net",
+                static_cast<unsigned long long>(next_generation));
+  // The new network goes under a fresh, generation-versioned name so the
+  // old manifest keeps referencing an intact old file until the manifest
+  // rename below commits the update.
+  TD_RETURN_IF_ERROR(SaveNetwork(net, (fs::path(dir) / next_file).string()));
+  const std::string previous_file = manifest.network_file;
+  manifest.network_file = next_file;
+  manifest.network_fingerprint = WeightedEdgeFingerprint(net.graph());
+  manifest.generation = next_generation;
+  TD_RETURN_IF_ERROR(WriteSnapshotManifest(dir, manifest));
+  if (previous_file != next_file) {
+    // Post-commit cleanup only; failure leaves a harmless orphan file.
+    std::error_code ec;
+    fs::remove(fs::path(dir) / previous_file, ec);
+  }
+  return Status::OK();
+}
+
+Result<SnapshotUpdateReport> ApplySnapshotDelta(
+    const std::string& dir, const ExpertNetworkDelta& delta,
+    const SnapshotUpdateOptions& options) {
+  TD_ASSIGN_OR_RETURN(SnapshotManifest manifest, ReadSnapshotManifest(dir));
+  TD_ASSIGN_OR_RETURN(
+      ExpertNetwork base,
+      LoadNetwork((fs::path(dir) / manifest.network_file).string()));
+  const uint64_t base_fp = WeightedEdgeFingerprint(base.graph());
+  if (base_fp != manifest.network_fingerprint) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot network %s hashes to %016llx but the manifest records "
+        "%016llx: refusing to update an inconsistent snapshot",
+        manifest.network_file.c_str(),
+        static_cast<unsigned long long>(base_fp),
+        static_cast<unsigned long long>(manifest.network_fingerprint)));
+  }
+  TD_ASSIGN_OR_RETURN(ExpertNetwork next, ApplyNetworkDelta(base, delta));
+
+  SnapshotUpdateReport report;
+  report.num_experts = next.num_experts();
+  report.num_edges = next.graph().num_edges();
+  const uint64_t next_base_fp = WeightedEdgeFingerprint(next.graph());
+  // Keep or rebuild each artifact by comparing the manifest-recorded
+  // fingerprint against the post-delta search graph. The decision touches
+  // neither the artifact nor a constructed G': transform fingerprints are
+  // predicted from the re-weighted edge list, and the transform is only
+  // built for entries that actually rebuild.
+  for (SnapshotIndexEntry& entry : manifest.entries) {
+    const uint64_t fp =
+        entry.transformed
+            ? AuthorityTransformFingerprint(next, entry.gamma_bp / 10000.0)
+            : next_base_fp;
+    if (fp == entry.fingerprint) {
+      ++report.entries_kept;
       continue;
     }
-    // The artifact's v3 fingerprint ties it to the exact weighted graph it
-    // was built over; Deserialize rejects a stale or cross-gamma artifact.
+    const Graph* search_graph = &next.graph();
+    TransformedGraph transformed;
+    if (entry.transformed) {
+      TD_ASSIGN_OR_RETURN(
+          transformed, BuildAuthorityTransform(next, entry.gamma_bp / 10000.0));
+      search_graph = &transformed.graph;
+    }
     TD_ASSIGN_OR_RETURN(auto pll,
-                        PrunedLandmarkLabeling::LoadFromFile(
-                            search_graph, (fs::path(dir) / e.file).string()));
-    return std::unique_ptr<DistanceOracle>(std::move(pll));
+                        PrunedLandmarkLabeling::Build(*search_graph, options.pll));
+    TD_RETURN_IF_ERROR(
+        AtomicWriteFile(fs::path(dir) / entry.file, pll->Serialize()));
+    entry.fingerprint = fp;
+    ++report.entries_rebuilt;
   }
-  return std::unique_ptr<DistanceOracle>(nullptr);  // no matching artifact
+  TD_RETURN_IF_ERROR(CommitSnapshotNetwork(dir, manifest, next));
+  report.generation = manifest.generation;
+  return report;
 }
 
 }  // namespace teamdisc

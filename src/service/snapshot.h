@@ -12,15 +12,29 @@
 //                   artifact can never be loaded against the wrong weights)
 //
 // Manifest format ('#' comments allowed, sections in order):
-//   teamdisc-snapshot v1
+//   teamdisc-snapshot v2
+//   generation <n>
 //   network <file> <weighted-edge-fingerprint-hex of the base graph>
-//   index base 0 <kind> <file>
-//   index transform <gamma_bp> <kind> <file>
+//   index base 0 <kind> <file> <search-graph-fingerprint-hex>
+//   index transform <gamma_bp> <kind> <file> <search-graph-fingerprint-hex>
+//
+// v1 manifests (no generation line, 5-field index lines without the
+// per-artifact fingerprint) are still parsed; they read back as generation
+// 0 with fingerprint 0 ("unknown" — update paths rebuild such artifacts
+// instead of trusting them).
 //
 // `base` entries index the network's own graph (the CC strategy's search
 // graph); `transform` entries index the authority transform G' built at
 // gamma = gamma_bp / 10000. Only PLL indexes are persisted — the Dijkstra
 // oracles have no index worth storing.
+//
+// Generations: every ApplySnapshotDelta / CommitSnapshotNetwork bumps the
+// manifest generation and writes the post-delta network under a versioned
+// file name (network-g<generation>.net). The manifest rewrite (atomic
+// temp + rename) is the commit point — a crash mid-update leaves the old
+// manifest referencing the old network file, and any artifact already
+// overwritten for the new graph simply fails its fingerprint check and is
+// rebuilt. See docs/FORMATS.md.
 #pragma once
 
 #include <string>
@@ -28,6 +42,7 @@
 
 #include "common/result.h"
 #include "network/expert_network.h"
+#include "network/network_delta.h"
 #include "shortest_path/distance_oracle.h"
 #include "shortest_path/pruned_landmark_labeling.h"
 
@@ -39,10 +54,17 @@ struct SnapshotIndexEntry {
   int gamma_bp = 0;          ///< gamma in basis points; 0 for base entries
   OracleKind kind = OracleKind::kPrunedLandmarkLabeling;
   std::string file;          ///< artifact file name, relative to the snapshot dir
+  /// WeightedEdgeFingerprint of the search graph the artifact indexes
+  /// (mirrors the artifact's own v3 header). Update paths compare this
+  /// against the post-delta search graph to decide keep vs rebuild without
+  /// deserializing the artifact. 0 = unknown (legacy v1 manifest entry).
+  uint64_t fingerprint = 0;
 };
 
 /// \brief Parsed manifest of a snapshot directory.
 struct SnapshotManifest {
+  /// Update counter: 0 for a fresh BuildSnapshot, +1 per applied delta.
+  uint64_t generation = 0;
   std::string network_file = "network.net";
   /// WeightedEdgeFingerprint of the network's base graph at build time; a
   /// loader must verify the loaded network still hashes to this.
@@ -54,6 +76,12 @@ struct SnapshotManifest {
 /// ("index-base-pll.pll" / "index-g2500-pll.pll").
 std::string SnapshotIndexFileName(bool transformed, int gamma_bp,
                                   OracleKind kind);
+
+/// The manifest entry for (transformed, gamma_bp, kind), or nullptr when
+/// the manifest lists none.
+const SnapshotIndexEntry* FindSnapshotIndexEntry(
+    const SnapshotManifest& manifest, bool transformed, int gamma_bp,
+    OracleKind kind);
 
 /// Serializes / parses the manifest text (exposed for tests).
 std::string SerializeSnapshotManifest(const SnapshotManifest& manifest);
@@ -95,9 +123,45 @@ Status AddIndexArtifact(const std::string& dir, SnapshotManifest& manifest,
 /// Loads the artifact for (transformed, gamma_bp, kind) against
 /// `search_graph`. Returns a null pointer when the manifest has no matching
 /// entry; fails InvalidArgument when the artifact exists but does not match
-/// the graph (v3 fingerprint check inside PLL Deserialize).
+/// the graph (v3 fingerprint check inside PLL Deserialize). Failures carry
+/// the artifact path plus the expected (manifest) and actual (graph)
+/// fingerprints, so a stale-snapshot report names the exact broken file.
 Result<std::unique_ptr<DistanceOracle>> LoadIndexArtifact(
     const std::string& dir, const SnapshotManifest& manifest, bool transformed,
     int gamma_bp, OracleKind kind, const Graph& search_graph);
+
+/// Commits a successor network into an existing snapshot: writes it under a
+/// generation-versioned file name (network-g<generation+1>.net), updates
+/// `manifest` (network_file, network_fingerprint, generation + 1), rewrites
+/// the manifest atomically — the commit point — and then best-effort deletes
+/// the previous network file. Index entries are not touched; callers persist
+/// refreshed artifacts (AddIndexArtifact) before committing.
+Status CommitSnapshotNetwork(const std::string& dir, SnapshotManifest& manifest,
+                             const ExpertNetwork& net);
+
+/// \brief Knobs of ApplySnapshotDelta.
+struct SnapshotUpdateOptions {
+  /// Index construction knobs for entries that must rebuild.
+  PllBuildOptions pll;
+};
+
+/// \brief What an offline snapshot update did.
+struct SnapshotUpdateReport {
+  uint64_t generation = 0;   ///< manifest generation after the update
+  size_t entries_kept = 0;   ///< artifacts whose search graph was unchanged
+  size_t entries_rebuilt = 0;  ///< artifacts rebuilt over a changed graph
+  uint32_t num_experts = 0;  ///< successor network size
+  size_t num_edges = 0;
+};
+
+/// Applies `delta` to the snapshot in `dir` offline (the `teamdisc_cli
+/// apply-update` path): loads the network, materializes the successor via
+/// ApplyNetworkDelta, rebuilds exactly the index artifacts whose search
+/// graph fingerprint changed (unchanged artifacts are kept as-is), and
+/// commits the new network + bumped generation. A serving process opened on
+/// the directory afterwards sees the post-delta world with zero builds.
+Result<SnapshotUpdateReport> ApplySnapshotDelta(
+    const std::string& dir, const ExpertNetworkDelta& delta,
+    const SnapshotUpdateOptions& options = {});
 
 }  // namespace teamdisc

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <tuple>
 
 #include "common/logging.h"
@@ -64,6 +65,41 @@ std::vector<TeamRequest> MakeRequestMix(const ExpertNetwork& net,
   return requests;
 }
 
+std::vector<ExpertNetworkDelta> MakeDeltaMix(const ExpertNetwork& net,
+                                             const DeltaMixOptions& options) {
+  Rng rng(options.seed);
+  std::vector<ExpertNetworkDelta> deltas;
+  deltas.reserve(options.count);
+  // Track mutable state locally so every delta is valid against the network
+  // its predecessors produce: which experts currently hold the synthetic
+  // churn skill, and each edge's current weight.
+  std::vector<bool> has_churn_skill(net.num_experts(), false);
+  std::vector<Edge> edges = net.graph().CanonicalEdges();
+  for (size_t i = 0; i < options.count; ++i) {
+    ExpertNetworkDelta delta;
+    const bool skill_only =
+        options.interleave_skill_only && i % 2 == 0 && net.num_experts() > 0;
+    if (skill_only) {
+      const NodeId expert =
+          static_cast<NodeId>(rng.NextBounded(net.num_experts()));
+      if (has_churn_skill[expert]) {
+        delta.RevokeSkill(expert, "churn");
+      } else {
+        delta.AddSkill(expert, "churn");
+      }
+      has_churn_skill[expert] = !has_churn_skill[expert];
+    } else if (!edges.empty()) {
+      Edge& edge = edges[rng.NextBounded(edges.size())];
+      // Alternate growth and shrink so repeated reweights of one edge stay
+      // bounded instead of drifting toward overflow.
+      edge.weight = i % 4 < 2 ? edge.weight * 1.25 : edge.weight * 0.8;
+      delta.ReweightCollaboration(edge.u, edge.v, edge.weight);
+    }
+    deltas.push_back(std::move(delta));
+  }
+  return deltas;
+}
+
 Result<std::unique_ptr<TeamDiscoveryService>> TeamDiscoveryService::Open(
     ServiceOptions options) {
   if (options.snapshot_dir.empty()) {
@@ -77,8 +113,8 @@ Result<std::unique_ptr<TeamDiscoveryService>> TeamDiscoveryService::Open(
       (std::filesystem::path(svc->options_.snapshot_dir) /
        svc->manifest_.network_file)
           .string();
-  TD_ASSIGN_OR_RETURN(svc->net_, LoadNetwork(net_path));
-  const uint64_t actual = WeightedEdgeFingerprint(svc->net_.graph());
+  TD_ASSIGN_OR_RETURN(ExpertNetwork net, LoadNetwork(net_path));
+  const uint64_t actual = WeightedEdgeFingerprint(net.graph());
   if (actual != svc->manifest_.network_fingerprint) {
     return Status::InvalidArgument(StrFormat(
         "snapshot network %s hashes to %016llx but the manifest records "
@@ -87,9 +123,8 @@ Result<std::unique_ptr<TeamDiscoveryService>> TeamDiscoveryService::Open(
         static_cast<unsigned long long>(svc->manifest_.network_fingerprint)));
   }
 
-  OracleCache::Options cache_options;
-  cache_options.memory_budget_bytes = svc->options_.cache_budget_bytes;
-  if (cache_options.memory_budget_bytes == 0) {
+  svc->cache_options_.memory_budget_bytes = svc->options_.cache_budget_bytes;
+  if (svc->cache_options_.memory_budget_bytes == 0) {
     // Parse the env budget by hand so a typo'd value warns instead of
     // silently running unbounded (the same failure mode the thread-count
     // resolution guards against).
@@ -101,49 +136,69 @@ Result<std::unique_ptr<TeamDiscoveryService>> TeamDiscoveryService::Open(
                         << parsed.status().ToString()
                         << "); cache runs unbounded";
       } else {
-        cache_options.memory_budget_bytes =
+        svc->cache_options_.memory_budget_bytes =
             static_cast<size_t>(parsed.ValueOrDie()) * (size_t{1} << 20);
       }
     }
   }
-  svc->cache_ = std::make_unique<OracleCache>(svc->net_, cache_options);
 
-  TeamDiscoveryService* self = svc.get();
-  svc->cache_->set_artifact_loader(
-      [self](const OracleCache::EntryInfo& info, const Graph& search_graph)
+  auto epoch = std::make_shared<Epoch>();
+  epoch->generation = svc->manifest_.generation;
+  epoch->net = std::make_shared<const ExpertNetwork>(std::move(net));
+  epoch->cache =
+      std::make_unique<OracleCache>(*epoch->net, svc->cache_options_);
+  svc->InstallArtifactHooks(*epoch->cache);
+  svc->epoch_ = std::move(epoch);
+  return svc;
+}
+
+void TeamDiscoveryService::InstallArtifactHooks(OracleCache& cache) {
+  cache.set_artifact_loader(
+      [this](const OracleCache::EntryInfo& info, const Graph& search_graph)
           -> Result<std::unique_ptr<DistanceOracle>> {
         // Copy the manifest under the lock, but run the disk read +
         // deserialization outside it: concurrent cold loads of distinct
         // indexes must proceed in parallel, not serialize on manifest_mu_.
         SnapshotManifest manifest;
         {
-          std::lock_guard<std::mutex> lock(self->manifest_mu_);
-          manifest = self->manifest_;
+          std::lock_guard<std::mutex> lock(manifest_mu_);
+          manifest = manifest_;
         }
-        return LoadIndexArtifact(self->options_.snapshot_dir, manifest,
+        // Known-stale artifacts (recorded fingerprint != this search graph,
+        // the normal case for invalidated indexes during an epoch swap) are
+        // skipped without touching the disk: deserializing them could only
+        // fail the v3 check. Returning "no artifact" sends the cache down
+        // the fresh-build path, and the saver repairs the snapshot after.
+        if (const SnapshotIndexEntry* entry = FindSnapshotIndexEntry(
+                manifest, info.transformed, info.gamma_bp, info.kind);
+            entry != nullptr && entry->fingerprint != 0 &&
+            entry->fingerprint != WeightedEdgeFingerprint(search_graph)) {
+          return std::unique_ptr<DistanceOracle>(nullptr);
+        }
+        return LoadIndexArtifact(options_.snapshot_dir, manifest,
                                  info.transformed, info.gamma_bp, info.kind,
                                  search_graph);
       });
-  if (svc->options_.persist_built_indexes) {
-    svc->cache_->set_artifact_saver(
-        [self](const OracleCache::EntryInfo& info, const DistanceOracle& oracle) {
+  if (options_.persist_built_indexes) {
+    cache.set_artifact_saver(
+        [this](const OracleCache::EntryInfo& info, const DistanceOracle& oracle) {
           // persist_mu_ serializes whole persist operations so manifest
           // rewrites stay ordered; manifest_mu_ is held only for the
           // in-memory copy/commit, never across the artifact disk write —
           // concurrent cold loads and manifest() readers keep flowing.
-          std::lock_guard<std::mutex> persist_lock(self->persist_mu_);
+          std::lock_guard<std::mutex> persist_lock(persist_mu_);
           SnapshotManifest manifest;
           {
-            std::lock_guard<std::mutex> lock(self->manifest_mu_);
-            manifest = self->manifest_;
+            std::lock_guard<std::mutex> lock(manifest_mu_);
+            manifest = manifest_;
           }
           Status persisted =
-              AddIndexArtifact(self->options_.snapshot_dir, manifest,
+              AddIndexArtifact(options_.snapshot_dir, manifest,
                                info.transformed, info.gamma_bp, info.kind,
                                oracle);
           if (persisted.ok()) {
-            std::lock_guard<std::mutex> lock(self->manifest_mu_);
-            self->manifest_ = std::move(manifest);
+            std::lock_guard<std::mutex> lock(manifest_mu_);
+            manifest_ = std::move(manifest);
           } else {
             // Persisting is an optimization for the next process; failing to
             // write it must not fail the request that triggered the build.
@@ -152,7 +207,18 @@ Result<std::unique_ptr<TeamDiscoveryService>> TeamDiscoveryService::Open(
           }
         });
   }
-  return svc;
+}
+
+std::shared_ptr<const ExpertNetwork> TeamDiscoveryService::network() const {
+  return CurrentEpoch()->net;
+}
+
+uint64_t TeamDiscoveryService::generation() const {
+  return CurrentEpoch()->generation;
+}
+
+OracleCache::Stats TeamDiscoveryService::cache_stats() const {
+  return CurrentEpoch()->cache->stats();
 }
 
 Result<FinderOptions> TeamDiscoveryService::MakeFinderOptions(
@@ -170,15 +236,20 @@ Result<FinderOptions> TeamDiscoveryService::MakeFinderOptions(
 
 Result<std::vector<ScoredTeam>> TeamDiscoveryService::TopK(
     const TeamRequest& request) const {
+  // One epoch for the whole request: network, project resolution, and index
+  // always agree even if an ApplyDelta swap lands mid-request.
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
   TD_ASSIGN_OR_RETURN(FinderOptions options, MakeFinderOptions(request));
-  TD_ASSIGN_OR_RETURN(Project project, MakeProject(net_, request.skills));
+  TD_ASSIGN_OR_RETURN(Project project, MakeProject(*epoch->net, request.skills));
   // Hold the view across the query: it pins the index, so a concurrent
-  // eviction (memory budget) can never free it mid-request.
+  // eviction (memory budget) or epoch retirement can never free it
+  // mid-request.
   TD_ASSIGN_OR_RETURN(OracleCache::View view,
-                      cache_->Get(request.strategy, request.gamma,
-                                  request.oracle));
-  TD_ASSIGN_OR_RETURN(auto finder, GreedyTeamFinder::MakeWithExternalOracle(
-                                       net_, std::move(options), *view.oracle));
+                      epoch->cache->Get(request.strategy, request.gamma,
+                                        request.oracle));
+  TD_ASSIGN_OR_RETURN(auto finder,
+                      GreedyTeamFinder::MakeWithExternalOracle(
+                          *epoch->net, std::move(options), *view.oracle));
   return finder->FindTeams(project);
 }
 
@@ -191,22 +262,23 @@ Result<std::vector<ScoredTeam>> TeamDiscoveryService::FindTeam(
 
 Result<std::vector<ParetoTeam>> TeamDiscoveryService::Pareto(
     const ParetoRequest& request) const {
-  TD_ASSIGN_OR_RETURN(Project project, MakeProject(net_, request.skills));
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  TD_ASSIGN_OR_RETURN(Project project, MakeProject(*epoch->net, request.skills));
   // Per-cell finders draw from the snapshot-backed cache instead of the
   // default factory, which would rebuild a transform + index for every one
   // of the ~grid_points^2 cells on every request. MakeFinder pins the index
   // into each finder, so eviction under a budget stays safe.
-  GreedyFinderFactory factory = [this](FinderOptions fo) {
-    return cache_->MakeFinder(std::move(fo));
+  GreedyFinderFactory factory = [&epoch](FinderOptions fo) {
+    return epoch->cache->MakeFinder(std::move(fo));
   };
   // The base-graph oracle only feeds the random phase; fetching it when
   // that phase is disabled could cost a full index build for nothing.
   OracleCache::View base_view;
   if (request.options.random_teams > 0) {
-    TD_ASSIGN_OR_RETURN(base_view, cache_->Get(RankingStrategy::kCC, 0.0,
-                                               request.options.oracle));
+    TD_ASSIGN_OR_RETURN(base_view, epoch->cache->Get(RankingStrategy::kCC, 0.0,
+                                                     request.options.oracle));
   }
-  return DiscoverParetoTeams(net_, project, request.options, factory,
+  return DiscoverParetoTeams(*epoch->net, project, request.options, factory,
                              base_view.oracle.get());
 }
 
@@ -214,6 +286,10 @@ Result<ServeReport> TeamDiscoveryService::ServeBatch(
     const std::vector<TeamRequest>& requests, size_t workers,
     std::vector<std::vector<ScoredTeam>>* results) const {
   if (requests.empty()) return Status::InvalidArgument("no requests");
+  // The batch pins the epoch current at entry: every request in the batch
+  // is answered on one consistent network + index state, and a concurrent
+  // ApplyDelta swap takes effect only for later batches.
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
 
   struct Outcome {
     Status status = Status::OK();
@@ -257,7 +333,7 @@ Result<ServeReport> TeamDiscoveryService::ServeBatch(
       finish();
       return;
     }
-    auto project = MakeProject(net_, request.skills);
+    auto project = MakeProject(*epoch->net, request.skills);
     if (!project.ok()) {
       out.status = project.status();
       finish();
@@ -271,14 +347,15 @@ Result<ServeReport> TeamDiscoveryService::ServeBatch(
     WorkerState& state = states[worker];
     auto it = state.finders.find(key);
     if (it == state.finders.end()) {
-      auto view = cache_->Get(request.strategy, request.gamma, request.oracle);
+      auto view =
+          epoch->cache->Get(request.strategy, request.gamma, request.oracle);
       if (!view.ok()) {
         out.status = view.status();
         finish();
         return;
       }
       auto finder = GreedyTeamFinder::MakeWithExternalOracle(
-          net_, options.ValueOrDie(), *view.ValueOrDie().oracle);
+          *epoch->net, options.ValueOrDie(), *view.ValueOrDie().oracle);
       if (!finder.ok()) {
         out.status = finder.status();
         finish();
@@ -336,6 +413,113 @@ Result<ServeReport> TeamDiscoveryService::ServeBatch(
   report.qps = report.wall_seconds > 0.0
                    ? static_cast<double>(report.requests) / report.wall_seconds
                    : 0.0;
+  return report;
+}
+
+Result<UpdateReport> TeamDiscoveryService::ApplyDelta(
+    const ExpertNetworkDelta& delta) {
+  // One update at a time, end to end; serving is never blocked by this lock
+  // (requests only take epoch_mu_ for the pointer copy).
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  Timer wall;
+  const std::shared_ptr<const Epoch> current = CurrentEpoch();
+  // An invalid delta fails here, before any successor state exists — the
+  // current epoch keeps serving untouched.
+  TD_ASSIGN_OR_RETURN(ExpertNetwork next_net,
+                      ApplyNetworkDelta(*current->net, delta));
+
+  auto next = std::make_shared<Epoch>();
+  next->generation = current->generation + 1;
+  next->net = std::make_shared<const ExpertNetwork>(std::move(next_net));
+  next->cache = std::make_unique<OracleCache>(*next->net, cache_options_);
+  InstallArtifactHooks(*next->cache);
+
+  UpdateReport report;
+  report.num_experts = next->net->num_experts();
+  report.num_edges = next->net->graph().num_edges();
+  // Fingerprint-keyed invalidation: carry over every index whose search
+  // graph the delta did not touch. A skill-only delta adopts everything —
+  // zero rebuilds.
+  report.entries_adopted =
+      next->cache->AdoptCompatibleEntries(*current->cache, current->net);
+
+  // Refresh sweep over every index the old epoch was serving (resident
+  // entries) plus every artifact the snapshot lists: adopted keys hit,
+  // still-valid artifacts load, invalidated keys rebuild — and persist via
+  // the saver hook — all in the background while `current` keeps serving.
+  std::vector<OracleCache::EntryInfo> keys =
+      current->cache->ResidentEntries();
+  {
+    SnapshotManifest manifest;
+    {
+      std::lock_guard<std::mutex> lock(manifest_mu_);
+      manifest = manifest_;
+    }
+    for (const SnapshotIndexEntry& e : manifest.entries) {
+      OracleCache::EntryInfo info;
+      info.transformed = e.transformed;
+      info.gamma_bp = e.gamma_bp;
+      info.gamma = e.transformed ? e.gamma_bp / 10000.0 : 0.0;
+      info.kind = e.kind;
+      keys.push_back(info);
+    }
+  }
+  const OracleCache::Stats before = next->cache->stats();
+  std::set<std::tuple<bool, int, int>> seen;
+  for (const OracleCache::EntryInfo& info : keys) {
+    if (!seen.insert({info.transformed, info.gamma_bp,
+                      static_cast<int>(info.kind)})
+             .second) {
+      continue;
+    }
+    // Any transform strategy resolves to the per-gamma G' entry; CC to the
+    // base entry — mirroring how requests key the cache.
+    const RankingStrategy strategy =
+        info.transformed ? RankingStrategy::kCACC : RankingStrategy::kCC;
+    auto view = next->cache->Get(strategy, info.gamma, info.kind);
+    if (!view.ok()) {
+      // A refresh failure means the successor epoch cannot serve what the
+      // current one does — abort the swap and keep serving the old world.
+      return view.status().WithContext(StrFormat(
+          "rebuilding %s index (gamma_bp=%d) for the post-delta network",
+          info.transformed ? "transform" : "base", info.gamma_bp));
+    }
+  }
+  const OracleCache::Stats after = next->cache->stats();
+  report.entries_rebuilt = after.builds - before.builds;
+  report.entries_loaded = after.loads - before.loads;
+
+  if (options_.persist_updates) {
+    // Commit the successor network + bumped generation to disk. Rebuilt
+    // artifacts were already persisted by the saver hook above; unchanged
+    // artifacts keep matching by fingerprint. The manifest rewrite is the
+    // commit point (see snapshot.h) — on failure nothing is swapped and the
+    // update reports the error instead of silently serving state a restart
+    // would lose.
+    std::lock_guard<std::mutex> persist_lock(persist_mu_);
+    SnapshotManifest manifest;
+    {
+      std::lock_guard<std::mutex> lock(manifest_mu_);
+      manifest = manifest_;
+    }
+    TD_RETURN_IF_ERROR(
+        CommitSnapshotNetwork(options_.snapshot_dir, manifest, *next->net));
+    next->generation = manifest.generation;
+    {
+      std::lock_guard<std::mutex> lock(manifest_mu_);
+      manifest_ = std::move(manifest);
+    }
+  }
+
+  report.generation = next->generation;
+  {
+    // The swap: one pointer store. In-flight requests hold the old epoch's
+    // shared_ptr and finish on it; the old epoch is destroyed when the last
+    // of them drops.
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    epoch_ = std::move(next);
+  }
+  report.wall_seconds = wall.ElapsedSeconds();
   return report;
 }
 

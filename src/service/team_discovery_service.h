@@ -1,19 +1,38 @@
-// Long-lived team-discovery serving layer.
+// Long-lived team-discovery serving layer with epoch-swapped live updates.
 //
-// The paper's workload is interactive team queries over a fixed expert
-// network — the shape of a serving process, not a batch experiment.
-// TeamDiscoveryService loads a network plus pre-built per-(strategy, gamma,
-// oracle-kind) index artifacts from a snapshot directory (written by
-// `teamdisc_cli build-index` / BuildSnapshot), answers FindTeam / TopK /
-// Pareto requests, and fans request batches over a thread pool with
-// per-worker finders drawn from a memory-budgeted, LRU-evicting OracleCache.
-// A request whose index is missing from the snapshot falls back to building
-// it once — and persisting it back into the snapshot — instead of failing.
+// The paper's workload is interactive team queries over an expert network —
+// the shape of a serving process, not a batch experiment. TeamDiscoveryService
+// loads a network plus pre-built per-(strategy, gamma, oracle-kind) index
+// artifacts from a snapshot directory (written by `teamdisc_cli build-index`
+// / BuildSnapshot), answers FindTeam / TopK / Pareto requests, and fans
+// request batches over a thread pool with per-worker finders drawn from a
+// memory-budgeted, LRU-evicting OracleCache. A request whose index is
+// missing from the snapshot falls back to building it once — and persisting
+// it back into the snapshot — instead of failing.
+//
+// Live updates: real networks churn (experts join/leave, skills change,
+// collaboration weights shift), and ApplyDelta serves through the churn
+// instead of restarting. All immutable serving state lives in an Epoch
+// (network + index cache); every request pins the current epoch via
+// shared_ptr for its whole lifetime. ApplyDelta builds the successor epoch
+// in the background — materializing the post-delta network, adopting every
+// index whose search-graph fingerprint is unchanged, rebuilding only the
+// invalidated ones — and then atomically swaps the epoch pointer:
+//
+//      requests ──────▶ epoch N (serving) ──────────────┐
+//        ApplyDelta ──▶ build epoch N+1 (background)    │ in-flight batches
+//                          adopt / rebuild indexes      │ finish on epoch N
+//                       swap pointer ──▶ epoch N+1      ▼
+//                       epoch N freed when its last request drops
+//
+// No request ever observes a half-applied delta (no torn reads), and
+// post-swap results are bit-identical to a cold rebuild of the post-delta
+// network (the adopted indexes' graphs are fingerprint-identical, PLL
+// answers are exact).
 //
 // Determinism contract: each request's result depends only on the request
-// and the snapshot, never on worker count or on whether its index was
-// loaded warm from disk or built cold on miss (the index payload is
-// identical either way; PLL answers are exact).
+// and the epoch it pinned — never on worker count, on whether its index was
+// loaded warm from disk, built cold on miss, or adopted across a swap.
 #pragma once
 
 #include <memory>
@@ -24,6 +43,7 @@
 #include "core/pareto.h"
 #include "core/team_finder.h"
 #include "eval/oracle_cache.h"
+#include "network/network_delta.h"
 #include "service/snapshot.h"
 
 namespace teamdisc {
@@ -58,6 +78,17 @@ struct ServeReport {
   double max_ms = 0.0;
 };
 
+/// \brief What one ApplyDelta did.
+struct UpdateReport {
+  uint64_t generation = 0;      ///< the successor epoch's generation
+  size_t entries_adopted = 0;   ///< indexes carried over, fingerprint unchanged
+  size_t entries_rebuilt = 0;   ///< indexes rebuilt over a changed search graph
+  size_t entries_loaded = 0;    ///< indexes satisfied from still-valid artifacts
+  uint32_t num_experts = 0;     ///< successor network size
+  size_t num_edges = 0;
+  double wall_seconds = 0.0;    ///< background build time (old epoch kept serving)
+};
+
 /// \brief Service configuration.
 struct ServiceOptions {
   /// Snapshot directory to serve from (required).
@@ -71,6 +102,12 @@ struct ServiceOptions {
   /// whether the build is written back — disable for read-only snapshot
   /// directories.
   bool persist_built_indexes = true;
+  /// Commit ApplyDelta updates back into the snapshot (post-delta network,
+  /// bumped generation) so a restart serves the updated world. When false,
+  /// updates are epoch-only and die with the process. When true, a commit
+  /// failure fails ApplyDelta without swapping — an update must never be
+  /// silently lost across restarts.
+  bool persist_updates = true;
 };
 
 /// \brief Knobs of MakeRequestMix.
@@ -92,7 +129,27 @@ std::vector<TeamRequest> MakeRequestMix(const ExpertNetwork& net,
                                         const SnapshotManifest& manifest,
                                         const RequestMixOptions& options);
 
-/// \brief Snapshot-backed team-discovery server.
+/// \brief Knobs of MakeDeltaMix.
+struct DeltaMixOptions {
+  size_t count = 8;
+  uint64_t seed = 7;
+  /// Every delta at an even position in the mix only toggles a synthetic
+  /// skill on one expert — index-neutral churn that a healthy epoch swap
+  /// absorbs with zero rebuilds. Odd positions reweight one collaboration
+  /// edge, invalidating the base index and every transform. Set to false
+  /// for a reweight-only (all-invalidating) mix.
+  bool interleave_skill_only = true;
+};
+
+/// Deterministic update mix for churn benchmarks (`serve-bench --updates`,
+/// bench/serve_throughput): alternating skill-toggle and edge-reweight
+/// deltas against `net`. Deltas never add or remove experts, so expert ids
+/// stay stable; they are only valid when applied in order, each against the
+/// network produced by its predecessors.
+std::vector<ExpertNetworkDelta> MakeDeltaMix(const ExpertNetwork& net,
+                                             const DeltaMixOptions& options);
+
+/// \brief Snapshot-backed team-discovery server with live updates.
 class TeamDiscoveryService {
  public:
   /// Opens a snapshot: loads the network, verifies it against the manifest
@@ -119,39 +176,86 @@ class TeamDiscoveryService {
   /// list (empty when infeasible/failed) — so callers can assert that
   /// results are identical at any worker count. Per-worker finders are
   /// reused across consecutive requests that share (strategy, gamma, kind).
+  /// The whole batch runs on the epoch current at entry: an ApplyDelta
+  /// landing mid-batch never mixes old and new answers within the batch.
   Result<ServeReport> ServeBatch(
       const std::vector<TeamRequest>& requests, size_t workers,
       std::vector<std::vector<ScoredTeam>>* results = nullptr) const;
 
-  const ExpertNetwork& network() const { return net_; }
-  OracleCache::Stats cache_stats() const { return cache_->stats(); }
+  /// Applies a network delta live: materializes the successor network,
+  /// builds its index cache in the background (adopting every index whose
+  /// search-graph fingerprint the delta did not change, rebuilding the
+  /// rest), optionally commits the update to the snapshot directory
+  /// (ServiceOptions::persist_updates), and atomically swaps the serving
+  /// epoch. Requests in flight finish on the old epoch; requests arriving
+  /// after the swap see the post-delta world. Fails InvalidArgument (and
+  /// keeps serving the old epoch untouched) when the delta is invalid
+  /// against the current network. Concurrent ApplyDelta calls are
+  /// serialized. Thread-safe against all serving methods.
+  Result<UpdateReport> ApplyDelta(const ExpertNetworkDelta& delta);
 
-  /// Snapshot of the manifest, by value: the persist-on-miss saver hook may
-  /// append entries concurrently (under manifest_mu_), so handing out a
-  /// reference would race with that mutation.
+  /// The current epoch's network, shared: hold the pointer for as long as
+  /// the network is dereferenced — a concurrent ApplyDelta retires the
+  /// epoch, and the shared_ptr is what keeps the network alive past it.
+  std::shared_ptr<const ExpertNetwork> network() const;
+
+  /// Generation of the serving epoch (manifest generation at Open, +1 per
+  /// applied delta).
+  uint64_t generation() const;
+
+  /// Counters of the current epoch's index cache. A fresh epoch starts new
+  /// counters; adoptions tells how many indexes the last swap carried over.
+  OracleCache::Stats cache_stats() const;
+
+  /// Snapshot of the manifest, by value: the persist-on-miss saver hook and
+  /// ApplyDelta commits mutate it concurrently (under manifest_mu_), so
+  /// handing out a reference would race with those mutations.
   SnapshotManifest manifest() const {
     std::lock_guard<std::mutex> lock(manifest_mu_);
     return manifest_;
   }
 
  private:
+  /// Immutable serving state: everything a request touches. Requests pin an
+  /// epoch via shared_ptr; ApplyDelta swaps the pointer and the old epoch
+  /// dies with its last in-flight request.
+  struct Epoch {
+    uint64_t generation = 0;
+    /// Shared (not unique) so a successor cache's adopted entries can keep
+    /// the graph their oracles reference alive after this epoch retires.
+    std::shared_ptr<const ExpertNetwork> net;
+    /// Built over *net; declared after it so destruction order is safe.
+    std::unique_ptr<OracleCache> cache;
+  };
+
   TeamDiscoveryService() = default;
+
+  std::shared_ptr<const Epoch> CurrentEpoch() const {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    return epoch_;
+  }
+
+  /// Wires the snapshot artifact loader/saver hooks into a (new) epoch's
+  /// cache.
+  void InstallArtifactHooks(OracleCache& cache);
 
   /// Validates and translates a request into finder options.
   Result<FinderOptions> MakeFinderOptions(const TeamRequest& request) const;
 
   ServiceOptions options_;
+  OracleCache::Options cache_options_;
   SnapshotManifest manifest_;
-  ExpertNetwork net_;
   /// Guards the in-memory manifest_ (copy/commit only — never held across
   /// disk I/O).
   mutable std::mutex manifest_mu_;
-  /// Serializes whole persist-on-miss operations (artifact + manifest
-  /// writes), keeping on-disk manifest rewrites ordered without blocking
-  /// loaders.
+  /// Serializes whole persist operations (artifact + manifest writes),
+  /// keeping on-disk rewrites ordered without blocking loaders.
   mutable std::mutex persist_mu_;
-  /// Built over net_; declared after it so destruction order is safe.
-  std::unique_ptr<OracleCache> cache_;
+  /// Guards the epoch_ pointer (load/swap only; never held across work).
+  mutable std::mutex epoch_mu_;
+  /// Serializes ApplyDelta calls end to end.
+  std::mutex update_mu_;
+  std::shared_ptr<const Epoch> epoch_;
 };
 
 }  // namespace teamdisc

@@ -134,5 +134,22 @@ TEST(GraphTest, DebugStringMentionsCounts) {
   EXPECT_NE(s.find("edges=3"), std::string::npos);
 }
 
+TEST(GraphTest, EdgeSetFingerprintMatchesGraphFingerprint) {
+  Graph g = MakeTriangle();
+  std::vector<Edge> edges = g.CanonicalEdges();
+  EXPECT_EQ(WeightedEdgeSetFingerprint(g.num_nodes(), edges),
+            WeightedEdgeFingerprint(g));
+  // Sensitive to node count, topology, and weight bits alike.
+  EXPECT_NE(WeightedEdgeSetFingerprint(g.num_nodes() + 1, edges),
+            WeightedEdgeFingerprint(g));
+  std::vector<Edge> reweighted = edges;
+  reweighted[0].weight += 1e-12;
+  EXPECT_NE(WeightedEdgeSetFingerprint(g.num_nodes(), reweighted),
+            WeightedEdgeFingerprint(g));
+  std::vector<Edge> fewer(edges.begin(), edges.end() - 1);
+  EXPECT_NE(WeightedEdgeSetFingerprint(g.num_nodes(), fewer),
+            WeightedEdgeFingerprint(g));
+}
+
 }  // namespace
 }  // namespace teamdisc

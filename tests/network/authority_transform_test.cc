@@ -62,6 +62,22 @@ TEST(AuthorityTransformTest, GammaOneIgnoresCommunicationCost) {
   EXPECT_DOUBLE_EQ(t.graph.EdgeWeight(1, 2), 0.35);
 }
 
+TEST(AuthorityTransformTest, FingerprintPredictionMatchesBuiltTransform) {
+  // Update paths decide keep-vs-rebuild from the predicted fingerprint, so
+  // it must be bit-identical to hashing an actually built G' — at every
+  // gamma, including the endpoints.
+  ExpertNetwork net = SmallNet();
+  for (double gamma : {0.0, 0.25, 0.6, 1.0}) {
+    TransformedGraph t = BuildAuthorityTransform(net, gamma).ValueOrDie();
+    EXPECT_EQ(AuthorityTransformFingerprint(net, gamma),
+              WeightedEdgeFingerprint(t.graph))
+        << "gamma=" << gamma;
+  }
+  // Distinct gammas hash to distinct transforms.
+  EXPECT_NE(AuthorityTransformFingerprint(net, 0.25),
+            AuthorityTransformFingerprint(net, 0.75));
+}
+
 TEST(AuthorityTransformTest, RejectsBadGamma) {
   ExpertNetwork net = SmallNet();
   EXPECT_FALSE(BuildAuthorityTransform(net, -0.1).ok());

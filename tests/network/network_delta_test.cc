@@ -1,0 +1,224 @@
+#include "network/network_delta.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_networks.h"
+#include "graph/graph.h"
+#include "network/network_io.h"
+
+namespace teamdisc {
+namespace {
+
+TEST(NetworkDeltaTest, SerializeDeserializeRoundTrip) {
+  ExpertNetworkDelta delta;
+  delta.AddExpert("Jane Smith, PhD", {"graph mining", "-", "100% effort"},
+                  7.25, 42)
+      .RemoveExpert(3)
+      .AddSkill(1, "deep learning")
+      .RevokeSkill(2, "sql")
+      .AddCollaboration(0, 10, 0.123456789012345678)
+      .RemoveCollaboration(1, 2)
+      .ReweightCollaboration(4, 5, 2.5);
+  const std::string text = SerializeDelta(delta);
+  auto parsed = DeserializeDelta(text).ValueOrDie();
+  ASSERT_EQ(parsed.size(), delta.size());
+  // Deterministic serialization: re-serializing the parse is bit-identical.
+  EXPECT_EQ(SerializeDelta(parsed), text);
+  const DeltaOp& add = parsed.ops()[0];
+  EXPECT_EQ(add.kind, DeltaOp::Kind::kAddExpert);
+  EXPECT_EQ(add.name, "Jane Smith, PhD");
+  ASSERT_EQ(add.skills.size(), 3u);
+  EXPECT_EQ(add.skills[1], "-");
+  EXPECT_EQ(add.authority, 7.25);
+  EXPECT_EQ(add.num_publications, 42u);
+  const DeltaOp& edge = parsed.ops()[4];
+  EXPECT_EQ(edge.kind, DeltaOp::Kind::kAddEdge);
+  EXPECT_EQ(edge.u, 0u);
+  EXPECT_EQ(edge.v, 10u);
+  // %.17g round-trips doubles bit-exactly.
+  EXPECT_EQ(edge.weight, 0.123456789012345678);
+}
+
+TEST(NetworkDeltaTest, DeserializeRejectsMalformedInput) {
+  EXPECT_TRUE(DeserializeDelta("").status().IsInvalidArgument());
+  EXPECT_TRUE(DeserializeDelta("garbage v1\n").status().IsInvalidArgument());
+  EXPECT_TRUE(DeserializeDelta("teamdisc-delta v1\nteleport-expert 3\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DeserializeDelta("teamdisc-delta v1\nremove-expert\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DeserializeDelta("teamdisc-delta v1\nadd-edge 0 1 notanumber\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Comments and blank lines are fine.
+  EXPECT_TRUE(DeserializeDelta("# churn\nteamdisc-delta v1\n\nremove-expert 1\n")
+                  .ok());
+}
+
+TEST(NetworkDeltaTest, ApplyAddExpertWithEdgesAndDeltaLocalIds) {
+  ExpertNetwork base = MediumNetwork();  // 10 experts, ids 0..9
+  ExpertNetworkDelta delta;
+  delta.AddExpert("newbie", {"a", "z"}, 4.0, 1);
+  // Delta-local id: the added expert is 10 in the pre-removal space.
+  delta.AddCollaboration(10, 7, 0.5);
+  delta.AddCollaboration(10, 0, 1.5);
+  auto next = ApplyNetworkDelta(base, delta).ValueOrDie();
+  ASSERT_EQ(next.num_experts(), 11u);
+  EXPECT_EQ(next.expert(10).name, "newbie");
+  EXPECT_EQ(next.Authority(10), 4.0);
+  EXPECT_EQ(next.graph().num_edges(), base.graph().num_edges() + 2);
+  EXPECT_EQ(next.graph().EdgeWeight(10, 7), 0.5);
+  EXPECT_EQ(next.graph().EdgeWeight(10, 0), 1.5);
+  // "z" is a brand-new skill; "a" gains a holder.
+  SkillId z = next.skills().Find("z");
+  ASSERT_NE(z, kInvalidSkill);
+  ASSERT_EQ(next.ExpertsWithSkill(z).size(), 1u);
+  EXPECT_EQ(next.ExpertsWithSkill(z)[0], 10u);
+  EXPECT_EQ(next.ExpertsWithSkill(next.skills().Find("a")).size(),
+            base.ExpertsWithSkill(base.skills().Find("a")).size() + 1);
+  // The base network is untouched.
+  EXPECT_EQ(base.num_experts(), 10u);
+}
+
+TEST(NetworkDeltaTest, ApplyRemoveExpertCompactsIdsAndDropsEdges) {
+  ExpertNetwork base = MediumNetwork();
+  ExpertNetworkDelta delta;
+  delta.RemoveExpert(3);  // hub with edges to 0, 1, 2, 7
+  auto next = ApplyNetworkDelta(base, delta).ValueOrDie();
+  ASSERT_EQ(next.num_experts(), 9u);
+  // Survivors keep relative order: old 4 becomes 3, old 9 becomes 8.
+  EXPECT_EQ(next.expert(3).name, "e4");
+  EXPECT_EQ(next.expert(8).name, "e9");
+  EXPECT_EQ(next.graph().num_edges(), base.graph().num_edges() - 4);
+  // Surviving edge (9,5) -> (8,4) keeps its weight.
+  EXPECT_EQ(next.graph().EdgeWeight(8, 4), 0.2);
+}
+
+TEST(NetworkDeltaTest, ApplyRejectsUnknownExpert) {
+  ExpertNetwork base = MediumNetwork();
+  {
+    ExpertNetworkDelta delta;
+    delta.AddSkill(99, "x");
+    auto result = ApplyNetworkDelta(base, delta);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsInvalidArgument());
+    EXPECT_NE(result.status().ToString().find("unknown expert 99"),
+              std::string::npos);
+  }
+  {
+    ExpertNetworkDelta delta;
+    delta.ReweightCollaboration(0, 42, 1.0);
+    EXPECT_TRUE(ApplyNetworkDelta(base, delta).status().IsInvalidArgument());
+  }
+  {
+    // Referencing an expert this same delta removed is just as invalid.
+    ExpertNetworkDelta delta;
+    delta.RemoveExpert(3).AddSkill(3, "x");
+    auto result = ApplyNetworkDelta(base, delta);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().ToString().find("removed expert 3"),
+              std::string::npos);
+  }
+}
+
+TEST(NetworkDeltaTest, ApplyIsStrictAboutSkillsAndEdges) {
+  ExpertNetwork base = MediumNetwork();
+  auto expect_invalid = [&](const ExpertNetworkDelta& delta) {
+    auto result = ApplyNetworkDelta(base, delta);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsInvalidArgument())
+        << result.status().ToString();
+  };
+  // Expert 0 already holds "a"; expert 1 does not hold "d".
+  expect_invalid(ExpertNetworkDelta().AddSkill(0, "a"));
+  expect_invalid(ExpertNetworkDelta().RevokeSkill(1, "d"));
+  // Edge (0,3) exists; (0,9) does not.
+  expect_invalid(ExpertNetworkDelta().AddCollaboration(0, 3, 1.0));
+  expect_invalid(ExpertNetworkDelta().RemoveCollaboration(0, 9));
+  expect_invalid(ExpertNetworkDelta().ReweightCollaboration(0, 9, 1.0));
+  expect_invalid(ExpertNetworkDelta().AddCollaboration(2, 2, 1.0));  // self
+  expect_invalid(ExpertNetworkDelta().ReweightCollaboration(0, 3, -1.0));
+  expect_invalid(ExpertNetworkDelta().AddExpert("bad", {}, 0.0));  // authority
+}
+
+TEST(NetworkDeltaTest, RemoveThenReAddExpertRoundTrips) {
+  ExpertNetwork base = MediumNetwork();
+  const Expert& original = base.expert(6);  // "e6", skills {b, d}
+  ExpertNetworkDelta delta;
+  delta.RemoveExpert(6);
+  delta.AddExpert(original.name, {"b", "d"}, original.authority,
+                  original.num_publications);
+  // Rebuild its old edges: (6,7) w=0.3 and (1,6) w=0.8; the re-added expert
+  // has delta-local id 10.
+  delta.AddCollaboration(10, 7, 0.3);
+  delta.AddCollaboration(10, 1, 0.8);
+  auto next = ApplyNetworkDelta(base, delta).ValueOrDie();
+  ASSERT_EQ(next.num_experts(), base.num_experts());
+  // The re-added expert landed at the end (id 9 after compaction).
+  const NodeId readded = 9;
+  EXPECT_EQ(next.expert(readded).name, "e6");
+  EXPECT_EQ(next.Authority(readded), original.authority);
+  EXPECT_TRUE(next.HasSkill(readded, next.skills().Find("b")));
+  EXPECT_TRUE(next.HasSkill(readded, next.skills().Find("d")));
+  EXPECT_EQ(next.graph().num_edges(), base.graph().num_edges());
+  // Old ids 7.. shifted down by one; "e7" is now id 6.
+  EXPECT_EQ(next.expert(6).name, "e7");
+  EXPECT_EQ(next.graph().EdgeWeight(readded, 6), 0.3);
+  EXPECT_EQ(next.graph().EdgeWeight(readded, 1), 0.8);
+  // Same skill coverage as before the churn.
+  for (const char* skill : {"a", "b", "c", "d"}) {
+    EXPECT_EQ(next.ExpertsWithSkill(next.skills().Find(skill)).size(),
+              base.ExpertsWithSkill(base.skills().Find(skill)).size())
+        << skill;
+  }
+}
+
+TEST(NetworkDeltaTest, EmptyDeltaIsIdentity) {
+  ExpertNetwork base = MediumNetwork();
+  ExpertNetworkDelta delta;
+  EXPECT_TRUE(delta.empty());
+  auto next = ApplyNetworkDelta(base, delta).ValueOrDie();
+  EXPECT_EQ(WeightedEdgeFingerprint(next.graph()),
+            WeightedEdgeFingerprint(base.graph()));
+  EXPECT_EQ(next.num_experts(), base.num_experts());
+  EXPECT_EQ(SerializeNetwork(next), SerializeNetwork(base));
+}
+
+TEST(NetworkDeltaTest, SkillOnlyDeltaKeepsEveryFingerprint) {
+  ExpertNetwork base = MediumNetwork();
+  ExpertNetworkDelta delta;
+  delta.AddSkill(0, "zzz").RevokeSkill(2, "c");
+  EXPECT_TRUE(delta.SkillOnly());
+  auto next = ApplyNetworkDelta(base, delta).ValueOrDie();
+  EXPECT_EQ(WeightedEdgeFingerprint(next.graph()),
+            WeightedEdgeFingerprint(base.graph()));
+  EXPECT_TRUE(next.HasSkill(0, next.skills().Find("zzz")));
+  delta.ReweightCollaboration(0, 3, 9.9);
+  EXPECT_FALSE(delta.SkillOnly());
+}
+
+TEST(NetworkDeltaTest, ReweightChangesOnlyThatEdge) {
+  ExpertNetwork base = MediumNetwork();
+  ExpertNetworkDelta delta;
+  delta.ReweightCollaboration(0, 3, 9.5);
+  auto next = ApplyNetworkDelta(base, delta).ValueOrDie();
+  EXPECT_EQ(next.graph().EdgeWeight(0, 3), 9.5);
+  EXPECT_EQ(next.graph().num_edges(), base.graph().num_edges());
+  EXPECT_NE(WeightedEdgeFingerprint(next.graph()),
+            WeightedEdgeFingerprint(base.graph()));
+}
+
+TEST(NetworkDeltaTest, SaveLoadRoundTripsThroughDisk) {
+  ExpertNetworkDelta delta;
+  delta.AddSkill(1, "spark").ReweightCollaboration(0, 3, 0.75);
+  const std::string path =
+      testing::TempDir() + "/network_delta_roundtrip.delta";
+  TD_CHECK_OK(SaveDelta(delta, path));
+  auto loaded = LoadDelta(path).ValueOrDie();
+  EXPECT_EQ(SerializeDelta(loaded), SerializeDelta(delta));
+  EXPECT_TRUE(LoadDelta("/no/such/file.delta").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "../core/test_networks.h"
+#include "common/string_util.h"
 #include "network/authority_transform.h"
 #include "network/network_io.h"
 
@@ -193,6 +194,158 @@ TEST(SnapshotTest, AddIndexArtifactAppendsAndPersists) {
 TEST(SnapshotTest, ReadMissingDirectoryFails) {
   EXPECT_TRUE(
       ReadSnapshotManifest("/no/such/snapshot").status().IsIOError());
+}
+
+TEST(SnapshotManifestTest, GenerationAndFingerprintsRoundTrip) {
+  SnapshotManifest manifest;
+  manifest.generation = 7;
+  manifest.network_file = "network-g7.net";
+  manifest.network_fingerprint = 0x1234;
+  manifest.entries.push_back({false, 0, OracleKind::kPrunedLandmarkLabeling,
+                              "index-base-pll.pll", 0xabcdef0011223344ULL});
+  auto parsed =
+      ParseSnapshotManifest(SerializeSnapshotManifest(manifest)).ValueOrDie();
+  EXPECT_EQ(parsed.generation, 7u);
+  ASSERT_EQ(parsed.entries.size(), 1u);
+  EXPECT_EQ(parsed.entries[0].fingerprint, 0xabcdef0011223344ULL);
+}
+
+TEST(SnapshotManifestTest, LegacyV1ManifestStillParses) {
+  // Pre-generation manifests: v1 header, no generation line, 5-field index
+  // lines. They read back as generation 0 / fingerprint 0 ("unknown").
+  auto parsed = ParseSnapshotManifest(
+                    "teamdisc-snapshot v1\n"
+                    "network network.net 0abc\n"
+                    "index transform 2500 pll index-g2500-pll.pll\n")
+                    .ValueOrDie();
+  EXPECT_EQ(parsed.generation, 0u);
+  ASSERT_EQ(parsed.entries.size(), 1u);
+  EXPECT_EQ(parsed.entries[0].fingerprint, 0u);
+  // A generation line after the network line is malformed.
+  EXPECT_TRUE(ParseSnapshotManifest("teamdisc-snapshot v2\n"
+                                    "network network.net 0abc\n"
+                                    "generation 3\n")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SnapshotTest, BuildSnapshotRecordsArtifactFingerprints) {
+  ExpertNetwork net = MediumNetwork();
+  const std::string dir = FreshDir("snapshot_fps");
+  BuildSnapshotOptions options;
+  options.gammas = {0.25};
+  auto manifest = BuildSnapshot(net, dir, options).ValueOrDie();
+  ASSERT_EQ(manifest.entries.size(), 2u);
+  EXPECT_EQ(manifest.generation, 0u);
+  EXPECT_EQ(manifest.entries[0].fingerprint,
+            WeightedEdgeFingerprint(net.graph()));
+  auto transformed = BuildAuthorityTransform(net, 0.25).ValueOrDie();
+  EXPECT_EQ(manifest.entries[1].fingerprint,
+            WeightedEdgeFingerprint(transformed.graph));
+}
+
+TEST(SnapshotTest, LoadFailureNamesArtifactAndFingerprints) {
+  // The satellite fix: a failed artifact load must say WHICH file broke and
+  // both fingerprints, not just that "the snapshot" is inconsistent.
+  ExpertNetwork net = MediumNetwork();
+  const std::string dir = FreshDir("snapshot_load_error");
+  BuildSnapshotOptions options;
+  options.gammas = {0.25};
+  options.include_base = false;
+  auto manifest = BuildSnapshot(net, dir, options).ValueOrDie();
+  ASSERT_EQ(manifest.entries.size(), 1u);
+  manifest.entries[0].gamma_bp = 7500;  // doctor: claim it is the 0.75 index
+  auto wrong = BuildAuthorityTransform(net, 0.75).ValueOrDie();
+  auto result = LoadIndexArtifact(dir, manifest, true, 7500,
+                                  OracleKind::kPrunedLandmarkLabeling,
+                                  wrong.graph);
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().ToString();
+  EXPECT_NE(message.find("index-g2500-pll.pll"), std::string::npos) << message;
+  const std::string expected_hex = StrFormat(
+      "%016llx", static_cast<unsigned long long>(
+                     manifest.entries[0].fingerprint));
+  const std::string actual_hex = StrFormat(
+      "%016llx",
+      static_cast<unsigned long long>(WeightedEdgeFingerprint(wrong.graph)));
+  EXPECT_NE(message.find(expected_hex), std::string::npos) << message;
+  EXPECT_NE(message.find(actual_hex), std::string::npos) << message;
+}
+
+TEST(SnapshotTest, ApplySnapshotDeltaKeepsUnchangedArtifacts) {
+  // A skill-only delta changes no search graph: every artifact is kept
+  // byte-for-byte, only network + generation move.
+  ExpertNetwork net = MediumNetwork();
+  const std::string dir = FreshDir("snapshot_delta_keep");
+  BuildSnapshotOptions options;
+  options.gammas = {0.25, 0.75};
+  TD_CHECK(BuildSnapshot(net, dir, options).ok());
+  ExpertNetworkDelta delta;
+  delta.AddSkill(3, "zzz");
+  auto report = ApplySnapshotDelta(dir, delta).ValueOrDie();
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_EQ(report.entries_kept, 3u);
+  EXPECT_EQ(report.entries_rebuilt, 0u);
+  auto manifest = ReadSnapshotManifest(dir).ValueOrDie();
+  EXPECT_EQ(manifest.generation, 1u);
+  EXPECT_EQ(manifest.network_file, "network-g1.net");
+  auto reloaded = LoadNetwork(dir + "/network-g1.net").ValueOrDie();
+  EXPECT_NE(reloaded.skills().Find("zzz"), kInvalidSkill);
+  // Kept artifacts still load against the (unchanged) search graphs.
+  auto base = LoadIndexArtifact(dir, manifest, false, 0,
+                                OracleKind::kPrunedLandmarkLabeling,
+                                reloaded.graph())
+                  .ValueOrDie();
+  EXPECT_NE(base, nullptr);
+}
+
+TEST(SnapshotTest, ApplySnapshotDeltaRebuildsChangedArtifacts) {
+  ExpertNetwork net = MediumNetwork();
+  const std::string dir = FreshDir("snapshot_delta_rebuild");
+  BuildSnapshotOptions options;
+  options.gammas = {0.25};
+  TD_CHECK(BuildSnapshot(net, dir, options).ok());
+  ExpertNetworkDelta delta;
+  delta.ReweightCollaboration(0, 3, 2.0);
+  auto report = ApplySnapshotDelta(dir, delta).ValueOrDie();
+  EXPECT_EQ(report.entries_kept, 0u);
+  EXPECT_EQ(report.entries_rebuilt, 2u);  // base + transform both changed
+  // The rebuilt artifacts answer exactly like a from-scratch build over the
+  // post-delta network.
+  ExpertNetwork next = ApplyNetworkDelta(net, delta).ValueOrDie();
+  auto manifest = ReadSnapshotManifest(dir).ValueOrDie();
+  auto base = LoadIndexArtifact(dir, manifest, false, 0,
+                                OracleKind::kPrunedLandmarkLabeling,
+                                next.graph())
+                  .ValueOrDie();
+  ASSERT_NE(base, nullptr);
+  auto fresh = PrunedLandmarkLabeling::Build(next.graph()).ValueOrDie();
+  EXPECT_EQ(base->Distance(0, 9), fresh->Distance(0, 9));
+  EXPECT_EQ(base->Distance(0, 3), 2.0);
+  // A second delta bumps the generation again and replaces network-g1.net.
+  ExpertNetworkDelta delta2;
+  delta2.AddSkill(0, "yyy");
+  auto report2 = ApplySnapshotDelta(dir, delta2).ValueOrDie();
+  EXPECT_EQ(report2.generation, 2u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/network-g2.net"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/network-g1.net"));
+}
+
+TEST(SnapshotTest, ApplySnapshotDeltaRejectsInvalidDelta) {
+  ExpertNetwork net = MediumNetwork();
+  const std::string dir = FreshDir("snapshot_delta_invalid");
+  BuildSnapshotOptions options;
+  options.gammas = {};
+  TD_CHECK(BuildSnapshot(net, dir, options).ok());
+  ExpertNetworkDelta delta;
+  delta.RemoveExpert(42);
+  auto result = ApplySnapshotDelta(dir, delta);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  // Nothing committed: still generation 0 on the original network file.
+  auto manifest = ReadSnapshotManifest(dir).ValueOrDie();
+  EXPECT_EQ(manifest.generation, 0u);
+  EXPECT_EQ(manifest.network_file, "network.net");
 }
 
 }  // namespace

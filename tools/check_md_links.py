@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repository's Markdown files.
+
+Scans every *.md under the repo root (skipping build trees and .git),
+extracts inline links [text](target), and verifies that each relative
+target resolves to an existing file or directory. External links
+(http/https/mailto) and pure in-page anchors (#...) are not checked —
+this guard is about keeping the docs/ cross-reference graph intact as
+files move, with no network access and no dependencies.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+Exit status: 0 = all links resolve, 1 = dead links (listed on stderr).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", ".github", "build", "build-release", "build-asan",
+             "_deps", "node_modules"}
+# Inline markdown link: [text](target). Deliberately simple — the repo's
+# docs use no reference-style links or angle-bracket targets.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_file(path: Path, root: Path):
+    dead = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                dead.append((lineno, target, "escapes the repository"))
+                continue
+            if not resolved.exists():
+                dead.append((lineno, target, "does not exist"))
+    return dead
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    if not root.is_dir():
+        print(f"check_md_links: {root} is not a directory", file=sys.stderr)
+        return 2
+    files = 0
+    links_dead = 0
+    for path in markdown_files(root):
+        files += 1
+        for lineno, target, why in check_file(path, root):
+            links_dead += 1
+            print(f"{path.relative_to(root)}:{lineno}: dead link "
+                  f"'{target}' ({why})", file=sys.stderr)
+    if links_dead:
+        print(f"check_md_links: {links_dead} dead link(s) across "
+              f"{files} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_md_links: OK ({files} markdown file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 # End-to-end smoke test for teamdisc_cli, run via `cmake -P` so it works on
 # any platform ctest runs on. Drives: generate -> info -> skills -> find ->
-# pareto -> build-index -> serve-bench on a tiny synthetic network, checking
-# exit codes and output shape, plus the unknown-flag rejection path.
+# pareto -> build-index -> apply-update -> serve-bench on a tiny synthetic
+# network, checking exit codes and output shape, plus the unknown-flag
+# rejection path.
 #
 # Required -D variables: TEAMDISC_CLI (path to binary), WORK_DIR (scratch dir).
 
@@ -102,8 +103,28 @@ if(NOT EXISTS "${SNAP}/index-g6000-pll.pll")
 endif()
 run_cli_expect_fail(2 "unknown flag --gama" build-index "${NET}" "${SNAP}" --gama=0.6)
 
-# 8. serve-bench: answers every request off the snapshot (0 builds) and
-# reports QPS + latency percentiles, persisted as JSON.
+# 8. apply-update: build-index -> apply-update -> serve must round-trip on
+# disk. A skill-only delta keeps every artifact (0 rebuilt) and bumps the
+# manifest generation; the versioned network file replaces the original.
+file(WRITE "${WORK_DIR}/update.delta" "teamdisc-delta v1\nadd-skill 0 smoke-churn\n")
+run_cli("now generation 1" apply-update "${SNAP}" "${WORK_DIR}/update.delta")
+run_cli_expect_fail(1 "" apply-update "${SNAP}" "${WORK_DIR}/no-such.delta")
+if(NOT EXISTS "${SNAP}/network-g1.net")
+  message(FATAL_ERROR "apply-update did not write the generation-1 network")
+endif()
+# Deltas are strict logs: re-applying the same add-skill must be rejected
+# (the expert already holds it), and a revoke delta keeps both artifacts.
+run_cli_expect_fail(1 "already holds" apply-update "${SNAP}" "${WORK_DIR}/update.delta")
+file(WRITE "${WORK_DIR}/revoke.delta" "teamdisc-delta v1\nrevoke-skill 0 smoke-churn\n")
+execute_process(COMMAND ${TEAMDISC_CLI} apply-update "${SNAP}" "${WORK_DIR}/revoke.delta"
+                OUTPUT_VARIABLE APPLY_OUT RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0 OR NOT APPLY_OUT MATCHES "2 kept .* 0 rebuilt")
+  message(FATAL_ERROR "revoke apply-update should keep both artifacts:\n${APPLY_OUT}")
+endif()
+
+# 9. serve-bench: answers every request off the updated snapshot (0 builds)
+# and reports QPS + latency percentiles, persisted as JSON. --updates drives
+# live epoch swaps while the batch runs.
 run_cli("qps [0-9]" serve-bench "${SNAP}" --requests=24 --workers=2
         "--out=${WORK_DIR}/BENCH_serve.json")
 run_cli("0 builds" serve-bench "${SNAP}" --requests=24 --workers=2
@@ -115,6 +136,16 @@ file(READ "${WORK_DIR}/BENCH_serve.json" SERVE_JSON)
 foreach(field qps p50_ms p99_ms "\"builds\": 0")
   if(NOT SERVE_JSON MATCHES "${field}")
     message(FATAL_ERROR "BENCH_serve.json missing ${field}:\n${SERVE_JSON}")
+  endif()
+endforeach()
+# Mixed read/write mode: live epoch swaps while the batch serves; the JSON
+# gains the update block (churn latency + adopt/rebuild counts).
+run_cli("updates: 2 applied, 0 failed" serve-bench "${SNAP}" --requests=24
+        --workers=2 --updates=2 "--out=${WORK_DIR}/BENCH_serve_updates.json")
+file(READ "${WORK_DIR}/BENCH_serve_updates.json" UPDATE_JSON)
+foreach(field "\"applied\": 2" "\"failed\": 0" entries_adopted entries_rebuilt)
+  if(NOT UPDATE_JSON MATCHES "${field}")
+    message(FATAL_ERROR "BENCH_serve_updates.json missing ${field}:\n${UPDATE_JSON}")
   endif()
 endforeach()
 run_cli_expect_fail(2 "unknown flag --worker\n" serve-bench "${SNAP}" --worker=2)

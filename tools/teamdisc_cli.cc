@@ -22,23 +22,35 @@
 //       Pre-build the per-gamma PLL indexes and write a serving snapshot
 //       (manifest + network + fingerprinted index artifacts).
 //
+//   teamdisc_cli apply-update <snapshot-dir> <delta-file> [--threads=N]
+//       Apply a teamdisc-delta v1 mutation file to an on-disk snapshot:
+//       rebuilds exactly the index artifacts whose search graph changed,
+//       keeps the rest, and commits the post-delta network under a bumped
+//       manifest generation.
+//
 //   teamdisc_cli serve-bench <snapshot-dir> [--requests=200] [--workers=4]
 //       [--skills-per-request=3] [--top-k=1] [--lambda=0.6] [--seed=42]
-//       [--budget-mb=0] [--out=BENCH_serve.json]
+//       [--budget-mb=0] [--updates=0] [--update-seed=7]
+//       [--out=BENCH_serve.json]
 //       Closed-loop request driver against a snapshot-backed
 //       TeamDiscoveryService; reports QPS and latency percentiles and
-//       writes them as JSON.
+//       writes them as JSON. With --updates=K, K network deltas (skill
+//       churn + edge reweights) are applied live via epoch swaps while the
+//       read batch runs, measuring serving latency under churn.
 //
 // Unknown --flags are rejected with exit code 2 (listing the valid ones),
 // so a typo'd --gama=0.5 can never silently run with the default gamma.
+// docs/CONFIG.md carries the full subcommand/flag and env-var reference.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/greedy_team_finder.h"
 #include "core/objectives.h"
 #include "core/pareto.h"
@@ -96,9 +108,10 @@ Args ParseArgs(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: teamdisc_cli "
-               "<generate|info|skills|find|pareto|build-index|serve-bench> ...\n"
-               "see the header of tools/teamdisc_cli.cc for details\n");
+               "usage: teamdisc_cli <generate|info|skills|find|pareto|"
+               "build-index|apply-update|serve-bench> ...\n"
+               "see docs/CONFIG.md or the header of tools/teamdisc_cli.cc "
+               "for details\n");
   return 2;
 }
 
@@ -361,10 +374,44 @@ int CmdBuildIndex(const Args& args) {
   return 0;
 }
 
+int CmdApplyUpdate(const Args& args) {
+  if (int rc = RejectUnknownFlags(args, {"threads"})) return rc;
+  if (args.positional.size() < 3) {
+    std::fprintf(stderr,
+                 "usage: teamdisc_cli apply-update <snapshot-dir> <delta-file> "
+                 "[--threads=N]\n");
+    return 2;
+  }
+  auto delta = LoadDelta(args.positional[2]);
+  if (!delta.ok()) {
+    std::fprintf(stderr, "cannot load delta: %s\n",
+                 delta.status().ToString().c_str());
+    return 1;
+  }
+  SnapshotUpdateOptions options;
+  options.pll.num_threads = static_cast<size_t>(args.GetUint("threads", 0));
+  auto report =
+      ApplySnapshotDelta(args.positional[1], delta.ValueOrDie(), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "apply-update failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const SnapshotUpdateReport& r = report.ValueOrDie();
+  std::printf("applied %s to %s: now generation %llu\n",
+              delta.ValueOrDie().DebugString().c_str(),
+              args.positional[1].c_str(),
+              static_cast<unsigned long long>(r.generation));
+  std::printf("network: %u experts, %zu edges\n", r.num_experts, r.num_edges);
+  std::printf("indexes: %zu kept (search graph unchanged), %zu rebuilt\n",
+              r.entries_kept, r.entries_rebuilt);
+  return 0;
+}
+
 int CmdServeBench(const Args& args) {
   if (int rc = RejectUnknownFlags(
           args, {"requests", "workers", "skills-per-request", "top-k", "lambda",
-                 "seed", "budget-mb", "out"})) {
+                 "seed", "budget-mb", "updates", "update-seed", "out"})) {
     return rc;
   }
   if (args.positional.size() < 2) {
@@ -376,15 +423,26 @@ int CmdServeBench(const Args& args) {
   options.snapshot_dir = args.positional[1];
   options.cache_budget_bytes =
       static_cast<size_t>(args.GetUint("budget-mb", 0)) * (size_t{1} << 20);
+  const size_t updates = static_cast<size_t>(args.GetUint("updates", 0));
+  if (updates > 0) {
+    // A benchmark must be rerunnable: churn-mode epoch swaps stay in
+    // memory. Committing them would mutate the snapshot (generation bumps,
+    // toggled churn skills), making a second --updates run fail its deltas
+    // against the already-churned network; persisting rebuilt artifacts
+    // without the network commit would leave the on-disk manifest pointing
+    // at post-delta fingerprints the pre-delta network cannot satisfy.
+    options.persist_updates = false;
+    options.persist_built_indexes = false;
+  }
   auto service = TeamDiscoveryService::Open(options);
   if (!service.ok()) {
     std::fprintf(stderr, "cannot open snapshot: %s\n",
                  service.status().ToString().c_str());
     return 1;
   }
-  const TeamDiscoveryService& svc = *service.ValueOrDie();
-  const ExpertNetwork& net = svc.network();
-  if (net.num_skills() == 0) {
+  TeamDiscoveryService& svc = *service.ValueOrDie();
+  const std::shared_ptr<const ExpertNetwork> net = svc.network();
+  if (net->num_skills() == 0) {
     std::fprintf(stderr, "snapshot network has no skills to query\n");
     return 1;
   }
@@ -399,9 +457,42 @@ int CmdServeBench(const Args& args) {
   mix.seed = args.GetUint("seed", 42);
   const uint32_t skills_per_request = mix.skills_per_request;
   std::vector<TeamRequest> requests =
-      MakeRequestMix(net, svc.manifest(), mix);
+      MakeRequestMix(*net, svc.manifest(), mix);
+
+  // Mixed read/write mode: a background thread applies epoch-swapped
+  // network deltas while the batch serves, measuring latency under churn.
+  std::vector<ExpertNetworkDelta> deltas;
+  if (updates > 0) {
+    DeltaMixOptions delta_mix;
+    delta_mix.count = updates;
+    delta_mix.seed = args.GetUint("update-seed", 7);
+    deltas = MakeDeltaMix(*net, delta_mix);
+  }
+  std::vector<double> update_ms;
+  size_t updates_applied = 0, updates_failed = 0;
+  size_t entries_adopted = 0, entries_rebuilt = 0;
+  std::thread updater;
+  if (!deltas.empty()) {
+    updater = std::thread([&] {
+      for (const ExpertNetworkDelta& delta : deltas) {
+        Timer timer;
+        auto applied = svc.ApplyDelta(delta);
+        if (!applied.ok()) {
+          ++updates_failed;
+          std::fprintf(stderr, "update failed: %s\n",
+                       applied.status().ToString().c_str());
+          continue;
+        }
+        update_ms.push_back(timer.ElapsedMillis());
+        ++updates_applied;
+        entries_adopted += applied.ValueOrDie().entries_adopted;
+        entries_rebuilt += applied.ValueOrDie().entries_rebuilt;
+      }
+    });
+  }
 
   auto report = svc.ServeBatch(requests, workers);
+  if (updater.joinable()) updater.join();
   if (!report.ok()) {
     std::fprintf(stderr, "serve-bench failed: %s\n",
                  report.status().ToString().c_str());
@@ -419,12 +510,28 @@ int CmdServeBench(const Args& args) {
               static_cast<unsigned long long>(r.infeasible),
               static_cast<unsigned long long>(r.failures));
   std::printf("cache: %llu hits, %llu misses, %llu loads, %llu builds, "
-              "%llu evictions\n",
+              "%llu adoptions, %llu evictions\n",
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses),
               static_cast<unsigned long long>(cache.loads),
               static_cast<unsigned long long>(cache.builds),
+              static_cast<unsigned long long>(cache.adoptions),
               static_cast<unsigned long long>(cache.evictions));
+  double update_p50 = 0.0, update_max = 0.0;
+  if (!update_ms.empty()) {
+    std::vector<double> sorted = update_ms;
+    std::sort(sorted.begin(), sorted.end());
+    update_p50 = sorted[(sorted.size() - 1) / 2];
+    update_max = sorted.back();
+  }
+  if (updates > 0) {
+    std::printf("updates: %zu applied, %zu failed; now generation %llu; "
+                "p50 %.1f ms, max %.1f ms per swap; indexes %zu adopted / "
+                "%zu rebuilt across swaps\n",
+                updates_applied, updates_failed,
+                static_cast<unsigned long long>(svc.generation()), update_p50,
+                update_max, entries_adopted, entries_rebuilt);
+  }
 
   const std::string out_path = args.Get("out", "BENCH_serve.json");
   if (!out_path.empty()) {
@@ -443,19 +550,26 @@ int CmdServeBench(const Args& args) {
         "  \"solved\": %llu,\n"
         "  \"infeasible\": %llu,\n"
         "  \"failures\": %llu,\n"
+        "  \"updates\": { \"requested\": %zu, \"applied\": %zu, "
+        "\"failed\": %zu, \"generation\": %llu, \"p50_ms\": %.4f, "
+        "\"max_ms\": %.4f, \"entries_adopted\": %zu, "
+        "\"entries_rebuilt\": %zu },\n"
         "  \"cache\": { \"hits\": %llu, \"misses\": %llu, \"loads\": %llu, "
-        "\"builds\": %llu, \"evictions\": %llu }\n"
+        "\"builds\": %llu, \"adoptions\": %llu, \"evictions\": %llu }\n"
         "}\n",
         options.snapshot_dir.c_str(),
         static_cast<unsigned long long>(r.requests), workers,
         skills_per_request, r.wall_seconds, r.qps, r.p50_ms, r.p90_ms,
         r.p99_ms, r.max_ms, static_cast<unsigned long long>(r.solved),
         static_cast<unsigned long long>(r.infeasible),
-        static_cast<unsigned long long>(r.failures),
+        static_cast<unsigned long long>(r.failures), updates, updates_applied,
+        updates_failed, static_cast<unsigned long long>(svc.generation()),
+        update_p50, update_max, entries_adopted, entries_rebuilt,
         static_cast<unsigned long long>(cache.hits),
         static_cast<unsigned long long>(cache.misses),
         static_cast<unsigned long long>(cache.loads),
         static_cast<unsigned long long>(cache.builds),
+        static_cast<unsigned long long>(cache.adoptions),
         static_cast<unsigned long long>(cache.evictions));
     std::FILE* f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
@@ -486,6 +600,7 @@ int Main(int argc, char** argv) {
   if (command == "find") return CmdFind(args);
   if (command == "pareto") return CmdPareto(args);
   if (command == "build-index") return CmdBuildIndex(args);
+  if (command == "apply-update") return CmdApplyUpdate(args);
   if (command == "serve-bench") return CmdServeBench(args);
   return Usage();
 }
