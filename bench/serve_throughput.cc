@@ -56,7 +56,9 @@ std::vector<TeamRequest> RequestMix(const TeamDiscoveryService& svc,
                                     size_t count) {
   RequestMixOptions mix;
   mix.count = count;
-  mix.seed = 4242;
+  // Reproducible by default, variable on demand: TEAMDISC_SERVE_SEED varies
+  // the request mix without recompiling (A/B runs, flake hunts).
+  mix.seed = GetEnvOr("TEAMDISC_SERVE_SEED", uint64_t{4242});
   return MakeRequestMix(*svc.network(), svc.manifest(), mix);
 }
 

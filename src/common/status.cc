@@ -35,6 +35,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Infeasible";
     case StatusCode::kUnknown:
       return "Unknown";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "UnknownCode";
 }

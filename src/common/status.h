@@ -25,6 +25,8 @@ enum class StatusCode : int {
   kInternal = 9,
   kInfeasible = 10,  ///< No team can cover the requested project.
   kUnknown = 11,
+  kDeadlineExceeded = 12,  ///< Request deadline passed before it was served.
+  kCancelled = 13,         ///< Request cancelled by its caller.
 };
 
 /// \brief Human-readable name of a status code ("InvalidArgument", ...).
@@ -85,6 +87,14 @@ class Status {
   static Status Unknown(std::string message) {
     return Status(StatusCode::kUnknown, std::move(message));
   }
+  /// The request's deadline passed before it could be served.
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  /// The request was cancelled by its caller.
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -96,6 +106,13 @@ class Status {
   bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/stats.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -18,20 +19,6 @@
 #include "network/network_io.h"
 
 namespace teamdisc {
-
-namespace {
-
-/// Nearest-rank latency percentile (rank = ceil(q * n), 1-based) over an
-/// already sorted sample set.
-double PercentileMs(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  size_t rank = static_cast<size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  if (rank == 0) rank = 1;
-  return sorted[std::min(rank - 1, sorted.size() - 1)];
-}
-
-}  // namespace
 
 std::vector<TeamRequest> MakeRequestMix(const ExpertNetwork& net,
                                         const SnapshotManifest& manifest,
@@ -285,7 +272,14 @@ Result<std::vector<ParetoTeam>> TeamDiscoveryService::Pareto(
 Result<ServeReport> TeamDiscoveryService::ServeBatch(
     const std::vector<TeamRequest>& requests, size_t workers,
     std::vector<std::vector<ScoredTeam>>* results) const {
-  if (requests.empty()) return Status::InvalidArgument("no requests");
+  // An empty batch is a well-defined no-op, not an error: drivers that size
+  // batches dynamically (e.g. whatever arrived this tick) may legitimately
+  // hand over zero requests, and the all-zero report below must never reach
+  // the old `latencies.back()` on an empty sample set (UB).
+  if (requests.empty()) {
+    if (results != nullptr) results->clear();
+    return ServeReport{};
+  }
   // The batch pins the epoch current at entry: every request in the batch
   // is answered on one consistent network + index state, and a concurrent
   // ApplyDelta swap takes effect only for later batches.
@@ -406,10 +400,10 @@ Result<ServeReport> TeamDiscoveryService::ServeBatch(
     }
   }
   std::sort(latencies.begin(), latencies.end());
-  report.p50_ms = PercentileMs(latencies, 0.50);
-  report.p90_ms = PercentileMs(latencies, 0.90);
-  report.p99_ms = PercentileMs(latencies, 0.99);
-  report.max_ms = latencies.back();
+  report.p50_ms = PercentileSorted(latencies, 0.50);
+  report.p90_ms = PercentileSorted(latencies, 0.90);
+  report.p99_ms = PercentileSorted(latencies, 0.99);
+  report.max_ms = latencies.empty() ? 0.0 : latencies.back();
   report.qps = report.wall_seconds > 0.0
                    ? static_cast<double>(report.requests) / report.wall_seconds
                    : 0.0;

@@ -1,0 +1,79 @@
+// Bounded MPMC admission queue for the serving pipeline.
+//
+// The queue is the backpressure point: TryPush never blocks and refuses once
+// the configured capacity is reached, so an overloaded server sheds the
+// newest arrivals with an explicit error instead of growing an unbounded
+// backlog that collapses latency for every queued request. Pop blocks until
+// an item, or until Close() — after which remaining items still drain (a
+// closed queue rejects producers, not consumers).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace teamdisc {
+
+/// \brief Bounded multi-producer multi-consumer FIFO.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity 0 means "admit nothing" (useful in shedding tests); the
+  /// pipeline validates its own bound before constructing one.
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues unless the queue is full or closed. Never blocks.
+  /// Returns false when the item was refused (caller sheds it).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  /// std::nullopt means shutdown: no item will ever arrive again.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admission and wakes every blocked consumer. Items already queued
+  /// are still handed out by Pop.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace teamdisc

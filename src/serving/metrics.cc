@@ -1,0 +1,118 @@
+#include "serving/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+void Histogram::Record(uint64_t value) {
+  size_t bucket = static_cast<size_t>(std::bit_width(value));
+  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  // count is re-derived from the buckets so that count == sum(buckets) holds
+  // within one snapshot even when records land mid-read.
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  // Nearest rank over the bucketized distribution; the reported value is the
+  // bucket's upper bound (exclusive), i.e. an estimate within 2x.
+  const uint64_t rank =
+      static_cast<uint64_t>(NearestRankIndex(static_cast<size_t>(count), q)) + 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // Bucket i spans [2^(i-1), 2^i); bucket 0 is exactly {0}. Report the
+      // upper bound, capped at the exact observed max.
+      const double upper = i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << i);
+      return std::min(upper, static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& slot = instruments_[name];
+  if (slot.counter == nullptr) {
+    TD_CHECK(slot.gauge == nullptr && slot.histogram == nullptr)
+        << "metric '" << name << "' already registered as a different kind";
+    slot.counter = std::make_unique<Counter>();
+  }
+  return *slot.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& slot = instruments_[name];
+  if (slot.gauge == nullptr) {
+    TD_CHECK(slot.counter == nullptr && slot.histogram == nullptr)
+        << "metric '" << name << "' already registered as a different kind";
+    slot.gauge = std::make_unique<Gauge>();
+  }
+  return *slot.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& slot = instruments_[name];
+  if (slot.histogram == nullptr) {
+    TD_CHECK(slot.counter == nullptr && slot.gauge == nullptr)
+        << "metric '" << name << "' already registered as a different kind";
+    slot.histogram = std::make_unique<Histogram>();
+  }
+  return *slot.histogram;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, slot] : instruments_) {
+    if (slot.counter != nullptr) {
+      if (!counters.empty()) counters += ", ";
+      counters += StrFormat("\"%s\": %llu", name.c_str(),
+                            static_cast<unsigned long long>(slot.counter->value()));
+    }
+    if (slot.gauge != nullptr) {
+      if (!gauges.empty()) gauges += ", ";
+      gauges += StrFormat("\"%s\": %.4f", name.c_str(), slot.gauge->value());
+    }
+    if (slot.histogram != nullptr) {
+      if (!histograms.empty()) histograms += ", ";
+      const Histogram::Snapshot snap = slot.histogram->snapshot();
+      histograms += StrFormat(
+          "\"%s\": {\"count\": %llu, \"sum\": %llu, \"mean\": %.2f, "
+          "\"max\": %llu, \"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f}",
+          name.c_str(), static_cast<unsigned long long>(snap.count),
+          static_cast<unsigned long long>(snap.sum), snap.Mean(),
+          static_cast<unsigned long long>(snap.max), snap.Quantile(0.50),
+          snap.Quantile(0.90), snap.Quantile(0.99));
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
+}
+
+}  // namespace teamdisc

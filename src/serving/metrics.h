@@ -1,0 +1,121 @@
+// Lock-free serving metrics: counters, gauges, and log-bucketed histograms,
+// snapshotable as JSON.
+//
+// The serving pipeline is the writer on the request hot path, so every
+// mutation is a single relaxed atomic op — no locks, no allocation. The
+// registry itself is append-only: instruments are registered once (under a
+// mutex) and live for the registry's lifetime, so the pointers handed out
+// are stable and can be cached by the hot path. Snapshot() / ToJson() give a
+// consistent-enough admin view (each instrument is read atomically; the set
+// is not cut at one instant — standard for serving metrics).
+//
+// Histograms use fixed log-scale (power-of-two) buckets over non-negative
+// integer samples (microseconds by convention): bucket i holds values whose
+// bit width is i, i.e. [2^(i-1), 2^i). Percentiles reported from a histogram
+// are therefore upper-bound estimates at 2x resolution; exact sums, counts,
+// and max are tracked alongside.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace teamdisc {
+
+/// \brief Monotonic event counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous signed level (queue depth, resident bytes, qps).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  /// Ratchets the gauge up to `value` if it is above the current level —
+  /// high-watermark tracking (peak queue depth).
+  void SetMax(double value) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < value && !value_.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed log-scale histogram over non-negative integer samples.
+class Histogram {
+ public:
+  /// Bucket i counts samples in [2^(i-1), 2^i); bucket 0 counts zeros.
+  /// 40 buckets cover up to ~2^39 us ≈ 6.4 days of latency.
+  static constexpr size_t kNumBuckets = 40;
+
+  void Record(uint64_t value);
+
+  /// \brief One consistent read of the histogram.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    /// Upper-bound estimate (bucket boundary) of the nearest-rank quantile;
+    /// 0 when empty.
+    double Quantile(double q) const;
+    double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count); }
+    uint64_t buckets[kNumBuckets] = {0};
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// \brief Named registry of counters/gauges/histograms.
+///
+/// Registration is idempotent per name and kind (the same instrument comes
+/// back), and the returned references stay valid for the registry's
+/// lifetime. Registering one name as two different kinds aborts — that is a
+/// programming error, not a runtime condition.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// JSON object with one member per instrument kind:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// mean, max, p50, p90, p99}}}. Names sort lexicographically, so output is
+  /// deterministic for a fixed instrument set.
+  std::string ToJson() const;
+
+ private:
+  struct Instrument {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;  ///< guards the map shape only
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace teamdisc

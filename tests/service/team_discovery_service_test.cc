@@ -172,6 +172,27 @@ TEST(TeamDiscoveryServiceTest, ServeBatchCountsFailuresAndInfeasible) {
   EXPECT_GE(report.p99_ms, report.p50_ms);
 }
 
+// Regression: an empty batch used to fall through to `latencies.back()` on
+// an empty vector (UB caught under ASan). It now reports all-zeroes and
+// clears the results sink instead of touching it.
+TEST(TeamDiscoveryServiceTest, ServeBatchEmptyYieldsZeroedReport) {
+  const std::string dir = MakeSnapshot("svc_empty_batch", {0.6});
+  auto svc = TeamDiscoveryService::Open({.snapshot_dir = dir}).ValueOrDie();
+  std::vector<std::vector<ScoredTeam>> results(3);  // stale entries
+  auto report = svc->ServeBatch({}, 4, &results).ValueOrDie();
+  EXPECT_EQ(report.requests, 0u);
+  EXPECT_EQ(report.solved, 0u);
+  EXPECT_EQ(report.infeasible, 0u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_DOUBLE_EQ(report.p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(report.p99_ms, 0.0);
+  EXPECT_DOUBLE_EQ(report.max_ms, 0.0);
+  EXPECT_DOUBLE_EQ(report.qps, 0.0);
+  EXPECT_TRUE(results.empty());
+  // Null results sink is equally fine.
+  EXPECT_TRUE(svc->ServeBatch({}, 1, nullptr).ok());
+}
+
 TEST(TeamDiscoveryServiceTest, ParetoServesFront) {
   const std::string dir = MakeSnapshot("svc_pareto", {});
   ParetoRequest request;

@@ -1,0 +1,105 @@
+#include "serving/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace teamdisc {
+namespace {
+
+TEST(MetricsTest, CounterIncrements) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("events");
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&registry.counter("events"), &c);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("depth");
+  g.Set(3.0);
+  g.Add(2.0);
+  g.Add(-4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(MetricsTest, HistogramTracksCountSumMax) {
+  Histogram h;
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 1000ull}) h.Record(v);
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1006u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 1006.0 / 5.0);
+}
+
+TEST(MetricsTest, HistogramQuantilesAreBucketUpperBounds) {
+  Histogram h;
+  // 100 samples at exactly 100us: every quantile lands in the [64, 128)
+  // bucket, reported as its upper bound capped at the exact max.
+  for (int i = 0; i < 100; ++i) h.Record(100);
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.50), 100.0);  // min(128, max=100)
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 100.0);
+}
+
+TEST(MetricsTest, HistogramQuantileSpreadsAcrossBuckets) {
+  Histogram h;
+  // 90 fast samples (~8us) and 10 slow (~4096us): p50 sits in the fast
+  // bucket, p99 in the slow one — a 2x-resolution tail estimate.
+  for (int i = 0; i < 90; ++i) h.Record(8);
+  for (int i = 0; i < 10; ++i) h.Record(4096);
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_LE(snap.Quantile(0.50), 16.0);
+  EXPECT_GE(snap.Quantile(0.99), 4096.0);
+  EXPECT_LE(snap.Quantile(0.99), 8192.0);
+}
+
+TEST(MetricsTest, HistogramQuantileEmptyIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.snapshot().Quantile(0.99), 0.0);
+}
+
+TEST(MetricsTest, JsonSnapshotContainsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.counter("serve.shed").Increment(7);
+  registry.gauge("serve.queue_depth").Set(3.0);
+  registry.histogram("serve.e2e_us").Record(500);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"serve.shed\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve.queue_depth\": 3.0000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve.e2e_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+  // Minimal well-formedness: balanced braces.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricsTest, ConcurrentRecordersLoseNothing) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hits");
+  Histogram& h = registry.histogram("lat");
+  constexpr int kThreads = 4, kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.snapshot().count, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace teamdisc

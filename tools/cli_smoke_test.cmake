@@ -1,8 +1,8 @@
 # End-to-end smoke test for teamdisc_cli, run via `cmake -P` so it works on
 # any platform ctest runs on. Drives: generate -> info -> skills -> find ->
-# pareto -> build-index -> apply-update -> serve-bench on a tiny synthetic
-# network, checking exit codes and output shape, plus the unknown-flag
-# rejection path.
+# pareto -> build-index -> apply-update -> serve-bench (closed- and
+# open-loop) -> serve on a tiny synthetic network, checking exit codes and
+# output shape, plus the unknown-flag rejection path.
 #
 # Required -D variables: TEAMDISC_CLI (path to binary), WORK_DIR (scratch dir).
 
@@ -149,5 +149,34 @@ foreach(field "\"applied\": 2" "\"failed\": 0" entries_adopted entries_rebuilt)
   endif()
 endforeach()
 run_cli_expect_fail(2 "unknown flag --worker\n" serve-bench "${SNAP}" --worker=2)
+
+# 10. Open-loop mode: arrivals on a fixed schedule through the async
+# pipeline; the JSON report carries the offered/admitted/shed accounting and
+# embeds the metrics-registry dump.
+run_cli("open loop: offered" serve-bench "${SNAP}" --requests=16 --workers=2
+        --arrival-qps=200 --arrival=fixed --queue-cap=8
+        "--out=${WORK_DIR}/BENCH_serve_open.json")
+file(READ "${WORK_DIR}/BENCH_serve_open.json" OPEN_JSON)
+foreach(field "\"mode\": \"open-loop\"" "\"offered\": 16" queue_depth_peak
+        "\"metrics\":" "serve.submitted")
+  if(NOT OPEN_JSON MATCHES "${field}")
+    message(FATAL_ERROR "BENCH_serve_open.json missing ${field}:\n${OPEN_JSON}")
+  endif()
+endforeach()
+run_cli_expect_fail(2 "--arrival must be" serve-bench "${SNAP}"
+                    --arrival-qps=10 --arrival=bursty)
+
+# 11. serve: one-shot admin dump of the pipeline metrics registry.
+run_cli("\"serve.solved\"" serve "${SNAP}" --requests=8 --workers=2)
+run_cli("" serve "${SNAP}" --requests=8
+        "--metrics-out=${WORK_DIR}/metrics.json")
+file(READ "${WORK_DIR}/metrics.json" METRICS_JSON)
+foreach(field "\"counters\"" "\"serve.admitted\": 8" "cache.resident_bytes"
+        "serve.e2e_us")
+  if(NOT METRICS_JSON MATCHES "${field}")
+    message(FATAL_ERROR "metrics.json missing ${field}:\n${METRICS_JSON}")
+  endif()
+endforeach()
+run_cli_expect_fail(2 "unknown flag --requets" serve "${SNAP}" --requets=8)
 
 message(STATUS "cli_smoke passed")

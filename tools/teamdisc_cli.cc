@@ -31,17 +31,34 @@
 //   teamdisc_cli serve-bench <snapshot-dir> [--requests=200] [--workers=4]
 //       [--skills-per-request=3] [--top-k=1] [--lambda=0.6] [--seed=42]
 //       [--budget-mb=0] [--updates=0] [--update-seed=7]
-//       [--out=BENCH_serve.json]
-//       Closed-loop request driver against a snapshot-backed
-//       TeamDiscoveryService; reports QPS and latency percentiles and
-//       writes them as JSON. With --updates=K, K network deltas (skill
-//       churn + edge reweights) are applied live via epoch swaps while the
-//       read batch runs, measuring serving latency under churn.
+//       [--arrival-qps=0] [--arrival=poisson|fixed] [--deadline-ms=0]
+//       [--queue-cap=0] [--out=BENCH_serve.json]
+//       Request driver against a snapshot-backed TeamDiscoveryService;
+//       reports QPS and latency percentiles and writes them as JSON.
+//       Default is the closed-loop batch (workers start the next solve the
+//       moment the previous finishes). With --arrival-qps=R the driver goes
+//       open-loop through the async RequestPipeline: requests arrive on a
+//       Poisson (or fixed-interval) schedule at rate R regardless of
+//       completion, so reported latency includes queue wait, and overload
+//       shows up as load shedding + deadline expiry instead of silently
+//       slower arrivals. With --updates=K, K network deltas (skill churn +
+//       edge reweights) are applied live via epoch swaps while the
+//       requests run, measuring serving latency under churn.
+//
+//   teamdisc_cli serve <snapshot-dir> [--requests=64] [--workers=0]
+//       [--queue-cap=0] [--deadline-ms=0] [--seed=42] [--budget-mb=0]
+//       [--metrics-out=FILE]
+//       One-shot admin surface for the async pipeline: starts it over the
+//       snapshot, plays a short request mix through it, and dumps the
+//       metrics registry (serve.* counters/histograms + cache.* gauges) as
+//       JSON to stdout or --metrics-out.
 //
 // Unknown --flags are rejected with exit code 2 (listing the valid ones),
 // so a typo'd --gama=0.5 can never silently run with the default gamma.
 // docs/CONFIG.md carries the full subcommand/flag and env-var reference.
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -49,6 +66,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/random.h"
+#include "common/stats.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/greedy_team_finder.h"
@@ -59,6 +78,7 @@
 #include "graph/graph_algos.h"
 #include "network/network_io.h"
 #include "service/team_discovery_service.h"
+#include "serving/request_pipeline.h"
 
 namespace teamdisc {
 namespace {
@@ -109,7 +129,7 @@ Args ParseArgs(int argc, char** argv) {
 int Usage() {
   std::fprintf(stderr,
                "usage: teamdisc_cli <generate|info|skills|find|pareto|"
-               "build-index|apply-update|serve-bench> ...\n"
+               "build-index|apply-update|serve-bench|serve> ...\n"
                "see docs/CONFIG.md or the header of tools/teamdisc_cli.cc "
                "for details\n");
   return 2;
@@ -411,12 +431,19 @@ int CmdApplyUpdate(const Args& args) {
 int CmdServeBench(const Args& args) {
   if (int rc = RejectUnknownFlags(
           args, {"requests", "workers", "skills-per-request", "top-k", "lambda",
-                 "seed", "budget-mb", "updates", "update-seed", "out"})) {
+                 "seed", "budget-mb", "updates", "update-seed", "arrival-qps",
+                 "arrival", "deadline-ms", "queue-cap", "out"})) {
     return rc;
   }
   if (args.positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: teamdisc_cli serve-bench <snapshot-dir> [flags]\n");
+    return 2;
+  }
+  const double arrival_qps = args.GetDouble("arrival-qps", 0.0);
+  const std::string arrival = args.Get("arrival", "poisson");
+  if (arrival != "poisson" && arrival != "fixed") {
+    std::fprintf(stderr, "--arrival must be 'poisson' or 'fixed'\n");
     return 2;
   }
   ServiceOptions options;
@@ -491,6 +518,185 @@ int CmdServeBench(const Args& args) {
     });
   }
 
+  // Open-loop mode: requests arrive on their own schedule at --arrival-qps,
+  // independent of completions, through the bounded async pipeline. This is
+  // the headline serving bench — latency includes queue wait, and pushing
+  // the arrival rate past sustainable throughput surfaces as shed/expired
+  // counts with the queue depth pinned at its bound, not as a silently
+  // slower driver.
+  if (arrival_qps > 0.0) {
+    PipelineOptions popt;
+    popt.workers = workers;
+    popt.queue_capacity = static_cast<size_t>(args.GetUint("queue-cap", 0));
+    popt.default_deadline_ms = args.GetDouble("deadline-ms", 0.0);
+    auto started = RequestPipeline::Start(svc, popt);
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot start pipeline: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    RequestPipeline& pipeline = *started.ValueOrDie();
+
+    // Absolute arrival schedule, precomputed: each request is due at
+    // start + offset, so submission jitter never accumulates into the rate.
+    // Poisson draws exponential inter-arrivals -ln(1-u)/R; fixed spaces
+    // them 1/R apart.
+    Rng arrivals(mix.seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<double> offsets_s(requests.size());
+    double due_s = 0.0;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      due_s += arrival == "fixed" ? 1.0 / arrival_qps
+                                  : -std::log1p(-arrivals.NextDouble()) /
+                                        arrival_qps;
+      offsets_s[i] = due_s;
+    }
+
+    std::vector<ResponseHandle> handles;
+    handles.reserve(requests.size());
+    Timer wall;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < requests.size(); ++i) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(offsets_s[i])));
+      auto handle = pipeline.Submit(requests[i]);
+      // Shed arrivals are part of the measurement (pipeline counts them);
+      // the driver just moves on to the next arrival.
+      if (handle.ok()) handles.push_back(std::move(handle).ValueOrDie());
+    }
+    for (const ResponseHandle& handle : handles) handle.Wait();
+    const double wall_seconds = wall.ElapsedSeconds();
+    pipeline.Shutdown();
+    if (updater.joinable()) updater.join();
+
+    // Percentiles over answered requests (solved or infeasible), end to end
+    // — queue wait included. Expired/cancelled/failed are reported as
+    // counts, not folded into the latency distribution.
+    std::vector<double> e2e_ms, queue_wait_ms;
+    for (const ResponseHandle& handle : handles) {
+      const auto& result = handle.Wait();
+      if (result.ok() || result.status().IsInfeasible()) {
+        e2e_ms.push_back(handle.e2e_ms());
+        queue_wait_ms.push_back(handle.queue_ms());
+      }
+    }
+    std::sort(e2e_ms.begin(), e2e_ms.end());
+    std::sort(queue_wait_ms.begin(), queue_wait_ms.end());
+
+    MetricsRegistry& m = pipeline.metrics();
+    const uint64_t offered = m.counter("serve.submitted").value();
+    const uint64_t admitted = m.counter("serve.admitted").value();
+    const uint64_t shed = m.counter("serve.shed").value();
+    const uint64_t expired = m.counter("serve.expired").value();
+    const uint64_t cancelled = m.counter("serve.cancelled").value();
+    const uint64_t solved = m.counter("serve.solved").value();
+    const uint64_t infeasible = m.counter("serve.infeasible").value();
+    const uint64_t failures = m.counter("serve.failed").value();
+    const double depth_peak = m.gauge("serve.queue_depth_peak").value();
+    const OracleCache::Stats cache = svc.cache_stats();
+
+    std::printf(
+        "open loop: offered %.1f qps (%s) for %.3f s over %zu worker(s), "
+        "queue cap %zu\n",
+        arrival_qps, arrival.c_str(), wall_seconds, pipeline.workers(),
+        pipeline.queue_capacity());
+    std::printf(
+        "offered %llu | admitted %llu | shed %llu | expired %llu | "
+        "cancelled %llu\n",
+        static_cast<unsigned long long>(offered),
+        static_cast<unsigned long long>(admitted),
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(expired),
+        static_cast<unsigned long long>(cancelled));
+    std::printf(
+        "e2e (incl. queue wait): p50 %.3f ms | p90 %.3f ms | p99 %.3f ms "
+        "| max %.3f ms over %zu answered\n",
+        PercentileSorted(e2e_ms, 0.50), PercentileSorted(e2e_ms, 0.90),
+        PercentileSorted(e2e_ms, 0.99),
+        e2e_ms.empty() ? 0.0 : e2e_ms.back(), e2e_ms.size());
+    std::printf("queue wait: p50 %.3f ms | p99 %.3f ms | peak depth %.0f\n",
+                PercentileSorted(queue_wait_ms, 0.50),
+                PercentileSorted(queue_wait_ms, 0.99), depth_peak);
+    std::printf("solved %llu, infeasible %llu, failures %llu\n",
+                static_cast<unsigned long long>(solved),
+                static_cast<unsigned long long>(infeasible),
+                static_cast<unsigned long long>(failures));
+    if (updates > 0) {
+      std::printf("updates: %zu applied, %zu failed; now generation %llu\n",
+                  updates_applied, updates_failed,
+                  static_cast<unsigned long long>(svc.generation()));
+    }
+
+    const std::string out_path = args.Get("out", "BENCH_serve.json");
+    if (!out_path.empty()) {
+      std::string json = StrFormat(
+          "{\n"
+          "  \"snapshot\": \"%s\",\n"
+          "  \"mode\": \"open-loop\",\n"
+          "  \"arrival\": { \"process\": \"%s\", \"qps\": %.2f },\n"
+          "  \"workers\": %zu,\n"
+          "  \"queue_cap\": %zu,\n"
+          "  \"deadline_ms\": %.2f,\n"
+          "  \"wall_seconds\": %.6f,\n"
+          "  \"offered\": %llu,\n"
+          "  \"admitted\": %llu,\n"
+          "  \"shed\": %llu,\n"
+          "  \"expired\": %llu,\n"
+          "  \"cancelled\": %llu,\n"
+          "  \"solved\": %llu,\n"
+          "  \"infeasible\": %llu,\n"
+          "  \"failures\": %llu,\n"
+          "  \"queue_depth_peak\": %.0f,\n"
+          "  \"p50_ms\": %.4f,\n"
+          "  \"p90_ms\": %.4f,\n"
+          "  \"p99_ms\": %.4f,\n"
+          "  \"max_ms\": %.4f,\n"
+          "  \"queue_wait_p50_ms\": %.4f,\n"
+          "  \"queue_wait_p99_ms\": %.4f,\n"
+          "  \"updates\": { \"requested\": %zu, \"applied\": %zu, "
+          "\"failed\": %zu, \"generation\": %llu },\n"
+          "  \"cache\": { \"hits\": %llu, \"misses\": %llu, \"loads\": "
+          "%llu, \"builds\": %llu, \"adoptions\": %llu, \"evictions\": "
+          "%llu },\n"
+          "  \"metrics\": %s\n"
+          "}\n",
+          options.snapshot_dir.c_str(), arrival.c_str(), arrival_qps,
+          pipeline.workers(), pipeline.queue_capacity(),
+          popt.default_deadline_ms, wall_seconds,
+          static_cast<unsigned long long>(offered),
+          static_cast<unsigned long long>(admitted),
+          static_cast<unsigned long long>(shed),
+          static_cast<unsigned long long>(expired),
+          static_cast<unsigned long long>(cancelled),
+          static_cast<unsigned long long>(solved),
+          static_cast<unsigned long long>(infeasible),
+          static_cast<unsigned long long>(failures), depth_peak,
+          PercentileSorted(e2e_ms, 0.50), PercentileSorted(e2e_ms, 0.90),
+          PercentileSorted(e2e_ms, 0.99),
+          e2e_ms.empty() ? 0.0 : e2e_ms.back(),
+          PercentileSorted(queue_wait_ms, 0.50),
+          PercentileSorted(queue_wait_ms, 0.99), updates, updates_applied,
+          updates_failed, static_cast<unsigned long long>(svc.generation()),
+          static_cast<unsigned long long>(cache.hits),
+          static_cast<unsigned long long>(cache.misses),
+          static_cast<unsigned long long>(cache.loads),
+          static_cast<unsigned long long>(cache.builds),
+          static_cast<unsigned long long>(cache.adoptions),
+          static_cast<unsigned long long>(cache.evictions),
+          pipeline.MetricsJson().c_str());
+      std::FILE* f = std::fopen(out_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
   auto report = svc.ServeBatch(requests, workers);
   if (updater.joinable()) updater.join();
   if (!report.ok()) {
@@ -538,6 +744,7 @@ int CmdServeBench(const Args& args) {
     std::string json = StrFormat(
         "{\n"
         "  \"snapshot\": \"%s\",\n"
+        "  \"mode\": \"closed-loop\",\n"
         "  \"requests\": %llu,\n"
         "  \"workers\": %zu,\n"
         "  \"skills_per_request\": %u,\n"
@@ -583,6 +790,83 @@ int CmdServeBench(const Args& args) {
   return r.failures == 0 ? 0 : 1;
 }
 
+/// One-shot admin surface for the async pipeline: serve a short request mix
+/// through RequestPipeline, then dump the metrics registry as JSON. The
+/// dump is the point — it is the same snapshot a long-running server would
+/// expose on an admin endpoint, so scripts can smoke the serving stack and
+/// scrape serve.*/cache.* in one shot.
+int CmdServe(const Args& args) {
+  if (int rc = RejectUnknownFlags(
+          args, {"requests", "workers", "queue-cap", "deadline-ms", "seed",
+                 "budget-mb", "metrics-out"})) {
+    return rc;
+  }
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "usage: teamdisc_cli serve <snapshot-dir> [flags]\n");
+    return 2;
+  }
+  ServiceOptions options;
+  options.snapshot_dir = args.positional[1];
+  options.cache_budget_bytes =
+      static_cast<size_t>(args.GetUint("budget-mb", 0)) * (size_t{1} << 20);
+  auto service = TeamDiscoveryService::Open(options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "cannot open snapshot: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  TeamDiscoveryService& svc = *service.ValueOrDie();
+
+  PipelineOptions popt;
+  popt.workers = static_cast<size_t>(args.GetUint("workers", 0));
+  popt.queue_capacity = static_cast<size_t>(args.GetUint("queue-cap", 0));
+  popt.default_deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  auto started = RequestPipeline::Start(svc, popt);
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start pipeline: %s\n",
+                 started.status().ToString().c_str());
+    return 1;
+  }
+  RequestPipeline& pipeline = *started.ValueOrDie();
+
+  RequestMixOptions mix;
+  mix.count = static_cast<size_t>(args.GetUint("requests", 64));
+  mix.seed = args.GetUint("seed", 42);
+  std::vector<TeamRequest> requests =
+      MakeRequestMix(*svc.network(), svc.manifest(), mix);
+  std::vector<ResponseHandle> handles;
+  handles.reserve(requests.size());
+  for (const TeamRequest& request : requests) {
+    auto handle = pipeline.Submit(request);
+    if (handle.ok()) handles.push_back(std::move(handle).ValueOrDie());
+  }
+  uint64_t hard_failures = 0;
+  for (const ResponseHandle& handle : handles) {
+    const auto& result = handle.Wait();
+    if (!result.ok() && !result.status().IsInfeasible() &&
+        !result.status().IsDeadlineExceeded()) {
+      ++hard_failures;
+    }
+  }
+  pipeline.Shutdown();
+
+  const std::string json = pipeline.MetricsJson() + "\n";
+  const std::string out_path = args.Get("metrics-out", "");
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return hard_failures == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args = ParseArgs(argc, argv);
@@ -602,6 +886,7 @@ int Main(int argc, char** argv) {
   if (command == "build-index") return CmdBuildIndex(args);
   if (command == "apply-update") return CmdApplyUpdate(args);
   if (command == "serve-bench") return CmdServeBench(args);
+  if (command == "serve") return CmdServe(args);
   return Usage();
 }
 
