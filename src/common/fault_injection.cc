@@ -1,0 +1,262 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace teamdisc {
+namespace {
+
+struct PointState {
+  bool armed = false;
+  FaultSpec spec;
+  uint64_t remaining = 0;  // fail_once / fail_n countdown
+  uint64_t trips = 0;      // survives disarm, cleared by Reset
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointState> points;
+  bool env_parsed = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+size_t ArmedCountLocked(const Registry& r) {
+  size_t n = 0;
+  for (const auto& [name, ps] : r.points) {
+    (void)name;
+    if (ps.armed) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::atomic<int> FaultInjection::state_{0};
+
+Result<FaultSpec> FaultInjection::ParseSpec(const std::string& spec) {
+  std::string_view s = StripWhitespace(spec);
+  FaultSpec out;
+  if (s == "fail") {
+    out.action = FaultAction::kFail;
+    return out;
+  }
+  if (s == "fail_once") {
+    out.action = FaultAction::kFailOnce;
+    out.arg = 1;
+    return out;
+  }
+  if (s == "abort") {
+    out.action = FaultAction::kAbort;
+    return out;
+  }
+  const auto colon = s.find(':');
+  if (colon != std::string_view::npos) {
+    const std::string_view head = s.substr(0, colon);
+    const std::string_view tail = s.substr(colon + 1);
+    auto arg = ParseUint64(tail);
+    if (arg.ok()) {
+      if (head == "fail_n") {
+        if (arg.ValueOrDie() == 0) {
+          return Status::InvalidArgument("fail_n needs a count >= 1: '" +
+                                         spec + "'");
+        }
+        out.action = FaultAction::kFailN;
+        out.arg = arg.ValueOrDie();
+        return out;
+      }
+      if (head == "delay_ms") {
+        out.action = FaultAction::kDelayMs;
+        out.arg = arg.ValueOrDie();
+        return out;
+      }
+    }
+  }
+  return Status::InvalidArgument(
+      "unknown fault action '" + spec +
+      "' (want fail, fail_once, fail_n:K, delay_ms:K, or abort)");
+}
+
+Status FaultInjection::Arm(const std::string& point, const std::string& spec) {
+  auto parsed = ParseSpec(spec);
+  TD_RETURN_IF_ERROR(parsed.status());
+  Arm(point, parsed.ValueOrDie());
+  return Status::OK();
+}
+
+void FaultInjection::Arm(const std::string& point, FaultSpec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  PointState& ps = r.points[point];
+  ps.armed = true;
+  ps.spec = spec;
+  switch (spec.action) {
+    case FaultAction::kFailOnce:
+      ps.remaining = 1;
+      break;
+    case FaultAction::kFailN:
+      ps.remaining = spec.arg;
+      break;
+    default:
+      ps.remaining = 0;
+      break;
+  }
+  state_.store(kStateArmed, std::memory_order_relaxed);
+}
+
+void FaultInjection::Disarm(const std::string& point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(point);
+  if (it != r.points.end()) it->second.armed = false;
+  if (ArmedCountLocked(r) == 0 &&
+      state_.load(std::memory_order_relaxed) == kStateArmed) {
+    state_.store(kStateDisarmed, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::Reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+  // env_parsed stays true: TEAMDISC_FAULTS is a process-start condition, and
+  // re-arming env faults after an explicit Reset would surprise tests.
+  r.env_parsed = true;
+  state_.store(kStateDisarmed, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjection::trips(const std::string& point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(point);
+  return it == r.points.end() ? 0 : it->second.trips;
+}
+
+uint64_t FaultInjection::total_trips() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  uint64_t total = 0;
+  for (const auto& [name, ps] : r.points) {
+    (void)name;
+    total += ps.trips;
+  }
+  return total;
+}
+
+std::vector<std::string> FaultInjection::ArmedPoints() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, ps] : r.points) {
+    if (ps.armed) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultInjection::TripCounts() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const auto& [name, ps] : r.points) {
+    if (ps.trips > 0) out.emplace_back(name, ps.trips);
+  }
+  return out;
+}
+
+void FaultInjection::InitFromEnvOnce() {
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (r.env_parsed) return;
+    r.env_parsed = true;
+  }
+  const std::string env = GetEnvOr("TEAMDISC_FAULTS", std::string());
+  for (std::string_view entry : Split(env, ',')) {
+    entry = StripWhitespace(entry);
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      TD_LOG(Warning) << "TEAMDISC_FAULTS entry '" << std::string(entry)
+                      << "' has no '=', ignoring";
+      continue;
+    }
+    const std::string point(StripWhitespace(entry.substr(0, eq)));
+    const std::string spec(StripWhitespace(entry.substr(eq + 1)));
+    if (point.empty()) {
+      TD_LOG(Warning) << "TEAMDISC_FAULTS entry '" << std::string(entry)
+                      << "' has an empty point name, ignoring";
+      continue;
+    }
+    Status armed = Arm(point, spec);
+    if (!armed.ok()) {
+      TD_LOG(Warning) << "TEAMDISC_FAULTS: " << armed.ToString()
+                      << " (point '" << point << "' not armed)";
+    } else {
+      TD_LOG(Info) << "fault point armed from TEAMDISC_FAULTS: " << point
+                   << "=" << spec;
+    }
+  }
+}
+
+Status FaultInjection::MaybeFailSlow(const char* point) {
+  if (state_.load(std::memory_order_relaxed) == kStateUninit) {
+    InitFromEnvOnce();
+    // Arm() above set kStateArmed if anything parsed; otherwise settle into
+    // the fast path. A concurrent test-API Arm() can only move us to
+    // kStateArmed, which this CAS preserves.
+    int expected = kStateUninit;
+    state_.compare_exchange_strong(expected, kStateDisarmed,
+                                   std::memory_order_relaxed);
+    if (state_.load(std::memory_order_relaxed) == kStateDisarmed) {
+      return Status::OK();
+    }
+  }
+
+  FaultAction action;
+  uint64_t arg = 0;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(point);
+    if (it == r.points.end() || !it->second.armed) return Status::OK();
+    PointState& ps = it->second;
+    switch (ps.spec.action) {
+      case FaultAction::kFailOnce:
+      case FaultAction::kFailN:
+        if (ps.remaining == 0) return Status::OK();
+        --ps.remaining;
+        break;
+      default:
+        break;
+    }
+    ++ps.trips;
+    action = ps.spec.action;
+    arg = ps.spec.arg;
+  }
+
+  switch (action) {
+    case FaultAction::kAbort:
+      TD_LOG(Warning) << "injected abort at fault point " << point;
+      std::abort();
+    case FaultAction::kDelayMs:
+      std::this_thread::sleep_for(std::chrono::milliseconds(arg));
+      return Status::OK();
+    case FaultAction::kFail:
+    case FaultAction::kFailOnce:
+    case FaultAction::kFailN:
+      return Status::IOError(StrFormat("injected fault at %s", point));
+  }
+  return Status::OK();
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,114 @@
+// Named fault points for crash-consistency and degraded-mode testing.
+//
+// The I/O and update paths compile in fault points — `TD_RETURN_IF_ERROR(
+// FaultInjection::MaybeFail("snapshot.manifest.rename"))` — that are
+// zero-cost when nothing is armed: the fast path is one relaxed atomic load
+// and a branch, no string work, no lock. Arming happens either through the
+// environment,
+//
+//   TEAMDISC_FAULTS="snapshot.manifest.rename=fail_once,oracle.artifact.save=fail_n:3"
+//
+// parsed once on first use, or through the test API (Arm/Disarm/Reset).
+// Actions:
+//
+//   fail         every pass through the point fails (IOError)
+//   fail_once    the first pass fails, later passes succeed
+//   fail_n:K     the first K passes fail, later passes succeed
+//   delay_ms:K   every pass sleeps K ms, then succeeds (tail-latency faults)
+//   abort        the first pass calls std::abort() — a crash at exactly this
+//                point, for fork-based crash-consistency torture tests
+//
+// Injected failures carry StatusCode::kIOError and a message naming the
+// point, so they flow through the same transient-failure handling (retry,
+// health degradation) a real disk error would. Per-point trip counts stay
+// readable after a point is disarmed — the serving layer exports them as
+// metrics gauges.
+//
+// Points are plain strings owned by the call sites; the registry never
+// validates them against a list, so arming a typo'd point simply never
+// trips (ArmedPoints() is the introspection surface for tests that want to
+// assert a point exists).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace teamdisc {
+
+/// \brief What an armed fault point does when execution passes through it.
+enum class FaultAction : int {
+  kFail = 0,     ///< fail every pass
+  kFailOnce,     ///< fail the first pass only
+  kFailN,        ///< fail the first `arg` passes
+  kDelayMs,      ///< sleep `arg` ms, then succeed
+  kAbort,        ///< std::abort() on the first pass (simulated crash)
+};
+
+/// \brief One parsed fault specification.
+struct FaultSpec {
+  FaultAction action = FaultAction::kFail;
+  uint64_t arg = 0;  ///< K for fail_n, milliseconds for delay_ms
+};
+
+/// \brief Process-wide fault-point registry.
+///
+/// All methods are thread-safe. The registry is a process singleton: fault
+/// points are global by design, so a test arming "snapshot.manifest.rename"
+/// reaches the snapshot layer with no plumbing — tests that arm faults must
+/// Reset() (gtest fixture teardown) so they cannot leak into later tests.
+class FaultInjection {
+ public:
+  /// The fault point check. OK (one relaxed load) when nothing is armed;
+  /// otherwise consults the registry and applies the armed action, counting
+  /// the trip. `point` must be a literal or otherwise outlive the call.
+  static Status MaybeFail(const char* point) {
+    // kStateUninit forces one slow pass that parses TEAMDISC_FAULTS; after
+    // that the state is kStateDisarmed (pure fast path) or kStateArmed.
+    const int state = state_.load(std::memory_order_relaxed);
+    if (state == kStateDisarmed) return Status::OK();
+    return MaybeFailSlow(point);
+  }
+
+  /// Parses an action spec ("fail", "fail_once", "fail_n:3", "delay_ms:50",
+  /// "abort"). InvalidArgument on anything else.
+  static Result<FaultSpec> ParseSpec(const std::string& spec);
+
+  /// Arms `point` with a parsed action spec. Replaces any existing arm of
+  /// the same point; the point's trip count is preserved.
+  static Status Arm(const std::string& point, const std::string& spec);
+  static void Arm(const std::string& point, FaultSpec spec);
+
+  /// Disarms one point (trip counts survive) or everything. Reset also
+  /// zeroes every trip count — the state a fresh process starts in, minus
+  /// the environment (TEAMDISC_FAULTS is only ever parsed once).
+  static void Disarm(const std::string& point);
+  static void Reset();
+
+  /// Trips recorded at `point` (armed or since disarmed); 0 for never-hit.
+  static uint64_t trips(const std::string& point);
+  /// Total trips across every point.
+  static uint64_t total_trips();
+  /// Points currently armed.
+  static std::vector<std::string> ArmedPoints();
+  /// Every point with a nonzero trip count, with its count — the metrics
+  /// export surface.
+  static std::vector<std::pair<std::string, uint64_t>> TripCounts();
+
+ private:
+  enum State { kStateUninit = 0, kStateDisarmed = 1, kStateArmed = 2 };
+
+  static Status MaybeFailSlow(const char* point);
+  /// Parses TEAMDISC_FAULTS exactly once (malformed entries warn and are
+  /// skipped — a typo'd fault spec must not take a production process down).
+  static void InitFromEnvOnce();
+
+  static std::atomic<int> state_;
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,123 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace teamdisc {
+namespace {
+
+std::atomic<uint64_t> g_attempts{0};
+std::atomic<uint64_t> g_retries{0};
+std::atomic<uint64_t> g_successes{0};
+std::atomic<uint64_t> g_exhausted{0};
+
+uint64_t EnvCount(const char* name, uint64_t fallback) {
+  const std::string raw = GetEnvOr(name, std::string());
+  if (raw.empty()) return fallback;
+  auto parsed = ParseUint64(raw);
+  if (!parsed.ok()) {
+    TD_LOG(Warning) << name << "='" << raw << "' is not a number, using "
+                    << fallback;
+    return fallback;
+  }
+  return parsed.ValueOrDie();
+}
+
+}  // namespace
+
+RetryOptions RetryOptions::FromEnv() {
+  RetryOptions opts;
+  opts.max_attempts =
+      static_cast<uint32_t>(EnvCount("TEAMDISC_RETRY_ATTEMPTS", opts.max_attempts));
+  opts.initial_backoff_ms =
+      EnvCount("TEAMDISC_RETRY_BACKOFF_MS", opts.initial_backoff_ms);
+  opts.max_backoff_ms =
+      EnvCount("TEAMDISC_RETRY_MAX_BACKOFF_MS", opts.max_backoff_ms);
+  opts.deadline_ms = EnvCount("TEAMDISC_RETRY_DEADLINE_MS", opts.deadline_ms);
+  if (opts.max_backoff_ms < opts.initial_backoff_ms) {
+    opts.max_backoff_ms = opts.initial_backoff_ms;
+  }
+  return opts;
+}
+
+bool IsTransientStatus(const Status& status) {
+  return status.IsIOError() || status.IsResourceExhausted();
+}
+
+Status RetryTransient(const std::string& what, const RetryOptions& options,
+                      const std::function<Status()>& fn) {
+  const uint32_t max_attempts = std::max<uint32_t>(1, options.max_attempts);
+  const auto start = std::chrono::steady_clock::now();
+  Rng rng(options.seed);
+  double backoff_ms = static_cast<double>(options.initial_backoff_ms);
+  Status last;
+
+  for (uint32_t attempt = 1;; ++attempt) {
+    g_attempts.fetch_add(1, std::memory_order_relaxed);
+    last = fn();
+    if (last.ok()) {
+      g_successes.fetch_add(1, std::memory_order_relaxed);
+      return last;
+    }
+    if (!IsTransientStatus(last)) return last;  // deterministic: fail fast
+    if (attempt >= max_attempts) {
+      g_exhausted.fetch_add(1, std::memory_order_relaxed);
+      return last.WithContext(
+          StrFormat("%s gave up after %u attempts", what.c_str(), attempt));
+    }
+
+    const double factor =
+        1.0 + options.jitter * (2.0 * rng.NextDouble() - 1.0);
+    uint64_t sleep_ms = static_cast<uint64_t>(
+        std::max(0.0, backoff_ms * std::max(0.0, factor)));
+
+    if (options.deadline_ms > 0) {
+      const auto elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (static_cast<uint64_t>(elapsed_ms) + sleep_ms >= options.deadline_ms) {
+        g_exhausted.fetch_add(1, std::memory_order_relaxed);
+        return last.WithContext(StrFormat(
+            "%s gave up after %u attempts (deadline %llu ms)", what.c_str(),
+            attempt, static_cast<unsigned long long>(options.deadline_ms)));
+      }
+    }
+
+    TD_LOG(Warning) << what << " attempt " << attempt << "/" << max_attempts
+                    << " failed transiently (" << last.ToString()
+                    << "), retrying in " << sleep_ms << " ms";
+    g_retries.fetch_add(1, std::memory_order_relaxed);
+    if (options.sleeper) {
+      options.sleeper(sleep_ms);
+    } else if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    backoff_ms = std::min(backoff_ms * std::max(1.0, options.multiplier),
+                          static_cast<double>(options.max_backoff_ms));
+  }
+}
+
+RetryStats GetRetryStats() {
+  RetryStats stats;
+  stats.attempts = g_attempts.load(std::memory_order_relaxed);
+  stats.retries = g_retries.load(std::memory_order_relaxed);
+  stats.successes = g_successes.load(std::memory_order_relaxed);
+  stats.exhausted = g_exhausted.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetRetryStatsForTest() {
+  g_attempts.store(0, std::memory_order_relaxed);
+  g_retries.store(0, std::memory_order_relaxed);
+  g_successes.store(0, std::memory_order_relaxed);
+  g_exhausted.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,82 @@
+// Bounded retry with exponential backoff + jitter for transient failures.
+//
+// The snapshot-commit and artifact-persist paths fail transiently (full
+// disk that frees up, NFS hiccups, injected faults), and the policy for
+// all of them lives here: retry only transient codes (IOError,
+// ResourceExhausted), back off exponentially with jitter so concurrent
+// retriers don't stampede, give up after a bounded number of attempts or a
+// wall-clock deadline, and count everything so retries are observable in
+// metrics rather than silent.
+//
+//   RetryOptions opts = RetryOptions::FromEnv();
+//   Status s = RetryTransient("snapshot commit", opts, [&] {
+//     return CommitSnapshotNetwork(...);
+//   });
+//
+// The callback must be idempotent-on-retry: it is invoked again after any
+// transient failure, so it must not have already mutated shared state in a
+// way a second invocation would compound (copy, mutate the copy, commit on
+// success).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace teamdisc {
+
+/// \brief Retry policy knobs.
+struct RetryOptions {
+  /// Total invocations of the callback, including the first (so 1 = no
+  /// retries). 0 is treated as 1.
+  uint32_t max_attempts = 3;
+  /// Backoff before the first retry, in ms; doubles (times `multiplier`)
+  /// per retry up to max_backoff_ms.
+  uint64_t initial_backoff_ms = 5;
+  uint64_t max_backoff_ms = 250;
+  double multiplier = 2.0;
+  /// Each sleep is scaled by a uniform factor in [1 - jitter, 1 + jitter].
+  double jitter = 0.25;
+  /// Wall-clock budget in ms across all attempts; 0 = unbounded. When the
+  /// next backoff would overrun the deadline, RetryTransient gives up and
+  /// returns the last transient failure instead of sleeping past it.
+  uint64_t deadline_ms = 0;
+  /// Jitter seed, so tests can pin the backoff schedule.
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// Test hook replacing the real sleep; receives the jittered backoff.
+  std::function<void(uint64_t sleep_ms)> sleeper;
+
+  /// Reads TEAMDISC_RETRY_ATTEMPTS / TEAMDISC_RETRY_BACKOFF_MS /
+  /// TEAMDISC_RETRY_MAX_BACKOFF_MS / TEAMDISC_RETRY_DEADLINE_MS over the
+  /// defaults above. Malformed values warn and keep the default.
+  static RetryOptions FromEnv();
+};
+
+/// \brief Process-wide retry counters, exported as metrics gauges.
+struct RetryStats {
+  uint64_t attempts = 0;   ///< callback invocations (first tries included)
+  uint64_t retries = 0;    ///< re-invocations after a transient failure
+  uint64_t successes = 0;  ///< RetryTransient calls that returned OK
+  uint64_t exhausted = 0;  ///< calls that gave up (attempts or deadline)
+};
+
+/// True for the status codes worth retrying: IOError, ResourceExhausted.
+/// Everything else (InvalidArgument, NotFound, ...) is deterministic and
+/// fails fast.
+bool IsTransientStatus(const Status& status);
+
+/// Invokes `fn` until it succeeds, fails non-transiently, or the budget
+/// (attempts / deadline) runs out; returns the final Status, annotated with
+/// `what` and the attempt count when it gives up on a transient failure.
+Status RetryTransient(const std::string& what, const RetryOptions& options,
+                      const std::function<Status()>& fn);
+
+/// Snapshot of the process-wide counters (monotonic since process start —
+/// or since ResetRetryStatsForTest).
+RetryStats GetRetryStats();
+void ResetRetryStatsForTest();
+
+}  // namespace teamdisc

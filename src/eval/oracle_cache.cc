@@ -5,6 +5,8 @@
 
 namespace teamdisc {
 
+std::atomic<uint64_t> OracleCache::live_instances_{0};
+
 Result<OracleCache::View> OracleCache::Get(RankingStrategy strategy,
                                            double gamma, OracleKind kind) {
   const bool needs_transform = strategy != RankingStrategy::kCC;

@@ -62,10 +62,20 @@ class OracleCache {
 
   explicit OracleCache(const ExpertNetwork& net) : OracleCache(net, Options()) {}
   OracleCache(const ExpertNetwork& net, Options options)
-      : net_(net), options_(options) {}
+      : net_(net), options_(options) {
+    live_instances_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~OracleCache() { live_instances_.fetch_sub(1, std::memory_order_relaxed); }
 
   OracleCache(const OracleCache&) = delete;
   OracleCache& operator=(const OracleCache&) = delete;
+
+  /// Number of OracleCache instances alive in the process. A test hook: an
+  /// aborted epoch swap must tear down its partially built successor cache,
+  /// observable as this returning to its pre-ApplyDelta value.
+  static uint64_t LiveInstances() {
+    return live_instances_.load(std::memory_order_relaxed);
+  }
 
   /// \brief Shared views of one cached index.
   ///
@@ -223,6 +233,7 @@ class OracleCache {
   std::atomic<uint64_t> loads_{0};
   std::atomic<uint64_t> adoptions_{0};
   std::atomic<uint64_t> evictions_{0};
+  static std::atomic<uint64_t> live_instances_;
 };
 
 }  // namespace teamdisc

@@ -1,5 +1,6 @@
 #include "service/snapshot.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -9,6 +10,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "common/retry.h"
 #include "common/string_util.h"
 #include "eval/oracle_cache.h"
 #include "network/authority_transform.h"
@@ -20,33 +24,75 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/// Writes `content` to `path` via a sibling temp file + rename, so a reader
-/// never observes a half-written file. The temp name is unique per process
-/// and call: two replicas persisting into a shared snapshot then race only
-/// on the atomic rename (last writer wins), never on interleaved writes to
-/// one temp file.
-Status AtomicWriteFile(const fs::path& path, const std::string& content) {
+/// fsyncs `path` (a file or directory) so it survives power loss.
+Status SyncPath(const fs::path& path, bool directory) {
+  const int fd =
+      ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open for fsync: " + path.string());
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync failed: " + path.string());
+  return Status::OK();
+}
+
+/// Writes `content` to `path` via a sibling temp file + fsync + rename, so a
+/// reader never observes a half-written file and a power loss just after the
+/// rename cannot surface a zero-length file (the data reaches disk before
+/// the name does, and the directory entry is fsynced after). The temp name
+/// is unique per process and call: two replicas persisting into a shared
+/// snapshot then race only on the atomic rename (last writer wins), never on
+/// interleaved writes to one temp file. Failure on any step — including an
+/// injected fault at `write_point` / `rename_point` — unlinks the temp file
+/// instead of leaking it.
+Status AtomicWriteFile(const fs::path& path, const std::string& content,
+                       const char* write_point, const char* rename_point) {
   static std::atomic<uint64_t> sequence{0};
   const fs::path tmp =
       path.string() + StrFormat(".%ld.%llu.tmp", static_cast<long>(::getpid()),
                                 static_cast<unsigned long long>(
                                     sequence.fetch_add(1)));
+  auto unlink_tmp = [&tmp] {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+  };
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return Status::IOError("cannot open for writing: " + tmp.string());
+    if (Status faulted = FaultInjection::MaybeFail(write_point); !faulted.ok()) {
+      out.close();
+      unlink_tmp();
+      return faulted;
+    }
     out << content;
     // Flush before the rename: a buffered write that only fails at close
     // (e.g. ENOSPC) must not get a truncated file promoted into place.
     out.close();
-    if (out.fail()) return Status::IOError("write failed: " + tmp.string());
+    if (out.fail()) {
+      unlink_tmp();
+      return Status::IOError("write failed: " + tmp.string());
+    }
+  }
+  // The data must be durable before the rename makes it reachable:
+  // rename-then-sync can leave the *new* name pointing at not-yet-flushed
+  // pages, which a power cut truncates to an empty committed manifest.
+  if (Status synced = SyncPath(tmp, /*directory=*/false); !synced.ok()) {
+    unlink_tmp();
+    return synced;
+  }
+  if (Status faulted = FaultInjection::MaybeFail(rename_point); !faulted.ok()) {
+    unlink_tmp();
+    return faulted;
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
+    unlink_tmp();
     return Status::IOError("rename failed: " + tmp.string() + " -> " +
                            path.string() + ": " + ec.message());
   }
-  return Status::OK();
+  // And the rename itself must be durable: fsync the containing directory,
+  // or the old directory entry can outlive a crash.
+  return SyncPath(path.parent_path(), /*directory=*/true);
 }
 
 Status EnsureDirectory(const std::string& dir) {
@@ -182,11 +228,29 @@ Result<SnapshotManifest> ReadSnapshotManifest(const std::string& dir) {
   return ParseSnapshotManifest(buffer.str());
 }
 
+size_t RemoveStaleSnapshotTempFiles(const std::string& dir) {
+  size_t removed = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().extension() != ".tmp") continue;
+    std::error_code rm;
+    if (fs::remove(it->path(), rm)) ++removed;
+  }
+  if (removed > 0) {
+    TD_LOG(Warning) << "removed " << removed
+                    << " stale .tmp file(s) left by a crashed writer in "
+                    << dir;
+  }
+  return removed;
+}
+
 Status WriteSnapshotManifest(const std::string& dir,
                              const SnapshotManifest& manifest) {
   TD_RETURN_IF_ERROR(EnsureDirectory(dir));
   return AtomicWriteFile(fs::path(dir) / "manifest.txt",
-                         SerializeSnapshotManifest(manifest));
+                         SerializeSnapshotManifest(manifest),
+                         "snapshot.manifest.write", "snapshot.manifest.rename");
 }
 
 Result<SnapshotManifest> BuildSnapshot(const ExpertNetwork& net,
@@ -209,7 +273,8 @@ Result<SnapshotManifest> BuildSnapshot(const ExpertNetwork& net,
     entry.file = SnapshotIndexFileName(transformed, gamma_bp, entry.kind);
     entry.fingerprint = WeightedEdgeFingerprint(search_graph);
     TD_RETURN_IF_ERROR(
-        AtomicWriteFile(fs::path(dir) / entry.file, pll->Serialize()));
+        AtomicWriteFile(fs::path(dir) / entry.file, pll->Serialize(),
+                        "snapshot.artifact.write", "snapshot.artifact.rename"));
     manifest.entries.push_back(std::move(entry));
     return Status::OK();
   };
@@ -263,7 +328,8 @@ Status AddIndexArtifact(const std::string& dir, SnapshotManifest& manifest,
   // the same key) must never leave a truncated artifact behind a manifest
   // entry that claims it is valid.
   TD_RETURN_IF_ERROR(
-      AtomicWriteFile(fs::path(dir) / entry.file, pll->Serialize()));
+      AtomicWriteFile(fs::path(dir) / entry.file, pll->Serialize(),
+                      "snapshot.artifact.write", "snapshot.artifact.rename"));
   for (SnapshotIndexEntry& e : manifest.entries) {
     if (e.transformed == transformed && e.gamma_bp == gamma_bp &&
         e.kind == kind) {
@@ -323,20 +389,26 @@ Result<std::unique_ptr<DistanceOracle>> LoadIndexArtifact(
 Status CommitSnapshotNetwork(const std::string& dir, SnapshotManifest& manifest,
                              const ExpertNetwork& net) {
   TD_RETURN_IF_ERROR(EnsureDirectory(dir));
-  const uint64_t next_generation = manifest.generation + 1;
-  const std::string next_file =
+  // Stage every mutation on a copy and assign back only after the manifest
+  // rename succeeds. This is what makes the commit safe to retry: a failed
+  // attempt leaves the caller's manifest at the old generation, so the next
+  // attempt re-derives the same next generation instead of bumping twice.
+  SnapshotManifest next = manifest;
+  next.generation = manifest.generation + 1;
+  next.network_file =
       StrFormat("network-g%llu.net",
-                static_cast<unsigned long long>(next_generation));
+                static_cast<unsigned long long>(next.generation));
+  next.network_fingerprint = WeightedEdgeFingerprint(net.graph());
   // The new network goes under a fresh, generation-versioned name so the
   // old manifest keeps referencing an intact old file until the manifest
   // rename below commits the update.
-  TD_RETURN_IF_ERROR(SaveNetwork(net, (fs::path(dir) / next_file).string()));
+  TD_RETURN_IF_ERROR(FaultInjection::MaybeFail("snapshot.network.save"));
+  TD_RETURN_IF_ERROR(
+      SaveNetwork(net, (fs::path(dir) / next.network_file).string()));
+  TD_RETURN_IF_ERROR(WriteSnapshotManifest(dir, next));
   const std::string previous_file = manifest.network_file;
-  manifest.network_file = next_file;
-  manifest.network_fingerprint = WeightedEdgeFingerprint(net.graph());
-  manifest.generation = next_generation;
-  TD_RETURN_IF_ERROR(WriteSnapshotManifest(dir, manifest));
-  if (previous_file != next_file) {
+  manifest = std::move(next);
+  if (previous_file != manifest.network_file) {
     // Post-commit cleanup only; failure leaves a harmless orphan file.
     std::error_code ec;
     fs::remove(fs::path(dir) / previous_file, ec);
@@ -348,6 +420,9 @@ Result<SnapshotUpdateReport> ApplySnapshotDelta(
     const std::string& dir, const ExpertNetworkDelta& delta,
     const SnapshotUpdateOptions& options) {
   TD_ASSIGN_OR_RETURN(SnapshotManifest manifest, ReadSnapshotManifest(dir));
+  // The offline updater is the snapshot's single writer, so any temp file
+  // found now was leaked by a crashed predecessor — sweep it before writing.
+  RemoveStaleSnapshotTempFiles(dir);
   TD_ASSIGN_OR_RETURN(
       ExpertNetwork base,
       LoadNetwork((fs::path(dir) / manifest.network_file).string()));
@@ -390,11 +465,17 @@ Result<SnapshotUpdateReport> ApplySnapshotDelta(
     TD_ASSIGN_OR_RETURN(auto pll,
                         PrunedLandmarkLabeling::Build(*search_graph, options.pll));
     TD_RETURN_IF_ERROR(
-        AtomicWriteFile(fs::path(dir) / entry.file, pll->Serialize()));
+        AtomicWriteFile(fs::path(dir) / entry.file, pll->Serialize(),
+                        "snapshot.artifact.write", "snapshot.artifact.rename"));
     entry.fingerprint = fp;
     ++report.entries_rebuilt;
   }
-  TD_RETURN_IF_ERROR(CommitSnapshotNetwork(dir, manifest, next));
+  // The commit only mutates `manifest` on success, so retrying a transient
+  // failure (disk pressure, injected fault) re-runs it from the same base
+  // generation instead of compounding a half-applied bump.
+  TD_RETURN_IF_ERROR(RetryTransient(
+      "snapshot delta commit", RetryOptions::FromEnv(),
+      [&] { return CommitSnapshotNetwork(dir, manifest, next); }));
   report.generation = manifest.generation;
   return report;
 }

@@ -90,6 +90,13 @@ Result<SnapshotManifest> ParseSnapshotManifest(const std::string& content);
 /// Reads `<dir>/manifest.txt`.
 Result<SnapshotManifest> ReadSnapshotManifest(const std::string& dir);
 
+/// Deletes `*.tmp` files a crashed writer left in `dir` (atomic writes go
+/// through sibling temp files; a crash between open and rename leaks one).
+/// Returns how many were removed. Call only when no other process is
+/// writing into the snapshot — a live writer's in-flight temp file would be
+/// swept too (its retry recovers, but the first attempt fails).
+size_t RemoveStaleSnapshotTempFiles(const std::string& dir);
+
 /// Writes `<dir>/manifest.txt` atomically (write-to-temp + rename), creating
 /// `dir` if needed.
 Status WriteSnapshotManifest(const std::string& dir,

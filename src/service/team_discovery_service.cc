@@ -9,6 +9,7 @@
 #include <set>
 #include <tuple>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/stats.h"
@@ -19,6 +20,16 @@
 #include "network/network_io.h"
 
 namespace teamdisc {
+
+std::string_view HealthStateToString(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "HEALTHY";
+    case HealthState::kDegraded:
+      return "DEGRADED";
+  }
+  return "UNKNOWN";
+}
 
 std::vector<TeamRequest> MakeRequestMix(const ExpertNetwork& net,
                                         const SnapshotManifest& manifest,
@@ -94,8 +105,12 @@ Result<std::unique_ptr<TeamDiscoveryService>> TeamDiscoveryService::Open(
   }
   auto svc = std::unique_ptr<TeamDiscoveryService>(new TeamDiscoveryService());
   svc->options_ = std::move(options);
+  svc->retry_options_ = RetryOptions::FromEnv();
   TD_ASSIGN_OR_RETURN(svc->manifest_,
                       ReadSnapshotManifest(svc->options_.snapshot_dir));
+  // Sweep temp files a crashed predecessor leaked mid-write. Startup is the
+  // one point where this process cannot be racing its own persists.
+  RemoveStaleSnapshotTempFiles(svc->options_.snapshot_dir);
   const std::string net_path =
       (std::filesystem::path(svc->options_.snapshot_dir) /
        svc->manifest_.network_file)
@@ -143,6 +158,7 @@ void TeamDiscoveryService::InstallArtifactHooks(OracleCache& cache) {
   cache.set_artifact_loader(
       [this](const OracleCache::EntryInfo& info, const Graph& search_graph)
           -> Result<std::unique_ptr<DistanceOracle>> {
+        TD_RETURN_IF_ERROR(FaultInjection::MaybeFail("oracle.artifact.load"));
         // Copy the manifest under the lock, but run the disk read +
         // deserialization outside it: concurrent cold loads of distinct
         // indexes must proceed in parallel, not serialize on manifest_mu_.
@@ -179,18 +195,33 @@ void TeamDiscoveryService::InstallArtifactHooks(OracleCache& cache) {
             std::lock_guard<std::mutex> lock(manifest_mu_);
             manifest = manifest_;
           }
-          Status persisted =
-              AddIndexArtifact(options_.snapshot_dir, manifest,
-                               info.transformed, info.gamma_bp, info.kind,
-                               oracle);
+          // Each retry attempt works on a fresh copy of the manifest: a
+          // first attempt that mutated the copy but failed the manifest
+          // write must not make the second attempt think the entry is
+          // already committed.
+          Status persisted = RetryTransient(
+              "artifact persist", retry_options_, [&]() -> Status {
+                TD_RETURN_IF_ERROR(
+                    FaultInjection::MaybeFail("oracle.artifact.save"));
+                SnapshotManifest attempt = manifest;
+                TD_RETURN_IF_ERROR(
+                    AddIndexArtifact(options_.snapshot_dir, attempt,
+                                     info.transformed, info.gamma_bp,
+                                     info.kind, oracle));
+                manifest = std::move(attempt);
+                return Status::OK();
+              });
           if (persisted.ok()) {
             std::lock_guard<std::mutex> lock(manifest_mu_);
             manifest_ = std::move(manifest);
           } else {
             // Persisting is an optimization for the next process; failing to
-            // write it must not fail the request that triggered the build.
+            // write it must not fail the request that triggered the build —
+            // the entry serves from memory, and health flips DEGRADED so an
+            // operator sees the snapshot lagging.
             TD_LOG(Warning) << "could not persist index into snapshot: "
                             << persisted.ToString();
+            RecordPersistFailure();
           }
         });
   }
@@ -415,12 +446,29 @@ Result<UpdateReport> TeamDiscoveryService::ApplyDelta(
   // One update at a time, end to end; serving is never blocked by this lock
   // (requests only take epoch_mu_ for the pointer copy).
   std::lock_guard<std::mutex> update_lock(update_mu_);
+  bool past_validation = false;
+  Result<UpdateReport> result = ApplyDeltaLocked(delta, &past_validation);
+  if (result.ok()) {
+    RecordSwapSuccess();
+  } else if (past_validation) {
+    // The service failed to advance while the old epoch keeps serving:
+    // that is the DEGRADED condition. A pre-validation failure is the
+    // caller's bad delta, not a service regression, and stays out of the
+    // health machine.
+    RecordUpdateFailure();
+  }
+  return result;
+}
+
+Result<UpdateReport> TeamDiscoveryService::ApplyDeltaLocked(
+    const ExpertNetworkDelta& delta, bool* past_validation) {
   Timer wall;
   const std::shared_ptr<const Epoch> current = CurrentEpoch();
   // An invalid delta fails here, before any successor state exists — the
   // current epoch keeps serving untouched.
   TD_ASSIGN_OR_RETURN(ExpertNetwork next_net,
                       ApplyNetworkDelta(*current->net, delta));
+  *past_validation = true;
 
   auto next = std::make_shared<Epoch>();
   next->generation = current->generation + 1;
@@ -470,11 +518,16 @@ Result<UpdateReport> TeamDiscoveryService::ApplyDelta(
     // base entry — mirroring how requests key the cache.
     const RankingStrategy strategy =
         info.transformed ? RankingStrategy::kCACC : RankingStrategy::kCC;
-    auto view = next->cache->Get(strategy, info.gamma, info.kind);
-    if (!view.ok()) {
+    Status refreshed = FaultInjection::MaybeFail("service.applydelta.rebuild");
+    if (refreshed.ok()) {
+      refreshed = next->cache->Get(strategy, info.gamma, info.kind).status();
+    }
+    if (!refreshed.ok()) {
       // A refresh failure means the successor epoch cannot serve what the
       // current one does — abort the swap and keep serving the old world.
-      return view.status().WithContext(StrFormat(
+      // `next` (and with it every partially built successor cache entry) is
+      // destroyed on this return path; nothing resident leaks past it.
+      return refreshed.WithContext(StrFormat(
           "rebuilding %s index (gamma_bp=%d) for the post-delta network",
           info.transformed ? "transform" : "base", info.gamma_bp));
     }
@@ -496,8 +549,16 @@ Result<UpdateReport> TeamDiscoveryService::ApplyDelta(
       std::lock_guard<std::mutex> lock(manifest_mu_);
       manifest = manifest_;
     }
-    TD_RETURN_IF_ERROR(
-        CommitSnapshotNetwork(options_.snapshot_dir, manifest, *next->net));
+    // Transient commit failures (disk pressure, injected faults) retry with
+    // backoff; CommitSnapshotNetwork only mutates `manifest` on success, so
+    // every attempt bumps from the same base generation.
+    TD_RETURN_IF_ERROR(RetryTransient(
+        "snapshot commit", retry_options_, [&]() -> Status {
+          TD_RETURN_IF_ERROR(
+              FaultInjection::MaybeFail("service.applydelta.commit"));
+          return CommitSnapshotNetwork(options_.snapshot_dir, manifest,
+                                       *next->net);
+        }));
     next->generation = manifest.generation;
     {
       std::lock_guard<std::mutex> lock(manifest_mu_);
@@ -515,6 +576,46 @@ Result<UpdateReport> TeamDiscoveryService::ApplyDelta(
   }
   report.wall_seconds = wall.ElapsedSeconds();
   return report;
+}
+
+HealthStats TeamDiscoveryService::health() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_;
+}
+
+void TeamDiscoveryService::RecordUpdateFailure() {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  ++health_.update_failures;
+  ++health_.consecutive_failures;
+  if (health_.state == HealthState::kHealthy) {
+    health_.state = HealthState::kDegraded;
+    ++health_.degraded_transitions;
+    TD_LOG(Warning) << "service health HEALTHY -> DEGRADED (update failure; "
+                       "old epoch keeps serving)";
+  }
+}
+
+void TeamDiscoveryService::RecordPersistFailure() {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  ++health_.persist_failures;
+  ++health_.consecutive_failures;
+  if (health_.state == HealthState::kHealthy) {
+    health_.state = HealthState::kDegraded;
+    ++health_.degraded_transitions;
+    TD_LOG(Warning) << "service health HEALTHY -> DEGRADED (persist failure; "
+                       "serving from memory, snapshot lags)";
+  }
+}
+
+void TeamDiscoveryService::RecordSwapSuccess() {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_.consecutive_failures = 0;
+  if (health_.state == HealthState::kDegraded) {
+    health_.state = HealthState::kHealthy;
+    ++health_.recoveries;
+    TD_LOG(Info) << "service health DEGRADED -> HEALTHY (epoch swap "
+                    "succeeded)";
+  }
 }
 
 }  // namespace teamdisc

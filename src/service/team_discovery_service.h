@@ -35,11 +35,13 @@
 // loaded warm from disk, built cold on miss, or adopted across a swap.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "core/pareto.h"
 #include "core/team_finder.h"
 #include "eval/oracle_cache.h"
@@ -87,6 +89,32 @@ struct UpdateReport {
   uint32_t num_experts = 0;     ///< successor network size
   size_t num_edges = 0;
   double wall_seconds = 0.0;    ///< background build time (old epoch kept serving)
+};
+
+/// \brief Serving health of a TeamDiscoveryService.
+///
+/// DEGRADED is "alive but stale-risk": a post-validation ApplyDelta failure
+/// or a persist failure left the service serving correct answers off the old
+/// epoch (or off memory-only indexes), while the on-disk snapshot or the
+/// serving generation lags what the caller asked for. Requests keep
+/// succeeding in DEGRADED — the state is an operator signal, not a gate.
+/// The service returns to HEALTHY on the next epoch swap that fully
+/// succeeds. An *invalid* delta (client error: InvalidArgument before any
+/// successor state exists) does not degrade — nothing about the service
+/// regressed.
+enum class HealthState : int { kHealthy = 0, kDegraded = 1 };
+
+std::string_view HealthStateToString(HealthState state);
+
+/// \brief Health counters, all monotonic except `state` and
+/// `consecutive_failures`.
+struct HealthStats {
+  HealthState state = HealthState::kHealthy;
+  uint64_t update_failures = 0;    ///< post-validation ApplyDelta failures
+  uint64_t persist_failures = 0;   ///< artifact/snapshot persist failures
+  uint64_t consecutive_failures = 0;  ///< since the last successful swap
+  uint64_t degraded_transitions = 0;  ///< HEALTHY→DEGRADED edges
+  uint64_t recoveries = 0;            ///< DEGRADED→HEALTHY edges
 };
 
 /// \brief Service configuration.
@@ -207,6 +235,9 @@ class TeamDiscoveryService {
   /// counters; adoptions tells how many indexes the last swap carried over.
   OracleCache::Stats cache_stats() const;
 
+  /// Current health snapshot (see HealthState). Thread-safe.
+  HealthStats health() const;
+
   /// Snapshot of the manifest, by value: the persist-on-miss saver hook and
   /// ApplyDelta commits mutate it concurrently (under manifest_mu_), so
   /// handing out a reference would race with those mutations.
@@ -242,8 +273,20 @@ class TeamDiscoveryService {
   /// Validates and translates a request into finder options.
   Result<FinderOptions> MakeFinderOptions(const TeamRequest& request) const;
 
+  /// ApplyDelta body; `past_validation` reports whether the failure (if any)
+  /// happened after the delta validated — the line between "client sent a
+  /// bad delta" (no health impact) and "the service failed to advance".
+  Result<UpdateReport> ApplyDeltaLocked(const ExpertNetworkDelta& delta,
+                                        bool* past_validation);
+
+  /// Health transitions (see HealthState). All take health_mu_.
+  void RecordUpdateFailure();
+  void RecordPersistFailure();
+  void RecordSwapSuccess();
+
   ServiceOptions options_;
   OracleCache::Options cache_options_;
+  RetryOptions retry_options_;
   SnapshotManifest manifest_;
   /// Guards the in-memory manifest_ (copy/commit only — never held across
   /// disk I/O).
@@ -256,6 +299,9 @@ class TeamDiscoveryService {
   /// Serializes ApplyDelta calls end to end.
   std::mutex update_mu_;
   std::shared_ptr<const Epoch> epoch_;
+  /// Guards health_ (counter bumps and state edges only).
+  mutable std::mutex health_mu_;
+  HealthStats health_;
 };
 
 }  // namespace teamdisc

@@ -4,6 +4,8 @@
 #include <mutex>
 
 #include "common/env.h"
+#include "common/fault_injection.h"
+#include "common/retry.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 
@@ -216,7 +218,11 @@ void RequestPipeline::WorkerLoop() {
     // concurrent ApplyDelta swap never tears this request, and the epoch it
     // started on stays alive until the solve finishes.
     Timer solve;
-    Result<std::vector<ScoredTeam>> teams = service_.TopK(item.request);
+    Result<std::vector<ScoredTeam>> teams =
+        FaultInjection::MaybeFail("pipeline.dispatch").ok()
+            ? service_.TopK(item.request)
+            : Result<std::vector<ScoredTeam>>(
+                  Status::IOError("injected fault at pipeline.dispatch"));
     const double solve_ms = solve.ElapsedMillis();
     solve_us_->Record(static_cast<uint64_t>(solve_ms * 1e3));
     if (teams.ok()) {
@@ -248,6 +254,31 @@ std::string RequestPipeline::MetricsJson() const {
   metrics_->gauge("cache.evictions").Set(static_cast<double>(cache.evictions));
   metrics_->gauge("cache.resident_bytes")
       .Set(static_cast<double>(cache.resident_bytes));
+  // Health, retry, and fault-trip state ride along in the same dump: the
+  // admin surface an operator scrapes must show DEGRADED and why without a
+  // second endpoint.
+  const HealthStats health = service_.health();
+  metrics_->gauge("health.degraded")
+      .Set(health.state == HealthState::kDegraded ? 1.0 : 0.0);
+  metrics_->gauge("health.update_failures")
+      .Set(static_cast<double>(health.update_failures));
+  metrics_->gauge("health.persist_failures")
+      .Set(static_cast<double>(health.persist_failures));
+  metrics_->gauge("health.consecutive_failures")
+      .Set(static_cast<double>(health.consecutive_failures));
+  metrics_->gauge("health.degraded_transitions")
+      .Set(static_cast<double>(health.degraded_transitions));
+  metrics_->gauge("health.recoveries")
+      .Set(static_cast<double>(health.recoveries));
+  const RetryStats retry = GetRetryStats();
+  metrics_->gauge("retry.attempts").Set(static_cast<double>(retry.attempts));
+  metrics_->gauge("retry.retries").Set(static_cast<double>(retry.retries));
+  metrics_->gauge("retry.exhausted").Set(static_cast<double>(retry.exhausted));
+  metrics_->gauge("faults.total").Set(
+      static_cast<double>(FaultInjection::total_trips()));
+  for (const auto& [point, trips] : FaultInjection::TripCounts()) {
+    metrics_->gauge("faults." + point).Set(static_cast<double>(trips));
+  }
   return metrics_->ToJson();
 }
 

@@ -1,0 +1,169 @@
+// FaultInjection registry semantics: spec parsing, per-action behavior,
+// trip accounting, and the disarmed fast path.
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace teamdisc {
+namespace {
+
+class FaultInjectionTest : public testing::Test {
+ protected:
+  void SetUp() override { FaultInjection::Reset(); }
+  void TearDown() override { FaultInjection::Reset(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedPointSucceeds) {
+  EXPECT_TRUE(FaultInjection::MaybeFail("never.armed").ok());
+  EXPECT_EQ(FaultInjection::trips("never.armed"), 0u);
+  EXPECT_TRUE(FaultInjection::ArmedPoints().empty());
+}
+
+TEST_F(FaultInjectionTest, ParseSpecAcceptsEveryAction) {
+  EXPECT_EQ(FaultInjection::ParseSpec("fail").ValueOrDie().action,
+            FaultAction::kFail);
+  EXPECT_EQ(FaultInjection::ParseSpec("fail_once").ValueOrDie().action,
+            FaultAction::kFailOnce);
+  FaultSpec n = FaultInjection::ParseSpec("fail_n:3").ValueOrDie();
+  EXPECT_EQ(n.action, FaultAction::kFailN);
+  EXPECT_EQ(n.arg, 3u);
+  FaultSpec d = FaultInjection::ParseSpec("delay_ms:25").ValueOrDie();
+  EXPECT_EQ(d.action, FaultAction::kDelayMs);
+  EXPECT_EQ(d.arg, 25u);
+  EXPECT_EQ(FaultInjection::ParseSpec("abort").ValueOrDie().action,
+            FaultAction::kAbort);
+  // Surrounding whitespace is tolerated (env entries get split on commas).
+  EXPECT_EQ(FaultInjection::ParseSpec(" fail ").ValueOrDie().action,
+            FaultAction::kFail);
+}
+
+TEST_F(FaultInjectionTest, ParseSpecRejectsMalformedSpecs) {
+  EXPECT_TRUE(FaultInjection::ParseSpec("").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultInjection::ParseSpec("boom").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultInjection::ParseSpec("fail_n").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultInjection::ParseSpec("fail_n:").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultInjection::ParseSpec("fail_n:0").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultInjection::ParseSpec("fail_n:x").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultInjection::ParseSpec("delay_ms:-5").status().IsInvalidArgument());
+}
+
+TEST_F(FaultInjectionTest, FailFailsEveryPass) {
+  ASSERT_TRUE(FaultInjection::Arm("p.fail", "fail").ok());
+  for (int i = 0; i < 3; ++i) {
+    Status s = FaultInjection::MaybeFail("p.fail");
+    EXPECT_TRUE(s.IsIOError());
+    EXPECT_NE(s.message().find("p.fail"), std::string::npos)
+        << "failure must name its fault point";
+  }
+  EXPECT_EQ(FaultInjection::trips("p.fail"), 3u);
+}
+
+TEST_F(FaultInjectionTest, FailOnceFailsExactlyOnce) {
+  ASSERT_TRUE(FaultInjection::Arm("p.once", "fail_once").ok());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.once").IsIOError());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.once").ok());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.once").ok());
+  EXPECT_EQ(FaultInjection::trips("p.once"), 1u);
+}
+
+TEST_F(FaultInjectionTest, FailNFailsExactlyNTimes) {
+  ASSERT_TRUE(FaultInjection::Arm("p.n", "fail_n:2").ok());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.n").IsIOError());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.n").IsIOError());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.n").ok());
+  EXPECT_EQ(FaultInjection::trips("p.n"), 2u);
+}
+
+TEST_F(FaultInjectionTest, DelayMsSleepsThenSucceeds) {
+  ASSERT_TRUE(FaultInjection::Arm("p.delay", "delay_ms:30").ok());
+  Timer timer;
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.delay").ok());
+  EXPECT_GE(timer.ElapsedMillis(), 25.0);
+  EXPECT_EQ(FaultInjection::trips("p.delay"), 1u);
+}
+
+TEST_F(FaultInjectionTest, PointsAreIndependent) {
+  ASSERT_TRUE(FaultInjection::Arm("p.a", "fail").ok());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.b").ok());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.a").IsIOError());
+  EXPECT_EQ(FaultInjection::trips("p.b"), 0u);
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsFailuresButKeepsTrips) {
+  ASSERT_TRUE(FaultInjection::Arm("p.d", "fail").ok());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.d").IsIOError());
+  FaultInjection::Disarm("p.d");
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.d").ok());
+  EXPECT_EQ(FaultInjection::trips("p.d"), 1u);
+  EXPECT_TRUE(FaultInjection::ArmedPoints().empty());
+}
+
+TEST_F(FaultInjectionTest, RearmReplacesActionAndKeepsTrips) {
+  ASSERT_TRUE(FaultInjection::Arm("p.r", "fail").ok());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.r").IsIOError());
+  ASSERT_TRUE(FaultInjection::Arm("p.r", "fail_once").ok());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.r").IsIOError());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.r").ok());
+  EXPECT_EQ(FaultInjection::trips("p.r"), 2u);
+}
+
+TEST_F(FaultInjectionTest, ResetClearsEverything) {
+  ASSERT_TRUE(FaultInjection::Arm("p.x", "fail").ok());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.x").IsIOError());
+  FaultInjection::Reset();
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.x").ok());
+  EXPECT_EQ(FaultInjection::trips("p.x"), 0u);
+  EXPECT_EQ(FaultInjection::total_trips(), 0u);
+  EXPECT_TRUE(FaultInjection::TripCounts().empty());
+}
+
+TEST_F(FaultInjectionTest, TripCountsListsOnlyHitPoints) {
+  ASSERT_TRUE(FaultInjection::Arm("p.hit", "fail").ok());
+  ASSERT_TRUE(FaultInjection::Arm("p.cold", "fail").ok());
+  EXPECT_TRUE(FaultInjection::MaybeFail("p.hit").IsIOError());
+  auto counts = FaultInjection::TripCounts();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].first, "p.hit");
+  EXPECT_EQ(counts[0].second, 1u);
+  EXPECT_EQ(FaultInjection::total_trips(), 1u);
+}
+
+TEST_F(FaultInjectionTest, FailNIsExactUnderConcurrency) {
+  // The countdown is under the registry lock: N threads hammering the same
+  // fail_n:K point observe exactly K failures total, never K±1.
+  constexpr uint64_t kFailures = 64;
+  constexpr int kThreads = 8;
+  constexpr int kPassesPerThread = 100;
+  FaultSpec spec;
+  spec.action = FaultAction::kFailN;
+  spec.arg = kFailures;
+  FaultInjection::Arm("p.race", spec);
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPassesPerThread; ++i) {
+        if (!FaultInjection::MaybeFail("p.race").ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), kFailures);
+  EXPECT_EQ(FaultInjection::trips("p.race"), kFailures);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,167 @@
+// RetryTransient semantics: which codes retry, backoff schedule shape,
+// attempt bounds, deadline awareness, and the process-wide counters.
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace teamdisc {
+namespace {
+
+class RetryTest : public testing::Test {
+ protected:
+  void SetUp() override { ResetRetryStatsForTest(); }
+
+  /// Options with the real sleep replaced by a recorder, so tests assert the
+  /// backoff schedule without waiting it out.
+  RetryOptions Recording() {
+    RetryOptions opts;
+    opts.sleeper = [this](uint64_t ms) { sleeps_.push_back(ms); };
+    return opts;
+  }
+
+  std::vector<uint64_t> sleeps_;
+};
+
+TEST_F(RetryTest, SucceedsFirstTryWithoutSleeping) {
+  int calls = 0;
+  Status s = RetryTransient("op", Recording(), [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps_.empty());
+  RetryStats stats = GetRetryStats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.successes, 1u);
+  EXPECT_EQ(stats.exhausted, 0u);
+}
+
+TEST_F(RetryTest, TransientFailureRetriesUntilSuccess) {
+  int calls = 0;
+  Status s = RetryTransient("op", Recording(), [&] {
+    return ++calls < 3 ? Status::IOError("disk hiccup") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps_.size(), 2u);
+  RetryStats stats = GetRetryStats();
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.successes, 1u);
+}
+
+TEST_F(RetryTest, NonTransientFailureFailsFast) {
+  int calls = 0;
+  Status s = RetryTransient("op", Recording(), [&] {
+    ++calls;
+    return Status::InvalidArgument("bad request");
+  });
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps_.empty());
+  EXPECT_EQ(GetRetryStats().retries, 0u);
+  EXPECT_EQ(GetRetryStats().exhausted, 0u);
+}
+
+TEST_F(RetryTest, GivesUpAfterMaxAttemptsWithContext) {
+  RetryOptions opts = Recording();
+  opts.max_attempts = 3;
+  int calls = 0;
+  Status s = RetryTransient("snapshot commit", opts, [&] {
+    ++calls;
+    return Status::IOError("still broken");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps_.size(), 2u);
+  EXPECT_NE(s.message().find("snapshot commit"), std::string::npos);
+  EXPECT_NE(s.message().find("3 attempts"), std::string::npos);
+  EXPECT_EQ(GetRetryStats().exhausted, 1u);
+}
+
+TEST_F(RetryTest, MaxAttemptsZeroMeansOneAttempt) {
+  RetryOptions opts = Recording();
+  opts.max_attempts = 0;
+  int calls = 0;
+  Status s = RetryTransient("op", opts, [&] {
+    ++calls;
+    return Status::IOError("x");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(RetryTest, BackoffGrowsExponentiallyWithinJitterAndCap) {
+  RetryOptions opts = Recording();
+  opts.max_attempts = 6;
+  opts.initial_backoff_ms = 10;
+  opts.max_backoff_ms = 40;
+  opts.multiplier = 2.0;
+  opts.jitter = 0.25;
+  Status s =
+      RetryTransient("op", opts, [] { return Status::IOError("always"); });
+  EXPECT_TRUE(s.IsIOError());
+  ASSERT_EQ(sleeps_.size(), 5u);
+  // Nominal schedule 10, 20, 40, 40, 40 — each observed sleep is within
+  // ±25% jitter of it (integer truncation allows one below the low edge).
+  const double nominal[] = {10, 20, 40, 40, 40};
+  for (size_t i = 0; i < sleeps_.size(); ++i) {
+    EXPECT_GE(sleeps_[i] + 1, static_cast<uint64_t>(nominal[i] * 0.75))
+        << "sleep " << i;
+    EXPECT_LE(sleeps_[i], static_cast<uint64_t>(nominal[i] * 1.25))
+        << "sleep " << i;
+  }
+}
+
+TEST_F(RetryTest, JitterScheduleIsDeterministicPerSeed) {
+  RetryOptions opts = Recording();
+  opts.max_attempts = 4;
+  opts.seed = 99;
+  (void)RetryTransient("op", opts, [] { return Status::IOError("x"); });
+  std::vector<uint64_t> first = sleeps_;
+  sleeps_.clear();
+  (void)RetryTransient("op", opts, [] { return Status::IOError("x"); });
+  EXPECT_EQ(first, sleeps_);
+}
+
+TEST_F(RetryTest, DeadlineStopsRetriesEarly) {
+  RetryOptions opts = Recording();
+  opts.max_attempts = 100;
+  opts.initial_backoff_ms = 50;
+  opts.deadline_ms = 1;  // elapsed(≈0) + sleep(≈50) >= 1 on the first retry
+  int calls = 0;
+  Status s = RetryTransient("op", opts, [&] {
+    ++calls;
+    return Status::IOError("slow disk");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 1) << "the deadline must pre-empt the first backoff";
+  EXPECT_TRUE(sleeps_.empty());
+  EXPECT_NE(s.message().find("deadline"), std::string::npos);
+  EXPECT_EQ(GetRetryStats().exhausted, 1u);
+}
+
+TEST_F(RetryTest, ResourceExhaustedIsTransientToo) {
+  EXPECT_TRUE(IsTransientStatus(Status::IOError("x")));
+  EXPECT_TRUE(IsTransientStatus(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsTransientStatus(Status::OK()));
+  EXPECT_FALSE(IsTransientStatus(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsTransientStatus(Status::NotFound("x")));
+  EXPECT_FALSE(IsTransientStatus(Status::Internal("x")));
+}
+
+TEST_F(RetryTest, FromEnvKeepsDefaultsWhenUnset) {
+  RetryOptions defaults;
+  RetryOptions env = RetryOptions::FromEnv();
+  EXPECT_EQ(env.max_attempts, defaults.max_attempts);
+  EXPECT_EQ(env.initial_backoff_ms, defaults.initial_backoff_ms);
+  EXPECT_EQ(env.max_backoff_ms, defaults.max_backoff_ms);
+  EXPECT_EQ(env.deadline_ms, defaults.deadline_ms);
+}
+
+}  // namespace
+}  // namespace teamdisc

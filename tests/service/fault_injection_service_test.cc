@@ -1,0 +1,295 @@
+// Fault-injected invariants of the snapshot + service update paths: a
+// failed commit leaves the old generation loadable, a failed artifact save
+// serves from memory (DEGRADED), a failed rebuild aborts the swap without
+// leaking the successor epoch, and retries ride through transient faults.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "../core/test_networks.h"
+#include "common/fault_injection.h"
+#include "common/retry.h"
+#include "service/team_discovery_service.h"
+
+namespace teamdisc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string MakeSnapshot(const std::string& name, std::vector<double> gammas,
+                         const ExpertNetwork& net) {
+  const std::string dir = FreshDir(name);
+  BuildSnapshotOptions options;
+  options.gammas = std::move(gammas);
+  TD_CHECK(BuildSnapshot(net, dir, options).ok());
+  return dir;
+}
+
+TeamRequest Request(std::vector<std::string> skills, double gamma,
+                    double lambda = 0.6, uint32_t top_k = 2) {
+  TeamRequest request;
+  request.skills = std::move(skills);
+  request.gamma = gamma;
+  request.lambda = lambda;
+  request.top_k = top_k;
+  return request;
+}
+
+size_t CountTmpFiles(const std::string& dir) {
+  size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp" ||
+        entry.path().string().find(".tmp") != std::string::npos) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+class ServiceFaultTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjection::Reset();
+    ResetRetryStatsForTest();
+  }
+  void TearDown() override { FaultInjection::Reset(); }
+};
+
+TEST_F(ServiceFaultTest, FailedManifestWriteLeavesNoTmpAndOldManifestIntact) {
+  // Durability invariant: a failed atomic write unlinks its temp file and
+  // never disturbs the committed manifest — whether the failure hits the
+  // data write or the rename.
+  const std::string dir = MakeSnapshot("flt_tmp", {0.6}, MediumNetwork());
+  const SnapshotManifest before = ReadSnapshotManifest(dir).ValueOrDie();
+  SnapshotManifest bumped = before;
+  bumped.generation = 42;
+  for (const char* point :
+       {"snapshot.manifest.write", "snapshot.manifest.rename"}) {
+    ASSERT_TRUE(FaultInjection::Arm(point, "fail_once").ok());
+    Status s = WriteSnapshotManifest(dir, bumped);
+    EXPECT_TRUE(s.IsIOError()) << point;
+    EXPECT_EQ(CountTmpFiles(dir), 0u) << point << " leaked a temp file";
+    const SnapshotManifest after = ReadSnapshotManifest(dir).ValueOrDie();
+    EXPECT_EQ(after.generation, before.generation) << point;
+    EXPECT_EQ(after.entries.size(), before.entries.size()) << point;
+  }
+  // With the faults consumed, the same write goes through.
+  EXPECT_TRUE(WriteSnapshotManifest(dir, bumped).ok());
+  EXPECT_EQ(ReadSnapshotManifest(dir).ValueOrDie().generation, 42u);
+  EXPECT_EQ(CountTmpFiles(dir), 0u);
+}
+
+TEST_F(ServiceFaultTest, FailedOfflineCommitLeavesOldGenerationOpenable) {
+  // The documented invariant of the offline update path: a commit failure
+  // leaves the snapshot at the old generation, and a serving process opens
+  // and answers from it.
+  const ExpertNetwork base = MediumNetwork();
+  const std::string dir = MakeSnapshot("flt_offline", {0.6}, base);
+  ExpertNetworkDelta delta;
+  delta.ReweightCollaboration(3, 7, 0.9);
+
+  // `fail` outlasts the retry budget (3 attempts), so the commit exhausts.
+  ASSERT_TRUE(FaultInjection::Arm("snapshot.network.save", "fail").ok());
+  auto failed = ApplySnapshotDelta(dir, delta);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsIOError());
+  EXPECT_EQ(FaultInjection::trips("snapshot.network.save"), 3u)
+      << "the transient commit failure must have been retried";
+  FaultInjection::Reset();
+
+  // The surviving generation opens and serves. The rebuilt artifact on disk
+  // no longer matches the old manifest fingerprint — the cache detects that
+  // and rebuilds in memory instead of failing the request (self-heal).
+  auto svc = TeamDiscoveryService::Open({.snapshot_dir = dir}).ValueOrDie();
+  EXPECT_EQ(svc->generation(), 0u);
+  EXPECT_FALSE(svc->FindTeam(Request({"a", "d"}, 0.6)).ValueOrDie().empty());
+
+  // And the update itself succeeds once the fault is gone.
+  auto report = ApplySnapshotDelta(dir, delta);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.ValueOrDie().generation, 1u);
+}
+
+TEST_F(ServiceFaultTest, FailedLiveCommitKeepsOldEpochAndDegrades) {
+  const std::string dir = MakeSnapshot("flt_commit", {0.6}, MediumNetwork());
+  auto svc = TeamDiscoveryService::Open({.snapshot_dir = dir}).ValueOrDie();
+  auto pre = svc->FindTeam(Request({"a", "d"}, 0.6)).ValueOrDie();
+  ASSERT_FALSE(pre.empty());
+
+  ExpertNetworkDelta delta;
+  delta.AddSkill(0, "zzz");
+  ASSERT_TRUE(FaultInjection::Arm("service.applydelta.commit", "fail").ok());
+  auto failed = svc->ApplyDelta(delta);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsIOError());
+  EXPECT_EQ(FaultInjection::trips("service.applydelta.commit"), 3u)
+      << "the live commit must retry transient failures";
+
+  // No swap: old generation, old world, still serving identical answers.
+  EXPECT_EQ(svc->generation(), 0u);
+  auto post = svc->FindTeam(Request({"a", "d"}, 0.6)).ValueOrDie();
+  ASSERT_EQ(post.size(), pre.size());
+  EXPECT_EQ(post[0].team.nodes, pre[0].team.nodes);
+  EXPECT_TRUE(svc->FindTeam(Request({"zzz"}, 0.6)).status().IsNotFound())
+      << "the failed delta's skill must not exist";
+  // Disk too: a fresh open sees generation 0.
+  EXPECT_EQ(ReadSnapshotManifest(dir).ValueOrDie().generation, 0u);
+
+  HealthStats health = svc->health();
+  EXPECT_EQ(health.state, HealthState::kDegraded);
+  EXPECT_EQ(health.update_failures, 1u);
+  EXPECT_EQ(health.consecutive_failures, 1u);
+  EXPECT_EQ(health.degraded_transitions, 1u);
+  EXPECT_EQ(GetRetryStats().exhausted, 1u);
+
+  // Recovery: the next successful swap flips DEGRADED -> HEALTHY.
+  FaultInjection::Reset();
+  ASSERT_TRUE(svc->ApplyDelta(delta).ok());
+  health = svc->health();
+  EXPECT_EQ(health.state, HealthState::kHealthy);
+  EXPECT_EQ(health.recoveries, 1u);
+  EXPECT_EQ(health.consecutive_failures, 0u);
+  EXPECT_EQ(svc->generation(), 1u);
+  EXPECT_FALSE(svc->FindTeam(Request({"zzz"}, 0.6)).ValueOrDie().empty());
+}
+
+TEST_F(ServiceFaultTest, RetryRidesThroughTransientCommitFaults) {
+  const std::string dir = MakeSnapshot("flt_retry", {0.6}, MediumNetwork());
+  auto svc = TeamDiscoveryService::Open({.snapshot_dir = dir}).ValueOrDie();
+  ExpertNetworkDelta delta;
+  delta.AddSkill(0, "zzz");
+  // Two transient failures fit inside the default 3-attempt budget: the
+  // update must succeed with no health impact.
+  ASSERT_TRUE(FaultInjection::Arm("service.applydelta.commit", "fail_n:2").ok());
+  auto report = svc->ApplyDelta(delta);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.ValueOrDie().generation, 1u);
+  EXPECT_EQ(svc->generation(), 1u);
+  EXPECT_EQ(FaultInjection::trips("service.applydelta.commit"), 2u);
+  EXPECT_EQ(svc->health().state, HealthState::kHealthy);
+  EXPECT_EQ(svc->health().update_failures, 0u);
+  RetryStats stats = GetRetryStats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted, 0u);
+  // Disk agrees with memory.
+  EXPECT_EQ(ReadSnapshotManifest(dir).ValueOrDie().generation, 1u);
+}
+
+TEST_F(ServiceFaultTest, FailedArtifactSaveServesFromMemoryAndDegrades) {
+  // Snapshot has only gamma 0.6; a request at 0.25 misses, builds, and the
+  // saver hook tries to persist the build. With the save failing, the
+  // request must still succeed (memory-only index) and health must flip
+  // DEGRADED with the persist counted.
+  const std::string dir = MakeSnapshot("flt_save", {0.6}, MediumNetwork());
+  auto svc = TeamDiscoveryService::Open({.snapshot_dir = dir}).ValueOrDie();
+  ASSERT_TRUE(FaultInjection::Arm("oracle.artifact.save", "fail").ok());
+
+  auto teams = svc->FindTeam(Request({"a", "d"}, 0.25));
+  ASSERT_TRUE(teams.ok()) << teams.status().ToString();
+  EXPECT_FALSE(teams.ValueOrDie().empty());
+  EXPECT_EQ(svc->cache_stats().builds, 1u);
+  EXPECT_EQ(FaultInjection::trips("oracle.artifact.save"), 3u)
+      << "persisting must retry before giving up";
+
+  HealthStats health = svc->health();
+  EXPECT_EQ(health.state, HealthState::kDegraded);
+  EXPECT_EQ(health.persist_failures, 1u);
+  EXPECT_EQ(health.update_failures, 0u);
+  EXPECT_EQ(GetRetryStats().exhausted, 1u);
+
+  // The snapshot was not corrupted: still only the 0.6 entry on disk.
+  const SnapshotManifest manifest = ReadSnapshotManifest(dir).ValueOrDie();
+  EXPECT_EQ(FindSnapshotIndexEntry(manifest, true, 2500,
+                                   OracleKind::kPrunedLandmarkLabeling),
+            nullptr);
+
+  // Later requests for the same index hit the memory-resident entry.
+  EXPECT_FALSE(svc->FindTeam(Request({"b", "c"}, 0.25)).ValueOrDie().empty());
+  EXPECT_EQ(svc->cache_stats().builds, 1u);
+
+  // A fully successful swap recovers health (the memory-only index rides
+  // into the successor epoch by adoption — the snapshot keeps lagging, which
+  // is exactly what the persist_failures counter reports).
+  FaultInjection::Reset();
+  ExpertNetworkDelta delta;
+  delta.AddSkill(0, "zzz");
+  ASSERT_TRUE(svc->ApplyDelta(delta).ok());
+  EXPECT_EQ(svc->health().state, HealthState::kHealthy);
+  EXPECT_EQ(svc->health().recoveries, 1u);
+}
+
+TEST_F(ServiceFaultTest, FailedRebuildAbortsSwapAndReleasesSuccessorEpoch) {
+  const std::string dir = MakeSnapshot("flt_rebuild", {0.6}, MediumNetwork());
+  auto svc = TeamDiscoveryService::Open({.snapshot_dir = dir}).ValueOrDie();
+  auto pre = svc->FindTeam(Request({"a", "d"}, 0.6)).ValueOrDie();
+  const OracleCache::Stats pre_stats = svc->cache_stats();
+  const uint64_t caches_before = OracleCache::LiveInstances();
+
+  ExpertNetworkDelta delta;
+  delta.ReweightCollaboration(3, 7, 0.9);
+  ASSERT_TRUE(
+      FaultInjection::Arm("service.applydelta.rebuild", "fail_once").ok());
+  auto failed = svc->ApplyDelta(delta);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsIOError());
+
+  // The partially built successor epoch (network + cache) must be fully
+  // released on the abort path — no leaked cache instance, and the serving
+  // epoch's stats/residency untouched.
+  EXPECT_EQ(OracleCache::LiveInstances(), caches_before)
+      << "aborted swap leaked the successor epoch's cache";
+  EXPECT_EQ(svc->generation(), 0u);
+  EXPECT_EQ(svc->cache_stats().resident_bytes, pre_stats.resident_bytes);
+  auto post = svc->FindTeam(Request({"a", "d"}, 0.6)).ValueOrDie();
+  ASSERT_EQ(post.size(), pre.size());
+  EXPECT_EQ(post[0].team.nodes, pre[0].team.nodes);
+  EXPECT_EQ(post[0].objective, pre[0].objective);
+
+  HealthStats health = svc->health();
+  EXPECT_EQ(health.state, HealthState::kDegraded);
+  EXPECT_EQ(health.update_failures, 1u);
+
+  // fail_once is consumed: the retried update succeeds and recovers.
+  auto report = svc->ApplyDelta(delta);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(svc->generation(), 1u);
+  EXPECT_EQ(svc->health().state, HealthState::kHealthy);
+  EXPECT_EQ(svc->health().recoveries, 1u);
+}
+
+TEST_F(ServiceFaultTest, InvalidDeltaDoesNotDegradeHealth) {
+  // Pre-validation failures are the caller's problem; the service did not
+  // regress, so the health machine stays out of it.
+  const std::string dir = MakeSnapshot("flt_invalid", {0.6}, MediumNetwork());
+  auto svc = TeamDiscoveryService::Open({.snapshot_dir = dir}).ValueOrDie();
+  ExpertNetworkDelta delta;
+  delta.AddSkill(999, "x");  // unknown expert
+  ASSERT_TRUE(svc->ApplyDelta(delta).status().IsInvalidArgument());
+  HealthStats health = svc->health();
+  EXPECT_EQ(health.state, HealthState::kHealthy);
+  EXPECT_EQ(health.update_failures, 0u);
+  EXPECT_EQ(health.degraded_transitions, 0u);
+}
+
+TEST_F(ServiceFaultTest, FailedArtifactLoadFallsBackToBuild) {
+  // Snapshot rot (or an injected load fault) must never take serving down:
+  // the cache logs, builds fresh, and answers.
+  const std::string dir = MakeSnapshot("flt_load", {0.6}, MediumNetwork());
+  auto svc = TeamDiscoveryService::Open({.snapshot_dir = dir}).ValueOrDie();
+  ASSERT_TRUE(FaultInjection::Arm("oracle.artifact.load", "fail").ok());
+  auto teams = svc->FindTeam(Request({"a", "d"}, 0.6));
+  ASSERT_TRUE(teams.ok()) << teams.status().ToString();
+  EXPECT_FALSE(teams.ValueOrDie().empty());
+  const OracleCache::Stats stats = svc->cache_stats();
+  EXPECT_EQ(stats.loads, 0u);
+  EXPECT_EQ(stats.builds, 1u) << "load failure must downgrade to a build";
+}
+
+}  // namespace
+}  // namespace teamdisc

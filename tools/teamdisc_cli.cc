@@ -31,7 +31,8 @@
 //   teamdisc_cli serve-bench <snapshot-dir> [--requests=200] [--workers=4]
 //       [--skills-per-request=3] [--top-k=1] [--lambda=0.6] [--seed=42]
 //       [--budget-mb=0] [--updates=0] [--update-seed=7]
-//       [--arrival-qps=0] [--arrival=poisson|fixed] [--deadline-ms=0]
+//       [--inject-update-failures=0] [--arrival-qps=0]
+//       [--arrival=poisson|fixed] [--deadline-ms=0]
 //       [--queue-cap=0] [--out=BENCH_serve.json]
 //       Request driver against a snapshot-backed TeamDiscoveryService;
 //       reports QPS and latency percentiles and writes them as JSON.
@@ -43,7 +44,11 @@
 //       shows up as load shedding + deadline expiry instead of silently
 //       slower arrivals. With --updates=K, K network deltas (skill churn +
 //       edge reweights) are applied live via epoch swaps while the
-//       requests run, measuring serving latency under churn.
+//       requests run, measuring serving latency under churn. With
+//       --inject-update-failures=J (requires --updates>0), the first J
+//       swaps fail at the rebuild fault point, driving the service through
+//       DEGRADED and back; the report records tail latency and health
+//       counters while the old epoch rides through.
 //
 //   teamdisc_cli serve <snapshot-dir> [--requests=64] [--workers=0]
 //       [--queue-cap=0] [--deadline-ms=0] [--seed=42] [--budget-mb=0]
@@ -66,6 +71,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/string_util.h"
@@ -432,7 +438,8 @@ int CmdServeBench(const Args& args) {
   if (int rc = RejectUnknownFlags(
           args, {"requests", "workers", "skills-per-request", "top-k", "lambda",
                  "seed", "budget-mb", "updates", "update-seed", "arrival-qps",
-                 "arrival", "deadline-ms", "queue-cap", "out"})) {
+                 "arrival", "deadline-ms", "queue-cap", "out",
+                 "inject-update-failures"})) {
     return rc;
   }
   if (args.positional.size() < 2) {
@@ -451,6 +458,14 @@ int CmdServeBench(const Args& args) {
   options.cache_budget_bytes =
       static_cast<size_t>(args.GetUint("budget-mb", 0)) * (size_t{1} << 20);
   const size_t updates = static_cast<size_t>(args.GetUint("updates", 0));
+  const size_t inject_update_failures =
+      static_cast<size_t>(args.GetUint("inject-update-failures", 0));
+  if (inject_update_failures > 0 && updates == 0) {
+    std::fprintf(stderr,
+                 "--inject-update-failures needs --updates>0 (there must be "
+                 "live swaps to fail)\n");
+    return 2;
+  }
   if (updates > 0) {
     // A benchmark must be rerunnable: churn-mode epoch swaps stay in
     // memory. Committing them would mutate the snapshot (generation bumps,
@@ -493,7 +508,22 @@ int CmdServeBench(const Args& args) {
     DeltaMixOptions delta_mix;
     delta_mix.count = updates;
     delta_mix.seed = args.GetUint("update-seed", 7);
+    // With injected failures, skill-toggle deltas would cascade: a failed
+    // toggle leaves the network unchanged, so the next toggle of the same
+    // expert is invalid and fails for the wrong reason. Reweight deltas set
+    // absolute weights — each is valid regardless of which predecessors
+    // landed — so the failure count measures exactly the injection.
+    delta_mix.interleave_skill_only = inject_update_failures == 0;
     deltas = MakeDeltaMix(*net, delta_mix);
+  }
+  if (inject_update_failures > 0) {
+    // fail_n:K at the rebuild point: the first refresh in each ApplyDelta
+    // sweep consumes one count and aborts that swap, so exactly K swaps
+    // fail (DEGRADED), then the remainder succeed (recovery).
+    FaultSpec spec;
+    spec.action = FaultAction::kFailN;
+    spec.arg = inject_update_failures;
+    FaultInjection::Arm("service.applydelta.rebuild", spec);
   }
   std::vector<double> update_ms;
   size_t updates_applied = 0, updates_failed = 0;
@@ -626,6 +656,13 @@ int CmdServeBench(const Args& args) {
       std::printf("updates: %zu applied, %zu failed; now generation %llu\n",
                   updates_applied, updates_failed,
                   static_cast<unsigned long long>(svc.generation()));
+      const HealthStats health = svc.health();
+      std::printf("health: %s | %llu degraded transition(s), %llu "
+                  "recover(ies), %llu update failure(s)\n",
+                  std::string(HealthStateToString(health.state)).c_str(),
+                  static_cast<unsigned long long>(health.degraded_transitions),
+                  static_cast<unsigned long long>(health.recoveries),
+                  static_cast<unsigned long long>(health.update_failures));
     }
 
     const std::string out_path = args.Get("out", "BENCH_serve.json");
@@ -655,7 +692,11 @@ int CmdServeBench(const Args& args) {
           "  \"queue_wait_p50_ms\": %.4f,\n"
           "  \"queue_wait_p99_ms\": %.4f,\n"
           "  \"updates\": { \"requested\": %zu, \"applied\": %zu, "
-          "\"failed\": %zu, \"generation\": %llu },\n"
+          "\"failed\": %zu, \"injected_failures\": %zu, "
+          "\"generation\": %llu },\n"
+          "  \"health\": { \"state\": \"%s\", \"degraded_transitions\": "
+          "%llu, \"recoveries\": %llu, \"update_failures\": %llu, "
+          "\"persist_failures\": %llu },\n"
           "  \"cache\": { \"hits\": %llu, \"misses\": %llu, \"loads\": "
           "%llu, \"builds\": %llu, \"adoptions\": %llu, \"evictions\": "
           "%llu },\n"
@@ -677,7 +718,13 @@ int CmdServeBench(const Args& args) {
           e2e_ms.empty() ? 0.0 : e2e_ms.back(),
           PercentileSorted(queue_wait_ms, 0.50),
           PercentileSorted(queue_wait_ms, 0.99), updates, updates_applied,
-          updates_failed, static_cast<unsigned long long>(svc.generation()),
+          updates_failed, inject_update_failures,
+          static_cast<unsigned long long>(svc.generation()),
+          std::string(HealthStateToString(svc.health().state)).c_str(),
+          static_cast<unsigned long long>(svc.health().degraded_transitions),
+          static_cast<unsigned long long>(svc.health().recoveries),
+          static_cast<unsigned long long>(svc.health().update_failures),
+          static_cast<unsigned long long>(svc.health().persist_failures),
           static_cast<unsigned long long>(cache.hits),
           static_cast<unsigned long long>(cache.misses),
           static_cast<unsigned long long>(cache.loads),
@@ -737,6 +784,13 @@ int CmdServeBench(const Args& args) {
                 updates_applied, updates_failed,
                 static_cast<unsigned long long>(svc.generation()), update_p50,
                 update_max, entries_adopted, entries_rebuilt);
+    const HealthStats health = svc.health();
+    std::printf("health: %s | %llu degraded transition(s), %llu "
+                "recover(ies), %llu update failure(s)\n",
+                std::string(HealthStateToString(health.state)).c_str(),
+                static_cast<unsigned long long>(health.degraded_transitions),
+                static_cast<unsigned long long>(health.recoveries),
+                static_cast<unsigned long long>(health.update_failures));
   }
 
   const std::string out_path = args.Get("out", "BENCH_serve.json");
@@ -758,9 +812,13 @@ int CmdServeBench(const Args& args) {
         "  \"infeasible\": %llu,\n"
         "  \"failures\": %llu,\n"
         "  \"updates\": { \"requested\": %zu, \"applied\": %zu, "
-        "\"failed\": %zu, \"generation\": %llu, \"p50_ms\": %.4f, "
+        "\"failed\": %zu, \"injected_failures\": %zu, "
+        "\"generation\": %llu, \"p50_ms\": %.4f, "
         "\"max_ms\": %.4f, \"entries_adopted\": %zu, "
         "\"entries_rebuilt\": %zu },\n"
+        "  \"health\": { \"state\": \"%s\", \"degraded_transitions\": %llu, "
+        "\"recoveries\": %llu, \"update_failures\": %llu, "
+        "\"persist_failures\": %llu },\n"
         "  \"cache\": { \"hits\": %llu, \"misses\": %llu, \"loads\": %llu, "
         "\"builds\": %llu, \"adoptions\": %llu, \"evictions\": %llu }\n"
         "}\n",
@@ -770,8 +828,14 @@ int CmdServeBench(const Args& args) {
         r.p99_ms, r.max_ms, static_cast<unsigned long long>(r.solved),
         static_cast<unsigned long long>(r.infeasible),
         static_cast<unsigned long long>(r.failures), updates, updates_applied,
-        updates_failed, static_cast<unsigned long long>(svc.generation()),
+        updates_failed, inject_update_failures,
+        static_cast<unsigned long long>(svc.generation()),
         update_p50, update_max, entries_adopted, entries_rebuilt,
+        std::string(HealthStateToString(svc.health().state)).c_str(),
+        static_cast<unsigned long long>(svc.health().degraded_transitions),
+        static_cast<unsigned long long>(svc.health().recoveries),
+        static_cast<unsigned long long>(svc.health().update_failures),
+        static_cast<unsigned long long>(svc.health().persist_failures),
         static_cast<unsigned long long>(cache.hits),
         static_cast<unsigned long long>(cache.misses),
         static_cast<unsigned long long>(cache.loads),
