@@ -47,6 +47,10 @@ RetryOptions RetryOptions::FromEnv() {
 }
 
 bool IsTransientStatus(const Status& status) {
+  // Contract for callers producing IOError: EINTR must be retried at the
+  // syscall (see SyncPath in service/snapshot.cc, net/socket_util.cc). An
+  // interrupted-but-healthy syscall surfaced as IOError would burn real
+  // retry budget — and backoff sleep — on an operation that never failed.
   return status.IsIOError() || status.IsResourceExhausted();
 }
 

@@ -1,0 +1,149 @@
+#include "net/http_client.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "net/socket_util.h"
+
+namespace teamdisc {
+
+const std::string* HttpClientResponse::FindHeader(
+    std::string_view lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+Result<HttpClient> HttpClient::Connect(const std::string& host, uint16_t port,
+                                       uint64_t timeout_ms) {
+  TD_ASSIGN_OR_RETURN(int fd, ConnectTcp(host, port));
+  if (Status s = SetSocketTimeoutMs(fd, timeout_ms); !s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  return HttpClient(host, port, timeout_ms, fd);
+}
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_ms_(other.timeout_ms_),
+      fd_(other.fd_),
+      leftover_(std::move(other.leftover_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    CloseFd(fd_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    timeout_ms_ = other.timeout_ms_;
+    fd_ = other.fd_;
+    leftover_ = std::move(other.leftover_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+HttpClient::~HttpClient() { CloseFd(fd_); }
+
+Status HttpClient::Reconnect() {
+  CloseFd(fd_);
+  fd_ = -1;
+  leftover_.clear();
+  TD_ASSIGN_OR_RETURN(fd_, ConnectTcp(host_, port_));
+  return SetSocketTimeoutMs(fd_, timeout_ms_);
+}
+
+Result<HttpClientResponse> HttpClient::Get(const std::string& target) {
+  return Exchange(StrFormat("GET %s HTTP/1.1\r\nHost: %s\r\n\r\n",
+                            target.c_str(), host_.c_str()));
+}
+
+Result<HttpClientResponse> HttpClient::Post(const std::string& target,
+                                            const std::string& body) {
+  return Exchange(
+      StrFormat("POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: "
+                "application/x-www-form-urlencoded\r\nContent-Length: %zu"
+                "\r\n\r\n%s",
+                target.c_str(), host_.c_str(), body.size(), body.c_str()));
+}
+
+Result<HttpClientResponse> HttpClient::Exchange(
+    const std::string& raw_request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  TD_RETURN_IF_ERROR(WriteAll(fd_, raw_request));
+  return ReadResponse();
+}
+
+Result<HttpClientResponse> HttpClient::ReadResponse() {
+  std::string buf = std::move(leftover_);
+  leftover_.clear();
+
+  // Read until the header terminator.
+  size_t header_end;
+  while ((header_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[4096];
+    TD_ASSIGN_OR_RETURN(IoResult r, ReadSome(fd_, chunk, sizeof(chunk)));
+    if (r.eof) return Status::IOError("connection closed before headers");
+    if (r.would_block) return Status::IOError("response timed out");
+    buf.append(chunk, r.bytes);
+    if (buf.size() > (1u << 20)) {
+      return Status::ResourceExhausted("response headers exceed 1 MiB");
+    }
+  }
+
+  HttpClientResponse response;
+  const std::string head = buf.substr(0, header_end);
+  std::vector<std::string_view> lines = Split(head, '\n');
+  if (lines.empty()) return Status::IOError("empty response head");
+  std::string_view status_line = StripWhitespace(lines[0]);
+  // "HTTP/1.1 200 OK"
+  const size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || status_line.substr(0, 5) != "HTTP/") {
+    return Status::IOError("malformed status line: " +
+                           std::string(status_line));
+  }
+  auto code = ParseUint64(StripWhitespace(status_line.substr(sp + 1, 3)));
+  if (!code.ok()) return Status::IOError("malformed response status code");
+  response.status = static_cast<int>(code.ValueOrDie());
+
+  size_t content_length = 0;
+  bool connection_close = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = StripWhitespace(lines[i]);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name = ToLowerAscii(line.substr(0, colon));
+    std::string value(StripWhitespace(line.substr(colon + 1)));
+    if (name == "content-length") {
+      auto parsed = ParseUint64(value);
+      if (!parsed.ok()) return Status::IOError("bad response Content-Length");
+      content_length = static_cast<size_t>(parsed.ValueOrDie());
+    } else if (name == "connection" &&
+               ToLowerAscii(value).find("close") != std::string::npos) {
+      connection_close = true;
+    }
+    response.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  std::string rest = buf.substr(header_end + 4);
+  while (rest.size() < content_length) {
+    char chunk[4096];
+    TD_ASSIGN_OR_RETURN(IoResult r, ReadSome(fd_, chunk, sizeof(chunk)));
+    if (r.eof) return Status::IOError("connection closed mid-body");
+    if (r.would_block) return Status::IOError("response body timed out");
+    rest.append(chunk, r.bytes);
+  }
+  response.body = rest.substr(0, content_length);
+  leftover_ = rest.substr(content_length);
+  if (connection_close) {
+    CloseFd(fd_);
+    fd_ = -1;
+  }
+  return response;
+}
+
+}  // namespace teamdisc

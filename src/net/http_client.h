@@ -1,0 +1,72 @@
+// Minimal blocking HTTP/1.1 client for the loopback bench driver and the
+// server test suites. Deliberately small: origin-form targets, Content-Length
+// responses only (the server never sends chunked), keep-alive reuse of one
+// fd. Not a general-purpose client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace teamdisc {
+
+/// \brief One parsed HTTP response.
+struct HttpClientResponse {
+  int status = 0;
+  /// Names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* FindHeader(std::string_view lower_name) const;
+};
+
+/// \brief Blocking request/response exchange over one TCP connection.
+///
+/// Reconnects are the caller's job (Reconnect()); the driver treats a failed
+/// exchange as "connection dead", reconnects, and moves on — the same
+/// discipline a real client pool applies.
+class HttpClient {
+ public:
+  /// Connects to host:port with the given per-socket timeout.
+  static Result<HttpClient> Connect(const std::string& host, uint16_t port,
+                                    uint64_t timeout_ms = 10000);
+
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  ~HttpClient();
+
+  /// GET `target`, reusing the connection (Connection: keep-alive).
+  Result<HttpClientResponse> Get(const std::string& target);
+
+  /// POST `body` to `target` as application/x-www-form-urlencoded.
+  Result<HttpClientResponse> Post(const std::string& target,
+                                  const std::string& body);
+
+  /// Sends raw bytes verbatim and reads one response — for tests that need
+  /// malformed or partial requests on the wire.
+  Result<HttpClientResponse> Exchange(const std::string& raw_request);
+
+  /// Drops and re-establishes the connection.
+  Status Reconnect();
+
+  int fd() const { return fd_; }
+
+ private:
+  HttpClient(std::string host, uint16_t port, uint64_t timeout_ms, int fd)
+      : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms), fd_(fd) {}
+
+  Result<HttpClientResponse> ReadResponse();
+
+  std::string host_;
+  uint16_t port_ = 0;
+  uint64_t timeout_ms_ = 0;
+  int fd_ = -1;
+  std::string leftover_;  ///< bytes read past the previous response
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,382 @@
+#include "net/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+namespace {
+
+/// RFC 7230 token characters — legal in methods and header field names.
+bool IsTokenChar(unsigned char c) {
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Printable ASCII or horizontal tab — the only bytes we accept in header
+/// values and request targets. NUL, CR, LF, and other control bytes are how
+/// header-injection attacks travel; reject them outright.
+bool IsFieldChar(unsigned char c) { return c == '\t' || (c >= 0x20 && c < 0x7f); }
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+HttpLimits HttpLimits::FromEnv() {
+  HttpLimits limits;
+  limits.max_request_line = static_cast<size_t>(GetEnvOr(
+      "TEAMDISC_LISTEN_MAX_REQUEST_LINE", uint64_t{limits.max_request_line}));
+  limits.max_headers = static_cast<size_t>(
+      GetEnvOr("TEAMDISC_LISTEN_MAX_HEADERS", uint64_t{limits.max_headers}));
+  limits.max_header_bytes = static_cast<size_t>(GetEnvOr(
+      "TEAMDISC_LISTEN_MAX_HEADER_BYTES", uint64_t{limits.max_header_bytes}));
+  limits.max_body_bytes = static_cast<size_t>(GetEnvOr(
+      "TEAMDISC_LISTEN_MAX_BODY_BYTES", uint64_t{limits.max_body_bytes}));
+  return limits;
+}
+
+const std::string* HttpRequest::FindHeader(std::string_view lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::KeepAlive() const {
+  if (const std::string* conn = FindHeader("connection")) {
+    const std::string lower = ToLowerAscii(*conn);
+    if (lower.find("close") != std::string::npos) return false;
+    if (lower.find("keep-alive") != std::string::npos) return true;
+  }
+  return version_minor >= 1;
+}
+
+HttpParser::HttpParser(HttpLimits limits) : limits_(limits) {}
+
+void HttpParser::Reset() {
+  state_ = State::kNeedMore;
+  phase_ = Phase::kRequestLine;
+  error_ = Status::OK();
+  http_status_ = 0;
+  request_ = HttpRequest();
+  line_.clear();
+  blank_line_seen_ = false;
+  header_bytes_ = 0;
+  body_remaining_ = 0;
+}
+
+HttpParser::State HttpParser::Fail(int http_status, std::string message) {
+  state_ = State::kError;
+  http_status_ = http_status;
+  error_ = Status::InvalidArgument(std::move(message));
+  // Drop buffers: an errored parser must not keep hostile bytes resident
+  // for the rest of the connection's (brief) life.
+  line_.clear();
+  request_.body.clear();
+  return state_;
+}
+
+Status HttpParser::AppendHeaderLine(std::string_view line) {
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("header line without ':'");
+  }
+  if (colon == 0) return Status::InvalidArgument("empty header name");
+  const std::string_view name = line.substr(0, colon);
+  for (unsigned char c : name) {
+    // Space before the colon ("Host : x") is the classic response-splitting
+    // ambiguity; token chars only.
+    if (!IsTokenChar(c)) {
+      return Status::InvalidArgument("illegal character in header name");
+    }
+  }
+  const std::string_view value = TrimOws(line.substr(colon + 1));
+  for (unsigned char c : value) {
+    if (!IsFieldChar(c)) {
+      return Status::InvalidArgument("illegal character in header value");
+    }
+  }
+  if (request_.headers.size() >= limits_.max_headers) {
+    return Status::ResourceExhausted("too many headers");
+  }
+  request_.headers.emplace_back(ToLowerAscii(name), std::string(value));
+  return Status::OK();
+}
+
+HttpParser::State HttpParser::FinishHeaders() {
+  const std::string* content_length = nullptr;
+  const std::string* transfer_encoding = nullptr;
+  for (const auto& [name, value] : request_.headers) {
+    if (name == "content-length") {
+      if (content_length != nullptr && *content_length != value) {
+        return Fail(400, "conflicting Content-Length headers");
+      }
+      content_length = &value;
+    } else if (name == "transfer-encoding") {
+      if (transfer_encoding != nullptr) {
+        return Fail(400, "duplicate Transfer-Encoding");
+      }
+      transfer_encoding = &value;
+    }
+  }
+  if (transfer_encoding != nullptr) {
+    if (content_length != nullptr) {
+      // Two framings for one body is exactly the request-smuggling shape;
+      // never guess which one the sender "meant".
+      return Fail(400, "both Content-Length and Transfer-Encoding");
+    }
+    if (ToLowerAscii(*transfer_encoding) != "chunked") {
+      return Fail(501, "unsupported transfer coding '" + *transfer_encoding +
+                           "'");
+    }
+    request_.chunked = true;
+    phase_ = Phase::kChunkSize;
+    return state_;
+  }
+  if (content_length != nullptr) {
+    if (content_length->empty() ||
+        !std::all_of(content_length->begin(), content_length->end(),
+                     [](unsigned char c) { return std::isdigit(c); })) {
+      return Fail(400, "malformed Content-Length");
+    }
+    auto parsed = ParseUint64(*content_length);
+    if (!parsed.ok() || parsed.ValueOrDie() > limits_.max_body_bytes) {
+      return Fail(413, StrFormat("body larger than limit (%zu bytes)",
+                                 limits_.max_body_bytes));
+    }
+    body_remaining_ = static_cast<size_t>(parsed.ValueOrDie());
+    if (body_remaining_ == 0) {
+      state_ = State::kComplete;
+      return state_;
+    }
+    request_.body.reserve(body_remaining_);
+    phase_ = Phase::kBody;
+    return state_;
+  }
+  state_ = State::kComplete;
+  return state_;
+}
+
+HttpParser::State HttpParser::Feed(const char* data, size_t len,
+                                   size_t* consumed) {
+  *consumed = 0;
+  if (state_ != State::kNeedMore) return state_;
+
+  size_t i = 0;
+  while (i < len && state_ == State::kNeedMore) {
+    switch (phase_) {
+      case Phase::kRequestLine:
+      case Phase::kHeaders:
+      case Phase::kChunkSize:
+      case Phase::kChunkDataEnd:
+      case Phase::kTrailers: {
+        // Line-oriented phases: accumulate up to CRLF, bounded.
+        const char c = data[i++];
+        if (c == '\n') {
+          if (line_.empty() || line_.back() != '\r') {
+            *consumed = i;
+            return Fail(400, "bare LF (CRLF required)");
+          }
+          line_.pop_back();
+          std::string line = std::move(line_);
+          line_.clear();
+          // A CR may only appear as part of the terminator we just removed.
+          if (line.find('\r') != std::string::npos) {
+            *consumed = i;
+            return Fail(400, "stray CR inside line");
+          }
+
+          if (phase_ == Phase::kRequestLine) {
+            if (line.empty()) {
+              // RFC 7230 §3.5: tolerate one blank line before the request
+              // line — exactly one, so a peer cannot feed CRLFs forever
+              // without ever making request progress.
+              if (blank_line_seen_) {
+                *consumed = i;
+                return Fail(400, "repeated blank line before request");
+              }
+              blank_line_seen_ = true;
+              break;
+            }
+            // METHOD SP request-target SP HTTP/1.x — exactly two spaces.
+            const size_t sp1 = line.find(' ');
+            const size_t sp2 =
+                sp1 == std::string::npos ? std::string::npos
+                                         : line.find(' ', sp1 + 1);
+            if (sp1 == std::string::npos || sp2 == std::string::npos ||
+                line.find(' ', sp2 + 1) != std::string::npos) {
+              *consumed = i;
+              return Fail(400, "malformed request line");
+            }
+            request_.method = line.substr(0, sp1);
+            request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+            const std::string version = line.substr(sp2 + 1);
+            if (request_.method.empty() ||
+                !std::all_of(request_.method.begin(), request_.method.end(),
+                             [](unsigned char ch) { return IsTokenChar(ch); })) {
+              *consumed = i;
+              return Fail(400, "malformed method token");
+            }
+            if (request_.target.empty() || request_.target[0] != '/') {
+              *consumed = i;
+              return Fail(400, "request-target must be origin-form (/path)");
+            }
+            for (unsigned char ch : request_.target) {
+              if (!IsFieldChar(ch) || ch == ' ') {
+                *consumed = i;
+                return Fail(400, "illegal character in request-target");
+              }
+            }
+            if (version == "HTTP/1.1") {
+              request_.version_minor = 1;
+            } else if (version == "HTTP/1.0") {
+              request_.version_minor = 0;
+            } else {
+              *consumed = i;
+              return Fail(505, "unsupported HTTP version '" + version + "'");
+            }
+            const size_t q = request_.target.find('?');
+            request_.path = request_.target.substr(0, q);
+            request_.query = q == std::string::npos
+                                 ? std::string()
+                                 : request_.target.substr(q + 1);
+            phase_ = Phase::kHeaders;
+          } else if (phase_ == Phase::kHeaders) {
+            if (line.empty()) {
+              *consumed = i;
+              if (FinishHeaders() == State::kError) return state_;
+              break;
+            }
+            if (Status s = AppendHeaderLine(line); !s.ok()) {
+              *consumed = i;
+              return Fail(s.IsResourceExhausted() ? 431 : 400,
+                          std::string(s.message()));
+            }
+          } else if (phase_ == Phase::kChunkSize) {
+            // chunk-size [;ext] — hex digits, bounded against overflow and
+            // against the body cap before any data is buffered.
+            std::string_view size_part(line);
+            const size_t semi = size_part.find(';');
+            if (semi != std::string_view::npos) {
+              size_part = size_part.substr(0, semi);
+            }
+            size_part = TrimOws(size_part);
+            if (size_part.empty() || size_part.size() > 8 ||
+                !std::all_of(size_part.begin(), size_part.end(),
+                             [](unsigned char ch) {
+                               return std::isxdigit(ch);
+                             })) {
+              *consumed = i;
+              return Fail(400, "malformed chunk size");
+            }
+            size_t chunk = 0;
+            for (unsigned char ch : size_part) {
+              chunk = chunk * 16 +
+                      static_cast<size_t>(
+                          std::isdigit(ch) ? ch - '0'
+                                           : std::tolower(ch) - 'a' + 10);
+            }
+            if (request_.body.size() + chunk > limits_.max_body_bytes) {
+              *consumed = i;
+              return Fail(413,
+                          StrFormat("chunked body larger than limit (%zu)",
+                                    limits_.max_body_bytes));
+            }
+            if (chunk == 0) {
+              phase_ = Phase::kTrailers;
+            } else {
+              body_remaining_ = chunk;
+              phase_ = Phase::kChunkData;
+            }
+          } else if (phase_ == Phase::kChunkDataEnd) {
+            if (!line.empty()) {
+              *consumed = i;
+              return Fail(400, "chunk data not terminated by CRLF");
+            }
+            phase_ = Phase::kChunkSize;
+          } else {  // kTrailers
+            if (line.empty()) {
+              *consumed = i;
+              state_ = State::kComplete;
+              break;
+            }
+            // Trailers are accepted but discarded; still validated and
+            // counted against the header budget so they can't grow unbounded.
+            if (Status s = AppendHeaderLine(line); !s.ok()) {
+              *consumed = i;
+              return Fail(s.IsResourceExhausted() ? 431 : 400,
+                          std::string(s.message()));
+            }
+            request_.headers.pop_back();
+          }
+          break;
+        }
+        if (c == '\0') {
+          *consumed = i;
+          return Fail(400, "NUL byte in request");
+        }
+        line_.push_back(c);
+        if (phase_ == Phase::kRequestLine) {
+          if (line_.size() > limits_.max_request_line) {
+            *consumed = i;
+            return Fail(414, StrFormat("request line exceeds %zu bytes",
+                                       limits_.max_request_line));
+          }
+        } else if (phase_ == Phase::kChunkSize ||
+                   phase_ == Phase::kChunkDataEnd) {
+          // A chunk-size line has no business being long; 32 bytes allows
+          // the 8 hex digits plus a small extension and the CR.
+          if (line_.size() > 32) {
+            *consumed = i;
+            return Fail(400, "chunk size line too long");
+          }
+        } else {
+          if (++header_bytes_ > limits_.max_header_bytes) {
+            *consumed = i;
+            return Fail(431, StrFormat("header block exceeds %zu bytes",
+                                       limits_.max_header_bytes));
+          }
+        }
+        break;
+      }
+
+      case Phase::kBody:
+      case Phase::kChunkData: {
+        const size_t take = std::min(body_remaining_, len - i);
+        request_.body.append(data + i, take);
+        i += take;
+        body_remaining_ -= take;
+        if (body_remaining_ == 0) {
+          if (phase_ == Phase::kBody) {
+            state_ = State::kComplete;
+          } else {
+            phase_ = Phase::kChunkDataEnd;
+          }
+        }
+        break;
+      }
+    }
+  }
+  *consumed = i;
+  return state_;
+}
+
+}  // namespace teamdisc

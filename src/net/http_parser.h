@@ -1,0 +1,124 @@
+// Strict incremental HTTP/1.1 request parser with hard resource limits.
+//
+// This is the first code hostile bytes reach, so it is written defensively:
+//
+//   - incremental: Feed() consumes any prefix of the request, in any chunking
+//     (byte-at-a-time included), and reports exactly how many bytes it took —
+//     leftover bytes belong to the next request on a keep-alive connection,
+//   - strict: CRLF line endings only, RFC 7230 token characters in methods
+//     and header names, exactly one space between request-line parts,
+//     HTTP/1.0 or HTTP/1.1 only, no NUL or stray CR anywhere, Content-Length
+//     digits-only, Content-Length + Transfer-Encoding together rejected
+//     (request-smuggling shape), only "chunked" transfer coding accepted,
+//   - bounded: request-line length, header count, total header bytes, and
+//     body bytes are all capped; every overflow is a typed error carrying
+//     the HTTP status to answer with (414/431/413), and the parser never
+//     buffers more than limits allow no matter what arrives,
+//   - fail-fast: the first error is sticky until Reset(); feeding more bytes
+//     after an error consumes nothing.
+//
+// The parser performs no I/O and no syscalls — it is a pure byte machine,
+// which is what makes it torture-testable under random mutation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace teamdisc {
+
+/// \brief Resource caps enforced while parsing a single request.
+struct HttpLimits {
+  size_t max_request_line = 4096;   ///< method + target + version, sans CRLF
+  size_t max_headers = 64;          ///< header field count
+  size_t max_header_bytes = 16384;  ///< total header block, names + values
+  size_t max_body_bytes = 1 << 20;  ///< decoded body (1 MiB)
+
+  /// Reads TEAMDISC_LISTEN_MAX_REQUEST_LINE / _MAX_HEADERS /
+  /// _MAX_HEADER_BYTES / _MAX_BODY_BYTES over the defaults above.
+  static HttpLimits FromEnv();
+};
+
+/// \brief One fully parsed request.
+struct HttpRequest {
+  std::string method;   ///< verbatim, e.g. "GET"
+  std::string target;   ///< verbatim request-target, e.g. "/find?skills=a"
+  std::string path;     ///< target up to '?', undecoded
+  std::string query;    ///< after '?', undecoded; empty when absent
+  int version_minor = 1;  ///< 0 = HTTP/1.0, 1 = HTTP/1.1
+  /// Names lowercased, values whitespace-trimmed; order preserved.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool chunked = false;  ///< body arrived chunked (already decoded)
+
+  /// First header value by lowercase name, or nullptr.
+  const std::string* FindHeader(std::string_view lower_name) const;
+  /// Keep-alive semantics of this request (HTTP/1.1 default yes, 1.0 no,
+  /// Connection header overrides either way).
+  bool KeepAlive() const;
+};
+
+/// \brief Incremental request parser; one instance per connection.
+class HttpParser {
+ public:
+  enum class State {
+    kNeedMore,  ///< fed everything offered, request incomplete
+    kComplete,  ///< request() is fully parsed; leftover bytes not consumed
+    kError,     ///< malformed/oversized input; error()/http_status() say why
+  };
+
+  explicit HttpParser(HttpLimits limits = {});
+
+  /// Consumes up to `len` bytes, advancing `*consumed` past what was taken.
+  /// On kComplete, bytes after the request body are NOT consumed — they are
+  /// the next pipelined request. On kError nothing further is ever consumed.
+  State Feed(const char* data, size_t len, size_t* consumed);
+
+  State state() const { return state_; }
+  /// Valid in state kComplete.
+  const HttpRequest& request() const { return request_; }
+  /// Valid in state kError.
+  const Status& error() const { return error_; }
+  /// HTTP response status to send for the error (400/413/414/431/501/505).
+  int http_status() const { return http_status_; }
+
+  /// Bytes currently buffered inside the parser — bounded by the limits
+  /// regardless of input (asserted by the torture test).
+  size_t buffered_bytes() const { return line_.size() + request_.body.size(); }
+
+  /// Ready for the next request on the same connection.
+  void Reset();
+
+ private:
+  enum class Phase {
+    kRequestLine,
+    kHeaders,
+    kBody,        ///< fixed Content-Length
+    kChunkSize,
+    kChunkData,
+    kChunkDataEnd,  ///< CRLF after each chunk
+    kTrailers,
+  };
+
+  State Fail(int http_status, std::string message);
+  State FinishHeaders();  ///< validates framing headers, picks body phase
+  Status AppendHeaderLine(std::string_view line);
+
+  HttpLimits limits_;
+  State state_ = State::kNeedMore;
+  Phase phase_ = Phase::kRequestLine;
+  Status error_;
+  int http_status_ = 0;
+  HttpRequest request_;
+  std::string line_;          ///< current (request/header/chunk-size) line
+  bool blank_line_seen_ = false;  ///< one blank line before the request line
+  size_t header_bytes_ = 0;   ///< running header-block total
+  size_t body_remaining_ = 0; ///< bytes left in fixed body / current chunk
+};
+
+}  // namespace teamdisc

@@ -1,0 +1,232 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+
+namespace teamdisc {
+
+namespace {
+
+Status ErrnoStatus(const char* what, int err) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(err)));
+}
+
+/// Parses a dotted-quad (or "0.0.0.0"/"localhost") into a sockaddr_in.
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (resolved.empty() || resolved == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse listen address '" + host +
+                                   "' (IPv4 dotted quad or 'localhost')");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Status IgnoreSigpipe() {
+  // SIG_IGN survives execve and is inherited by threads; sigaction so we
+  // never clobber a handler someone else installed with semantics we'd lose.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = SIG_IGN;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPIPE, &sa, nullptr) != 0) {
+    return ErrnoStatus("sigaction(SIGPIPE, SIG_IGN)", errno);
+  }
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  if (fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL, O_NONBLOCK)", errno);
+  }
+  return Status::OK();
+}
+
+Status SetSocketTimeoutMs(int fd, uint64_t timeout_ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)", errno);
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  // POSIX leaves the fd state after EINTR unspecified, but Linux always
+  // releases it — retrying close can race a concurrent open and close an
+  // unrelated fd. Call once, ignore the result.
+  ::close(fd);
+}
+
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  TD_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  const int one = 1;
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    const int err = errno;
+    CloseFd(fd);
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)", err);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    CloseFd(fd);
+    return ErrnoStatus(("bind " + host + ":" + std::to_string(port)).c_str(),
+                       err);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    CloseFd(fd);
+    return ErrnoStatus("listen", err);
+  }
+  if (Status s = SetNonBlocking(fd); !s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> AcceptNonBlocking(int listen_fd) {
+  TD_RETURN_IF_ERROR(FaultInjection::MaybeFail("net.accept"));
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) return fd;
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) return -1;
+    // Transient per-connection accept failures (the peer already reset,
+    // fd/file-table pressure) must not take the listener down; the caller
+    // counts them and keeps accepting.
+    return ErrnoStatus("accept", err);
+  }
+}
+
+Result<IoResult> ReadSome(int fd, char* buf, size_t len) {
+  TD_RETURN_IF_ERROR(FaultInjection::MaybeFail("net.read"));
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n > 0) {
+      IoResult r;
+      r.bytes = static_cast<size_t>(n);
+      return r;
+    }
+    if (n == 0) {
+      IoResult r;
+      r.eof = true;
+      return r;
+    }
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      IoResult r;
+      r.would_block = true;
+      return r;
+    }
+    return ErrnoStatus("read", err);
+  }
+}
+
+Result<IoResult> WriteSome(int fd, const char* buf, size_t len) {
+  TD_RETURN_IF_ERROR(FaultInjection::MaybeFail("net.write"));
+  for (;;) {
+    // MSG_NOSIGNAL belt on top of the IgnoreSigpipe suspenders: a write to a
+    // half-closed socket returns EPIPE even if someone re-enabled SIGPIPE.
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) {
+      IoResult r;
+      r.bytes = static_cast<size_t>(n);
+      return r;
+    }
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      IoResult r;
+      r.would_block = true;
+      return r;
+    }
+    return ErrnoStatus("write", err);
+  }
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    TD_ASSIGN_OR_RETURN(IoResult r,
+                        WriteSome(fd, data.data() + off, data.size() - off));
+    // would_block on a blocking fd means SO_SNDTIMEO expired; on a
+    // nonblocking one the caller should be on the event loop instead. Either
+    // way, treat a full send buffer that never drains as an error here.
+    if (r.would_block) return Status::IOError("write timed out (buffer full)");
+    off += r.bytes;
+  }
+  return Status::OK();
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  TD_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int err = errno;
+    if (err == EINTR) {
+      // EINTR from connect leaves the attempt in progress: wait for
+      // writability, then read the outcome from SO_ERROR. Re-calling
+      // connect here would return EALREADY/EISCONN unpredictably.
+      pollfd pfd{fd, POLLOUT, 0};
+      while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0 &&
+          so_error == 0) {
+        return fd;
+      }
+      CloseFd(fd);
+      return ErrnoStatus("connect (after EINTR)",
+                         so_error != 0 ? so_error : EIO);
+    }
+    CloseFd(fd);
+    return ErrnoStatus(
+        ("connect " + host + ":" + std::to_string(port)).c_str(), err);
+  }
+}
+
+}  // namespace teamdisc

@@ -1,0 +1,80 @@
+// EINTR-correct, fault-injectable syscall wrappers for the network layer.
+//
+// Every socket operation a long-lived server performs can be interrupted by
+// a signal, return a short count, or fail transiently; the raw syscalls are
+// wrapped here exactly once so the event loop and the test clients share the
+// same retry discipline:
+//
+//   - EINTR is retried at the syscall boundary (a spurious signal must never
+//     surface as an IOError — the bug class this file exists to close),
+//   - partial reads/writes are the caller-visible contract (IoResult.bytes),
+//     never an error,
+//   - EAGAIN/EWOULDBLOCK is reported as IoResult.would_block so nonblocking
+//     event-loop code and blocking test-client code use the same functions,
+//   - the hot operations carry TEAMDISC_FAULTS points (`net.accept`,
+//     `net.read`, `net.write`) so torture tests can fail any socket op at
+//     will and prove the connection-lifecycle handling survives it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace teamdisc {
+
+/// \brief Outcome of one read/write attempt on a socket.
+struct IoResult {
+  size_t bytes = 0;         ///< bytes actually transferred (may be short)
+  bool would_block = false; ///< EAGAIN before any byte moved (nonblocking fd)
+  bool eof = false;         ///< read only: orderly peer shutdown
+};
+
+/// Ignores SIGPIPE process-wide. A server writing to a half-closed socket
+/// must see EPIPE from write(2), not die; call once at server startup.
+/// Idempotent.
+Status IgnoreSigpipe();
+
+/// Opens a nonblocking TCP listener bound to host:port (port 0 = ephemeral)
+/// with SO_REUSEADDR, CLOEXEC, and the given accept backlog. Returns the fd.
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog);
+
+/// The port a socket is actually bound to (resolves port-0 binds).
+Result<uint16_t> LocalPort(int fd);
+
+/// Accepts one pending connection as a nonblocking CLOEXEC fd. Returns -1
+/// when no connection is pending (EAGAIN) — that is the normal idle case,
+/// not an error. Fault point: `net.accept`.
+Result<int> AcceptNonBlocking(int listen_fd);
+
+/// Reads up to `len` bytes. EINTR retried; short reads are normal.
+/// Fault point: `net.read`.
+Result<IoResult> ReadSome(int fd, char* buf, size_t len);
+
+/// Writes up to `len` bytes. EINTR retried; short writes are normal.
+/// EPIPE/ECONNRESET surface as IOError (the caller drops the connection).
+/// Fault point: `net.write`.
+Result<IoResult> WriteSome(int fd, const char* buf, size_t len);
+
+/// Blocking-loop WriteSome until everything is written (spins on
+/// would_block for nonblocking fds — intended for blocking client sockets
+/// in tests and the loopback bench driver).
+Status WriteAll(int fd, std::string_view data);
+
+/// Blocking TCP connect to host:port, EINTR-correct, CLOEXEC. Returns the
+/// (blocking) fd — the client side of tests and the loopback bench.
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Sets O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd);
+
+/// Sets SO_RCVTIMEO/SO_SNDTIMEO on a blocking socket so a test client can
+/// never hang a suite on a stuck server.
+Status SetSocketTimeoutMs(int fd, uint64_t timeout_ms);
+
+/// close(2), ignoring EINTR (the fd is gone either way on Linux).
+void CloseFd(int fd);
+
+}  // namespace teamdisc

@@ -25,11 +25,21 @@ namespace {
 namespace fs = std::filesystem;
 
 /// fsyncs `path` (a file or directory) so it survives power loss.
+///
+/// Both syscalls retry EINTR: a signal landing mid-fsync (SIGTERM starting a
+/// drain is the common case) is not an I/O failure, and letting it surface as
+/// IOError here would make RetryTransient burn real retry budget — with
+/// backoff sleeps — on an fsync that never failed.
 Status SyncPath(const fs::path& path, bool directory) {
-  const int fd =
-      ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  int fd;
+  do {
+    fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) return Status::IOError("cannot open for fsync: " + path.string());
-  const int rc = ::fsync(fd);
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
   ::close(fd);
   if (rc != 0) return Status::IOError("fsync failed: " + path.string());
   return Status::OK();

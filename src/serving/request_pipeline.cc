@@ -35,6 +35,9 @@ struct ResponseHandle::State {
   double queue_ms = 0.0;
   double solve_ms = 0.0;
   double e2e_ms = 0.0;
+  /// Taken (moved out) by Complete before invocation, so it runs once even
+  /// if a future code path completed twice.
+  std::function<void(const ResponseHandle&)> on_complete;
 };
 
 const Result<std::vector<ScoredTeam>>& ResponseHandle::Wait() const {
@@ -142,6 +145,7 @@ Result<ResponseHandle> RequestPipeline::Submit(TeamRequest request,
   Item item;
   item.request = std::move(request);
   item.state = std::make_shared<ResponseHandle::State>();
+  item.state->on_complete = submit.on_complete;
   item.token = submit.token;
   item.submitted_at = Clock::now();
   // 0 = pipeline default, negative = explicitly none.
@@ -175,6 +179,7 @@ void RequestPipeline::Complete(Item& item,
                                double queue_ms, double solve_ms) {
   const double e2e_ms = ToMillis(Clock::now() - item.submitted_at);
   e2e_us_->Record(static_cast<uint64_t>(e2e_ms * 1e3));
+  std::function<void(const ResponseHandle&)> on_complete;
   {
     std::lock_guard<std::mutex> lock(item.state->mu);
     item.state->result = std::move(result);
@@ -182,8 +187,15 @@ void RequestPipeline::Complete(Item& item,
     item.state->solve_ms = solve_ms;
     item.state->e2e_ms = e2e_ms;
     item.state->done = true;
+    on_complete = std::move(item.state->on_complete);
+    item.state->on_complete = nullptr;
   }
   item.state->cv.notify_all();
+  if (on_complete) {
+    ResponseHandle handle;
+    handle.state_ = item.state;
+    on_complete(handle);
+  }
 }
 
 void RequestPipeline::WorkerLoop() {

@@ -78,12 +78,22 @@ struct PipelineOptions {
   std::function<void(const TeamRequest&)> pre_dispatch_hook;
 };
 
+class ResponseHandle;
+
 /// \brief Per-request deadline/cancellation overrides.
 struct SubmitOptions {
   /// Milliseconds from submission until the request expires. 0 = use the
   /// pipeline default; negative = explicitly no deadline.
   double deadline_ms = 0.0;
   CancellationToken token;
+  /// Runs exactly once when the request completes (solved, infeasible,
+  /// expired, cancelled, or failed), on the dispatch worker that completed
+  /// it, after the handle's result is readable. This is how an event-loop
+  /// front-end gets its response without parking a thread in Wait(): the
+  /// callback must be cheap and non-blocking (hand off and return) — it
+  /// runs on the serving hot path. Never invoked for shed requests (Submit
+  /// already failed; no handle exists).
+  std::function<void(const ResponseHandle&)> on_complete;
 };
 
 /// \brief Caller's handle on an admitted request.

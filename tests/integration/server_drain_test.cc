@@ -1,0 +1,192 @@
+// Kill-during-load torture test for the HTTP front-end: fork a child that
+// runs the full server (pipeline + epoll loop + real SIGTERM handlers),
+// blast it with concurrent keep-alive traffic from the parent, deliver a
+// real SIGTERM mid-load, and prove the drain contract:
+//
+//   - every request the server accepted before the signal is answered and
+//     flushed (no connection is cut with a response owed),
+//   - after the drain begins, new connections are refused,
+//   - the child exits 0 (a clean drain is a clean exit),
+//   - a slow-loris connection open at drain time cannot hold the process
+//     past the drain deadline.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../core/test_networks.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/socket_util.h"
+#include "service/snapshot.h"
+
+namespace teamdisc {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kChildSetupFailed = 61;
+constexpr int kChildServeFailed = 62;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// Child body: open the snapshot, start pipeline + server with real signal
+/// handlers, report the bound port through `port_pipe_fd`, serve until the
+/// parent's SIGTERM drains the loop, exit 0 on a clean drain.
+int RunServerChild(const std::string& snapshot_dir, int port_pipe_fd) {
+  ServiceOptions options;
+  options.snapshot_dir = snapshot_dir;
+  options.persist_built_indexes = false;
+  options.persist_updates = false;
+  auto svc = TeamDiscoveryService::Open(options);
+  if (!svc.ok()) return kChildSetupFailed;
+
+  PipelineOptions popt;
+  popt.workers = 2;
+  popt.queue_capacity = 64;
+  auto pipeline = RequestPipeline::Start(*svc.ValueOrDie(), popt);
+  if (!pipeline.ok()) return kChildSetupFailed;
+
+  HttpServerOptions sopt;
+  sopt.drain_deadline_ms = 3000;
+  sopt.idle_timeout_ms = 10000;
+  sopt.request_timeout_ms = 10000;
+  auto server = HttpServer::Start(*svc.ValueOrDie(), *pipeline.ValueOrDie(),
+                                  sopt);
+  if (!server.ok()) return kChildSetupFailed;
+  if (!server.ValueOrDie()->InstallSignalHandlers().ok()) {
+    return kChildSetupFailed;
+  }
+
+  const uint16_t port = server.ValueOrDie()->port();
+  if (::write(port_pipe_fd, &port, sizeof(port)) != sizeof(port)) {
+    return kChildSetupFailed;
+  }
+  CloseFd(port_pipe_fd);
+
+  const Status served = server.ValueOrDie()->Serve();
+  pipeline.ValueOrDie()->Shutdown();
+  return served.ok() ? 0 : kChildServeFailed;
+}
+
+TEST(ServerDrainTest, SigtermUnderLoadDrainsInFlightAndExitsClean) {
+  const std::string dir = FreshDir("drain_torture");
+  {
+    BuildSnapshotOptions options;
+    options.gammas = {0.6};
+    ExpertNetwork net = MediumNetwork();
+    ASSERT_TRUE(BuildSnapshot(net, dir, options).ok());
+  }
+
+  int port_pipe[2];
+  ASSERT_EQ(::pipe(port_pipe), 0);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    CloseFd(port_pipe[0]);
+    ::_exit(RunServerChild(dir, port_pipe[1]));
+  }
+  CloseFd(port_pipe[1]);
+  uint16_t port = 0;
+  ASSERT_EQ(::read(port_pipe[0], &port, sizeof(port)),
+            static_cast<ssize_t>(sizeof(port)));
+  CloseFd(port_pipe[0]);
+  ASSERT_GT(port, 0);
+
+  // Load: concurrent keep-alive clients looping requests until the server
+  // goes away. Every response that arrives must be a complete 200 — a
+  // request accepted before the signal may never be half-answered.
+  constexpr int kClients = 4;
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> broken{0};  // non-200 / torn responses
+  std::atomic<bool> signalled{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = HttpClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        broken.fetch_add(1);
+        return;
+      }
+      const std::string target =
+          c % 2 == 0 ? "/find?skills=a,d&top_k=2" : "/find?skills=b,c";
+      while (true) {
+        auto response = client.ValueOrDie().Get(target);
+        if (!response.ok()) {
+          // Connection ended. Legitimate only once drain is under way:
+          // before the signal every request must be answered.
+          if (!signalled.load()) broken.fetch_add(1);
+          return;
+        }
+        const int status = response.ValueOrDie().status;
+        if (status == 200) {
+          answered.fetch_add(1);
+        } else if (status == 503 && signalled.load()) {
+          return;  // honest drain shed
+        } else {
+          broken.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+
+  // A slow-loris connection left open across the drain: it must not hold
+  // the child past its drain deadline.
+  auto loris = ConnectTcp("127.0.0.1", port);
+  ASSERT_TRUE(loris.ok());
+  ASSERT_TRUE(WriteAll(loris.ValueOrDie(), "GET /slow").ok());
+
+  // Let the load run, then deliver a real SIGTERM mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  signalled.store(true);
+  ASSERT_EQ(::kill(child, SIGTERM), 0);
+
+  for (std::thread& t : clients) t.join();
+  CloseFd(loris.ValueOrDie());
+
+  // The child must exit 0 within the drain deadline (plus slack). Poll so a
+  // hung child fails the test instead of hanging the suite.
+  int wait_status = 0;
+  pid_t reaped = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    reaped = ::waitpid(child, &wait_status, WNOHANG);
+    if (reaped == child) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (reaped != child) {
+    ::kill(child, SIGKILL);
+    ::waitpid(child, &wait_status, 0);
+    FAIL() << "child did not exit within 30 s of SIGTERM — drain hung";
+  }
+  ASSERT_TRUE(WIFEXITED(wait_status))
+      << "child died of signal " << WTERMSIG(wait_status);
+  EXPECT_EQ(WEXITSTATUS(wait_status), 0) << "drain was not clean";
+
+  EXPECT_GT(answered.load(), 0u) << "load never reached the server";
+  EXPECT_EQ(broken.load(), 0u)
+      << "a pre-drain request was dropped or half-answered";
+
+  // After the drain: the port must be closed for business.
+  auto refused = ConnectTcp("127.0.0.1", port);
+  EXPECT_FALSE(refused.ok());
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,0 +1,328 @@
+// HttpParser: strict parsing, typed rejection of malformed input, hard
+// resource caps, incremental feeding, and a seeded random-mutation torture
+// run. The parser is the first code hostile bytes reach, so the tables here
+// are the regression net for every rejection path — and the suite runs under
+// the ASan/UBSan CI jobs (labels: smoke, faults).
+#include "net/http_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace teamdisc {
+namespace {
+
+/// Feeds the whole input at once, returning the final state.
+HttpParser::State FeedAll(HttpParser& parser, const std::string& input,
+                          size_t* consumed_out = nullptr) {
+  size_t consumed = 0;
+  HttpParser::State state =
+      parser.Feed(input.data(), input.size(), &consumed);
+  if (consumed_out != nullptr) *consumed_out = consumed;
+  return state;
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  const std::string input =
+      "GET /find?skills=a,b HTTP/1.1\r\nHost: x\r\n\r\n";
+  size_t consumed = 0;
+  ASSERT_EQ(FeedAll(parser, input, &consumed), HttpParser::State::kComplete);
+  EXPECT_EQ(consumed, input.size());
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/find?skills=a,b");
+  EXPECT_EQ(request.path, "/find");
+  EXPECT_EQ(request.query, "skills=a,b");
+  EXPECT_EQ(request.version_minor, 1);
+  ASSERT_NE(request.FindHeader("host"), nullptr);
+  EXPECT_EQ(*request.FindHeader("host"), "x");
+  EXPECT_TRUE(request.KeepAlive());
+}
+
+TEST(HttpParserTest, ParsesPostWithContentLength) {
+  HttpParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "POST /find HTTP/1.1\r\nContent-Length: 11\r\n\r\n"
+                    "skills=a,b!"),
+            HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().body, "skills=a,b!");
+}
+
+TEST(HttpParserTest, ParsesChunkedBody) {
+  HttpParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                    "4\r\nskil\r\n3\r\nls=\r\n0\r\n\r\n"),
+            HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().body, "skills=");
+  EXPECT_TRUE(parser.request().chunked);
+}
+
+TEST(HttpParserTest, ChunkSizeAcceptsExtensionsAndUppercaseHex) {
+  HttpParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                    "A;ext=1\r\n0123456789\r\n0\r\n\r\n"),
+            HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().body, "0123456789");
+}
+
+TEST(HttpParserTest, ByteAtATimeFeedingMatchesOneShot) {
+  const std::string input =
+      "POST /x?q=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n\r\nabcGET";
+  HttpParser parser;
+  HttpParser::State state = HttpParser::State::kNeedMore;
+  size_t offset = 0;
+  while (offset < input.size() && state == HttpParser::State::kNeedMore) {
+    size_t consumed = 0;
+    state = parser.Feed(input.data() + offset, 1, &consumed);
+    offset += consumed;
+    if (state == HttpParser::State::kComplete) break;
+    ASSERT_EQ(consumed, 1u) << "parser must consume making progress";
+  }
+  ASSERT_EQ(state, HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().body, "abc");
+  // "GET" belongs to the next pipelined request and was never consumed.
+  EXPECT_EQ(offset, input.size() - 3);
+}
+
+TEST(HttpParserTest, LeftoverBytesBelongToNextRequest) {
+  HttpParser parser;
+  const std::string two =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  size_t consumed = 0;
+  ASSERT_EQ(FeedAll(parser, two, &consumed), HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().target, "/a");
+  parser.Reset();
+  HttpParser::State state = parser.Feed(two.data() + consumed,
+                                        two.size() - consumed, &consumed);
+  ASSERT_EQ(state, HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().target, "/b");
+}
+
+TEST(HttpParserTest, KeepAliveSemantics) {
+  struct Case {
+    const char* input;
+    bool keep_alive;
+  };
+  const Case cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+  };
+  for (const Case& c : cases) {
+    HttpParser parser;
+    ASSERT_EQ(FeedAll(parser, c.input), HttpParser::State::kComplete)
+        << c.input;
+    EXPECT_EQ(parser.request().KeepAlive(), c.keep_alive) << c.input;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input table: every entry must produce kError with the expected
+// HTTP status — and never a crash, hang, or silent acceptance.
+
+struct MalformedCase {
+  const char* name;
+  std::string input;
+  int http_status;
+};
+
+class HttpParserMalformedTest
+    : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(HttpParserMalformedTest, RejectsWithTypedStatus) {
+  const MalformedCase& c = GetParam();
+  HttpParser parser;
+  EXPECT_EQ(FeedAll(parser, c.input), HttpParser::State::kError) << c.name;
+  EXPECT_EQ(parser.http_status(), c.http_status) << c.name;
+  EXPECT_FALSE(parser.error().ok());
+  // The error is sticky: more bytes are never consumed.
+  size_t consumed = 1;
+  EXPECT_EQ(parser.Feed("GET", 3, &consumed), HttpParser::State::kError);
+  EXPECT_EQ(consumed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, HttpParserMalformedTest,
+    ::testing::Values(
+        MalformedCase{"bare_lf_line_ending", "GET / HTTP/1.1\n\n", 400},
+        MalformedCase{"stray_cr_in_line", "GET /\ra HTTP/1.1\r\n\r\n", 400},
+        MalformedCase{"nul_in_request_line",
+                      std::string("GET /\0 HTTP/1.1\r\n\r\n", 20), 400},
+        MalformedCase{"nul_in_header",
+                      std::string("GET / HTTP/1.1\r\nA: \0\r\n\r\n", 25),
+                      400},
+        MalformedCase{"empty_request_line", "\r\n\r\n\r\n", 400},
+        MalformedCase{"missing_target", "GET HTTP/1.1\r\n\r\n", 400},
+        MalformedCase{"double_space", "GET  / HTTP/1.1\r\n\r\n", 400},
+        MalformedCase{"bad_method_chars", "G@T / HTTP/1.1\r\n\r\n", 400},
+        MalformedCase{"lowercase_http", "GET / http/1.1\r\n\r\n", 505},
+        MalformedCase{"http_2", "GET / HTTP/2.0\r\n\r\n", 505},
+        MalformedCase{"http_09", "GET / HTTP/0.9\r\n\r\n", 505},
+        MalformedCase{"header_without_colon",
+                      "GET / HTTP/1.1\r\nnocolon\r\n\r\n", 400},
+        MalformedCase{"header_name_with_space",
+                      "GET / HTTP/1.1\r\nBad Name: x\r\n\r\n", 400},
+        MalformedCase{"content_length_not_numeric",
+                      "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 400},
+        MalformedCase{"content_length_negative",
+                      "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},
+        MalformedCase{"duplicate_conflicting_content_length",
+                      "POST / HTTP/1.1\r\nContent-Length: 1\r\n"
+                      "Content-Length: 2\r\n\r\n",
+                      400},
+        MalformedCase{"smuggling_cl_plus_te",
+                      "POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+                      "Transfer-Encoding: chunked\r\n\r\n",
+                      400},
+        MalformedCase{"unknown_transfer_encoding",
+                      "POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+                      501},
+        MalformedCase{"bad_chunk_size",
+                      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                      "zz\r\n",
+                      400},
+        MalformedCase{"chunk_data_missing_crlf",
+                      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                      "3\r\nabcX\r\n",
+                      400}));
+
+// ---------------------------------------------------------------------------
+// Resource caps: every limit overflow maps to its specific status code and
+// the parser never buffers past the cap.
+
+TEST(HttpParserLimitsTest, OversizedRequestLineIs414) {
+  HttpLimits limits;
+  limits.max_request_line = 64;
+  HttpParser parser(limits);
+  const std::string input =
+      "GET /" + std::string(100, 'a') + " HTTP/1.1\r\n\r\n";
+  EXPECT_EQ(FeedAll(parser, input), HttpParser::State::kError);
+  EXPECT_EQ(parser.http_status(), 414);
+}
+
+TEST(HttpParserLimitsTest, TooManyHeadersIs431) {
+  HttpLimits limits;
+  limits.max_headers = 4;
+  HttpParser parser(limits);
+  std::string input = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 8; ++i) input += "H" + std::to_string(i) + ": v\r\n";
+  input += "\r\n";
+  EXPECT_EQ(FeedAll(parser, input), HttpParser::State::kError);
+  EXPECT_EQ(parser.http_status(), 431);
+}
+
+TEST(HttpParserLimitsTest, OversizedHeaderBlockIs431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 128;
+  HttpParser parser(limits);
+  const std::string input =
+      "GET / HTTP/1.1\r\nBig: " + std::string(500, 'x') + "\r\n\r\n";
+  EXPECT_EQ(FeedAll(parser, input), HttpParser::State::kError);
+  EXPECT_EQ(parser.http_status(), 431);
+}
+
+TEST(HttpParserLimitsTest, OversizedBodyIs413BeforeBuffering) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  HttpParser parser(limits);
+  // Rejected from the Content-Length header alone — no body bytes needed.
+  EXPECT_EQ(FeedAll(parser, "POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n"),
+            HttpParser::State::kError);
+  EXPECT_EQ(parser.http_status(), 413);
+  EXPECT_LE(parser.buffered_bytes(), size_t{128});
+}
+
+TEST(HttpParserLimitsTest, OversizedChunkedBodyIs413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 8;
+  HttpParser parser(limits);
+  EXPECT_EQ(FeedAll(parser,
+                    "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                    "6\r\nabcdef\r\n6\r\nabcdef\r\n"),
+            HttpParser::State::kError);
+  EXPECT_EQ(parser.http_status(), 413);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random-byte-mutation torture: mutate valid requests, feed them in
+// random chunk sizes, and require that the parser (a) never crashes or
+// hangs, (b) never buffers beyond its caps, (c) lands in a definite state.
+// Runs under ASan/UBSan in CI, where (a) has teeth.
+
+TEST(HttpParserTortureTest, SurvivesSeededRandomMutations) {
+  const std::string seeds[] = {
+      "GET /find?skills=a,b,c&top_k=3 HTTP/1.1\r\nHost: localhost\r\n"
+      "Connection: keep-alive\r\n\r\n",
+      "POST /find HTTP/1.1\r\nContent-Length: 12\r\n\r\nskills=a,b,c",
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n0\r\n\r\n",
+  };
+  HttpLimits limits;
+  limits.max_request_line = 256;
+  limits.max_headers = 16;
+  limits.max_header_bytes = 1024;
+  limits.max_body_bytes = 1024;
+  const size_t cap_with_slack =
+      limits.max_header_bytes + limits.max_body_bytes + limits.max_request_line;
+
+  Rng rng(20260809);
+  for (int round = 0; round < 2000; ++round) {
+    std::string input = seeds[rng.Next() % std::size(seeds)];
+    // 1-8 mutations: overwrite, insert, delete, or duplicate a slice.
+    const int mutations = 1 + static_cast<int>(rng.Next() % 8);
+    for (int m = 0; m < mutations && !input.empty(); ++m) {
+      const size_t pos = rng.Next() % input.size();
+      switch (rng.Next() % 4) {
+        case 0:
+          input[pos] = static_cast<char>(rng.Next() % 256);
+          break;
+        case 1:
+          input.insert(pos, 1, static_cast<char>(rng.Next() % 256));
+          break;
+        case 2:
+          input.erase(pos, 1 + rng.Next() % 4);
+          break;
+        case 3: {
+          const size_t len =
+              std::min<size_t>(1 + rng.Next() % 16, input.size() - pos);
+          input.insert(pos, input.substr(pos, len));
+          break;
+        }
+      }
+    }
+
+    HttpParser parser(limits);
+    size_t offset = 0;
+    HttpParser::State state = HttpParser::State::kNeedMore;
+    while (offset < input.size()) {
+      const size_t chunk =
+          std::min<size_t>(1 + rng.Next() % 37, input.size() - offset);
+      size_t consumed = 0;
+      state = parser.Feed(input.data() + offset, chunk, &consumed);
+      ASSERT_LE(consumed, chunk);
+      ASSERT_LE(parser.buffered_bytes(), cap_with_slack)
+          << "round " << round << ": parser buffered past its caps";
+      if (state == HttpParser::State::kNeedMore) {
+        // Progress guarantee — this is what rules out infinite loops.
+        ASSERT_EQ(consumed, chunk) << "round " << round;
+      } else {
+        break;
+      }
+      offset += consumed;
+    }
+    if (state == HttpParser::State::kError) {
+      EXPECT_GE(parser.http_status(), 400) << "round " << round;
+      EXPECT_FALSE(parser.error().ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace teamdisc

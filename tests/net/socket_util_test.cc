@@ -1,0 +1,217 @@
+// socket_util: EINTR retry discipline, partial-transfer contract, fault
+// points (net.read / net.write / net.accept), and SIGPIPE immunity — the
+// syscall-level guarantees the event loop is built on.
+#include "net/socket_util.h"
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/fault_injection.h"
+
+namespace teamdisc {
+namespace {
+
+class SocketUtilTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Reset(); }
+};
+
+TEST_F(SocketUtilTest, ListenConnectRoundTrip) {
+  auto listen_fd = ListenTcp("127.0.0.1", 0, 8);
+  ASSERT_TRUE(listen_fd.ok()) << listen_fd.status().ToString();
+  auto port = LocalPort(listen_fd.ValueOrDie());
+  ASSERT_TRUE(port.ok());
+  ASSERT_GT(port.ValueOrDie(), 0);
+
+  // Nothing pending yet: accept reports "no connection", not an error.
+  auto none = AcceptNonBlocking(listen_fd.ValueOrDie());
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.ValueOrDie(), -1);
+
+  auto client = ConnectTcp("127.0.0.1", port.ValueOrDie());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  int server = -1;
+  for (int i = 0; i < 100 && server < 0; ++i) {
+    auto accepted = AcceptNonBlocking(listen_fd.ValueOrDie());
+    ASSERT_TRUE(accepted.ok());
+    server = accepted.ValueOrDie();
+    if (server < 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(server, 0) << "connection never became acceptable";
+
+  ASSERT_TRUE(WriteAll(client.ValueOrDie(), "ping").ok());
+  char buf[16];
+  IoResult got;
+  for (int i = 0; i < 100; ++i) {
+    auto r = ReadSome(server, buf, sizeof(buf));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    got = r.ValueOrDie();
+    if (!got.would_block) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(got.bytes, 4u);
+  EXPECT_EQ(std::string(buf, got.bytes), "ping");
+
+  // Orderly shutdown surfaces as eof, not an error.
+  CloseFd(client.ValueOrDie());
+  IoResult eof_result;
+  for (int i = 0; i < 100; ++i) {
+    auto r = ReadSome(server, buf, sizeof(buf));
+    ASSERT_TRUE(r.ok());
+    eof_result = r.ValueOrDie();
+    if (!eof_result.would_block) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(eof_result.eof);
+  CloseFd(server);
+  CloseFd(listen_fd.ValueOrDie());
+}
+
+// A signal landing mid-read must be invisible to the caller: the wrapper
+// retries EINTR instead of surfacing a phantom IOError (the bug class that
+// motivated this layer — see IsTransientStatus in common/retry.cc).
+TEST_F(SocketUtilTest, ReadRetriesEintr) {
+  // SIGUSR1 with an empty handler and NO SA_RESTART: the kernel interrupts
+  // the blocked read with EINTR instead of restarting it transparently.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, nullptr), 0);
+
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  std::atomic<bool> reader_started{false};
+  const pthread_t main_thread = pthread_self();
+  std::thread pinger([&] {
+    while (!reader_started.load()) std::this_thread::yield();
+    // Interrupt the blocked reader a few times, then unblock it with data.
+    for (int i = 0; i < 5; ++i) {
+      pthread_kill(main_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(WriteAll(fds[1], "done").ok());
+  });
+
+  char buf[16];
+  reader_started.store(true);
+  auto r = ReadSome(fds[0], buf, sizeof(buf));  // blocks until "done"
+  pinger.join();
+  ASSERT_TRUE(r.ok()) << "EINTR leaked as an error: "
+                      << r.status().ToString();
+  EXPECT_FALSE(r.ValueOrDie().would_block);
+  EXPECT_EQ(std::string(buf, r.ValueOrDie().bytes), "done");
+
+  signal(SIGUSR1, SIG_DFL);
+  CloseFd(fds[0]);
+  CloseFd(fds[1]);
+}
+
+TEST_F(SocketUtilTest, SigpipeIgnoredWritingToClosedPeer) {
+  ASSERT_TRUE(IgnoreSigpipe().ok());
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  CloseFd(fds[1]);  // peer gone
+  // Without SIG_IGN/MSG_NOSIGNAL this write kills the process. With them it
+  // is a typed IOError the caller handles by dropping the connection.
+  auto first = WriteSome(fds[0], "x", 1);
+  auto second = first.ok() ? WriteSome(fds[0], "x", 1) : first;
+  EXPECT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsIOError());
+  CloseFd(fds[0]);
+}
+
+TEST_F(SocketUtilTest, ReadFaultPointInjects) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FaultSpec spec;
+  spec.action = FaultAction::kFailOnce;
+  FaultInjection::Arm("net.read", spec);
+  char buf[4];
+  auto r = ReadSome(fds[0], buf, sizeof(buf));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(FaultInjection::trips("net.read"), 1u);
+  CloseFd(fds[0]);
+  CloseFd(fds[1]);
+}
+
+TEST_F(SocketUtilTest, WriteFaultPointInjects) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FaultSpec spec;
+  spec.action = FaultAction::kFailOnce;
+  FaultInjection::Arm("net.write", spec);
+  auto r = WriteSome(fds[0], "abc", 3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(FaultInjection::trips("net.write"), 1u);
+  // The wound is transient by design: the next write works.
+  auto again = WriteSome(fds[0], "abc", 3);
+  EXPECT_TRUE(again.ok());
+  CloseFd(fds[0]);
+  CloseFd(fds[1]);
+}
+
+TEST_F(SocketUtilTest, AcceptFaultPointInjects) {
+  auto listen_fd = ListenTcp("127.0.0.1", 0, 8);
+  ASSERT_TRUE(listen_fd.ok());
+  auto port = LocalPort(listen_fd.ValueOrDie());
+  ASSERT_TRUE(port.ok());
+  auto client = ConnectTcp("127.0.0.1", port.ValueOrDie());
+  ASSERT_TRUE(client.ok());
+
+  FaultSpec spec;
+  spec.action = FaultAction::kFailOnce;
+  FaultInjection::Arm("net.accept", spec);
+  auto failed = AcceptNonBlocking(listen_fd.ValueOrDie());
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(FaultInjection::trips("net.accept"), 1u);
+
+  // The listener survives the injected failure: the same pending
+  // connection is accepted on the next try.
+  int server = -1;
+  for (int i = 0; i < 100 && server < 0; ++i) {
+    auto accepted = AcceptNonBlocking(listen_fd.ValueOrDie());
+    ASSERT_TRUE(accepted.ok());
+    server = accepted.ValueOrDie();
+    if (server < 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server, 0);
+  CloseFd(server);
+  CloseFd(client.ValueOrDie());
+  CloseFd(listen_fd.ValueOrDie());
+}
+
+TEST_F(SocketUtilTest, PartialWritesEventuallyDeliverEverything) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A payload far larger than any socket buffer forces short writes; a
+  // concurrent reader drains so WriteAll can finish.
+  const std::string payload(4 << 20, 'z');
+  std::thread writer([&] { ASSERT_TRUE(WriteAll(fds[0], payload).ok()); });
+  size_t total = 0;
+  char buf[65536];
+  while (total < payload.size()) {
+    auto r = ReadSome(fds[1], buf, sizeof(buf));
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(r.ValueOrDie().eof);
+    total += r.ValueOrDie().bytes;
+  }
+  writer.join();
+  EXPECT_EQ(total, payload.size());
+  CloseFd(fds[0]);
+  CloseFd(fds[1]);
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -58,10 +58,30 @@
 //       metrics registry (serve.* counters/histograms + cache.* gauges) as
 //       JSON to stdout or --metrics-out.
 //
+//   teamdisc_cli serve <snapshot-dir> --listen=HOST:PORT [--workers=0]
+//       [--queue-cap=0] [--deadline-ms=0] [--budget-mb=0] [--max-conns=0]
+//       [--idle-timeout-ms=0] [--request-timeout-ms=0]
+//       [--write-timeout-ms=0] [--drain-ms=0]
+//       Long-running mode: the epoll HTTP front-end over the same pipeline.
+//       Serves GET/POST /find, GET /healthz, GET /metrics until SIGTERM or
+//       SIGINT, then drains gracefully (stops accepting, finishes in-flight
+//       requests within --drain-ms) and exits 0. --listen=:0 picks an
+//       ephemeral port (printed on startup). Zero-valued knobs resolve the
+//       TEAMDISC_LISTEN_* environment variables (docs/CONFIG.md).
+//
+//   teamdisc_cli serve-bench <snapshot-dir> --remote [--conns=4] ...
+//       Loopback remote driver: starts the HTTP front-end on an ephemeral
+//       port and drives the request mix over real sockets from --conns
+//       closed-loop keep-alive connections, so the measured latency includes
+//       the full network boundary (parse, route, queue, solve, serialize,
+//       write). Reports qps/p50/p99 plus server-side shed and writes a
+//       "remote-loopback" BENCH_serve.json entry.
+//
 // Unknown --flags are rejected with exit code 2 (listing the valid ones),
 // so a typo'd --gama=0.5 can never silently run with the default gamma.
 // docs/CONFIG.md carries the full subcommand/flag and env-var reference.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -72,6 +92,8 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/string_util.h"
@@ -434,12 +456,69 @@ int CmdApplyUpdate(const Args& args) {
   return 0;
 }
 
+/// Percent-encodes a query-string component (RFC 3986 unreserved set kept).
+std::string UrlEncodeComponent(std::string_view s) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    const bool unreserved = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                            c == '.' || c == '~';
+    if (unreserved) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(hex[c >> 4]);
+      out.push_back(hex[c & 0xf]);
+    }
+  }
+  return out;
+}
+
+/// The /find query string for a TeamRequest, mirroring the server's parser.
+std::string FindTarget(const TeamRequest& request) {
+  std::string skills;
+  for (const std::string& skill : request.skills) {
+    if (!skills.empty()) skills += ",";
+    skills += UrlEncodeComponent(skill);
+  }
+  const char* strategy = request.strategy == RankingStrategy::kCC      ? "cc"
+                         : request.strategy == RankingStrategy::kCACC ? "cacc"
+                                                                      : "sacacc";
+  const char* oracle =
+      request.oracle == OracleKind::kDijkstra ? "dijkstra" : "pll";
+  return StrFormat("/find?skills=%s&strategy=%s&gamma=%.6f&lambda=%.6f"
+                   "&top_k=%u&oracle=%s",
+                   skills.c_str(), strategy, request.gamma, request.lambda,
+                   request.top_k, oracle);
+}
+
+/// Parses --listen=HOST:PORT (":PORT" and bare "PORT" bind 127.0.0.1;
+/// port 0 = ephemeral). Returns false and prints on malformed input.
+bool ParseListenAddress(const std::string& listen, HttpServerOptions* opts) {
+  std::string port_str = listen;
+  const size_t colon = listen.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) opts->host = listen.substr(0, colon);
+    port_str = listen.substr(colon + 1);
+  }
+  auto port = ParseUint64(port_str.empty() ? "0" : port_str);
+  if (!port.ok() || port.ValueOrDie() > 65535) {
+    std::fprintf(stderr, "--listen=%s: port must be 0..65535\n",
+                 listen.c_str());
+    return false;
+  }
+  opts->port = static_cast<uint16_t>(port.ValueOrDie());
+  return true;
+}
+
 int CmdServeBench(const Args& args) {
   if (int rc = RejectUnknownFlags(
           args, {"requests", "workers", "skills-per-request", "top-k", "lambda",
                  "seed", "budget-mb", "updates", "update-seed", "arrival-qps",
                  "arrival", "deadline-ms", "queue-cap", "out",
-                 "inject-update-failures"})) {
+                 "inject-update-failures", "remote", "conns"})) {
     return rc;
   }
   if (args.positional.size() < 2) {
@@ -451,6 +530,13 @@ int CmdServeBench(const Args& args) {
   const std::string arrival = args.Get("arrival", "poisson");
   if (arrival != "poisson" && arrival != "fixed") {
     std::fprintf(stderr, "--arrival must be 'poisson' or 'fixed'\n");
+    return 2;
+  }
+  const bool remote = args.flags.count("remote") > 0;
+  if (remote && (arrival_qps > 0.0 || args.GetUint("updates", 0) > 0)) {
+    std::fprintf(stderr,
+                 "--remote is a closed-loop socket driver; it does not "
+                 "combine with --arrival-qps or --updates\n");
     return 2;
   }
   ServiceOptions options;
@@ -500,6 +586,163 @@ int CmdServeBench(const Args& args) {
   const uint32_t skills_per_request = mix.skills_per_request;
   std::vector<TeamRequest> requests =
       MakeRequestMix(*net, svc.manifest(), mix);
+
+  // Remote loopback mode: the same request mix, but driven over real
+  // sockets through the epoll HTTP front-end, so the measured latency is
+  // the whole boundary — parse, route, queue, solve, serialize, write —
+  // and overload surfaces as HTTP 503s the client actually sees.
+  if (remote) {
+    PipelineOptions popt;
+    popt.workers = workers;
+    popt.queue_capacity = static_cast<size_t>(args.GetUint("queue-cap", 0));
+    popt.default_deadline_ms = args.GetDouble("deadline-ms", 0.0);
+    auto started = RequestPipeline::Start(svc, popt);
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot start pipeline: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    RequestPipeline& pipeline = *started.ValueOrDie();
+    HttpServerOptions sopt;  // 127.0.0.1, ephemeral port
+    auto server_r = HttpServer::Start(svc, pipeline, sopt);
+    if (!server_r.ok()) {
+      std::fprintf(stderr, "cannot start server: %s\n",
+                   server_r.status().ToString().c_str());
+      return 1;
+    }
+    HttpServer& server = *server_r.ValueOrDie();
+    std::thread loop([&server] {
+      if (Status s = server.Serve(); !s.ok()) {
+        std::fprintf(stderr, "server loop failed: %s\n", s.ToString().c_str());
+      }
+    });
+
+    const size_t conns =
+        std::max<size_t>(1, static_cast<size_t>(args.GetUint("conns", 4)));
+    std::vector<std::vector<double>> lat_per_conn(conns);
+    std::atomic<uint64_t> answered{0}, shed_503{0}, client_errors{0};
+    std::vector<std::thread> clients;
+    clients.reserve(conns);
+    Timer wall;
+    for (size_t c = 0; c < conns; ++c) {
+      clients.emplace_back([&, c] {
+        auto client = HttpClient::Connect("127.0.0.1", server.port());
+        if (!client.ok()) {
+          client_errors.fetch_add(1);
+          return;
+        }
+        for (size_t i = c; i < requests.size(); i += conns) {
+          Timer timer;
+          auto response = client.ValueOrDie().Get(FindTarget(requests[i]));
+          if (!response.ok()) {
+            client_errors.fetch_add(1);
+            // The server closes after errors/evictions; one reconnect
+            // attempt keeps the stream going, a second failure ends it.
+            if (!client.ValueOrDie().Reconnect().ok()) return;
+            continue;
+          }
+          lat_per_conn[c].push_back(timer.ElapsedMillis());
+          const int code = response.ValueOrDie().status;
+          if (code == 200) {
+            answered.fetch_add(1);
+          } else if (code == 503) {
+            shed_503.fetch_add(1);
+          } else {
+            client_errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double wall_seconds = wall.ElapsedSeconds();
+    server.RequestDrain();
+    loop.join();
+    const HttpServerStats sstats = server.stats();
+    const std::string metrics_json = pipeline.MetricsJson();
+    pipeline.Shutdown();
+
+    std::vector<double> lat;
+    for (const auto& per_conn : lat_per_conn) {
+      lat.insert(lat.end(), per_conn.begin(), per_conn.end());
+    }
+    std::sort(lat.begin(), lat.end());
+    const double qps =
+        wall_seconds > 0.0 ? static_cast<double>(lat.size()) / wall_seconds
+                           : 0.0;
+    std::printf(
+        "remote loopback: %zu requests over %zu connection(s), %zu "
+        "worker(s), queue cap %zu\n",
+        requests.size(), conns, pipeline.workers(), pipeline.queue_capacity());
+    std::printf("qps %.1f | p50 %.3f ms | p90 %.3f ms | p99 %.3f ms | "
+                "max %.3f ms over %zu responses\n",
+                qps, PercentileSorted(lat, 0.50), PercentileSorted(lat, 0.90),
+                PercentileSorted(lat, 0.99), lat.empty() ? 0.0 : lat.back(),
+                lat.size());
+    std::printf(
+        "answered %llu | shed(503) %llu | client errors %llu | server: "
+        "%llu reqs, %llu responses, %llu bad, %llu io errors\n",
+        static_cast<unsigned long long>(answered.load()),
+        static_cast<unsigned long long>(shed_503.load()),
+        static_cast<unsigned long long>(client_errors.load()),
+        static_cast<unsigned long long>(sstats.requests),
+        static_cast<unsigned long long>(sstats.responses),
+        static_cast<unsigned long long>(sstats.bad_requests),
+        static_cast<unsigned long long>(sstats.io_errors));
+
+    const std::string out_path = args.Get("out", "BENCH_serve.json");
+    if (!out_path.empty()) {
+      std::string json = StrFormat(
+          "{\n"
+          "  \"snapshot\": \"%s\",\n"
+          "  \"mode\": \"remote-loopback\",\n"
+          "  \"requests\": %zu,\n"
+          "  \"conns\": %zu,\n"
+          "  \"workers\": %zu,\n"
+          "  \"queue_cap\": %zu,\n"
+          "  \"deadline_ms\": %.2f,\n"
+          "  \"wall_seconds\": %.6f,\n"
+          "  \"qps\": %.2f,\n"
+          "  \"p50_ms\": %.4f,\n"
+          "  \"p90_ms\": %.4f,\n"
+          "  \"p99_ms\": %.4f,\n"
+          "  \"max_ms\": %.4f,\n"
+          "  \"answered\": %llu,\n"
+          "  \"shed\": %llu,\n"
+          "  \"client_errors\": %llu,\n"
+          "  \"server\": { \"accepted\": %llu, \"requests\": %llu, "
+          "\"responses\": %llu, \"bad_requests\": %llu, \"shed\": %llu, "
+          "\"io_errors\": %llu, \"evicted_idle\": %llu, "
+          "\"force_closed\": %llu },\n"
+          "  \"metrics\": %s\n"
+          "}\n",
+          options.snapshot_dir.c_str(), requests.size(), conns,
+          pipeline.workers(), pipeline.queue_capacity(),
+          popt.default_deadline_ms, wall_seconds, qps,
+          PercentileSorted(lat, 0.50), PercentileSorted(lat, 0.90),
+          PercentileSorted(lat, 0.99), lat.empty() ? 0.0 : lat.back(),
+          static_cast<unsigned long long>(answered.load()),
+          static_cast<unsigned long long>(shed_503.load()),
+          static_cast<unsigned long long>(client_errors.load()),
+          static_cast<unsigned long long>(sstats.accepted),
+          static_cast<unsigned long long>(sstats.requests),
+          static_cast<unsigned long long>(sstats.responses),
+          static_cast<unsigned long long>(sstats.bad_requests),
+          static_cast<unsigned long long>(sstats.shed),
+          static_cast<unsigned long long>(sstats.io_errors),
+          static_cast<unsigned long long>(sstats.evicted_idle),
+          static_cast<unsigned long long>(sstats.force_closed),
+          metrics_json.c_str());
+      std::FILE* f = std::fopen(out_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    return client_errors.load() == 0 ? 0 : 1;
+  }
 
   // Mixed read/write mode: a background thread applies epoch-swapped
   // network deltas while the batch serves, measuring latency under churn.
@@ -862,7 +1105,9 @@ int CmdServeBench(const Args& args) {
 int CmdServe(const Args& args) {
   if (int rc = RejectUnknownFlags(
           args, {"requests", "workers", "queue-cap", "deadline-ms", "seed",
-                 "budget-mb", "metrics-out"})) {
+                 "budget-mb", "metrics-out", "listen", "max-conns",
+                 "idle-timeout-ms", "request-timeout-ms", "write-timeout-ms",
+                 "drain-ms"})) {
     return rc;
   }
   if (args.positional.size() < 2) {
@@ -892,6 +1137,55 @@ int CmdServe(const Args& args) {
     return 1;
   }
   RequestPipeline& pipeline = *started.ValueOrDie();
+
+  // Long-running mode: hand the pipeline to the epoll HTTP front-end and
+  // block until a signal drains it. Exit 0 means a clean drain: every
+  // in-flight request was answered and flushed before the deadline.
+  const std::string listen = args.Get("listen", "");
+  if (!listen.empty()) {
+    HttpServerOptions sopt;
+    if (!ParseListenAddress(listen, &sopt)) return 2;
+    sopt.max_connections = static_cast<size_t>(args.GetUint("max-conns", 0));
+    sopt.idle_timeout_ms = args.GetUint("idle-timeout-ms", 0);
+    sopt.request_timeout_ms = args.GetUint("request-timeout-ms", 0);
+    sopt.write_timeout_ms = args.GetUint("write-timeout-ms", 0);
+    sopt.drain_deadline_ms = args.GetUint("drain-ms", 0);
+    auto server = HttpServer::Start(svc, pipeline, sopt);
+    if (!server.ok()) {
+      std::fprintf(stderr, "cannot start server: %s\n",
+                   server.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = server.ValueOrDie()->InstallSignalHandlers(); !s.ok()) {
+      std::fprintf(stderr, "cannot install signal handlers: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("listening on http://%s:%u (generation %llu); "
+                "SIGTERM/SIGINT drains\n",
+                sopt.host.c_str(), server.ValueOrDie()->port(),
+                static_cast<unsigned long long>(svc.generation()));
+    std::fflush(stdout);
+    const Status served = server.ValueOrDie()->Serve();
+    const HttpServerStats stats = server.ValueOrDie()->stats();
+    pipeline.Shutdown();
+    std::fprintf(stderr,
+                 "drained: %llu requests, %llu responses, %llu bad, "
+                 "%llu shed, %llu evicted, %llu force-closed\n",
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.responses),
+                 static_cast<unsigned long long>(stats.bad_requests),
+                 static_cast<unsigned long long>(stats.shed),
+                 static_cast<unsigned long long>(stats.evicted_idle +
+                                                 stats.evicted_write),
+                 static_cast<unsigned long long>(stats.force_closed));
+    if (!served.ok()) {
+      std::fprintf(stderr, "server loop failed: %s\n",
+                   served.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
 
   RequestMixOptions mix;
   mix.count = static_cast<size_t>(args.GetUint("requests", 64));
