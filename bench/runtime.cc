@@ -15,10 +15,18 @@
 #include "core/greedy_team_finder.h"
 #include "eval/experiment.h"
 #include "shortest_path/dijkstra.h"
+#include "shortest_path/kernels/label_kernels.h"
 #include "shortest_path/pruned_landmark_labeling.h"
 
 namespace teamdisc {
 namespace {
+
+/// Label naming the kernel backend the PLL hot loops dispatched to, so every
+/// recorded number says which implementation produced it (BENCH_pll.json
+/// keys scalar-vs-avx2 runs off this).
+std::string KernelLabel() {
+  return std::string("kernel=") + SelectedLabelKernels().name;
+}
 
 ExperimentContext& Context() {
   static ExperimentContext* ctx = [] {
@@ -48,6 +56,7 @@ void BM_FindTeamCC(benchmark::State& state) {
     auto teams = finder->FindTeams(project);
     benchmark::DoNotOptimize(teams);
   }
+  state.SetLabel(KernelLabel());  // the finder fans into the PLL kernels
 }
 BENCHMARK(BM_FindTeamCC)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
 
@@ -126,6 +135,7 @@ void BM_PllBatchedDistances(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(KernelLabel());
 }
 BENCHMARK(BM_PllBatchedDistances)->Arg(16)->Arg(64)->Arg(256);
 
@@ -139,6 +149,7 @@ void BM_PllQuery(benchmark::State& state) {
     NodeId v = static_cast<NodeId>(rng.NextBounded(n));
     benchmark::DoNotOptimize(oracle->Distance(u, v));
   }
+  state.SetLabel(KernelLabel());
 }
 BENCHMARK(BM_PllQuery);
 

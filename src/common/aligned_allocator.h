@@ -1,0 +1,45 @@
+// Minimal over-aligned allocator so hot flat arrays (the PLL label CSR) can
+// live in std::vector yet start on a vector-register-friendly boundary.
+// Alignment of the base pointer is a guarantee the SIMD kernels' contract
+// documents (together with the padded sentinel tail); the kernels themselves
+// use unaligned loads — cursors advance by arbitrary amounts — so this is
+// about cache-line/page behavior and about making the guarantee checkable,
+// not about avoiding alignment faults.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace teamdisc {
+
+template <typename T, size_t Alignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two no weaker than alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+};
+
+}  // namespace teamdisc

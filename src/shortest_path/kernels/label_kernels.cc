@@ -1,0 +1,118 @@
+#include "shortest_path/kernels/label_kernels.h"
+
+#include <array>
+#include <string>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace teamdisc {
+
+namespace {
+
+bool ScalarSupported() { return true; }
+
+/// Sentinel-terminated merge, the semantics every vector backend must
+/// reproduce bit-for-bit: both cursors walk forward, matches minimize with
+/// strict < (so ties break to the lowest-ranked hub), and the loop ends when
+/// both cursors sit on their sentinels.
+double ScalarMergeDistance(const NodeId* ru, const double* du,
+                           const NodeId* rv, const double* dv,
+                           NodeId* best_hub_rank) {
+  double best = kInfDistance;
+  if (best_hub_rank == nullptr) {
+    // Distance-only path (the common point query): no hub tracking, so the
+    // minimization is a branchless minsd instead of a compare-and-branch.
+    for (;;) {
+      const NodeId a = *ru, b = *rv;
+      if (a == b) {
+        if (a == kInvalidNode) break;
+        const double d = *du + *dv;
+        best = d < best ? d : best;
+        ++ru, ++du, ++rv, ++dv;
+      } else if (a < b) {
+        ++ru, ++du;
+      } else {
+        ++rv, ++dv;
+      }
+    }
+    return best;
+  }
+  NodeId best_rank = kInvalidNode;
+  for (;;) {
+    const NodeId a = *ru, b = *rv;
+    if (a == b) {
+      if (a == kInvalidNode) break;
+      const double d = *du + *dv;
+      if (d < best) {
+        best = d;
+        best_rank = a;
+      }
+      ++ru, ++du, ++rv, ++dv;
+    } else if (a < b) {
+      ++ru, ++du;
+    } else {
+      ++rv, ++dv;
+    }
+  }
+  if (best_hub_rank != nullptr) *best_hub_rank = best_rank;
+  return best;
+}
+
+double ScalarScatterScan(const NodeId* ranks, const double* dists,
+                         const double* rank_scratch) {
+  double best = kInfDistance;
+  for (size_t k = 0; ranks[k] != kInvalidNode; ++k) {
+    const double d = rank_scratch[ranks[k]] + dists[k];
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+constexpr LabelKernels kScalarKernels = {
+    "scalar",
+    &ScalarSupported,
+    &ScalarMergeDistance,
+    &ScalarScatterScan,
+};
+
+}  // namespace
+
+const LabelKernels& ScalarLabelKernels() { return kScalarKernels; }
+
+std::span<const LabelKernels* const> CompiledLabelKernels() {
+  static const auto kCompiled = [] {
+    std::array<const LabelKernels*, 2> list{&kScalarKernels, nullptr};
+    size_t n = 1;
+    if (const LabelKernels* avx2 = Avx2LabelKernelsOrNull()) list[n++] = avx2;
+    return std::pair(list, n);
+  }();
+  return {kCompiled.first.data(), kCompiled.second};
+}
+
+const LabelKernels& ResolveLabelKernels(std::string_view request) {
+  const LabelKernels* avx2 = Avx2LabelKernelsOrNull();
+  const bool avx2_usable = avx2 != nullptr && avx2->cpu_supported();
+  if (request == "scalar") return kScalarKernels;
+  if (request == "avx2") {
+    if (avx2_usable) return *avx2;
+    TD_LOG(Warning) << "TEAMDISC_KERNEL=avx2 but the avx2 backend is "
+                    << (avx2 == nullptr ? "not compiled into this binary"
+                                        : "not supported by this CPU")
+                    << "; falling back to scalar";
+    return kScalarKernels;
+  }
+  if (!request.empty() && request != "auto") {
+    TD_LOG(Warning) << "unknown TEAMDISC_KERNEL value \"" << request
+                    << "\" (expected auto, scalar, or avx2); using auto";
+  }
+  return avx2_usable ? *avx2 : kScalarKernels;
+}
+
+const LabelKernels& SelectedLabelKernels() {
+  static const LabelKernels* const kSelected =
+      &ResolveLabelKernels(GetEnvOr("TEAMDISC_KERNEL", "auto"));
+  return *kSelected;
+}
+
+}  // namespace teamdisc

@@ -187,10 +187,15 @@ void PrunedLandmarkLabeling::Flatten(
       n == 0 ? 0.0 : static_cast<double>(stats_.total_entries) / n;
 
   const size_t flat = stats_.total_entries + n;  // one sentinel per node
+  // The pad tail keeps vector loads in-bounds even when a kernel's cursor
+  // sits on the last node's sentinel; it lives past label_offsets_[n] and is
+  // excluded from every per-node accessor. Sized exactly once, so
+  // capacity == size and MemoryBytes() accounts the padding too.
+  const size_t padded = flat + kLabelRunPadEntries;
   label_offsets_.assign(n + 1, 0);
-  hub_ranks_.resize(flat);
-  label_dists_.resize(flat);
-  label_parents_.resize(flat);
+  hub_ranks_.resize(padded);
+  label_dists_.resize(padded);
+  label_parents_.resize(padded);
   uint64_t off = 0;
   for (size_t v = 0; v < n; ++v) {
     label_offsets_[v] = off;
@@ -206,37 +211,23 @@ void PrunedLandmarkLabeling::Flatten(
     ++off;
   }
   label_offsets_[n] = off;
+  for (size_t k = flat; k < padded; ++k) {
+    hub_ranks_[k] = kInvalidNode;
+    label_dists_[k] = kInfDistance;
+    label_parents_[k] = kInvalidNode;
+  }
 }
 
 double PrunedLandmarkLabeling::QueryWithHub(NodeId u, NodeId v,
                                             NodeId* best_hub_rank) const {
-  const NodeId* ru = hub_ranks_.data() + label_offsets_[u];
-  const NodeId* rv = hub_ranks_.data() + label_offsets_[v];
-  const double* du = label_dists_.data() + label_offsets_[u];
-  const double* dv = label_dists_.data() + label_offsets_[v];
-  double best = kInfDistance;
-  NodeId best_rank = kInvalidNode;
-  // Sentinel-terminated merge: each label ends with rank kInvalidNode, which
-  // is greater than every real rank, so the walk needs no bounds checks and
-  // stops when both cursors sit on their sentinels.
-  for (;;) {
-    const NodeId a = *ru, b = *rv;
-    if (a == b) {
-      if (a == kInvalidNode) break;
-      const double d = *du + *dv;
-      if (d < best) {
-        best = d;
-        best_rank = a;
-      }
-      ++ru, ++du, ++rv, ++dv;
-    } else if (a < b) {
-      ++ru, ++du;
-    } else {
-      ++rv, ++dv;
-    }
-  }
-  if (best_hub_rank != nullptr) *best_hub_rank = best_rank;
-  return best;
+  // Sentinel-terminated merge over the two runs, delegated to the selected
+  // kernel backend (scalar reference or a vectorized equivalent; all
+  // backends are bit-identical by contract and by the differential suite).
+  return kernels_->merge_distance(hub_ranks_.data() + label_offsets_[u],
+                                  label_dists_.data() + label_offsets_[u],
+                                  hub_ranks_.data() + label_offsets_[v],
+                                  label_dists_.data() + label_offsets_[v],
+                                  best_hub_rank);
 }
 
 double PrunedLandmarkLabeling::Distance(NodeId u, NodeId v) const {
@@ -262,19 +253,24 @@ void PrunedLandmarkLabeling::DistancesInto(NodeId source,
   for (uint64_t k = s_begin; k < s_end; ++k) {
     scratch[hub_ranks_[k]] = label_dists_[k];
   }
-  for (NodeId t : targets) {
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const NodeId t = targets[i];
     TD_DCHECK(t < graph_->num_nodes());
+    // Pull the next target's run toward the cache while this one scans; the
+    // targets of one batch are scattered all over the flat arrays, so each
+    // scan otherwise opens with a cold miss.
+    if (i + 1 < targets.size()) {
+      const uint64_t next = label_offsets_[targets[i + 1]];
+      __builtin_prefetch(hub_ranks_.data() + next);
+      __builtin_prefetch(label_dists_.data() + next);
+    }
     if (t == source) {
       out.push_back(0.0);
       continue;
     }
-    double best = kInfDistance;
-    const uint64_t t_end = label_offsets_[t + 1] - 1;
-    for (uint64_t k = label_offsets_[t]; k < t_end; ++k) {
-      const double d = scratch[hub_ranks_[k]] + label_dists_[k];
-      if (d < best) best = d;
-    }
-    out.push_back(best);
+    out.push_back(kernels_->scatter_scan(hub_ranks_.data() + label_offsets_[t],
+                                         label_dists_.data() + label_offsets_[t],
+                                         scratch.data()));
   }
   for (uint64_t k = s_begin; k < s_end; ++k) {
     scratch[hub_ranks_[k]] = kInfDistance;

@@ -17,12 +17,19 @@
 // frozen label set, and the batch's entries are committed in rank order.
 // Batching only weakens pruning (labels may grow slightly versus the
 // sequential order); query answers stay exact.
+// Query loops route through a runtime-dispatched kernel backend (scalar
+// reference or AVX2; see shortest_path/kernels/label_kernels.h). To make the
+// vectorized paths safe the CSR arrays are allocated 32-byte aligned and
+// carry kLabelRunPadEntries of sentinel padding past the final entry, so a
+// vector load issued anywhere inside a run stays in-bounds.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
+#include "common/aligned_allocator.h"
 #include "shortest_path/distance_oracle.h"
+#include "shortest_path/kernels/label_kernels.h"
 
 namespace teamdisc {
 
@@ -76,7 +83,21 @@ class PrunedLandmarkLabeling final : public DistanceOracle {
 
   const PllStats& stats() const { return stats_; }
 
-  /// Approximate heap footprint of the flat label arrays.
+  /// The kernel backend this oracle's queries run on (process-wide selection
+  /// at construction; see SelectedLabelKernels()).
+  const LabelKernels& kernels() const { return *kernels_; }
+
+  /// Swaps the kernel backend. Kernels are pure functions over the CSR
+  /// arrays — no per-backend state — so switching is always safe; tests use
+  /// this to run the same index (built or deserialized) under every compiled
+  /// backend. The caller must check cpu_supported() first.
+  void UseKernelsForTesting(const LabelKernels& kernels) { kernels_ = &kernels; }
+
+  /// Heap footprint of the flat label arrays. Counts capacity (allocated,
+  /// not just used, bytes) of every array, which since the aligned+padded
+  /// allocation includes the kLabelRunPadEntries sentinel tail carried by
+  /// hub_ranks_/label_dists_/label_parents_ beyond label_offsets_[n]; the
+  /// arrays are sized exactly once in Flatten, so capacity == size there.
   size_t MemoryBytes() const override {
     return label_offsets_.capacity() * sizeof(uint64_t) +
            hub_ranks_.capacity() * sizeof(NodeId) +
@@ -85,10 +106,14 @@ class PrunedLandmarkLabeling final : public DistanceOracle {
            (order_.capacity() + rank_of_.capacity()) * sizeof(NodeId);
   }
 
-  /// Label size of node v, excluding the sentinel (for tests / diagnostics).
-  size_t LabelSize(NodeId v) const {
+  /// Label entries of node v, excluding the sentinel (and unaffected by the
+  /// pad tail, which lives past label_offsets_[n] and belongs to no node).
+  size_t LabelEntriesForNode(NodeId v) const {
     return static_cast<size_t>(label_offsets_[v + 1] - label_offsets_[v]) - 1;
   }
+
+  /// Historical name of LabelEntriesForNode.
+  size_t LabelSize(NodeId v) const { return LabelEntriesForNode(v); }
 
   /// Serializes the index (labels + hub order) to a portable text format so
   /// production deployments can reuse an index across runs instead of
@@ -123,7 +148,8 @@ class PrunedLandmarkLabeling final : public DistanceOracle {
     NodeId parent;    ///< predecessor of node on the hub's SP tree; kInvalidNode at the hub
   };
 
-  explicit PrunedLandmarkLabeling(const Graph& g) : graph_(&g) {}
+  explicit PrunedLandmarkLabeling(const Graph& g)
+      : graph_(&g), kernels_(&SelectedLabelKernels()) {}
 
   void BuildIndex(const PllBuildOptions& options);
 
@@ -138,15 +164,23 @@ class PrunedLandmarkLabeling final : public DistanceOracle {
   /// Returns the node sequence v -> ... -> hub.
   std::vector<NodeId> UnwindToHub(NodeId v, NodeId hub_rank) const;
 
+  /// 32-byte-aligned storage for the flat arrays, per the kernel contract.
+  template <typename T>
+  using AlignedVector = std::vector<T, AlignedAllocator<T, 32>>;
+
   const Graph* graph_;
+  const LabelKernels* kernels_;
   // Flat CSR label storage (struct-of-arrays). Entry k of node v lives at
   // flat index label_offsets_[v] + k; hub_ranks_ ascends within each label
   // and ends with a kInvalidNode sentinel (dist kInfDistance), so merge
-  // loops terminate without bounds checks.
+  // loops terminate without bounds checks. The three flat arrays extend
+  // kLabelRunPadEntries sentinel entries past label_offsets_[n] so vector
+  // loads issued at any in-run position (the last node's sentinel included)
+  // stay inside the allocation.
   std::vector<uint64_t> label_offsets_;  ///< size n + 1
-  std::vector<NodeId> hub_ranks_;
-  std::vector<double> label_dists_;
-  std::vector<NodeId> label_parents_;
+  AlignedVector<NodeId> hub_ranks_;
+  AlignedVector<double> label_dists_;
+  AlignedVector<NodeId> label_parents_;
   std::vector<NodeId> order_;    ///< rank -> node id
   std::vector<NodeId> rank_of_;  ///< node id -> rank
   PllStats stats_;

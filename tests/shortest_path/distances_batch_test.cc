@@ -4,12 +4,15 @@
 // a nontrivial weighted graph.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <unordered_set>
 
 #include "graph/graph_builder.h"
 #include "graph/graph_generators.h"
 #include "shortest_path/dijkstra.h"
 #include "shortest_path/distance_oracle.h"
+#include "shortest_path/kernels/label_kernels.h"
 #include "shortest_path/pruned_landmark_labeling.h"
 
 namespace teamdisc {
@@ -114,6 +117,88 @@ TEST(PllBatchedDistancesTest, ScratchResetBetweenCallsAndOracles) {
     EXPECT_DOUBLE_EQ(other[i], pll2->Distance(3, t2[i]));
   }
   EXPECT_EQ(pll1->Distances(0, t1), first);  // unchanged after interleaving
+}
+
+/// Backends the running CPU can execute (scalar always among them).
+std::vector<const LabelKernels*> RunnableKernels() {
+  std::vector<const LabelKernels*> out;
+  for (const LabelKernels* k : CompiledLabelKernels()) {
+    if (k->cpu_supported()) out.push_back(k);
+  }
+  return out;
+}
+
+TEST(PllBatchedDistancesTest, EdgeShapesUnderEveryKernel) {
+  Graph g = TwoComponentGraph();
+  auto pll = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+  std::vector<double> out;
+  for (const LabelKernels* k : RunnableKernels()) {
+    pll->UseKernelsForTesting(*k);
+    // Empty target span: out must come back empty, not stale.
+    out.assign(5, -1.0);
+    pll->DistancesInto(2, {}, out);
+    EXPECT_TRUE(out.empty()) << k->name;
+    // Duplicate targets in one call answer identically at every position.
+    std::vector<NodeId> dups = {3, 3, 1, 3, 1};
+    pll->DistancesInto(0, dups, out);
+    ASSERT_EQ(out.size(), dups.size()) << k->name;
+    EXPECT_EQ(out[0], out[1]);
+    EXPECT_EQ(out[1], out[3]);
+    EXPECT_EQ(out[2], out[4]);
+    EXPECT_EQ(out[0], pll->Distance(0, 3)) << k->name;
+    // Targets containing the source itself (several times).
+    std::vector<NodeId> with_source = {4, 0, 2, 0};
+    pll->DistancesInto(0, with_source, out);
+    EXPECT_EQ(out[1], 0.0) << k->name;
+    EXPECT_EQ(out[3], 0.0) << k->name;
+    EXPECT_EQ(out[0], pll->Distance(0, 4)) << k->name;
+    // Unreachable targets stay infinite.
+    std::vector<NodeId> other_side = {5, 6, 7};
+    pll->DistancesInto(0, other_side, out);
+    for (double d : out) EXPECT_EQ(d, kInfDistance) << k->name;
+  }
+}
+
+TEST(PllBatchedDistancesTest, ConcurrentCallsFromFourThreads) {
+  // DistancesInto keeps per-thread scratch in thread_local storage; four
+  // threads hammering one oracle (and interleaving a second oracle to force
+  // scratch sharing) must stay race-free — the ASan/UBSan and TSan CI jobs
+  // run this via the smoke and faults labels.
+  Rng rng(321);
+  Graph g = BarabasiAlbert(200, 2, rng).ValueOrDie();
+  Graph g2 = TwoComponentGraph();
+  auto pll = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+  auto pll2 = PrunedLandmarkLabeling::Build(g2).ValueOrDie();
+  // Golden answers computed single-threaded first.
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 64; ++i) {
+    targets.push_back(static_cast<NodeId>(rng.NextBounded(g.num_nodes())));
+  }
+  targets.push_back(7);  // include a fixed source among the targets
+  std::vector<std::vector<double>> golden;
+  for (NodeId s = 0; s < 8; ++s) {
+    std::vector<double> out;
+    pll->DistancesInto(s, targets, out);
+    golden.push_back(out);
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<double> out, out2;
+      std::vector<NodeId> t2 = {1, 5, 0, 3};
+      for (int iter = 0; iter < 50; ++iter) {
+        const NodeId s = static_cast<NodeId>((w + iter) % 8);
+        pll->DistancesInto(s, targets, out);
+        if (out != golden[s]) failures.fetch_add(1);
+        // Interleave the second oracle so the shared thread-local scratch
+        // must be restored between oracles on the same thread.
+        pll2->DistancesInto(static_cast<NodeId>(iter % 8), t2, out2);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,304 @@
+// Differential suite for the label-kernel backends: every compiled backend
+// the CPU can run must be BIT-identical to the scalar reference — same
+// double bits, same best-hub rank — over adversarially shaped label runs
+// (empty, sentinel-only, no common hub, duplicates at run boundaries, run
+// lengths straddling the vector widths) and over randomized runs; plus a
+// seeded random-graph sweep asserting PLL-under-each-kernel == Dijkstra on
+// dyadic weights, and coverage of the TEAMDISC_KERNEL resolution rules.
+#include "shortest_path/kernels/label_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_allocator.h"
+#include "common/random.h"
+#include "graph/graph_builder.h"
+#include "shortest_path/dijkstra.h"
+#include "shortest_path/pruned_landmark_labeling.h"
+
+namespace teamdisc {
+namespace {
+
+/// A sentinel-terminated, pad-tailed label run per the kernel contract, so
+/// hand-built runs are safe for vector loads exactly like the PLL's CSR.
+struct PaddedRun {
+  std::vector<NodeId> ranks;
+  std::vector<double> dists;
+
+  /// entries: (rank, dist) pairs, ascending in rank.
+  explicit PaddedRun(const std::vector<std::pair<NodeId, double>>& entries) {
+    for (const auto& [rank, dist] : entries) {
+      ranks.push_back(rank);
+      dists.push_back(dist);
+    }
+    for (size_t k = 0; k < 1 + kLabelRunPadEntries; ++k) {
+      ranks.push_back(kInvalidNode);
+      dists.push_back(kInfDistance);
+    }
+  }
+};
+
+/// Backends the running CPU can execute (scalar always first).
+std::vector<const LabelKernels*> RunnableKernels() {
+  std::vector<const LabelKernels*> out;
+  for (const LabelKernels* k : CompiledLabelKernels()) {
+    if (k->cpu_supported()) out.push_back(k);
+  }
+  return out;
+}
+
+/// Asserts `kernel` matches the scalar reference on merge_distance for the
+/// (u, v) pair of runs, in both argument orders, comparing raw double bits
+/// and the reported best hub rank.
+void ExpectMergeMatchesScalar(const LabelKernels& kernel, const PaddedRun& u,
+                              const PaddedRun& v, const char* what) {
+  const LabelKernels& ref = ScalarLabelKernels();
+  for (int swap = 0; swap < 2; ++swap) {
+    const PaddedRun& a = swap ? v : u;
+    const PaddedRun& b = swap ? u : v;
+    NodeId ref_rank = 123, got_rank = 456;
+    const double ref_d = ref.merge_distance(a.ranks.data(), a.dists.data(),
+                                            b.ranks.data(), b.dists.data(),
+                                            &ref_rank);
+    const double got_d = kernel.merge_distance(a.ranks.data(), a.dists.data(),
+                                               b.ranks.data(), b.dists.data(),
+                                               &got_rank);
+    EXPECT_EQ(std::bit_cast<uint64_t>(ref_d), std::bit_cast<uint64_t>(got_d))
+        << kernel.name << " merge mismatch (" << what << ", swap=" << swap
+        << "): scalar=" << ref_d << " got=" << got_d;
+    EXPECT_EQ(ref_rank, got_rank)
+        << kernel.name << " best-hub mismatch (" << what << ", swap=" << swap
+        << ")";
+    // The null best_hub_rank path must answer identically too.
+    EXPECT_EQ(std::bit_cast<uint64_t>(got_d),
+              std::bit_cast<uint64_t>(kernel.merge_distance(
+                  a.ranks.data(), a.dists.data(), b.ranks.data(),
+                  b.dists.data(), nullptr)))
+        << kernel.name << " null-out mismatch (" << what << ")";
+  }
+}
+
+void ExpectScanMatchesScalar(const LabelKernels& kernel, const PaddedRun& t,
+                             const std::vector<double>& scratch,
+                             const char* what) {
+  const double ref = ScalarLabelKernels().scatter_scan(
+      t.ranks.data(), t.dists.data(), scratch.data());
+  const double got =
+      kernel.scatter_scan(t.ranks.data(), t.dists.data(), scratch.data());
+  EXPECT_EQ(std::bit_cast<uint64_t>(ref), std::bit_cast<uint64_t>(got))
+      << kernel.name << " scatter_scan mismatch (" << what
+      << "): scalar=" << ref << " got=" << got;
+}
+
+TEST(LabelKernelsTest, ScalarIsAlwaysCompiledAndFirst) {
+  auto compiled = CompiledLabelKernels();
+  ASSERT_GE(compiled.size(), 1u);
+  EXPECT_STREQ(compiled[0]->name, "scalar");
+  EXPECT_TRUE(compiled[0]->cpu_supported());
+}
+
+TEST(LabelKernelsTest, MergeNastyShapesDifferential) {
+  const PaddedRun empty({});
+  const PaddedRun single({{3, 1.5}});
+  const PaddedRun other_single({{7, 2.0}});
+  const PaddedRun same_single({{3, 0.25}});
+  // Widths around the 8-lane rank compare: 7, 8, 9 entries.
+  auto ascending = [](NodeId first, size_t count, double base) {
+    std::vector<std::pair<NodeId, double>> e;
+    for (size_t k = 0; k < count; ++k) {
+      e.push_back({static_cast<NodeId>(first + 2 * k), base + 0.25 * k});
+    }
+    return e;
+  };
+  const PaddedRun w7(ascending(0, 7, 1.0));
+  const PaddedRun w8(ascending(1, 8, 2.0));
+  const PaddedRun w9(ascending(0, 9, 0.5));
+  const PaddedRun w16(ascending(4, 16, 3.0));
+  const PaddedRun w17(ascending(3, 17, 0.75));
+  // Disjoint rank sets: no common hub anywhere.
+  const PaddedRun odd(ascending(1, 9, 1.0));    // 1,3,5,...
+  const PaddedRun even(ascending(0, 9, 1.0));   // 0,2,4,...
+  // Common hubs exactly at the run boundaries (first and last entries).
+  const PaddedRun boundary_a({{0, 1.0}, {5, 2.0}, {9, 0.5}});
+  const PaddedRun boundary_b({{0, 3.0}, {6, 1.0}, {9, 4.0}});
+  // Distance ties: two hubs attain the same minimum; lowest rank must win.
+  const PaddedRun tie_a({{2, 1.0}, {4, 2.0}});
+  const PaddedRun tie_b({{2, 3.0}, {4, 2.0}});
+  // Long run against short: exercises the movemask skip loop repeatedly.
+  const PaddedRun long_run(ascending(0, 40, 1.0));
+  const PaddedRun sparse({{33, 0.25}});
+
+  for (const LabelKernels* k : RunnableKernels()) {
+    ExpectMergeMatchesScalar(*k, empty, empty, "both empty");
+    ExpectMergeMatchesScalar(*k, empty, w8, "empty vs width-8");
+    ExpectMergeMatchesScalar(*k, single, other_single, "disjoint singletons");
+    ExpectMergeMatchesScalar(*k, single, same_single, "matching singletons");
+    ExpectMergeMatchesScalar(*k, w7, w8, "7 vs 8");
+    ExpectMergeMatchesScalar(*k, w8, w9, "8 vs 9");
+    ExpectMergeMatchesScalar(*k, w9, w16, "9 vs 16");
+    ExpectMergeMatchesScalar(*k, w16, w17, "16 vs 17");
+    ExpectMergeMatchesScalar(*k, odd, even, "no common hub");
+    ExpectMergeMatchesScalar(*k, boundary_a, boundary_b, "boundary hubs");
+    ExpectMergeMatchesScalar(*k, tie_a, tie_b, "tied minimum");
+    ExpectMergeMatchesScalar(*k, long_run, sparse, "long vs sparse");
+  }
+}
+
+TEST(LabelKernelsTest, MergeRandomizedDifferential) {
+  Rng rng(20260809);
+  for (int iter = 0; iter < 400; ++iter) {
+    // Random sorted rank subsets over a small universe force many collisions
+    // and many disjoint stretches; dyadic distances keep sums exact.
+    auto random_run = [&rng]() {
+      std::vector<std::pair<NodeId, double>> e;
+      const NodeId universe = 64;
+      for (NodeId r = 0; r < universe; ++r) {
+        if (rng.NextBounded(3) == 0) {
+          e.push_back({r, 0.25 * static_cast<double>(rng.NextBounded(64))});
+        }
+      }
+      return e;
+    };
+    const PaddedRun u(random_run());
+    const PaddedRun v(random_run());
+    for (const LabelKernels* k : RunnableKernels()) {
+      ExpectMergeMatchesScalar(*k, u, v, "randomized");
+    }
+  }
+}
+
+TEST(LabelKernelsTest, ScatterScanNastyShapesAndRandomizedDifferential) {
+  Rng rng(97);
+  const NodeId universe = 64;
+  // Scratch with a mix of finite entries and kInfDistance holes, like a
+  // scattered source label.
+  std::vector<double> scratch(universe, kInfDistance);
+  for (NodeId r = 0; r < universe; ++r) {
+    if (rng.NextBounded(2) == 0) {
+      scratch[r] = 0.25 * static_cast<double>(rng.NextBounded(32));
+    }
+  }
+  // Widths around the 4-lane gather: 0, 1, 3, 4, 5, 8, 11 entries.
+  for (size_t len : {0u, 1u, 3u, 4u, 5u, 8u, 11u}) {
+    std::vector<std::pair<NodeId, double>> entries;
+    NodeId r = static_cast<NodeId>(rng.NextBounded(4));
+    for (size_t k = 0; k < len; ++k) {
+      entries.push_back({r, 0.25 * static_cast<double>(rng.NextBounded(32))});
+      r = static_cast<NodeId>(r + 1 + rng.NextBounded(4));
+      if (r >= universe) break;
+    }
+    const PaddedRun run(entries);
+    for (const LabelKernels* k : RunnableKernels()) {
+      ExpectScanMatchesScalar(*k, run, scratch, "shaped");
+    }
+  }
+  // All-holes scratch: every candidate is inf + finite = inf.
+  const std::vector<double> empty_scratch(universe, kInfDistance);
+  const PaddedRun run({{1, 1.0}, {5, 0.5}, {9, 2.0}, {12, 0.25}, {40, 1.0}});
+  for (const LabelKernels* k : RunnableKernels()) {
+    ExpectScanMatchesScalar(*k, run, empty_scratch, "all-inf scratch");
+  }
+}
+
+/// Random connected graph with dyadic weights (multiples of 1/4): sums are
+/// exact in double, so PLL under any backend must equal Dijkstra exactly.
+Graph DyadicWeightGraph(NodeId n, size_t extra_edges, Rng& rng) {
+  GraphBuilder b(n);
+  auto weight = [&rng] {
+    return 0.25 * static_cast<double>(1 + rng.NextBounded(16));
+  };
+  for (NodeId v = 1; v < n; ++v) {
+    TD_CHECK_OK(b.AddEdge(static_cast<NodeId>(rng.NextBounded(v)), v, weight()));
+  }
+  for (size_t e = 0; e < extra_edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    (void)b.AddEdge(u, v, weight());
+  }
+  return b.Finish().ValueOrDie();
+}
+
+TEST(LabelKernelsTest, PllUnderEveryKernelMatchesDijkstraOnDyadicWeights) {
+  for (uint64_t seed : {101u, 202u}) {
+    Rng rng(seed);
+    Graph g = DyadicWeightGraph(70, 50, rng);
+    auto pll = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+    std::vector<double> batched;
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId t = 0; t < g.num_nodes(); ++t) all[t] = t;
+    for (const LabelKernels* k : RunnableKernels()) {
+      pll->UseKernelsForTesting(*k);
+      for (NodeId s = 0; s < g.num_nodes(); ++s) {
+        ShortestPathTree tree = DijkstraSssp(g, s);
+        pll->DistancesInto(s, all, batched);
+        for (NodeId t = 0; t < g.num_nodes(); ++t) {
+          ASSERT_EQ(pll->Distance(s, t), tree.dist[t])
+              << k->name << " seed " << seed << " s=" << s << " t=" << t;
+          ASSERT_EQ(batched[t], tree.dist[t])
+              << k->name << " batched, seed " << seed << " s=" << s
+              << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(LabelKernelsTest, ResolutionRules) {
+  // "scalar" always honors the request.
+  EXPECT_STREQ(ResolveLabelKernels("scalar").name, "scalar");
+  const LabelKernels* avx2 = Avx2LabelKernelsOrNull();
+  const bool avx2_usable = avx2 != nullptr && avx2->cpu_supported();
+  // "auto" (and the unset default) pick avx2 exactly when it is usable.
+  for (const char* req : {"auto", ""}) {
+    EXPECT_STREQ(ResolveLabelKernels(req).name,
+                 avx2_usable ? "avx2" : "scalar")
+        << "request \"" << req << "\"";
+  }
+  // An explicit "avx2" request degrades to scalar (with a warning) instead
+  // of crashing when the backend is missing or the CPU lacks it.
+  EXPECT_STREQ(ResolveLabelKernels("avx2").name,
+               avx2_usable ? "avx2" : "scalar");
+  // Unknown values warn and behave like auto.
+  EXPECT_STREQ(ResolveLabelKernels("sse9").name,
+               avx2_usable ? "avx2" : "scalar");
+  // The process-wide selection is one of the compiled backends and runnable.
+  const LabelKernels& selected = SelectedLabelKernels();
+  EXPECT_TRUE(selected.cpu_supported());
+}
+
+TEST(LabelKernelsTest, AlignedAllocatorDelivers32ByteBases) {
+  // The CSR arrays the kernels load from are allocated through
+  // AlignedAllocator<_, 32>; verify the allocator actually over-aligns, for
+  // a few sizes including reallocation-driven growth.
+  std::vector<double, AlignedAllocator<double, 32>> d;
+  std::vector<NodeId, AlignedAllocator<NodeId, 32>> r;
+  for (int i = 0; i < 100; ++i) {
+    d.push_back(1.0);
+    r.push_back(2);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(d.data()) % 32, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(r.data()) % 32, 0u);
+  }
+}
+
+TEST(LabelKernelsTest, KernelSwapKeepsAnswersIdentical) {
+  // Kernels are pure functions over the CSR arrays, so swapping the backend
+  // on a live index must not change a single bit of any answer.
+  Rng rng(7);
+  Graph g = DyadicWeightGraph(40, 30, rng);
+  auto pll = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+  // Kernel swapping is safe at any time: answers stay identical.
+  const double before = pll->Distance(3, 17);
+  for (const LabelKernels* k : RunnableKernels()) {
+    pll->UseKernelsForTesting(*k);
+    EXPECT_EQ(std::bit_cast<uint64_t>(pll->Distance(3, 17)),
+              std::bit_cast<uint64_t>(before))
+        << k->name;
+  }
+}
+
+}  // namespace
+}  // namespace teamdisc

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdio>
 
 #include "common/string_util.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_generators.h"
 #include "shortest_path/dijkstra.h"
+#include "shortest_path/kernels/label_kernels.h"
 #include "shortest_path/pruned_landmark_labeling.h"
 
 namespace teamdisc {
@@ -223,6 +225,43 @@ TEST(PllPersistenceTest, RejectsCorruptV2Input) {
   ASSERT_NE(pos, std::string::npos);
   bad_rank.replace(pos + 7, 1, "9999999");
   EXPECT_FALSE(PrunedLandmarkLabeling::Deserialize(g, bad_rank).ok());
+}
+
+TEST(PllPersistenceTest, V3WrittenByScalarBuildAnswersIdenticallyUnderAvx2) {
+  // Alignment and padding are properties of the in-memory load path
+  // (Flatten), not of the v3 file format: an index serialized by a
+  // scalar-kernel build must deserialize into kernel-ready arrays and answer
+  // bit-identically under every compiled backend the CPU supports.
+  Rng rng(4242);
+  Graph g = BarabasiAlbert(150, 2, rng).ValueOrDie();
+  auto original = PrunedLandmarkLabeling::Build(g).ValueOrDie();
+  original->UseKernelsForTesting(ScalarLabelKernels());
+  const std::string artifact = original->Serialize();
+  auto restored = PrunedLandmarkLabeling::Deserialize(g, artifact).ValueOrDie();
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 40; ++i) {
+    targets.push_back(static_cast<NodeId>(rng.NextBounded(g.num_nodes())));
+  }
+  std::vector<double> want, got;
+  for (const LabelKernels* k : CompiledLabelKernels()) {
+    if (!k->cpu_supported()) continue;
+    restored->UseKernelsForTesting(*k);
+    for (int q = 0; q < 200; ++q) {
+      NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      ASSERT_EQ(std::bit_cast<uint64_t>(original->Distance(u, v)),
+                std::bit_cast<uint64_t>(restored->Distance(u, v)))
+          << k->name << " u=" << u << " v=" << v;
+    }
+    original->DistancesInto(3, targets, want);
+    restored->DistancesInto(3, targets, got);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<uint64_t>(want[i]),
+                std::bit_cast<uint64_t>(got[i]))
+          << k->name << " batched target " << targets[i];
+    }
+  }
 }
 
 TEST(PllPersistenceTest, LoadMissingFileFails) {

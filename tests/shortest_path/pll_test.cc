@@ -108,6 +108,38 @@ TEST(PllTest, HighestDegreeHubLabeledEverywhere) {
   }
 }
 
+TEST(PllTest, MemoryBytesPinnedOnTinyGraph) {
+  // Hand-computed accounting for the aligned + padded CSR allocation on the
+  // path 0-1-2 (unit weights), built sequentially so labels are fully
+  // deterministic. Node 1 has degree 2 -> rank 0; hub 0 then prunes
+  // everything, leaving labels {0:[(r0,1),(r1,0)], 1:[(r0,0)], 2:[(r0,1),
+  // (r2,0)]} = 5 entries.
+  GraphBuilder b(3);
+  TD_CHECK_OK(b.AddEdge(0, 1, 1.0));
+  TD_CHECK_OK(b.AddEdge(1, 2, 1.0));
+  Graph g = b.Finish().ValueOrDie();
+  auto pll = PrunedLandmarkLabeling::Build(g, {.num_threads = 1}).ValueOrDie();
+  ASSERT_EQ(pll->stats().total_entries, 5u);
+  EXPECT_EQ(pll->LabelEntriesForNode(0), 2u);
+  EXPECT_EQ(pll->LabelEntriesForNode(1), 1u);
+  EXPECT_EQ(pll->LabelEntriesForNode(2), 2u);
+  // Flat arrays hold entries + one sentinel per node + the vector-load pad
+  // tail; Flatten sizes each array exactly once so capacity == size and the
+  // bytes below are the whole allocation story.
+  const size_t n = 3;
+  const size_t padded = 5 + n + kLabelRunPadEntries;
+  const size_t expected = (n + 1) * sizeof(uint64_t)          // label_offsets_
+                          + padded * sizeof(NodeId)           // hub_ranks_
+                          + padded * sizeof(double)           // label_dists_
+                          + padded * sizeof(NodeId)           // label_parents_
+                          + 2 * n * sizeof(NodeId);           // order_, rank_of_
+  EXPECT_EQ(pll->MemoryBytes(), expected);
+  // The deserialization path must account identically (same Flatten).
+  auto restored =
+      PrunedLandmarkLabeling::Deserialize(g, pll->Serialize()).ValueOrDie();
+  EXPECT_EQ(restored->MemoryBytes(), expected);
+}
+
 TEST(PllTest, OracleNameAndGraph) {
   Graph g = PathGraph(3).ValueOrDie();
   auto pll = BuildPll(g);
